@@ -1,0 +1,136 @@
+//! Criterion microbenchmarks for the sampling kernels behind Figures 3, 4,
+//! and the merge path (Algorithm 2/3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use laqy_sampling::{merge_reservoirs, merge_stratified, Lehmer64, Reservoir, StratifiedSampler};
+use std::hint::black_box;
+
+/// Synthetic stratification input: (key, payload) pairs.
+fn input(n: usize, strata: i64, seed: u64) -> Vec<(i64, i64)> {
+    let mut rng = Lehmer64::new(seed);
+    (0..n)
+        .map(|_| (rng.next_below(strata as u64) as i64, rng.next_u64() as i64))
+        .collect()
+}
+
+/// Figure 3 kernel: stratified build time as strata count grows.
+fn bench_stratified_build(c: &mut Criterion) {
+    let n = 200_000;
+    let mut group = c.benchmark_group("stratified_build");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    for strata in [50i64, 450, 4950] {
+        let data = input(n, strata, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(strata), &data, |b, data| {
+            b.iter(|| {
+                let mut rng = Lehmer64::new(2);
+                let mut s: StratifiedSampler<i64, i64> = StratifiedSampler::new(2000);
+                for &(k, v) in data {
+                    s.offer(k, v, &mut rng);
+                }
+                black_box(s.num_strata())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 4 kernel: capacity sweep at fixed strata count — expect a flat
+/// profile relative to the strata sweep above.
+fn bench_capacity_sweep(c: &mut Criterion) {
+    let n = 200_000;
+    let data = input(n, 450, 3);
+    let mut group = c.benchmark_group("reservoir_capacity");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    for k in [1usize, 500, 1000, 2000] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &data, |b, data| {
+            b.iter(|| {
+                let mut rng = Lehmer64::new(4);
+                let mut s: StratifiedSampler<i64, i64> = StratifiedSampler::new(k);
+                for &(key, v) in data {
+                    s.offer(key, v, &mut rng);
+                }
+                black_box(s.total_items())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Simple reservoir admission throughput (the per-tuple hot path).
+fn bench_reservoir_offer(c: &mut Criterion) {
+    let n = 1_000_000u64;
+    let mut group = c.benchmark_group("reservoir_offer");
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("algorithm_r", |b| {
+        b.iter(|| {
+            let mut rng = Lehmer64::new(5);
+            let mut r = Reservoir::new(1024);
+            for i in 0..n {
+                r.offer(i as i64, &mut rng);
+            }
+            black_box(r.len())
+        })
+    });
+    group.finish();
+}
+
+/// Algorithm 2: merging two full reservoirs.
+fn bench_reservoir_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reservoir_merge");
+    for k in [256usize, 2048] {
+        let mut rng = Lehmer64::new(6);
+        let mut a = Reservoir::new(k);
+        let mut b = Reservoir::new(k);
+        for i in 0..(k as i64 * 20) {
+            a.offer(i, &mut rng);
+            b.offer(1_000_000 + i, &mut rng);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(k), &(a, b), |bench, (a, b)| {
+            bench.iter(|| {
+                let mut rng = Lehmer64::new(7);
+                black_box(merge_reservoirs(Some(a), Some(b), &mut rng).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Algorithm 3: merging stratified samples (the per-query merge cost the
+/// paper reports as negligible — Figure 11).
+fn bench_stratified_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stratified_merge");
+    group.sample_size(10);
+    for strata in [450i64, 4950] {
+        let build = |seed: u64| {
+            let mut rng = Lehmer64::new(seed);
+            let mut s: StratifiedSampler<i64, i64> = StratifiedSampler::new(64);
+            for &(k, v) in &input(100_000, strata, seed) {
+                s.offer(k, v, &mut rng);
+            }
+            s
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strata),
+            &(build(8), build(9)),
+            |bench, (a, b)| {
+                bench.iter(|| {
+                    let mut rng = Lehmer64::new(10);
+                    black_box(merge_stratified(a.clone(), b.clone(), &mut rng).num_strata())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stratified_build,
+    bench_capacity_sweep,
+    bench_reservoir_offer,
+    bench_reservoir_merge,
+    bench_stratified_merge
+);
+criterion_main!(benches);

@@ -1,0 +1,213 @@
+//! Figures 3 and 4: stratified-sample build-time microbenchmarks.
+//!
+//! Both isolate the stratified sampler itself (single-threaded, operating
+//! directly on SSB columns) so the parameter effects the paper identifies —
+//! #tuples and #strata dominate, per-reservoir capacity `k` barely matters
+//! — appear without engine noise.
+
+use laqy_engine::Catalog;
+use laqy_sampling::{Lehmer64, StratifiedSampler};
+
+use crate::report::{Figure, Series};
+use crate::time_best;
+
+use super::BenchConfig;
+
+/// Pre-extracted stratification inputs from `lineorder`.
+pub struct StratInput {
+    quantity: Vec<i64>,
+    tax: Vec<i64>,
+    discount: Vec<i64>,
+    intkey: Vec<i64>,
+    revenue: Vec<i64>,
+}
+
+impl StratInput {
+    /// Extract from the catalog.
+    pub fn from_catalog(catalog: &Catalog) -> Self {
+        let lo = catalog.table("lineorder").expect("lineorder generated");
+        let col = |name: &str| -> Vec<i64> {
+            let c = lo.column(name).expect("ssb column");
+            (0..lo.num_rows()).map(|i| c.i64_at(i)).collect()
+        };
+        Self {
+            quantity: col("lo_quantity"),
+            tax: col("lo_tax"),
+            discount: col("lo_discount"),
+            intkey: col("lo_intkey"),
+            revenue: col("lo_revenue"),
+        }
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.quantity.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.quantity.is_empty()
+    }
+
+    /// Composite stratum key with the Table 1 cardinality for
+    /// `cols ∈ 1..=3` (50 / 450 / 4950).
+    #[inline]
+    pub fn key(&self, row: usize, cols: usize) -> i64 {
+        match cols {
+            1 => self.quantity[row],
+            2 => self.quantity[row] * 9 + self.tax[row],
+            _ => (self.quantity[row] * 9 + self.tax[row]) * 11 + self.discount[row],
+        }
+    }
+
+    /// Build a stratified sample over `rows` rows with an `cols`-column
+    /// QCS and capacity `k`; `filter` drops rows before sampling (the
+    /// pushed-down predicate).
+    pub fn build(
+        &self,
+        rows: usize,
+        cols: usize,
+        k: usize,
+        seed: u64,
+        mut filter: impl FnMut(usize) -> bool,
+    ) -> StratifiedSampler<i64, i64> {
+        let mut rng = Lehmer64::new(seed);
+        let mut s = StratifiedSampler::new(k);
+        for row in 0..rows.min(self.len()) {
+            if filter(row) {
+                s.offer(self.key(row, cols), self.revenue[row], &mut rng);
+            }
+        }
+        s
+    }
+
+    /// `lo_intkey` value at a row (QVS filtering).
+    #[inline]
+    pub fn intkey(&self, row: usize) -> i64 {
+        self.intkey[row]
+    }
+
+    /// `lo_quantity` value at a row (QCS filtering).
+    #[inline]
+    pub fn quantity(&self, row: usize) -> i64 {
+        self.quantity[row]
+    }
+}
+
+/// Figure 3: build time vs. #tuples, one series per strata count.
+pub fn fig3(cfg: &BenchConfig, catalog: &Catalog) -> Figure {
+    let input = StratInput::from_catalog(catalog);
+    let n = input.len();
+    let fractions = [0.2, 0.4, 0.6, 0.8, 1.0];
+    let mut fig = Figure::new(
+        "fig3",
+        "Impact of #tuples and #strata on stratified-sample build time",
+        "tuples",
+        "seconds (single-threaded build)",
+    );
+    for (cols, strata) in [(1usize, 50u64), (2, 450), (3, 4950)] {
+        let mut pts = Vec::new();
+        for frac in fractions {
+            let rows = (n as f64 * frac) as usize;
+            let (_, d) = time_best(|| input.build(rows, cols, cfg.k_micro, cfg.seed, |_| true));
+            pts.push((rows as f64, d.as_secs_f64()));
+        }
+        fig.series.push(Series::new(format!("{strata} strata"), pts));
+    }
+    fig.notes.push(
+        "paper: time grows with tuples for every strata count; more strata shift the curve up"
+            .into(),
+    );
+    fig
+}
+
+/// Figure 4: build time vs. per-reservoir capacity `k`, one series per
+/// group count — capacity has a minor effect, group count a major one.
+pub fn fig4(cfg: &BenchConfig, catalog: &Catalog) -> Figure {
+    let input = StratInput::from_catalog(catalog);
+    let n = input.len();
+    let capacities = [1usize, 500, 1000, 1500, 2000];
+    let mut fig = Figure::new(
+        "fig4",
+        "Impact of incrementing per-reservoir capacity",
+        "reservoir capacity k",
+        "seconds (single-threaded build)",
+    );
+    for (cols, strata) in [(1usize, 50u64), (2, 450), (3, 4950)] {
+        let mut pts = Vec::new();
+        for k in capacities {
+            let (_, d) = time_best(|| input.build(n, cols, k, cfg.seed, |_| true));
+            pts.push((k as f64, d.as_secs_f64()));
+        }
+        fig.series.push(Series::new(format!("{strata} groups"), pts));
+    }
+    fig.notes.push(
+        "paper: k variation has marginal impact; the number of groups dominates build time"
+            .into(),
+    );
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laqy_workload::{generate, SsbConfig};
+
+    fn tiny_cfg() -> (BenchConfig, Catalog) {
+        let cfg = BenchConfig {
+            sf: 0.001,
+            k_micro: 50,
+            ..Default::default()
+        };
+        let catalog = generate(&SsbConfig {
+            scale_factor: cfg.sf,
+            seed: cfg.seed,
+        });
+        (cfg, catalog)
+    }
+
+    #[test]
+    fn strat_input_cardinalities() {
+        let (_, catalog) = tiny_cfg();
+        let input = StratInput::from_catalog(&catalog);
+        let mut keys3: Vec<i64> = (0..input.len()).map(|r| input.key(r, 3)).collect();
+        keys3.sort_unstable();
+        keys3.dedup();
+        assert!(keys3.len() <= 4950);
+        // With 6000 rows, 1-col keys cover all 50 quantities.
+        let mut keys1: Vec<i64> = (0..input.len()).map(|r| input.key(r, 1)).collect();
+        keys1.sort_unstable();
+        keys1.dedup();
+        assert_eq!(keys1.len(), 50);
+    }
+
+    #[test]
+    fn build_respects_filter() {
+        let (_, catalog) = tiny_cfg();
+        let input = StratInput::from_catalog(&catalog);
+        let full = input.build(input.len(), 1, 10_000, 1, |_| true);
+        let half = input.build(input.len(), 1, 10_000, 1, |r| input.intkey(r) < 3000);
+        assert_eq!(full.total_weight(), 6000);
+        assert_eq!(half.total_weight(), 3000);
+    }
+
+    #[test]
+    fn fig3_has_three_series_of_five_points() {
+        let (cfg, catalog) = tiny_cfg();
+        let fig = fig3(&cfg, &catalog);
+        assert_eq!(fig.series.len(), 3);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 5);
+            // x (tuples) increases monotonically.
+            assert!(s.points.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+    }
+
+    #[test]
+    fn fig4_has_capacity_sweep() {
+        let (cfg, catalog) = tiny_cfg();
+        let fig = fig4(&cfg, &catalog);
+        assert_eq!(fig.series.len(), 3);
+        assert_eq!(fig.series[0].points.len(), 5);
+    }
+}

@@ -1,0 +1,35 @@
+//! # laqy-bench
+//!
+//! Experiment runners that regenerate every table and figure of the LAQy
+//! paper's evaluation (§7). Each experiment returns a [`Figure`] — labeled
+//! series of (x, y) points — which the `figures` binary prints as an
+//! aligned text table. Absolute numbers differ from the paper (this
+//! substrate is a laptop-scale vectorized engine, not a 48-thread JIT
+//! server on SF1000); the *shapes* — who wins, by what factor, where the
+//! crossovers sit — are the reproduction targets, recorded in
+//! EXPERIMENTS.md.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{run_experiment, BenchConfig, SequenceKind, ALL};
+pub use report::{Figure, Series};
+
+use std::time::{Duration, Instant};
+
+/// Time a closure once (experiments run long enough that single shots are
+/// representative; the Criterion benches handle statistics).
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed())
+}
+
+/// Time a closure with one warm-up run, keeping the faster of two timed
+/// runs — enough to strip cold-cache noise from the microbenchmark sweeps.
+pub fn time_best<R>(mut f: impl FnMut() -> R) -> (R, Duration) {
+    let _ = f(); // warm-up
+    let (_, d1) = time(&mut f);
+    let (r, d2) = time(&mut f);
+    (r, d1.min(d2))
+}

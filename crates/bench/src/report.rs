@@ -1,0 +1,254 @@
+//! Text rendering of experiment results.
+
+/// One labeled data series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build from a label and points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// Sum of the y values.
+    pub fn total(&self) -> f64 {
+        self.points.iter().map(|p| p.1).sum()
+    }
+}
+
+/// One regenerated table or figure.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Paper identifier, e.g. "fig6" or "table1".
+    pub id: String,
+    /// Caption.
+    pub title: String,
+    /// Meaning of the x column.
+    pub x_label: String,
+    /// Meaning of the y values.
+    pub y_label: String,
+    /// Data series (must share x values for tabular printing; ragged
+    /// series print blanks).
+    pub series: Vec<Series>,
+    /// Optional per-x category names replacing numeric x display.
+    pub x_categories: Option<Vec<String>>,
+    /// Free-form annotations (paper-expectation notes, measured factors).
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Construct an empty figure shell.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            x_categories: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Add a series (builder style).
+    pub fn with_series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Add a note (builder style).
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// All distinct x values across series, in first-seen order.
+    fn x_values(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &(x, _) in &s.points {
+                if !xs.contains(&x) {
+                    xs.push(x);
+                }
+            }
+        }
+        xs
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        out.push_str(&format!("   y: {}\n", self.y_label));
+        let xs = self.x_values();
+        // Header.
+        let mut header = vec![self.x_label.clone()];
+        header.extend(self.series.iter().map(|s| s.label.clone()));
+        let mut rows: Vec<Vec<String>> = vec![header];
+        for (i, &x) in xs.iter().enumerate() {
+            let x_disp = match &self.x_categories {
+                Some(cats) if i < cats.len() => cats[i].clone(),
+                _ => format_num(x),
+            };
+            let mut row = vec![x_disp];
+            for s in &self.series {
+                match s.points.iter().find(|&&(px, _)| px == x) {
+                    Some(&(_, y)) => row.push(format_num(y)),
+                    None => row.push(String::new()),
+                }
+            }
+            rows.push(row);
+        }
+        // Column widths.
+        let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for r in &rows {
+            for (c, cell) in r.iter().enumerate() {
+                widths[c] = widths[c].max(cell.chars().count());
+            }
+        }
+        for r in &rows {
+            let line: Vec<String> = r
+                .iter()
+                .enumerate()
+                .map(|(c, cell)| format!("{:>width$}", cell, width = widths[c]))
+                .collect();
+            out.push_str(&format!("  {}\n", line.join("  ")));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+}
+
+impl Figure {
+    /// Render as CSV: header `x,<series...>`, one row per x value; blank
+    /// cells for series missing that x. Category labels replace numeric x
+    /// values when present.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let quote = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut header = vec![quote(&self.x_label)];
+        header.extend(self.series.iter().map(|s| quote(&s.label)));
+        out.push_str(&header.join(","));
+        out.push('\n');
+        for (i, &x) in self.x_values().iter().enumerate() {
+            let x_disp = match &self.x_categories {
+                Some(cats) if i < cats.len() => quote(&cats[i]),
+                _ => format!("{x}"),
+            };
+            let mut row = vec![x_disp];
+            for s in &self.series {
+                match s.points.iter().find(|&&(px, _)| px == x) {
+                    Some(&(_, y)) => row.push(format!("{y}")),
+                    None => row.push(String::new()),
+                }
+            }
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Compact numeric formatting for table cells.
+pub fn format_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1_000_000.0 {
+        format!("{:.3e}", v)
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else if v.abs() >= 0.001 {
+        format!("{v:.4}")
+    } else {
+        format!("{:.3e}", v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let fig = Figure::new("figX", "demo", "x", "seconds")
+            .with_series(Series::new("a", vec![(1.0, 0.5), (2.0, 1.5)]))
+            .with_series(Series::new("b", vec![(1.0, 100.0)]))
+            .with_note("hello");
+        let s = fig.render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("a"));
+        assert!(s.contains("note: hello"));
+        // Ragged series leave a blank, not a panic.
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn categories_replace_x() {
+        let fig = Figure::new("t", "t", "phase", "s")
+            .with_series(Series::new("m", vec![(0.0, 1.0), (1.0, 2.0)]));
+        let mut fig = fig;
+        fig.x_categories = Some(vec!["scan".into(), "merge".into()]);
+        let s = fig.render();
+        assert!(s.contains("scan") && s.contains("merge"));
+    }
+
+    #[test]
+    fn num_formatting() {
+        assert_eq!(format_num(0.0), "0");
+        assert_eq!(format_num(1234.0), "1234");
+        assert_eq!(format_num(12.345), "12.35");
+        assert_eq!(format_num(0.0123), "0.0123");
+        assert!(format_num(1.5e-7).contains('e'));
+        assert!(format_num(2.0e8).contains('e'));
+    }
+
+    #[test]
+    fn series_total() {
+        let s = Series::new("x", vec![(0.0, 1.0), (1.0, 2.0)]);
+        assert_eq!(s.total(), 3.0);
+    }
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrips_values_and_quotes() {
+        let mut fig = Figure::new("f", "t", "x,axis", "y")
+            .with_series(Series::new("a \"b\"", vec![(0.0, 1.5), (1.0, 2.5)]))
+            .with_series(Series::new("plain", vec![(0.0, 3.0)]));
+        fig.x_categories = Some(vec!["first".into(), "second".into()]);
+        let csv = fig.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("\"x,axis\","));
+        assert!(lines[0].contains("\"a \"\"b\"\"\""));
+        assert_eq!(lines[1], "first,1.5,3");
+        assert_eq!(lines[2], "second,2.5,"); // blank for missing point
+    }
+}

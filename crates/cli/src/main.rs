@@ -1,0 +1,39 @@
+//! laqy-cli: an interactive shell for approximate SQL over LAQy.
+//!
+//! ```text
+//! cargo run --release -p laqy-cli
+//! laqy> .load ssb 0.05
+//! laqy> SELECT lo_orderdate, SUM(lo_revenue) FROM lineorder
+//!       WHERE lo_intkey BETWEEN 0 AND 100000 GROUP BY lo_orderdate
+//! ```
+
+use std::io::{BufRead, Write};
+
+mod repl;
+
+fn main() {
+    let mut repl = repl::Repl::new();
+    println!("laqy-cli — approximate SQL shell (.help for commands, .quit to exit)");
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("laqy> ");
+        stdout.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => match repl.handle(&line) {
+                Some(output) => {
+                    if !output.is_empty() {
+                        println!("{output}");
+                    }
+                }
+                None => break,
+            },
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,616 @@
+//! REPL state machine: parses dot-commands and SQL, executes against a
+//! [`LaqySession`], and renders results as text tables. Kept free of I/O
+//! so the whole command surface is unit-testable.
+
+use std::fmt::Write as _;
+
+use laqy::{approx_query, run_bounded, ErrorTarget, LaqySession, ReuseMode, SessionConfig};
+use laqy_engine::{load_csv_file, Catalog, DataType, Value};
+use laqy_workload::{generate, SsbConfig};
+
+/// How SQL statements are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// LAQy lazy sampling (default).
+    Lazy,
+    /// All-or-none sample caching.
+    Strict,
+    /// Workload-oblivious online sampling.
+    Online,
+    /// Exact execution.
+    Exact,
+}
+
+/// The interactive shell state.
+pub struct Repl {
+    session: Option<LaqySession>,
+    mode: ExecMode,
+    k: usize,
+    error_target: Option<f64>,
+    seed: u64,
+}
+
+impl Default for Repl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Repl {
+    /// Fresh shell with no data loaded.
+    pub fn new() -> Self {
+        Self {
+            session: None,
+            mode: ExecMode::Lazy,
+            k: 128,
+            error_target: None,
+            seed: 0xC11,
+        }
+    }
+
+    /// Handle one input line; returns the text to print. `Ok(None)` means
+    /// quit.
+    pub fn handle(&mut self, line: &str) -> Option<String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Some(String::new());
+        }
+        if let Some(cmd) = line.strip_prefix('.') {
+            return self.command(cmd);
+        }
+        Some(self.run_sql(line))
+    }
+
+    fn command(&mut self, cmd: &str) -> Option<String> {
+        let parts: Vec<&str> = cmd.split_whitespace().collect();
+        match parts.first().copied() {
+            Some("quit") | Some("exit") => None,
+            Some("help") => Some(HELP.to_string()),
+            Some("load") => Some(self.load(&parts[1..])),
+            Some("tables") => Some(self.tables()),
+            Some("k") => Some(match parts.get(1).and_then(|v| v.parse::<usize>().ok()) {
+                Some(k) if k > 0 => {
+                    self.k = k;
+                    format!("reservoir capacity k = {k}")
+                }
+                _ => "usage: .k <positive integer>".to_string(),
+            }),
+            Some("mode") => Some(match parts.get(1).copied() {
+                Some("lazy") => {
+                    self.mode = ExecMode::Lazy;
+                    self.rebuild_session();
+                    "mode = lazy (LAQy partial reuse)".into()
+                }
+                Some("strict") => {
+                    self.mode = ExecMode::Strict;
+                    self.rebuild_session();
+                    "mode = strict (full-match-only caching)".into()
+                }
+                Some("online") => {
+                    self.mode = ExecMode::Online;
+                    "mode = online (workload-oblivious)".into()
+                }
+                Some("exact") => {
+                    self.mode = ExecMode::Exact;
+                    "mode = exact".into()
+                }
+                _ => "usage: .mode lazy|strict|online|exact".into(),
+            }),
+            Some("error") => Some(match parts.get(1) {
+                Some(&"off") => {
+                    self.error_target = None;
+                    "error target off".into()
+                }
+                Some(v) => match v.parse::<f64>() {
+                    Ok(e) if e > 0.0 => {
+                        self.error_target = Some(e);
+                        format!("error target = {e} (relative 95% CI half-width)")
+                    }
+                    _ => "usage: .error <positive float>|off".into(),
+                },
+                None => "usage: .error <positive float>|off".into(),
+            }),
+            Some("stats") => Some(self.stats()),
+            Some("save") => Some(self.save(parts.get(1).copied())),
+            Some("restore") => Some(self.restore(parts.get(1).copied())),
+            Some(other) => Some(format!("unknown command `.{other}` (try .help)")),
+            None => Some(HELP.to_string()),
+        }
+    }
+
+    fn rebuild_session(&mut self) {
+        if let Some(old) = self.session.take() {
+            let catalog = old.catalog().clone();
+            self.session = Some(self.make_session(catalog));
+        }
+    }
+
+    fn make_session(&self, catalog: Catalog) -> LaqySession {
+        LaqySession::with_config(
+            catalog,
+            SessionConfig {
+                seed: self.seed,
+                reuse_mode: if self.mode == ExecMode::Strict {
+                    ReuseMode::FullMatchOnly
+                } else {
+                    ReuseMode::Lazy
+                },
+                ..Default::default()
+            },
+        )
+    }
+
+    fn load(&mut self, args: &[&str]) -> String {
+        match args.first().copied() {
+            Some("ssb") => {
+                let sf: f64 = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(0.01);
+                let catalog = generate(&SsbConfig {
+                    scale_factor: sf,
+                    seed: self.seed,
+                });
+                let rows = catalog.table("lineorder").map(|t| t.num_rows()).unwrap_or(0);
+                self.session = Some(self.make_session(catalog));
+                format!("loaded SSB at SF {sf}: lineorder has {rows} rows")
+            }
+            Some("csv") => {
+                let (Some(name), Some(path), Some(schema_str)) =
+                    (args.get(1), args.get(2), args.get(3))
+                else {
+                    return "usage: .load csv <table> <path> <col:type,...> \
+                            (types: i32|i64|f64|str)"
+                        .into();
+                };
+                let schema = match parse_schema(schema_str) {
+                    Ok(s) => s,
+                    Err(e) => return e,
+                };
+                match load_csv_file(*name, path, &schema) {
+                    Ok(table) => {
+                        let rows = table.num_rows();
+                        match &mut self.session {
+                            Some(s) => s.register_table(table),
+                            None => {
+                                let mut catalog = Catalog::new();
+                                catalog.register(table);
+                                self.session = Some(self.make_session(catalog));
+                            }
+                        }
+                        format!("loaded `{name}`: {rows} rows")
+                    }
+                    Err(e) => format!("load failed: {e}"),
+                }
+            }
+            _ => "usage: .load ssb [sf] | .load csv <table> <path> <schema>".into(),
+        }
+    }
+
+    fn tables(&self) -> String {
+        match &self.session {
+            None => "no data loaded (try `.load ssb 0.01`)".into(),
+            Some(s) => {
+                let mut out = String::new();
+                for name in s.catalog().table_names() {
+                    let t = s.catalog().table(name).expect("listed table");
+                    let _ = writeln!(
+                        out,
+                        "{name}: {} rows, {} columns ({})",
+                        t.num_rows(),
+                        t.num_columns(),
+                        t.schema()
+                            .iter()
+                            .map(|(n, dt)| format!("{n}:{}", dt.name()))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                }
+                out
+            }
+        }
+    }
+
+    fn stats(&self) -> String {
+        match &self.session {
+            None => "no session".into(),
+            Some(s) => format!(
+                "sample store: {} samples, {:.2} MiB; mode {:?}, k {}{}",
+                s.store().len(),
+                s.store().total_bytes() as f64 / (1024.0 * 1024.0),
+                self.mode,
+                self.k,
+                self.error_target
+                    .map(|e| format!(", error target {e}"))
+                    .unwrap_or_default()
+            ),
+        }
+    }
+
+    fn save(&self, path: Option<&str>) -> String {
+        let Some(path) = path else {
+            return "usage: .save <path>".into();
+        };
+        match &self.session {
+            None => "no session".into(),
+            Some(s) => {
+                let bytes = s.export_samples();
+                match std::fs::write(path, &bytes) {
+                    Ok(()) => format!("saved {} samples ({} bytes) to {path}", s.store().len(), bytes.len()),
+                    Err(e) => format!("save failed: {e}"),
+                }
+            }
+        }
+    }
+
+    fn restore(&mut self, path: Option<&str>) -> String {
+        let Some(path) = path else {
+            return "usage: .restore <path>".into();
+        };
+        let Some(session) = &mut self.session else {
+            return "load data first, then restore samples".into();
+        };
+        match std::fs::read(path) {
+            Err(e) => format!("read failed: {e}"),
+            Ok(bytes) => match session.import_samples(&bytes) {
+                Ok(()) => format!("restored {} samples", session.store().len()),
+                Err(e) => format!("restore failed: {e}"),
+            },
+        }
+    }
+
+    fn run_sql(&mut self, sql: &str) -> String {
+        let Some(session) = &mut self.session else {
+            return "no data loaded (try `.load ssb 0.01`)".into();
+        };
+        if self.mode == ExecMode::Exact {
+            // Exact path accepts SQL without a BETWEEN range.
+            let plan = match laqy_engine::sql::plan(session.catalog(), sql) {
+                Ok(p) => p,
+                Err(e) => return format!("error: {e}"),
+            };
+            let t = std::time::Instant::now();
+            return match laqy_engine::execute_exact(session.catalog(), &plan, 1) {
+                Ok(result) => {
+                    let mut out = render_exact(&result);
+                    let _ = writeln!(out, "({} rows, exact, {:?})", result.rows.len(), t.elapsed());
+                    out
+                }
+                Err(e) => format!("error: {e}"),
+            };
+        }
+
+        let query = match approx_query(session.catalog(), sql, self.k) {
+            Ok(q) => q,
+            Err(e) => return format!("error: {e}"),
+        };
+        let outcome = match (self.mode, self.error_target) {
+            (ExecMode::Online, _) => session.run_online_oblivious(&query),
+            (_, Some(target)) => {
+                return match run_bounded(session, &query, &ErrorTarget::relative(target)) {
+                    Ok(b) => {
+                        let mut out = render_approx(session, &query, &b.result);
+                        let _ = writeln!(
+                            out,
+                            "({} groups, reuse {}, k {} after {} attempt(s), worst rel err {:.4}{}, {:?})",
+                            b.result.groups.len(),
+                            b.result.stats.reuse.map(|r| r.label()).unwrap_or("?"),
+                            b.k_used,
+                            b.attempts,
+                            b.worst_relative_error,
+                            if b.met { "" } else { " — TARGET NOT MET" },
+                            b.result.stats.total
+                        );
+                        out
+                    }
+                    Err(e) => format!("error: {e}"),
+                };
+            }
+            _ => session.run(&query),
+        };
+        match outcome {
+            Ok(result) => {
+                let mut out = render_approx(session, &query, &result);
+                let _ = writeln!(
+                    out,
+                    "({} groups, reuse {}, {:?})",
+                    result.groups.len(),
+                    result.stats.reuse.map(|r| r.label()).unwrap_or("?"),
+                    result.stats.total
+                );
+                out
+            }
+            Err(e) => format!("error: {e}"),
+        }
+    }
+}
+
+fn parse_schema(spec: &str) -> Result<laqy_engine::CsvSchema, String> {
+    spec.split(',')
+        .map(|part| {
+            let (name, ty) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad schema entry `{part}` (want name:type)"))?;
+            let dt = match ty {
+                "i32" => DataType::Int32,
+                "i64" => DataType::Int64,
+                "f64" => DataType::Float64,
+                "str" => DataType::Dict,
+                other => return Err(format!("unknown type `{other}` (i32|i64|f64|str)")),
+            };
+            Ok((name.to_string(), dt))
+        })
+        .collect()
+}
+
+const MAX_ROWS: usize = 20;
+
+fn render_approx(
+    session: &LaqySession,
+    query: &laqy::ApproxQuery,
+    result: &laqy::ApproxResult,
+) -> String {
+    let keys = session
+        .decode_keys(query, result)
+        .unwrap_or_else(|_| result.groups.iter().map(|g| g.key.iter().map(|&v| Value::Int(v)).collect()).collect());
+    let mut header: Vec<String> = query
+        .plan
+        .group_by
+        .iter()
+        .map(|c| c.column.clone())
+        .collect();
+    for (i, a) in query.plan.aggs.iter().enumerate() {
+        header.push(format!("{:?}#{i} ±95%", a.kind).to_lowercase());
+    }
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (g, key) in result.groups.iter().zip(keys.iter()).take(MAX_ROWS) {
+        let mut row: Vec<String> = key.iter().map(|v| v.to_string()).collect();
+        for est in &g.values {
+            if est.ci_half_width.is_nan() {
+                row.push(format!("{:.2}", est.value));
+            } else {
+                row.push(format!("{:.2} ± {:.2}", est.value, est.ci_half_width));
+            }
+        }
+        rows.push(row);
+    }
+    let mut out = render_table(&header, &rows);
+    if result.groups.len() > MAX_ROWS {
+        let _ = writeln!(out, "... ({} more groups)", result.groups.len() - MAX_ROWS);
+    }
+    out
+}
+
+fn render_exact(result: &laqy_engine::QueryResult) -> String {
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .take(MAX_ROWS)
+        .map(|r| {
+            r.key
+                .iter()
+                .map(|v| v.to_string())
+                .chain(r.values.iter().map(|v| format!("{v:.2}")))
+                .collect()
+        })
+        .collect();
+    let width = rows.first().map(|r| r.len()).unwrap_or(0);
+    let header: Vec<String> = (0..width).map(|i| format!("col{i}")).collect();
+    let mut out = render_table(&header, &rows);
+    if result.rows.len() > MAX_ROWS {
+        let _ = writeln!(out, "... ({} more rows)", result.rows.len() - MAX_ROWS);
+    }
+    out
+}
+
+/// Render an aligned text table.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for r in rows {
+        for (i, cell) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let _ = writeln!(out, "{}", fmt_row(header, &widths));
+    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    for r in rows {
+        let _ = writeln!(out, "{}", fmt_row(r, &widths));
+    }
+    out
+}
+
+const HELP: &str = "\
+laqy-cli — approximate SQL shell
+  .load ssb [sf]                     generate Star Schema Benchmark data
+  .load csv <table> <path> <schema>  import a CSV (schema: name:i64,name:str,...)
+  .tables                            list tables
+  .k <n>                             reservoir capacity per stratum (default 128)
+  .mode lazy|strict|online|exact     execution mode
+  .error <rel>|off                   bounded-error execution (escalates k)
+  .stats                             sample-store statistics
+  .save <path> / .restore <path>     persist / restore materialized samples
+  .quit                              exit
+SQL: SELECT aggs FROM fact[, dims] WHERE col BETWEEN lo AND hi [AND ...] GROUP BY cols
+The BETWEEN range is the explored predicate LAQy lazily samples over.";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loaded_repl() -> Repl {
+        let mut r = Repl::new();
+        let out = r.handle(".load ssb 0.001").unwrap();
+        assert!(out.contains("6000 rows"), "{out}");
+        r
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        let mut r = Repl::new();
+        assert!(r.handle(".help").unwrap().contains("approximate SQL shell"));
+        assert!(r.handle(".bogus").unwrap().contains("unknown command"));
+        assert!(r.handle("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn quit_returns_none() {
+        let mut r = Repl::new();
+        assert!(r.handle(".quit").is_none());
+        let mut r = Repl::new();
+        assert!(r.handle(".exit").is_none());
+    }
+
+    #[test]
+    fn sql_without_data_is_friendly() {
+        let mut r = Repl::new();
+        let out = r.handle("SELECT COUNT(*) FROM t").unwrap();
+        assert!(out.contains("no data loaded"));
+    }
+
+    #[test]
+    fn ssb_sql_roundtrip() {
+        let mut r = loaded_repl();
+        assert!(r.handle(".tables").unwrap().contains("lineorder"));
+        let out = r
+            .handle(
+                "SELECT lo_orderdate, SUM(lo_revenue) FROM lineorder \
+                 WHERE lo_intkey BETWEEN 0 AND 2999 GROUP BY lo_orderdate",
+            )
+            .unwrap();
+        assert!(out.contains("reuse online"), "{out}");
+        // Repeat: full reuse.
+        let out = r
+            .handle(
+                "SELECT lo_orderdate, SUM(lo_revenue) FROM lineorder \
+                 WHERE lo_intkey BETWEEN 0 AND 2999 GROUP BY lo_orderdate",
+            )
+            .unwrap();
+        assert!(out.contains("reuse full"), "{out}");
+        assert!(r.handle(".stats").unwrap().contains("1 samples"));
+    }
+
+    #[test]
+    fn mode_switching() {
+        let mut r = loaded_repl();
+        assert!(r.handle(".mode exact").unwrap().contains("exact"));
+        let out = r
+            .handle("SELECT COUNT(*) FROM lineorder WHERE lo_intkey BETWEEN 0 AND 99")
+            .unwrap();
+        assert!(out.contains("exact"), "{out}");
+        assert!(out.contains("100.00"), "{out}");
+        assert!(r.handle(".mode online").unwrap().contains("online"));
+        let out = r
+            .handle(
+                "SELECT lo_orderdate, COUNT(*) FROM lineorder \
+                 WHERE lo_intkey BETWEEN 0 AND 999 GROUP BY lo_orderdate",
+            )
+            .unwrap();
+        assert!(out.contains("reuse online"));
+        assert!(r.handle(".mode nope").unwrap().contains("usage"));
+    }
+
+    #[test]
+    fn k_and_error_settings() {
+        let mut r = loaded_repl();
+        assert!(r.handle(".k 64").unwrap().contains("64"));
+        assert!(r.handle(".k potato").unwrap().contains("usage"));
+        assert!(r.handle(".error 0.1").unwrap().contains("0.1"));
+        let out = r
+            .handle(
+                "SELECT lo_quantity, SUM(lo_revenue) FROM lineorder \
+                 WHERE lo_intkey BETWEEN 0 AND 5999 GROUP BY lo_quantity",
+            )
+            .unwrap();
+        assert!(out.contains("worst rel err"), "{out}");
+        assert!(r.handle(".error off").unwrap().contains("off"));
+    }
+
+    #[test]
+    fn bad_sql_reports_error() {
+        let mut r = loaded_repl();
+        let out = r.handle("SELECT FROM WHERE").unwrap();
+        assert!(out.contains("error"), "{out}");
+        let out = r
+            .handle("SELECT COUNT(*) FROM lineorder GROUP BY lo_quantity")
+            .unwrap();
+        assert!(out.contains("no BETWEEN"), "{out}");
+    }
+
+    #[test]
+    fn save_and_restore_samples() {
+        let mut r = loaded_repl();
+        r.handle(
+            "SELECT lo_quantity, SUM(lo_revenue) FROM lineorder \
+             WHERE lo_intkey BETWEEN 0 AND 5999 GROUP BY lo_quantity",
+        )
+        .unwrap();
+        let path = std::env::temp_dir().join(format!("laqy_cli_{}.snap", std::process::id()));
+        let path_str = path.to_string_lossy().to_string();
+        let out = r.handle(&format!(".save {path_str}")).unwrap();
+        assert!(out.contains("saved 1 samples"), "{out}");
+
+        // Fresh repl on the same (deterministic) data: restore, then the
+        // same query is answered from the snapshot with full reuse.
+        let mut r2 = loaded_repl();
+        let out = r2.handle(&format!(".restore {path_str}")).unwrap();
+        assert!(out.contains("restored 1 samples"), "{out}");
+        let out = r2
+            .handle(
+                "SELECT lo_quantity, SUM(lo_revenue) FROM lineorder \
+                 WHERE lo_intkey BETWEEN 0 AND 5999 GROUP BY lo_quantity",
+            )
+            .unwrap();
+        assert!(out.contains("reuse full"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_loading_via_command() {
+        let path = std::env::temp_dir().join(format!("laqy_cli_{}.csv", std::process::id()));
+        std::fs::write(&path, "k,grp,val\n0,a,1.5\n1,b,2.5\n2,a,3.5\n3,b,4.5\n").unwrap();
+        let mut r = Repl::new();
+        let out = r
+            .handle(&format!(
+                ".load csv events {} k:i64,grp:str,val:f64",
+                path.to_string_lossy()
+            ))
+            .unwrap();
+        assert!(out.contains("4 rows"), "{out}");
+        let out = r
+            .handle("SELECT grp, SUM(val) FROM events WHERE k BETWEEN 0 AND 3 GROUP BY grp")
+            .unwrap();
+        assert!(out.contains("reuse online"), "{out}");
+        assert!(out.contains('a') && out.contains('b'));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn schema_parsing_errors() {
+        assert!(parse_schema("a:i64,b:str").is_ok());
+        assert!(parse_schema("a").is_err());
+        assert!(parse_schema("a:wat").is_err());
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = render_table(
+            &["col".into(), "value".into()],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-key".into(), "123".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("col"));
+        assert!(lines[3].contains("long-key"));
+    }
+}

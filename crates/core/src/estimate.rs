@@ -1,0 +1,588 @@
+//! Aggregate estimation from stratified samples, with error bounds.
+//!
+//! Each stratum `{R, w}` retains `|R|` tuples representing `w` considered
+//! tuples, so every retained tuple stands for `w / |R|` input tuples
+//! (Horvitz–Thompson scaling). Estimates support *tightening* (paper
+//! §5.2.1): a stricter predicate is applied to the sampled tuples
+//! themselves, and the scaling keeps the estimator unbiased. Confidence
+//! intervals are CLT-based with a finite-population correction; they are
+//! the "approximation guarantees" the evaluation keeps intact while
+//! accelerating sampling.
+
+use laqy_engine::{AggInput, AggKind, AggSpec, GroupKey};
+use laqy_sampling::StratifiedSampler;
+
+use crate::descriptor::Predicates;
+use crate::sampler_ops::{SampleSchema, SampleTuple, SlotKind};
+
+/// Estimation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EstimateError {
+    /// An aggregate or predicate references a column absent from the
+    /// sample payload.
+    UnknownColumn(String),
+    /// A tightening predicate references a float payload column; interval
+    /// predicates are integer-valued.
+    NonIntegerPredicate(String),
+    /// A grouping position exceeds the stratification key width.
+    BadGroupPosition(usize),
+}
+
+impl std::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimateError::UnknownColumn(c) => write!(f, "column `{c}` not in sample payload"),
+            EstimateError::NonIntegerPredicate(c) => {
+                write!(f, "tightening predicate on non-integer column `{c}`")
+            }
+            EstimateError::BadGroupPosition(p) => write!(f, "group position {p} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+/// One estimated aggregate value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggEstimate {
+    /// Point estimate.
+    pub value: f64,
+    /// Half-width of the confidence interval (`NaN` for MIN/MAX, which are
+    /// biased sample extrema).
+    pub ci_half_width: f64,
+    /// Sampled tuples contributing to this estimate.
+    pub support: usize,
+}
+
+/// Estimates for one output group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupEstimate {
+    /// Raw integer group-key parts (decode against source columns).
+    pub key: Vec<i64>,
+    /// One estimate per requested aggregate.
+    pub values: Vec<AggEstimate>,
+}
+
+/// Estimation parameters.
+#[derive(Debug, Clone)]
+pub struct EstimateOptions<'a> {
+    /// Stricter predicate applied to sampled tuples (tightening, §5.2.1).
+    pub tighten: Option<&'a Predicates>,
+    /// Positions within the stratification key that form the output group;
+    /// `None` groups by the full key.
+    pub group_positions: Option<&'a [usize]>,
+    /// Normal quantile for the confidence interval (1.96 ≈ 95 %).
+    pub z: f64,
+}
+
+impl Default for EstimateOptions<'_> {
+    fn default() -> Self {
+        Self {
+            tighten: None,
+            group_positions: None,
+            z: 1.96,
+        }
+    }
+}
+
+/// Pre-resolved aggregate input: slot positions into the sample payload.
+enum ResolvedInput {
+    Col(usize, SlotKind),
+    Mul((usize, SlotKind), (usize, SlotKind)),
+    One,
+}
+
+impl ResolvedInput {
+    #[inline]
+    fn eval(&self, t: &SampleTuple) -> f64 {
+        match self {
+            ResolvedInput::Col(s, k) => t.numeric(*s, *k),
+            ResolvedInput::Mul((a, ka), (b, kb)) => t.numeric(*a, *ka) * t.numeric(*b, *kb),
+            ResolvedInput::One => 1.0,
+        }
+    }
+}
+
+fn resolve_slot(schema: &SampleSchema, col: &str) -> Result<(usize, SlotKind), EstimateError> {
+    let slot = schema
+        .slot(col)
+        .ok_or_else(|| EstimateError::UnknownColumn(col.to_string()))?;
+    Ok((slot, schema.kind(slot)))
+}
+
+fn resolve_input(schema: &SampleSchema, input: &AggInput) -> Result<ResolvedInput, EstimateError> {
+    Ok(match input {
+        AggInput::Col(c) => {
+            let (s, k) = resolve_slot(schema, c)?;
+            ResolvedInput::Col(s, k)
+        }
+        AggInput::Mul(a, b) => {
+            ResolvedInput::Mul(resolve_slot(schema, a)?, resolve_slot(schema, b)?)
+        }
+        AggInput::None => ResolvedInput::One,
+    })
+}
+
+/// Compiled tightening filter over payload slots.
+struct Tighten {
+    checks: Vec<(usize, crate::interval::IntervalSet)>,
+}
+
+impl Tighten {
+    fn compile(schema: &SampleSchema, preds: &Predicates) -> Result<Self, EstimateError> {
+        let mut checks = Vec::new();
+        for col in preds.columns() {
+            let (slot, kind) = resolve_slot(schema, col)?;
+            if kind != SlotKind::Int {
+                return Err(EstimateError::NonIntegerPredicate(col.to_string()));
+            }
+            checks.push((slot, preds.get(col).unwrap().clone()));
+        }
+        Ok(Self { checks })
+    }
+
+    #[inline]
+    fn matches(&self, t: &SampleTuple) -> bool {
+        self.checks.iter().all(|(slot, set)| set.contains(t.int(*slot)))
+    }
+}
+
+/// Per-group, per-aggregate accumulation across strata. Strata are sampled
+/// independently, so variances add.
+#[derive(Clone)]
+enum EstAcc {
+    Sum { est: f64, var: f64, support: usize },
+    Count { est: f64, var: f64, support: usize },
+    Avg { sum: f64, var: f64, n_est: f64, support: usize },
+    Min { val: f64, support: usize },
+    Max { val: f64, support: usize },
+}
+
+impl EstAcc {
+    fn new(kind: AggKind) -> Self {
+        match kind {
+            AggKind::Sum => EstAcc::Sum {
+                est: 0.0,
+                var: 0.0,
+                support: 0,
+            },
+            AggKind::Count => EstAcc::Count {
+                est: 0.0,
+                var: 0.0,
+                support: 0,
+            },
+            AggKind::Avg => EstAcc::Avg {
+                sum: 0.0,
+                var: 0.0,
+                n_est: 0.0,
+                support: 0,
+            },
+            AggKind::Min => EstAcc::Min {
+                val: f64::INFINITY,
+                support: 0,
+            },
+            AggKind::Max => EstAcc::Max {
+                val: f64::NEG_INFINITY,
+                support: 0,
+            },
+        }
+    }
+
+    fn finalize(&self, z: f64) -> AggEstimate {
+        match self {
+            EstAcc::Sum { est, var, support } | EstAcc::Count { est, var, support } => {
+                AggEstimate {
+                    value: *est,
+                    ci_half_width: z * var.max(0.0).sqrt(),
+                    support: *support,
+                }
+            }
+            EstAcc::Avg {
+                sum,
+                var,
+                n_est,
+                support,
+            } => {
+                // Ratio estimate sum/n; the CI scales the sum CI by 1/n.
+                let value = if *n_est > 0.0 { sum / n_est } else { f64::NAN };
+                let ci = if *n_est > 0.0 {
+                    z * var.max(0.0).sqrt() / n_est
+                } else {
+                    f64::NAN
+                };
+                AggEstimate {
+                    value,
+                    ci_half_width: ci,
+                    support: *support,
+                }
+            }
+            EstAcc::Min { val, support } => AggEstimate {
+                value: if *support == 0 { f64::NAN } else { *val },
+                ci_half_width: f64::NAN,
+                support: *support,
+            },
+            EstAcc::Max { val, support } => AggEstimate {
+                value: if *support == 0 { f64::NAN } else { *val },
+                ci_half_width: f64::NAN,
+                support: *support,
+            },
+        }
+    }
+}
+
+/// Estimate aggregates over a stratified sample.
+pub fn estimate(
+    sample: &StratifiedSampler<GroupKey, SampleTuple>,
+    schema: &SampleSchema,
+    aggs: &[AggSpec],
+    opts: &EstimateOptions<'_>,
+) -> Result<Vec<GroupEstimate>, EstimateError> {
+    let inputs: Vec<ResolvedInput> = aggs
+        .iter()
+        .map(|a| resolve_input(schema, &a.input))
+        .collect::<Result<_, _>>()?;
+    let tighten = opts
+        .tighten
+        .map(|p| Tighten::compile(schema, p))
+        .transpose()?;
+
+    let mut groups: laqy_engine::FxHashMap<Vec<i64>, Vec<EstAcc>> =
+        laqy_engine::FxHashMap::default();
+    // Scratch buffer of matching items, reused across strata so the
+    // tightening filter runs once per stratum rather than once per
+    // aggregate (the full-reuse path is pure estimation, so this loop is
+    // its entire query cost).
+    let mut matching: Vec<SampleTuple> = Vec::new();
+
+    for (key, items, weight) in sample.iter() {
+        // Project the stratum key onto the output group key.
+        let group_key: Vec<i64> = match opts.group_positions {
+            None => key.parts().to_vec(),
+            Some(positions) => positions
+                .iter()
+                .map(|&p| {
+                    key.parts()
+                        .get(p)
+                        .copied()
+                        .ok_or(EstimateError::BadGroupPosition(p))
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let m = items.len();
+        if m == 0 {
+            continue;
+        }
+        let scale = weight as f64 / m as f64;
+        // Finite-population correction: the reservoir holds m of w tuples.
+        let fpc = (1.0 - m as f64 / weight as f64).max(0.0);
+
+        let selected: &[SampleTuple] = match &tighten {
+            None => items,
+            Some(tt) => {
+                matching.clear();
+                matching.extend(items.iter().filter(|t| tt.matches(t)).copied());
+                &matching
+            }
+        };
+
+        let accs = groups
+            .entry(group_key)
+            .or_insert_with(|| aggs.iter().map(|a| EstAcc::new(a.kind)).collect());
+
+        for (agg_idx, acc) in accs.iter_mut().enumerate() {
+            let input = &inputs[agg_idx];
+            // Matching count, sum, and sum of squares of the zero-extended
+            // variable y_i (x_i if matching else 0).
+            let mq = selected.len();
+            let (mut s1, mut s2) = (0.0f64, 0.0f64);
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for t in selected {
+                let x = input.eval(t);
+                s1 += x;
+                s2 += x * x;
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+            let mean_y = s1 / m as f64;
+            // Sample variance of y over all m items (non-matching are 0).
+            let var_y = if m > 1 {
+                ((s2 - m as f64 * mean_y * mean_y) / (m as f64 - 1.0)).max(0.0)
+            } else {
+                0.0
+            };
+            let w = weight as f64;
+            let sum_est = scale * s1;
+            // Var(w·ȳ) = w² · s²_y / m · fpc
+            let sum_var = w * w * var_y / m as f64 * fpc;
+            match acc {
+                EstAcc::Sum { est, var, support } => {
+                    *est += sum_est;
+                    *var += sum_var;
+                    *support += mq;
+                }
+                EstAcc::Count { est, var, support } => {
+                    let p = mq as f64 / m as f64;
+                    *est += w * p;
+                    let var_p = if m > 1 {
+                        p * (1.0 - p) * m as f64 / (m as f64 - 1.0)
+                    } else {
+                        0.0
+                    };
+                    *var += w * w * var_p / m as f64 * fpc;
+                    *support += mq;
+                }
+                EstAcc::Avg {
+                    sum,
+                    var,
+                    n_est,
+                    support,
+                } => {
+                    *sum += sum_est;
+                    *var += sum_var;
+                    *n_est += w * mq as f64 / m as f64;
+                    *support += mq;
+                }
+                EstAcc::Min { val, support } => {
+                    if mq > 0 {
+                        *val = val.min(lo);
+                        *support += mq;
+                    }
+                }
+                EstAcc::Max { val, support } => {
+                    if mq > 0 {
+                        *val = val.max(hi);
+                        *support += mq;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<GroupEstimate> = groups
+        .into_iter()
+        .map(|(key, accs)| GroupEstimate {
+            key,
+            values: accs.iter().map(|a| a.finalize(opts.z)).collect(),
+        })
+        .collect();
+    out.sort_by(|a, b| a.key.cmp(&b.key));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::{Interval, IntervalSet};
+    use laqy_sampling::Lehmer64;
+
+    fn schema() -> SampleSchema {
+        SampleSchema::new(vec![
+            ("x".into(), SlotKind::Int),
+            ("v".into(), SlotKind::Float),
+        ])
+    }
+
+    /// Full-population "sample": k large enough to retain everything, so
+    /// estimates must be exact.
+    fn full_sample(groups: i64, per: i64) -> StratifiedSampler<GroupKey, SampleTuple> {
+        let mut rng = Lehmer64::new(1);
+        let mut s = StratifiedSampler::new((per as usize) + 1);
+        for g in 0..groups {
+            for i in 0..per {
+                let x = g * per + i;
+                let tuple =
+                    SampleTuple::from_slice(&[x, (x as f64 * 0.5).to_bits() as i64]);
+                s.offer(GroupKey::new(&[g]), tuple, &mut rng);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn exact_when_sample_is_population() {
+        let s = full_sample(3, 100);
+        let ests = estimate(
+            &s,
+            &schema(),
+            &[AggSpec::sum("v"), AggSpec::count(), AggSpec::avg("v")],
+            &EstimateOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(ests.len(), 3);
+        for e in &ests {
+            let g = e.key[0];
+            let exact_sum: f64 = (0..100).map(|i| (g * 100 + i) as f64 * 0.5).sum();
+            assert!((e.values[0].value - exact_sum).abs() < 1e-9);
+            assert_eq!(e.values[0].ci_half_width, 0.0, "population sample has no error");
+            assert_eq!(e.values[1].value, 100.0);
+            assert!((e.values[2].value - exact_sum / 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tightening_restricts_rows_exactly_on_population() {
+        let s = full_sample(2, 100);
+        let tighten = Predicates::on("x", IntervalSet::of(Interval::new(0, 49)));
+        let opts = EstimateOptions {
+            tighten: Some(&tighten),
+            ..Default::default()
+        };
+        let ests = estimate(&s, &schema(), &[AggSpec::count()], &opts).unwrap();
+        // Group 0 has x in 0..100 → 50 match; group 1 has x in 100..200 → 0.
+        let g0 = ests.iter().find(|e| e.key[0] == 0).unwrap();
+        assert_eq!(g0.values[0].value, 50.0);
+        let g1 = ests.iter().find(|e| e.key[0] == 1).unwrap();
+        assert_eq!(g1.values[0].value, 0.0);
+        assert_eq!(g1.values[0].support, 0);
+    }
+
+    #[test]
+    fn sampled_estimates_are_close_and_covered_by_ci() {
+        // k = 200 of 10_000 per stratum; the CI should cover the truth in
+        // the vast majority of seeds.
+        let per = 10_000i64;
+        let k = 200usize;
+        let mut covered = 0;
+        let trials = 50;
+        for seed in 0..trials {
+            let mut rng = Lehmer64::new(100 + seed);
+            let mut s = StratifiedSampler::new(k);
+            for i in 0..per {
+                let tuple = SampleTuple::from_slice(&[i, (i as f64).to_bits() as i64]);
+                s.offer(GroupKey::new(&[0]), tuple, &mut rng);
+            }
+            let ests = estimate(
+                &s,
+                &schema(),
+                &[AggSpec::sum("v")],
+                &EstimateOptions::default(),
+            )
+            .unwrap();
+            let est = &ests[0].values[0];
+            let exact: f64 = (0..per).map(|i| i as f64).sum();
+            if (est.value - exact).abs() <= est.ci_half_width {
+                covered += 1;
+            }
+            // Point estimate should be in the right ballpark regardless.
+            assert!((est.value - exact).abs() / exact < 0.25);
+        }
+        // 95% CI over 50 trials: expect ≥ 40 covered.
+        assert!(covered >= 40, "CI coverage too low: {covered}/{trials}");
+    }
+
+    #[test]
+    fn count_estimate_unbiased_under_sampling() {
+        let per = 5_000i64;
+        let mut total = 0.0;
+        let trials = 40;
+        for seed in 0..trials {
+            let mut rng = Lehmer64::new(300 + seed);
+            let mut s = StratifiedSampler::new(100);
+            for i in 0..per {
+                s.offer(
+                    GroupKey::new(&[0]),
+                    SampleTuple::from_slice(&[i, 0]),
+                    &mut rng,
+                );
+            }
+            let tighten = Predicates::on("x", IntervalSet::of(Interval::new(0, 999)));
+            let opts = EstimateOptions {
+                tighten: Some(&tighten),
+                ..Default::default()
+            };
+            let ests = estimate(&s, &schema(), &[AggSpec::count()], &opts).unwrap();
+            total += ests[0].values[0].value;
+        }
+        let mean = total / trials as f64;
+        assert!(
+            (mean - 1000.0).abs() < 150.0,
+            "mean count estimate {mean} should be near 1000"
+        );
+    }
+
+    #[test]
+    fn group_projection_aggregates_across_strata() {
+        // Strata keyed by (g, h); group output by position 0 only.
+        let mut rng = Lehmer64::new(9);
+        let mut s = StratifiedSampler::new(1000);
+        for g in 0..2i64 {
+            for h in 0..3i64 {
+                for i in 0..10 {
+                    s.offer(
+                        GroupKey::new(&[g, h]),
+                        SampleTuple::from_slice(&[i, (1.0f64).to_bits() as i64]),
+                        &mut rng,
+                    );
+                }
+            }
+        }
+        let positions = [0usize];
+        let opts = EstimateOptions {
+            group_positions: Some(&positions),
+            ..Default::default()
+        };
+        let ests = estimate(&s, &schema(), &[AggSpec::count()], &opts).unwrap();
+        assert_eq!(ests.len(), 2);
+        for e in &ests {
+            assert_eq!(e.values[0].value, 30.0);
+        }
+    }
+
+    #[test]
+    fn min_max_report_sample_extrema() {
+        let s = full_sample(1, 50);
+        let specs = [
+            AggSpec {
+                kind: AggKind::Min,
+                input: AggInput::Col("x".into()),
+            },
+            AggSpec {
+                kind: AggKind::Max,
+                input: AggInput::Col("x".into()),
+            },
+        ];
+        let ests = estimate(&s, &schema(), &specs, &EstimateOptions::default()).unwrap();
+        assert_eq!(ests[0].values[0].value, 0.0);
+        assert_eq!(ests[0].values[1].value, 49.0);
+        assert!(ests[0].values[0].ci_half_width.is_nan());
+    }
+
+    #[test]
+    fn errors_on_unknown_column() {
+        let s = full_sample(1, 10);
+        let err = estimate(
+            &s,
+            &schema(),
+            &[AggSpec::sum("missing")],
+            &EstimateOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, EstimateError::UnknownColumn("missing".into()));
+    }
+
+    #[test]
+    fn errors_on_float_predicate() {
+        let s = full_sample(1, 10);
+        let tighten = Predicates::on("v", IntervalSet::of(Interval::new(0, 1)));
+        let opts = EstimateOptions {
+            tighten: Some(&tighten),
+            ..Default::default()
+        };
+        let err = estimate(&s, &schema(), &[AggSpec::count()], &opts).unwrap_err();
+        assert_eq!(err, EstimateError::NonIntegerPredicate("v".into()));
+    }
+
+    #[test]
+    fn sum_of_product_input() {
+        let s = full_sample(1, 10);
+        let ests = estimate(
+            &s,
+            &schema(),
+            &[AggSpec::sum_product("x", "v")],
+            &EstimateOptions::default(),
+        )
+        .unwrap();
+        let exact: f64 = (0..10).map(|i| i as f64 * (i as f64 * 0.5)).sum();
+        assert!((ests[0].values[0].value - exact).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,878 @@
+//! The LAQy query executor: runs approximable queries through the lazy
+//! sampling flow of Figure 7.
+//!
+//! 1. Derive the logical sampler's [`SampleDescriptor`] from the query.
+//! 2. Ask the store for the reuse classification (**Algorithm 1**).
+//! 3. Full reuse → estimate straight from the stored sample (tightening to
+//!    the query predicate); partial reuse → push the Δ predicate down the
+//!    plan, build only the Δ sample, merge (**Algorithms 2–3**), estimate;
+//!    no reuse → full online sampling, which is then absorbed by the store
+//!    for future queries.
+//!
+//! Two sampler placements from the evaluation are supported: pushed down
+//! to the fact scan (query template Q1) and above a star join (Q2) — both
+//! fall out of the same pipeline because the engine's group-by hosts the
+//! reservoir aggregation either way.
+
+use std::time::{Duration, Instant};
+
+use laqy_engine::ops::{group_by, BoundCol, GroupTable, Inputs};
+use laqy_engine::parallel::{parallel_fold, DEFAULT_MORSEL_ROWS};
+use laqy_engine::plan::PreparedJoins;
+use laqy_engine::{
+    execute_exact, scan_count, AggInput, Catalog, EngineError, GroupKey, Predicate, QueryPlan,
+    QueryResult,
+};
+use laqy_sampling::Lehmer64;
+
+use crate::descriptor::{Predicates, SampleDescriptor};
+use crate::estimate::{estimate, EstimateError, EstimateOptions, GroupEstimate};
+use crate::interval::{Interval, IntervalSet};
+use crate::lazy::{plan_lazy, LazyPlan};
+use crate::sampler_ops::{
+    group_table_into_sample, ReservoirAgg, ReservoirAggFactory, SampleSchema, SlotKind,
+};
+use crate::stats::{ExecStats, ReuseClass};
+use crate::store::SampleStore;
+use crate::support::{check_support, SupportPolicy, SupportReport};
+
+/// Errors from the LAQy execution layer.
+#[derive(Debug)]
+pub enum LaqyError {
+    /// Engine-level failure (unknown table/column, type mismatch, ...).
+    Engine(EngineError),
+    /// Estimation failure (payload/schema mismatch).
+    Estimate(EstimateError),
+    /// Query shape not supported by the approximation layer.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for LaqyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaqyError::Engine(e) => write!(f, "engine error: {e}"),
+            LaqyError::Estimate(e) => write!(f, "estimate error: {e}"),
+            LaqyError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LaqyError {}
+
+impl From<EngineError> for LaqyError {
+    fn from(e: EngineError) -> Self {
+        LaqyError::Engine(e)
+    }
+}
+
+impl From<EstimateError> for LaqyError {
+    fn from(e: EstimateError) -> Self {
+        LaqyError::Estimate(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, LaqyError>;
+
+/// An approximable query: a star-schema aggregation plan plus the explored
+/// range predicate the lazy sampler relaxes over.
+#[derive(Debug, Clone)]
+pub struct ApproxQuery {
+    /// The aggregation plan. `plan.predicate` holds only the *fixed*
+    /// fact-side predicates (part of the sampler's input identity); the
+    /// explored range below is added on top.
+    pub plan: QueryPlan,
+    /// Fact column the exploration varies over (the paper's `lo_intkey`).
+    pub range_column: String,
+    /// This query's range on `range_column` (inclusive).
+    pub range: Interval,
+    /// Per-stratum reservoir capacity.
+    pub k: usize,
+}
+
+/// Output of an approximate execution.
+#[derive(Debug, Clone)]
+pub struct ApproxResult {
+    /// Per-group estimates (keys are raw i64 parts; decode via
+    /// [`LaqyExecutor::decode_keys`]).
+    pub groups: Vec<GroupEstimate>,
+    /// Timing/cardinality breakdown.
+    pub stats: ExecStats,
+    /// Post-tightening support report.
+    pub support: SupportReport,
+}
+
+/// How aggressively stored samples are reused — the axis the paper's
+/// contribution moves along (Figure 2's design space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReuseMode {
+    /// LAQy: full reuse, partial (Δ + merge) reuse, or online.
+    #[default]
+    Lazy,
+    /// Taster-style all-or-none caching: a stored sample is used only when
+    /// it fully subsumes the query; otherwise full online sampling (the
+    /// "strict sample matching" baseline of §2, Issue #1).
+    FullMatchOnly,
+}
+
+/// The executor. Owns RNG state and configuration; catalog and sample
+/// store are passed per call so sessions control sharing.
+pub struct LaqyExecutor {
+    threads: usize,
+    policy: SupportPolicy,
+    mode: ReuseMode,
+    rng: Lehmer64,
+    seed_counter: u64,
+}
+
+impl LaqyExecutor {
+    /// Create an executor with `threads` workers and a support policy.
+    pub fn new(threads: usize, policy: SupportPolicy, seed: u64) -> Self {
+        Self {
+            threads,
+            policy,
+            mode: ReuseMode::Lazy,
+            rng: Lehmer64::new(seed),
+            seed_counter: seed,
+        }
+    }
+
+    /// Set the reuse mode (ablation: disable partial reuse).
+    pub fn with_mode(mut self, mode: ReuseMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The active reuse mode.
+    pub fn mode(&self) -> ReuseMode {
+        self.mode
+    }
+
+    /// Worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The support policy in force.
+    pub fn policy(&self) -> &SupportPolicy {
+        &self.policy
+    }
+
+    fn next_seed(&mut self) -> u64 {
+        self.seed_counter = self.seed_counter.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.seed_counter
+    }
+
+    /// Derive the logical sampler descriptor for a query (Figure 7 step 1:
+    /// the optimizer has placed the sampler; this records its identity).
+    pub fn descriptor(&self, catalog: &Catalog, query: &ApproxQuery) -> Result<SampleDescriptor> {
+        let (_, schema) = self.payload_schema(catalog, query)?;
+        let qcs: Vec<String> = query
+            .plan
+            .group_by
+            .iter()
+            .map(|c| match &c.table {
+                Some(t) => format!("{t}.{}", c.column),
+                None => c.column.clone(),
+            })
+            .collect();
+        let qvs: Vec<String> = schema.column_names().iter().map(|s| s.to_string()).collect();
+        Ok(SampleDescriptor::new(
+            input_identity(&query.plan),
+            qcs,
+            qvs,
+            Predicates::on(query.range_column.clone(), IntervalSet::of(query.range)),
+            query.k,
+        ))
+    }
+
+    /// Payload columns the sample must carry: every aggregate input plus
+    /// the explored range column (for tightening).
+    fn payload_schema(
+        &self,
+        catalog: &Catalog,
+        query: &ApproxQuery,
+    ) -> Result<(Vec<String>, SampleSchema)> {
+        let mut cols: Vec<String> = Vec::new();
+        for a in &query.plan.aggs {
+            let names: Vec<&str> = match &a.input {
+                AggInput::Col(c) => vec![c.as_str()],
+                AggInput::Mul(x, y) => vec![x.as_str(), y.as_str()],
+                AggInput::None => vec![],
+            };
+            for n in names {
+                if !cols.iter().any(|c| c == n) {
+                    cols.push(n.to_string());
+                }
+            }
+        }
+        if !cols.iter().any(|c| c == &query.range_column) {
+            cols.push(query.range_column.clone());
+        }
+        let mut schema_cols = Vec::with_capacity(cols.len());
+        for c in &cols {
+            let (_, table) = resolve_by_name(catalog, &query.plan, c)?;
+            let kind = match table.column(c)?.data_type() {
+                laqy_engine::DataType::Float64 => SlotKind::Float,
+                _ => SlotKind::Int,
+            };
+            schema_cols.push((c.clone(), kind));
+        }
+        Ok((cols, SampleSchema::new(schema_cols)))
+    }
+
+    /// Run a query through the lazy sampling flow (the LAQy path in
+    /// Figures 12–15).
+    pub fn run_lazy(
+        &mut self,
+        catalog: &Catalog,
+        store: &mut SampleStore,
+        query: &ApproxQuery,
+    ) -> Result<ApproxResult> {
+        let t_start = Instant::now();
+        let descriptor = self.descriptor(catalog, query)?;
+        let mut lazy = plan_lazy(store, &descriptor);
+        if self.mode == ReuseMode::FullMatchOnly {
+            // All-or-none matching: partial overlap is not good enough.
+            if let LazyPlan::PartialReuse { .. } = lazy {
+                lazy = LazyPlan::Online;
+            }
+        }
+        let effective = lazy.uncovered_fraction(&descriptor);
+        let tighten = Predicates::on(query.range_column.clone(), IntervalSet::of(query.range));
+
+        let result = match lazy {
+            LazyPlan::FullReuse { id } => {
+                let (mut groups, mut support, est_time) =
+                    self.estimate_stored(store, id, query, &tighten)?;
+                let mut stats = ExecStats {
+                    estimate: est_time,
+                    effective_selectivity: 0.0,
+                    reuse: Some(ReuseClass::Full),
+                    ..Default::default()
+                };
+                if self.policy.conservative && !support.fully_supported() {
+                    // §5.2.3 conservative fallback: re-sample online, with
+                    // the filter pushed down, only the under-supported
+                    // strata — validating whether low support reflects the
+                    // data or a sampling artifact.
+                    if !self.refine_support(catalog, query, &mut groups, &mut support, &mut stats)? {
+                        return self.run_online_and_absorb(catalog, store, query, t_start);
+                    }
+                }
+                stats.total = t_start.elapsed();
+                ApproxResult {
+                    groups,
+                    stats,
+                    support,
+                }
+            }
+            LazyPlan::PartialReuse { id, delta, varying } => {
+                let delta_set = delta
+                    .get(&varying)
+                    .cloned()
+                    .unwrap_or_else(IntervalSet::empty);
+                let (delta_sample, mut stats) =
+                    self.sample_pipeline(catalog, query, &delta_set, &Predicate::True)?;
+                let t_merge = Instant::now();
+                store.merge_delta(id, delta_sample, &delta, &varying, &mut self.rng);
+                stats.merge = t_merge.elapsed();
+                let (mut groups, mut support, est_time) =
+                    self.estimate_stored(store, id, query, &tighten)?;
+                stats.estimate = est_time;
+                stats.effective_selectivity = effective;
+                stats.reuse = Some(ReuseClass::Partial);
+                if self.policy.conservative && !support.fully_supported()
+                    && !self.refine_support(catalog, query, &mut groups, &mut support, &mut stats)? {
+                        return self.run_online_and_absorb(catalog, store, query, t_start);
+                    }
+                stats.total = t_start.elapsed();
+                ApproxResult {
+                    groups,
+                    stats,
+                    support,
+                }
+            }
+            LazyPlan::Online => {
+                return self.run_online_and_absorb(catalog, store, query, t_start);
+            }
+        };
+        Ok(result)
+    }
+
+    /// Workload-oblivious online sampling (the "Online Sampling" baseline):
+    /// sample the full query range, estimate, discard.
+    pub fn run_online(&mut self, catalog: &Catalog, query: &ApproxQuery) -> Result<ApproxResult> {
+        let t_start = Instant::now();
+        let ranges = IntervalSet::of(query.range);
+        let (sample, mut stats) = self.sample_pipeline(catalog, query, &ranges, &Predicate::True)?;
+        let (_, schema) = self.payload_schema(catalog, query)?;
+        let t_est = Instant::now();
+        let groups = estimate(&sample, &schema, &query.plan.aggs, &EstimateOptions::default())?;
+        let support = check_support(&sample, &schema, None, &self.policy)?;
+        stats.estimate = t_est.elapsed();
+        stats.effective_selectivity = 1.0;
+        stats.reuse = Some(ReuseClass::Online);
+        stats.total = t_start.elapsed();
+        Ok(ApproxResult {
+            groups,
+            stats,
+            support,
+        })
+    }
+
+    fn run_online_and_absorb(
+        &mut self,
+        catalog: &Catalog,
+        store: &mut SampleStore,
+        query: &ApproxQuery,
+        t_start: Instant,
+    ) -> Result<ApproxResult> {
+        let descriptor = self.descriptor(catalog, query)?;
+        let (_, schema) = self.payload_schema(catalog, query)?;
+        let ranges = IntervalSet::of(query.range);
+        let (sample, mut stats) = self.sample_pipeline(catalog, query, &ranges, &Predicate::True)?;
+        let t_est = Instant::now();
+        let groups = estimate(&sample, &schema, &query.plan.aggs, &EstimateOptions::default())?;
+        let support = check_support(&sample, &schema, None, &self.policy)?;
+        stats.estimate = t_est.elapsed();
+        // Capture the sample for future reuse (sample-as-you-query: the
+        // sample was needed anyway, so storing it costs only space).
+        store.absorb(descriptor, schema, sample, &mut self.rng);
+        stats.effective_selectivity = 1.0;
+        stats.reuse = Some(ReuseClass::Online);
+        stats.total = t_start.elapsed();
+        Ok(ApproxResult {
+            groups,
+            stats,
+            support,
+        })
+    }
+
+    /// Exact execution of the same query (the "GroupBy"/exact baseline).
+    pub fn run_exact(
+        &self,
+        catalog: &Catalog,
+        query: &ApproxQuery,
+    ) -> Result<(QueryResult, ExecStats)> {
+        let t = Instant::now();
+        let mut plan = query.plan.clone();
+        plan.predicate = plan.predicate.and(range_predicate(
+            &query.range_column,
+            &IntervalSet::of(query.range),
+        ));
+        let result = execute_exact(catalog, &plan, self.threads)?;
+        let stats = ExecStats {
+            total: t.elapsed(),
+            effective_selectivity: 1.0,
+            reuse: Some(ReuseClass::Exact),
+            ..Default::default()
+        };
+        Ok((result, stats))
+    }
+
+    /// Pure filtered scan over the query's predicate — the
+    /// memory-bandwidth floor series in Figures 12–15.
+    pub fn scan_floor(&self, catalog: &Catalog, query: &ApproxQuery) -> Result<ExecStats> {
+        let t = Instant::now();
+        let pred = query.plan.predicate.clone().and(range_predicate(
+            &query.range_column,
+            &IntervalSet::of(query.range),
+        ));
+        let rows = scan_count(catalog, &query.plan.fact, &pred, self.threads)?;
+        Ok(ExecStats {
+            total: t.elapsed(),
+            scan: t.elapsed(),
+            scanned_rows: rows as u64,
+            effective_selectivity: 1.0,
+            ..Default::default()
+        })
+    }
+
+    /// Maximum number of under-supported strata the per-stratum fallback
+    /// re-samples; beyond this a full online query is cheaper.
+    const MAX_FALLBACK_STRATA: usize = 128;
+
+    /// §5.2.3 per-stratum conservative fallback: re-sample exactly the
+    /// under-supported/empty strata (filter pushed down to the query range
+    /// AND the stratum keys) and splice exact-fidelity estimates for those
+    /// groups into the result. Returns `false` when the fallback does not
+    /// apply (dimension-table group keys, or too many bad strata) and the
+    /// caller should fall back to a full online query instead.
+    fn refine_support(
+        &mut self,
+        catalog: &Catalog,
+        query: &ApproxQuery,
+        groups: &mut Vec<GroupEstimate>,
+        support: &mut SupportReport,
+        stats: &mut ExecStats,
+    ) -> Result<bool> {
+        // The stratum filter must be expressible on the fact table.
+        if query.plan.group_by.iter().any(|c| c.table.is_some()) {
+            return Ok(false);
+        }
+        let bad: Vec<GroupKey> = support
+            .under_supported
+            .iter()
+            .chain(support.empty.iter())
+            .copied()
+            .collect();
+        if bad.is_empty() {
+            return Ok(true);
+        }
+        if bad.len() > Self::MAX_FALLBACK_STRATA {
+            return Ok(false);
+        }
+        // OR over per-stratum key equalities.
+        let stratum_pred = Predicate::Or(
+            bad.iter()
+                .map(|key| {
+                    Predicate::And(
+                        query
+                            .plan
+                            .group_by
+                            .iter()
+                            .zip(key.parts())
+                            .map(|(c, &v)| Predicate::EqInt {
+                                column: c.column.clone(),
+                                value: v,
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        );
+        let ranges = IntervalSet::of(query.range);
+        let (fresh, fresh_stats) = self.sample_pipeline(catalog, query, &ranges, &stratum_pred)?;
+        stats.scan += fresh_stats.scan;
+        stats.processing += fresh_stats.processing;
+        stats.scanned_rows += fresh_stats.scanned_rows;
+        stats.sampled_input_rows += fresh_stats.sampled_input_rows;
+
+        let (_, schema) = self.payload_schema(catalog, query)?;
+        let t_est = Instant::now();
+        let fresh_groups = estimate(&fresh, &schema, &query.plan.aggs, &EstimateOptions::default())?;
+        stats.estimate += t_est.elapsed();
+
+        // Splice: replace the bad strata's estimates with the validated
+        // online ones. Strata absent from the fresh sample are genuinely
+        // empty under this predicate — the probe confirmed the data
+        // distribution, so they are no longer "suspect" (§5.2.3).
+        let bad_keys: Vec<Vec<i64>> = bad.iter().map(|k| k.parts().to_vec()).collect();
+        groups.retain(|g| !bad_keys.contains(&g.key));
+        for g in fresh_groups {
+            if bad_keys.contains(&g.key) {
+                groups.push(g);
+            }
+        }
+        groups.sort_by(|a, b| a.key.cmp(&b.key));
+        support.supported += bad.len();
+        support.under_supported.clear();
+        support.empty.clear();
+        Ok(true)
+    }
+
+    /// Estimate from a stored sample with tightening + support check.
+    fn estimate_stored(
+        &self,
+        store: &mut SampleStore,
+        id: crate::store::SampleId,
+        query: &ApproxQuery,
+        tighten: &Predicates,
+    ) -> Result<(Vec<GroupEstimate>, SupportReport, Duration)> {
+        let t = Instant::now();
+        let stored = store
+            .get(id)
+            .ok_or_else(|| LaqyError::Unsupported("stored sample vanished".into()))?;
+        let opts = EstimateOptions {
+            tighten: Some(tighten),
+            ..Default::default()
+        };
+        let groups = estimate(&stored.sample, &stored.schema, &query.plan.aggs, &opts)?;
+        // Estimation already counted the tightened support per stratum
+        // (strata and output groups coincide: QCS = GROUP BY); derive the
+        // report from it instead of re-filtering the sample.
+        let support = support_from_groups(&groups, &self.policy);
+        Ok((groups, support, t.elapsed()))
+    }
+
+    /// Build a stratified sample of the query's pipeline restricted to
+    /// `ranges` on the range column — the Δ (or full online) sampler with
+    /// the predicate pushed down (Figure 7 step 3).
+    fn sample_pipeline(
+        &mut self,
+        catalog: &Catalog,
+        query: &ApproxQuery,
+        ranges: &IntervalSet,
+        extra: &Predicate,
+    ) -> Result<(
+        laqy_sampling::StratifiedSampler<GroupKey, crate::sampler_ops::SampleTuple>,
+        ExecStats,
+    )> {
+        let k = self.policy.effective_k(query.k);
+        let (payload_cols, schema) = self.payload_schema(catalog, query)?;
+        let fact = catalog.table(&query.plan.fact)?;
+        let full_pred = query
+            .plan
+            .predicate
+            .clone()
+            .and(range_predicate(&query.range_column, ranges))
+            .and(extra.clone());
+        // Validate before entering workers.
+        full_pred.compile(fact)?;
+        let joins = PreparedJoins::build(catalog, &query.plan)?;
+        let factory = ReservoirAggFactory::new(k, &schema, self.next_seed());
+        let payload_inputs: Vec<AggInput> = payload_cols
+            .iter()
+            .map(|c| AggInput::Col(c.clone()))
+            .collect();
+
+        struct Partial {
+            table: GroupTable<ReservoirAgg>,
+            scan_ns: u64,
+            sample_ns: u64,
+            scanned: u64,
+            sampled_input: u64,
+        }
+
+        let t_pipeline = Instant::now();
+        let partials = parallel_fold(
+            fact.num_rows(),
+            DEFAULT_MORSEL_ROWS,
+            self.threads,
+            || Partial {
+                table: GroupTable::new(),
+                scan_ns: 0,
+                sample_ns: 0,
+                scanned: 0,
+                sampled_input: 0,
+            },
+            |acc, range| {
+                let t0 = Instant::now();
+                let sel = laqy_engine::ops::scan_filter(fact, range.clone(), &full_pred)
+                    .expect("predicate validated");
+                acc.scanned += range.len() as u64;
+                if query.plan.joins.is_empty() {
+                    acc.scan_ns += t0.elapsed().as_nanos() as u64;
+                    if sel.is_empty() {
+                        return;
+                    }
+                    let t1 = Instant::now();
+                    let keys: Vec<BoundCol> = query
+                        .plan
+                        .group_by
+                        .iter()
+                        .map(|c| BoundCol::new(fact.column(&c.column).unwrap(), Some(&sel)))
+                        .collect();
+                    let inputs = Inputs::bind(&payload_inputs, |name| {
+                        Ok(BoundCol::new(fact.column(name)?, Some(&sel)))
+                    })
+                    .expect("payload validated");
+                    let partial = group_by(&keys, &inputs, sel.len(), &factory);
+                    acc.sampled_input += sel.len() as u64;
+                    acc.table.merge(partial);
+                    acc.sample_ns += t1.elapsed().as_nanos() as u64;
+                } else {
+                    let out = laqy_engine::ops::star_probe(fact, &sel, &joins.probes())
+                        .expect("joins validated");
+                    acc.scan_ns += t0.elapsed().as_nanos() as u64;
+                    if out.is_empty() {
+                        return;
+                    }
+                    let t1 = Instant::now();
+                    let keys: Vec<BoundCol> = query
+                        .plan
+                        .group_by
+                        .iter()
+                        .map(|c| match &c.table {
+                            None => BoundCol::new(
+                                fact.column(&c.column).unwrap(),
+                                Some(&out.fact_rows),
+                            ),
+                            Some(t) => {
+                                let idx = joins.dim_index(t).expect("dim joined");
+                                let dim = catalog.table(t).unwrap();
+                                BoundCol::new(
+                                    dim.column(&c.column).unwrap(),
+                                    Some(&out.dim_rows[idx]),
+                                )
+                            }
+                        })
+                        .collect();
+                    let inputs = Inputs::bind(&payload_inputs, |name| {
+                        let (dim_idx, table) = resolve_by_name(catalog, &query.plan, name)?;
+                        let rows = match dim_idx {
+                            None => &out.fact_rows,
+                            Some(i) => &out.dim_rows[i],
+                        };
+                        Ok(BoundCol::new(table.column(name)?, Some(rows)))
+                    })
+                    .expect("payload validated");
+                    let partial = group_by(&keys, &inputs, out.len(), &factory);
+                    acc.sampled_input += out.len() as u64;
+                    acc.table.merge(partial);
+                    acc.sample_ns += t1.elapsed().as_nanos() as u64;
+                }
+            },
+        );
+        let pipeline_wall = t_pipeline.elapsed();
+
+        let mut merged = GroupTable::new();
+        let (mut scan_ns, mut sample_ns, mut scanned, mut sampled_input) = (0u64, 0u64, 0u64, 0u64);
+        for p in partials {
+            merged.merge(p.table);
+            scan_ns += p.scan_ns;
+            sample_ns += p.sample_ns;
+            scanned += p.scanned;
+            sampled_input += p.sampled_input;
+        }
+        let sample = group_table_into_sample(merged, k);
+
+        // The per-thread phase timers measure CPU time; scale them onto the
+        // wall-clock pipeline time so the breakdown sums to what a user
+        // observes (Figure 11's stacked bars).
+        let cpu_total = (scan_ns + sample_ns).max(1);
+        let wall = pipeline_wall.as_secs_f64();
+        let stats = ExecStats {
+            scan: Duration::from_secs_f64(wall * scan_ns as f64 / cpu_total as f64),
+            processing: Duration::from_secs_f64(wall * sample_ns as f64 / cpu_total as f64),
+            scanned_rows: scanned,
+            sampled_input_rows: sampled_input,
+            ..Default::default()
+        };
+        Ok((sample, stats))
+    }
+
+    /// Decode raw group-key parts into display values using the plan's key
+    /// columns (dictionary codes become strings).
+    pub fn decode_keys(
+        &self,
+        catalog: &Catalog,
+        query: &ApproxQuery,
+        groups: &[GroupEstimate],
+    ) -> Result<Vec<Vec<laqy_engine::Value>>> {
+        let cols: Vec<&laqy_engine::Column> = query
+            .plan
+            .group_by
+            .iter()
+            .map(|c| {
+                let table = match &c.table {
+                    None => catalog.table(&query.plan.fact)?,
+                    Some(t) => catalog.table(t)?,
+                };
+                table.column(&c.column)
+            })
+            .collect::<laqy_engine::Result<_>>()?;
+        Ok(groups
+            .iter()
+            .map(|g| {
+                g.key
+                    .iter()
+                    .zip(cols.iter())
+                    .map(|(&part, col)| col.decode_key(part))
+                    .collect()
+            })
+            .collect())
+    }
+}
+
+/// Build a [`SupportReport`] from per-group estimates whose `support`
+/// fields carry the tightened matching counts (valid when output groups
+/// coincide with strata, i.e. no group projection).
+fn support_from_groups(groups: &[GroupEstimate], policy: &SupportPolicy) -> SupportReport {
+    let mut report = SupportReport {
+        supported: 0,
+        under_supported: Vec::new(),
+        empty: Vec::new(),
+    };
+    for g in groups {
+        let matching = g.values.first().map(|v| v.support).unwrap_or(0);
+        let key = GroupKey::new(&g.key);
+        if matching == 0 {
+            report.empty.push(key);
+        } else if matching < policy.min_rows_per_stratum {
+            report.under_supported.push(key);
+        } else {
+            report.supported += 1;
+        }
+    }
+    report.under_supported.sort();
+    report.empty.sort();
+    report
+}
+
+/// Canonical identity of the sampler input: fact, fixed predicates, and
+/// join subtree (Figure 7's "Query Input").
+pub fn input_identity(plan: &QueryPlan) -> String {
+    let mut id = format!("{}[{:?}]", plan.fact, plan.predicate);
+    for j in &plan.joins {
+        id.push_str(&format!(
+            "⋈{}({}={})[{:?}]",
+            j.dim_table, j.fact_key, j.dim_key, j.predicate
+        ));
+    }
+    id
+}
+
+/// Engine predicate matching an [`IntervalSet`] on one column.
+pub fn range_predicate(column: &str, ranges: &IntervalSet) -> Predicate {
+    let parts: Vec<Predicate> = ranges
+        .intervals()
+        .iter()
+        .map(|iv| Predicate::between(column, iv.lo, iv.hi))
+        .collect();
+    match parts.len() {
+        0 => Predicate::False,
+        1 => parts.into_iter().next().expect("one part"),
+        _ => Predicate::Or(parts),
+    }
+}
+
+/// Resolve an unqualified column name against the plan's fact table, then
+/// joined dimensions (join order), mirroring the engine's resolution.
+fn resolve_by_name<'a>(
+    catalog: &'a Catalog,
+    plan: &QueryPlan,
+    name: &str,
+) -> laqy_engine::Result<(Option<usize>, &'a laqy_engine::Table)> {
+    let fact = catalog.table(&plan.fact)?;
+    if fact.has_column(name) {
+        return Ok((None, fact));
+    }
+    for (i, j) in plan.joins.iter().enumerate() {
+        let dim = catalog.table(&j.dim_table)?;
+        if dim.has_column(name) {
+            return Ok((Some(i), dim));
+        }
+    }
+    Err(EngineError::UnknownColumn {
+        table: plan.fact.clone(),
+        column: name.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::AggEstimate;
+    use laqy_engine::{AggSpec, ColRef, Column, Table};
+
+    fn mini_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.register(
+            Table::new(
+                "t",
+                vec![
+                    ("key".into(), Column::Int64((0..100).collect())),
+                    ("g".into(), Column::Int64((0..100).map(|i| i % 4).collect())),
+                    ("v".into(), Column::Int64((0..100).collect())),
+                ],
+            )
+            .unwrap(),
+        );
+        cat
+    }
+
+    fn mini_query(lo: i64, hi: i64) -> ApproxQuery {
+        ApproxQuery {
+            plan: QueryPlan {
+                fact: "t".into(),
+                predicate: Predicate::True,
+                joins: vec![],
+                group_by: vec![ColRef::fact("g")],
+                aggs: vec![AggSpec::sum("v")],
+            },
+            range_column: "key".into(),
+            range: Interval::new(lo, hi),
+            k: 16,
+        }
+    }
+
+    #[test]
+    fn range_predicate_shapes() {
+        assert_eq!(
+            range_predicate("x", &IntervalSet::empty()),
+            Predicate::False
+        );
+        assert_eq!(
+            range_predicate("x", &IntervalSet::of(Interval::new(1, 5))),
+            Predicate::between("x", 1, 5)
+        );
+        let two = IntervalSet::from_intervals(vec![Interval::new(0, 1), Interval::new(5, 9)]);
+        match range_predicate("x", &two) {
+            Predicate::Or(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn input_identity_distinguishes_plans() {
+        let q = mini_query(0, 10);
+        let id1 = input_identity(&q.plan);
+        let mut plan2 = q.plan.clone();
+        plan2.predicate = Predicate::between("g", 0, 1);
+        assert_ne!(id1, input_identity(&plan2));
+        let mut plan3 = q.plan.clone();
+        plan3.joins.push(laqy_engine::JoinSpec {
+            dim_table: "d".into(),
+            dim_key: "k".into(),
+            fact_key: "g".into(),
+            predicate: Predicate::True,
+        });
+        assert_ne!(id1, input_identity(&plan3));
+    }
+
+    #[test]
+    fn descriptor_derivation() {
+        let cat = mini_catalog();
+        let exec = LaqyExecutor::new(1, SupportPolicy::default(), 1);
+        let d = exec.descriptor(&cat, &mini_query(0, 49)).unwrap();
+        assert_eq!(d.qcs, vec!["g".to_string()]);
+        // Payload: agg input v + range column key, sorted.
+        assert_eq!(d.qvs, vec!["key".to_string(), "v".to_string()]);
+        assert_eq!(d.k, 16);
+        assert_eq!(
+            d.predicates.get("key").unwrap(),
+            &IntervalSet::of(Interval::new(0, 49))
+        );
+    }
+
+    #[test]
+    fn support_from_groups_classifies() {
+        let policy = SupportPolicy {
+            min_rows_per_stratum: 5,
+            ..Default::default()
+        };
+        let mk = |key: i64, support: usize| GroupEstimate {
+            key: vec![key],
+            values: vec![AggEstimate {
+                value: 0.0,
+                ci_half_width: 0.0,
+                support,
+            }],
+        };
+        let report = support_from_groups(&[mk(0, 10), mk(1, 2), mk(2, 0)], &policy);
+        assert_eq!(report.supported, 1);
+        assert_eq!(report.under_supported, vec![GroupKey::new(&[1])]);
+        assert_eq!(report.empty, vec![GroupKey::new(&[2])]);
+    }
+
+    #[test]
+    fn unknown_table_is_engine_error() {
+        let cat = Catalog::new();
+        let mut exec = LaqyExecutor::new(1, SupportPolicy::default(), 1);
+        let mut store = SampleStore::new();
+        let err = exec
+            .run_lazy(&cat, &mut store, &mini_query(0, 10))
+            .unwrap_err();
+        assert!(matches!(err, LaqyError::Engine(_)));
+    }
+
+    #[test]
+    fn executor_mode_roundtrip() {
+        let exec = LaqyExecutor::new(2, SupportPolicy::default(), 1)
+            .with_mode(ReuseMode::FullMatchOnly);
+        assert_eq!(exec.mode(), ReuseMode::FullMatchOnly);
+        assert_eq!(exec.threads(), 2);
+    }
+}

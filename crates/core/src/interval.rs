@@ -1,0 +1,342 @@
+//! Predicate interval algebra.
+//!
+//! LAQy's relaxed sample matching (paper §4.3, §5.2) reduces to interval
+//! reasoning over `BETWEEN`-style predicates: a stored sample covers some
+//! range of a predicate column; an incoming query requests another range;
+//! the classification (subsumed / overlapping / disjoint) and the **Δ
+//! predicate** (the uncovered remainder, "the inverted non-overlapping
+//! interval") are computed here. [`IntervalSet`] represents unions of
+//! disjoint closed intervals so repeated expansions and focus shifts
+//! compose.
+
+/// A closed integer interval `[lo, hi]` (the paper's queries use inclusive
+/// `BETWEEN` bounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// Construct `[lo, hi]`; panics if `lo > hi`.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "interval bounds out of order: [{lo}, {hi}]");
+        Self { lo, hi }
+    }
+
+    /// A single point `[v, v]`.
+    pub fn point(v: i64) -> Self {
+        Self { lo: v, hi: v }
+    }
+
+    /// Number of integers covered.
+    pub fn width(&self) -> u64 {
+        (self.hi - self.lo) as u64 + 1
+    }
+
+    /// True if `v` lies inside.
+    pub fn contains(&self, v: i64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+
+    /// True if `other` lies entirely inside `self`.
+    pub fn subsumes(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// True if the intervals share at least one integer.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// True if the intervals are adjacent or overlapping (their union is a
+    /// single interval).
+    pub fn touches(&self, other: &Interval) -> bool {
+        // Saturating: adjacency check at i64 extremes must not overflow.
+        self.lo <= other.hi.saturating_add(1) && other.lo <= self.hi.saturating_add(1)
+    }
+
+    /// Intersection, if non-empty.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+}
+
+/// A union of disjoint, non-adjacent, sorted closed intervals.
+///
+/// ```
+/// use laqy::{Interval, IntervalSet};
+///
+/// let stored = IntervalSet::of(Interval::new(0, 49));
+/// let query = IntervalSet::of(Interval::new(20, 80));
+/// // The Δ predicate: what the query needs that the sample lacks.
+/// let delta = query.difference(&stored);
+/// assert_eq!(delta.intervals(), &[Interval::new(50, 80)]);
+/// assert!(!delta.overlaps(&stored)); // merging it cannot double-sample
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct IntervalSet {
+    parts: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        Self { parts: Vec::new() }
+    }
+
+    /// A set holding one interval.
+    pub fn of(interval: Interval) -> Self {
+        Self {
+            parts: vec![interval],
+        }
+    }
+
+    /// Normalize an arbitrary collection of intervals into canonical form
+    /// (sorted, disjoint, adjacent runs coalesced).
+    pub fn from_intervals(mut intervals: Vec<Interval>) -> Self {
+        intervals.sort_unstable();
+        let mut parts: Vec<Interval> = Vec::with_capacity(intervals.len());
+        for iv in intervals {
+            match parts.last_mut() {
+                Some(last) if last.touches(&iv) => {
+                    last.hi = last.hi.max(iv.hi);
+                }
+                _ => parts.push(iv),
+            }
+        }
+        Self { parts }
+    }
+
+    /// The canonical disjoint intervals.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.parts
+    }
+
+    /// True if nothing is covered.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Total number of integers covered.
+    pub fn measure(&self) -> u64 {
+        self.parts.iter().map(|p| p.width()).sum()
+    }
+
+    /// True if `v` is covered.
+    pub fn contains(&self, v: i64) -> bool {
+        // parts are sorted: binary search by lower bound.
+        match self.parts.binary_search_by(|p| p.lo.cmp(&v)) {
+            Ok(_) => true,
+            Err(idx) => idx > 0 && self.parts[idx - 1].contains(v),
+        }
+    }
+
+    /// True if every point of `other` is covered by `self`.
+    pub fn subsumes(&self, other: &IntervalSet) -> bool {
+        other
+            .parts
+            .iter()
+            .all(|iv| self.parts.iter().any(|p| p.subsumes(iv)))
+    }
+
+    /// True if the sets share at least one point.
+    pub fn overlaps(&self, other: &IntervalSet) -> bool {
+        // Linear merge over the sorted parts.
+        let (mut i, mut j) = (0, 0);
+        while i < self.parts.len() && j < other.parts.len() {
+            if self.parts[i].overlaps(&other.parts[j]) {
+                return true;
+            }
+            if self.parts[i].hi < other.parts[j].hi {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        false
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut all = self.parts.clone();
+        all.extend(other.parts.iter().copied());
+        IntervalSet::from_intervals(all)
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        for a in &self.parts {
+            for b in &other.parts {
+                if let Some(iv) = a.intersect(b) {
+                    out.push(iv);
+                }
+            }
+        }
+        IntervalSet::from_intervals(out)
+    }
+
+    /// Set difference `self \ other` — the **Δ predicate** computation:
+    /// what the query requests that the stored sample does not cover
+    /// (paper §5.2.2, "the inverted, non-overlapping interval").
+    pub fn difference(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        for &a in &self.parts {
+            let mut remaining = vec![a];
+            for b in &other.parts {
+                let mut next = Vec::with_capacity(remaining.len() + 1);
+                for r in remaining {
+                    if !r.overlaps(b) {
+                        next.push(r);
+                        continue;
+                    }
+                    if r.lo < b.lo {
+                        next.push(Interval::new(r.lo, b.lo - 1));
+                    }
+                    if r.hi > b.hi {
+                        next.push(Interval::new(b.hi + 1, r.hi));
+                    }
+                }
+                remaining = next;
+                if remaining.is_empty() {
+                    break;
+                }
+            }
+            out.extend(remaining);
+        }
+        IntervalSet::from_intervals(out)
+    }
+}
+
+impl From<Interval> for IntervalSet {
+    fn from(iv: Interval) -> Self {
+        IntervalSet::of(iv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(parts: &[(i64, i64)]) -> IntervalSet {
+        IntervalSet::from_intervals(parts.iter().map(|&(a, b)| Interval::new(a, b)).collect())
+    }
+
+    #[test]
+    fn interval_basics() {
+        let iv = Interval::new(2, 5);
+        assert_eq!(iv.width(), 4);
+        assert!(iv.contains(2) && iv.contains(5));
+        assert!(!iv.contains(1) && !iv.contains(6));
+        assert!(iv.subsumes(&Interval::new(3, 4)));
+        assert!(!iv.subsumes(&Interval::new(3, 6)));
+        assert!(iv.overlaps(&Interval::new(5, 9)));
+        assert!(!iv.overlaps(&Interval::new(6, 9)));
+        assert!(iv.touches(&Interval::new(6, 9)));
+        assert!(!iv.touches(&Interval::new(7, 9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn reversed_bounds_panic() {
+        let _ = Interval::new(5, 2);
+    }
+
+    #[test]
+    fn normalization_coalesces() {
+        let s = set(&[(5, 9), (0, 3), (4, 4), (12, 14)]);
+        // [0,3] + [4,4] + [5,9] coalesce into [0,9].
+        assert_eq!(
+            s.intervals(),
+            &[Interval::new(0, 9), Interval::new(12, 14)]
+        );
+        assert_eq!(s.measure(), 13);
+    }
+
+    #[test]
+    fn contains_with_binary_search() {
+        let s = set(&[(0, 3), (10, 12)]);
+        for v in [0, 1, 3, 10, 12] {
+            assert!(s.contains(v), "{v} should be contained");
+        }
+        for v in [-1, 4, 9, 13] {
+            assert!(!s.contains(v), "{v} should not be contained");
+        }
+    }
+
+    #[test]
+    fn subsumes_and_overlaps() {
+        let big = set(&[(0, 10), (20, 30)]);
+        assert!(big.subsumes(&set(&[(2, 5), (25, 30)])));
+        assert!(!big.subsumes(&set(&[(2, 5), (15, 16)])));
+        assert!(big.overlaps(&set(&[(9, 15)])));
+        assert!(!big.overlaps(&set(&[(11, 19)])));
+        assert!(!big.overlaps(&IntervalSet::empty()));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = set(&[(0, 5), (10, 15)]);
+        let b = set(&[(4, 11), (20, 22)]);
+        assert_eq!(a.union(&b), set(&[(0, 15), (20, 22)]));
+        assert_eq!(a.intersect(&b), set(&[(4, 5), (10, 11)]));
+        assert!(a.intersect(&set(&[(30, 40)])).is_empty());
+    }
+
+    #[test]
+    fn difference_is_the_delta_predicate() {
+        // Figure 1's example: stored sample covers C2 in [0,2); query wants
+        // [0,6). With inclusive integer bounds: stored [0,1], query [0,5]
+        // ⇒ Δ = [2,5].
+        let stored = set(&[(0, 1)]);
+        let query = set(&[(0, 5)]);
+        assert_eq!(query.difference(&stored), set(&[(2, 5)]));
+    }
+
+    #[test]
+    fn difference_splits_middles() {
+        let a = set(&[(0, 10)]);
+        let b = set(&[(3, 4), (7, 8)]);
+        assert_eq!(a.difference(&b), set(&[(0, 2), (5, 6), (9, 10)]));
+        // Removing everything leaves nothing.
+        assert!(a.difference(&set(&[(0, 10)])).is_empty());
+        // Removing nothing leaves everything.
+        assert_eq!(a.difference(&IntervalSet::empty()), a);
+    }
+
+    #[test]
+    fn delta_laws() {
+        // Δ ∪ (query ∩ stored) == query and Δ ∩ stored == ∅ — the exact
+        // properties the lazy sampler relies on to avoid double sampling
+        // (paper §5: merging overlapping samples would bias the reservoir).
+        let stored = set(&[(5, 20), (30, 35)]);
+        let query = set(&[(0, 33)]);
+        let delta = query.difference(&stored);
+        assert!(!delta.overlaps(&stored));
+        assert_eq!(delta.union(&query.intersect(&stored)), query);
+    }
+
+    #[test]
+    fn extreme_bounds_do_not_overflow() {
+        let a = set(&[(i64::MIN, 0)]);
+        let b = set(&[(1, i64::MAX)]);
+        assert!(!a.overlaps(&b));
+        let u = a.union(&b);
+        assert_eq!(u.intervals().len(), 1);
+        assert!(u.contains(i64::MIN) && u.contains(i64::MAX));
+    }
+
+    #[test]
+    fn point_intervals() {
+        let p = Interval::point(7);
+        assert_eq!(p.width(), 1);
+        let s = IntervalSet::of(p);
+        assert!(s.contains(7));
+        assert_eq!(s.measure(), 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! The lazy sampling planner — paper **Algorithm 1** and Figure 7.
+//!
+//! Given a query's logical sampler `S` (expressed as a
+//! [`SampleDescriptor`]) and the sample store, produce the lazy sampler
+//! plan:
+//!
+//! ```text
+//! S' ← get existing sample with QCS and QVS of S
+//! if exists(S'):
+//!     if S' subsumes the predicates of S:    S_lazy ← S'            (full reuse: offline)
+//!     else if S' overlaps the predicates:    S_Δ ← DeltaSample(...)
+//!                                            S_lazy ← SampleMerge(S_Δ, S')
+//!     else:                                  S_lazy ← S             (no reuse: online)
+//! else:                                      S_lazy ← S             (no reuse: online)
+//! ```
+
+use crate::descriptor::{Predicates, SampleDescriptor};
+use crate::store::{ReuseDecision, SampleId, SampleStore};
+
+/// The execution plan for one logical sampler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LazyPlan {
+    /// Use the stored sample as-is (tightening to the query predicate at
+    /// estimation time). No scan, no sampling.
+    FullReuse {
+        /// The stored sample.
+        id: SampleId,
+    },
+    /// Sample only the Δ predicate (pushed down the plan) and merge with
+    /// the stored sample.
+    PartialReuse {
+        /// The stored sample to merge into.
+        id: SampleId,
+        /// Predicates for the Δ sampler.
+        delta: Predicates,
+        /// The predicate column whose coverage is being extended.
+        varying: String,
+    },
+    /// Full online sampling over the query predicate.
+    Online,
+}
+
+impl LazyPlan {
+    /// Fraction of the query's predicate range that must actually be
+    /// scanned and sampled, relative to the full query range — 0.0 for full
+    /// reuse, 1.0 for online (Figure 9's "effective selectivity").
+    pub fn uncovered_fraction(&self, query: &SampleDescriptor) -> f64 {
+        match self {
+            LazyPlan::FullReuse { .. } => 0.0,
+            LazyPlan::Online => 1.0,
+            LazyPlan::PartialReuse { delta, varying, .. } => {
+                let delta_m = delta.get(varying).map(|s| s.measure()).unwrap_or(0) as f64;
+                let query_m = query
+                    .predicates
+                    .get(varying)
+                    .map(|s| s.measure())
+                    .unwrap_or(0) as f64;
+                if query_m == 0.0 {
+                    0.0
+                } else {
+                    delta_m / query_m
+                }
+            }
+        }
+    }
+}
+
+/// Plan the lazy sampler for a query (Algorithm 1).
+pub fn plan_lazy(store: &SampleStore, query: &SampleDescriptor) -> LazyPlan {
+    match store.classify(query) {
+        ReuseDecision::Full { id } => LazyPlan::FullReuse { id },
+        ReuseDecision::Partial { id, delta, varying } => {
+            if delta.is_unsatisfiable() {
+                // The uncovered remainder is empty — treat as full reuse.
+                LazyPlan::FullReuse { id }
+            } else {
+                LazyPlan::PartialReuse { id, delta, varying }
+            }
+        }
+        ReuseDecision::None => LazyPlan::Online,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::{Interval, IntervalSet};
+    use crate::sampler_ops::{SampleSchema, SampleTuple, SlotKind};
+    use laqy_engine::GroupKey;
+    use laqy_sampling::{Lehmer64, StratifiedSampler};
+
+    fn desc(lo: i64, hi: i64) -> SampleDescriptor {
+        SampleDescriptor::new(
+            "t",
+            vec!["g".into()],
+            vec!["x".into()],
+            Predicates::on("x", IntervalSet::of(Interval::new(lo, hi))),
+            4,
+        )
+    }
+
+    fn store_with(lo: i64, hi: i64) -> SampleStore {
+        let mut store = SampleStore::new();
+        let mut rng = Lehmer64::new(1);
+        let mut s = StratifiedSampler::new(4);
+        for i in lo..=hi {
+            s.offer(GroupKey::new(&[0]), SampleTuple::from_slice(&[i]), &mut rng);
+        }
+        store.absorb(
+            desc(lo, hi),
+            SampleSchema::new(vec![("x".into(), SlotKind::Int)]),
+            s,
+            &mut rng,
+        );
+        store
+    }
+
+    #[test]
+    fn empty_store_plans_online() {
+        let store = SampleStore::new();
+        let plan = plan_lazy(&store, &desc(0, 9));
+        assert_eq!(plan, LazyPlan::Online);
+        assert_eq!(plan.uncovered_fraction(&desc(0, 9)), 1.0);
+    }
+
+    #[test]
+    fn subsuming_sample_plans_full_reuse() {
+        let store = store_with(0, 99);
+        let plan = plan_lazy(&store, &desc(10, 20));
+        assert!(matches!(plan, LazyPlan::FullReuse { .. }));
+        assert_eq!(plan.uncovered_fraction(&desc(10, 20)), 0.0);
+    }
+
+    #[test]
+    fn overlapping_sample_plans_partial() {
+        let store = store_with(0, 99);
+        let q = desc(50, 149);
+        let plan = plan_lazy(&store, &q);
+        match &plan {
+            LazyPlan::PartialReuse { delta, varying, .. } => {
+                assert_eq!(varying, "x");
+                assert_eq!(
+                    delta.get("x").unwrap(),
+                    &IntervalSet::of(Interval::new(100, 149))
+                );
+            }
+            other => panic!("expected partial, got {other:?}"),
+        }
+        // Uncovered fraction: 50 of 100 points.
+        assert!((plan.uncovered_fraction(&q) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_sample_plans_online() {
+        let store = store_with(0, 99);
+        assert_eq!(plan_lazy(&store, &desc(500, 599)), LazyPlan::Online);
+    }
+}

@@ -1,0 +1,90 @@
+//! # laqy
+//!
+//! A reproduction of **LAQy: Efficient and Reusable Query Approximations
+//! via Lazy Sampling** (SIGMOD 2023). LAQy bridges offline and online
+//! sampling-based approximate query processing by *relaxing* sample
+//! matching: a materialized sample that only partially covers a query's
+//! predicate is still reused — only the uncovered **Δ range** is sampled
+//! online (with the predicate pushed down, so its cost is proportional to
+//! the uncovered selectivity), and the two reservoirs are merged into a
+//! sample statistically equivalent to a full resample.
+//!
+//! Layering:
+//!
+//! - [`interval`] / [`descriptor`] — predicate algebra and the sample
+//!   metadata (Query Input, QCS, QVS, Query Predicate, k) that makes
+//!   samples malleable;
+//! - [`store`] — sample lifetime management, reuse classification, and
+//!   Δ-merging (with optional byte-budgeted LRU eviction);
+//! - [`lazy`] — Algorithm 1, the lazy sampling planner;
+//! - [`sampler_ops`] — reservoir sampling as an engine aggregation
+//!   function (stratified sampling = group-by with reservoir aggregation);
+//! - [`executor`] / [`session`] — the end-to-end flow of Figure 7 for both
+//!   sampler placements (pushed to scan, and above star joins);
+//! - [`mod@estimate`] / [`support`] — Horvitz–Thompson estimation with CLT
+//!   error bounds, tightening, and sample-support policies.
+//!
+//! ```
+//! use laqy::{ApproxQuery, Interval, LaqySession};
+//! use laqy_engine::{AggSpec, Catalog, ColRef, Column, Predicate, QueryPlan, Table};
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.register(Table::new("t", vec![
+//!     ("key".into(), Column::Int64((0..10_000).collect())),
+//!     ("grp".into(), Column::Int64((0..10_000).map(|i| i % 7).collect())),
+//!     ("val".into(), Column::Int64((0..10_000).map(|i| i % 100).collect())),
+//! ]).unwrap());
+//! let mut session = LaqySession::new(catalog);
+//! let query = ApproxQuery {
+//!     plan: QueryPlan {
+//!         fact: "t".into(),
+//!         predicate: Predicate::True,
+//!         joins: vec![],
+//!         group_by: vec![ColRef::fact("grp")],
+//!         aggs: vec![AggSpec::sum("val"), AggSpec::count()],
+//!     },
+//!     range_column: "key".into(),
+//!     range: Interval::new(0, 4_999),
+//!     k: 256,
+//! };
+//! let result = session.run(&query).unwrap();
+//! assert_eq!(result.groups.len(), 7);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bounded;
+pub mod descriptor;
+pub mod estimate;
+pub mod executor;
+pub mod interval;
+pub mod lazy;
+pub mod persist;
+pub mod sampler_ops;
+pub mod session;
+pub mod sql;
+pub mod stats;
+pub mod store;
+pub mod support;
+pub mod window;
+
+pub use bounded::{run_bounded, BoundedResult, ErrorTarget};
+pub use descriptor::{Predicates, SampleDescriptor};
+pub use estimate::{estimate, AggEstimate, EstimateError, EstimateOptions, GroupEstimate};
+pub use executor::{
+    input_identity, range_predicate, ApproxQuery, ApproxResult, LaqyError, LaqyExecutor,
+    Result, ReuseMode,
+};
+pub use interval::{Interval, IntervalSet};
+pub use lazy::{plan_lazy, LazyPlan};
+pub use persist::{load_from_file, load_store, save_store, save_to_file, PersistError};
+pub use sampler_ops::{
+    group_table_into_sample, ReservoirAgg, ReservoirAggFactory, SampleSchema, SampleTuple,
+    SlotKind, MAX_SAMPLE_COLS,
+};
+pub use session::{LaqySession, SessionConfig};
+pub use sql::{approx_query, approx_query_on};
+pub use stats::{ExecStats, ReuseClass};
+pub use store::{ReuseDecision, SampleId, SampleStore, StoredSample};
+pub use support::{check_support, SupportPolicy, SupportReport};
+pub use window::SlidingSampler;

@@ -1,0 +1,507 @@
+//! Sample-store persistence: a compact, versioned binary snapshot format.
+//!
+//! The paper's design space (Figure 2) spans from purely online samples to
+//! purely offline ones; persisting the sample store is what turns samples
+//! materialized "as a side-effect of execution" into offline samples that
+//! survive restarts — the Taster-style materialization LAQy builds on.
+//! Snapshots capture every stored sample's descriptor (input identity,
+//! QCS, QVS, predicate coverage, `k`), payload schema, and per-stratum
+//! reservoirs with their weights, so a restored store classifies and
+//! merges exactly as the original would.
+//!
+//! Format (little-endian, versioned):
+//!
+//! ```text
+//! magic "LAQY" | u32 version | u32 sample count
+//! per sample:
+//!   descriptor: input, qcs[], qvs[], k, predicates{col -> [lo, hi]*}
+//!   schema: (name, kind)*
+//!   sampler: u32 capacity | u32 strata
+//!     per stratum: key parts | u64 weight | items (schema-width i64 slots)
+//! ```
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut};
+use laqy_engine::GroupKey;
+use laqy_sampling::{Reservoir, StratifiedSampler};
+
+use crate::descriptor::{Predicates, SampleDescriptor};
+use crate::interval::{Interval, IntervalSet};
+use crate::sampler_ops::{SampleSchema, SampleTuple, SlotKind, MAX_SAMPLE_COLS};
+use crate::store::SampleStore;
+
+const MAGIC: &[u8; 4] = b"LAQY";
+const VERSION: u32 = 1;
+
+/// Persistence errors.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Snapshot bytes are malformed or truncated.
+    Corrupt(String),
+    /// Snapshot was written by an unsupported format version.
+    Version(u32),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Corrupt(m) => write!(f, "corrupt snapshot: {m}"),
+            PersistError::Version(v) => write!(f, "unsupported snapshot version {v}"),
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Serialize a sample store to bytes.
+pub fn save_store(store: &SampleStore) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4096);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    let samples: Vec<_> = store.iter_samples().collect();
+    buf.put_u32_le(samples.len() as u32);
+    for s in samples {
+        write_descriptor(&mut buf, &s.descriptor);
+        write_schema(&mut buf, &s.schema);
+        write_sampler(&mut buf, &s.sample, s.schema.len());
+    }
+    buf
+}
+
+/// Deserialize a sample store from bytes. The restored store is unbounded;
+/// apply a budget by constructing with
+/// [`SampleStore::with_budget`] and re-absorbing if needed.
+pub fn load_store(mut data: &[u8]) -> Result<SampleStore, PersistError> {
+    let buf = &mut data;
+    let mut magic = [0u8; 4];
+    read_exact(buf, &mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::Corrupt("bad magic".into()));
+    }
+    let version = read_u32(buf)?;
+    if version != VERSION {
+        return Err(PersistError::Version(version));
+    }
+    let count = read_u32(buf)? as usize;
+    let mut store = SampleStore::new();
+    for _ in 0..count {
+        let descriptor = read_descriptor(buf)?;
+        let schema = read_schema(buf)?;
+        let sampler = read_sampler(buf, schema.len(), descriptor.k)?;
+        store.insert_raw(descriptor, schema, sampler);
+    }
+    if buf.has_remaining() {
+        return Err(PersistError::Corrupt(format!(
+            "{} trailing bytes",
+            buf.remaining()
+        )));
+    }
+    Ok(store)
+}
+
+/// Save a store snapshot to a file.
+pub fn save_to_file(store: &SampleStore, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let bytes = save_store(store);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Load a store snapshot from a file.
+pub fn load_from_file(path: impl AsRef<Path>) -> Result<SampleStore, PersistError> {
+    let mut f = std::fs::File::open(path)?;
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes)?;
+    load_store(&bytes)
+}
+
+// ---- writers ----
+
+fn write_str(buf: &mut Vec<u8>, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn write_descriptor(buf: &mut Vec<u8>, d: &SampleDescriptor) {
+    write_str(buf, &d.input);
+    buf.put_u32_le(d.qcs.len() as u32);
+    for c in &d.qcs {
+        write_str(buf, c);
+    }
+    buf.put_u32_le(d.qvs.len() as u32);
+    for c in &d.qvs {
+        write_str(buf, c);
+    }
+    buf.put_u64_le(d.k as u64);
+    let cols: Vec<&str> = d.predicates.columns().collect();
+    buf.put_u32_le(cols.len() as u32);
+    for col in cols {
+        write_str(buf, col);
+        let set = d.predicates.get(col).expect("listed column");
+        buf.put_u32_le(set.intervals().len() as u32);
+        for iv in set.intervals() {
+            buf.put_i64_le(iv.lo);
+            buf.put_i64_le(iv.hi);
+        }
+    }
+}
+
+fn write_schema(buf: &mut Vec<u8>, schema: &SampleSchema) {
+    let names = schema.column_names();
+    buf.put_u32_le(names.len() as u32);
+    for (i, name) in names.iter().enumerate() {
+        write_str(buf, name);
+        buf.put_u8(match schema.kind(i) {
+            SlotKind::Int => 0,
+            SlotKind::Float => 1,
+        });
+    }
+}
+
+fn write_sampler(
+    buf: &mut Vec<u8>,
+    sampler: &StratifiedSampler<GroupKey, SampleTuple>,
+    width: usize,
+) {
+    buf.put_u64_le(sampler.capacity() as u64);
+    buf.put_u32_le(sampler.num_strata() as u32);
+    for (key, items, weight) in sampler.iter() {
+        buf.put_u8(key.len() as u8);
+        for &p in key.parts() {
+            buf.put_i64_le(p);
+        }
+        buf.put_u64_le(weight);
+        buf.put_u32_le(items.len() as u32);
+        for t in items {
+            for slot in 0..width {
+                buf.put_i64_le(t.int(slot));
+            }
+        }
+    }
+}
+
+// ---- readers ----
+
+fn read_exact(buf: &mut &[u8], out: &mut [u8]) -> Result<(), PersistError> {
+    if buf.remaining() < out.len() {
+        return Err(PersistError::Corrupt("unexpected end of snapshot".into()));
+    }
+    buf.copy_to_slice(out);
+    Ok(())
+}
+
+fn read_u8(buf: &mut &[u8]) -> Result<u8, PersistError> {
+    if !buf.has_remaining() {
+        return Err(PersistError::Corrupt("unexpected end of snapshot".into()));
+    }
+    Ok(buf.get_u8())
+}
+
+fn read_u32(buf: &mut &[u8]) -> Result<u32, PersistError> {
+    if buf.remaining() < 4 {
+        return Err(PersistError::Corrupt("unexpected end of snapshot".into()));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn read_u64(buf: &mut &[u8]) -> Result<u64, PersistError> {
+    if buf.remaining() < 8 {
+        return Err(PersistError::Corrupt("unexpected end of snapshot".into()));
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn read_i64(buf: &mut &[u8]) -> Result<i64, PersistError> {
+    if buf.remaining() < 8 {
+        return Err(PersistError::Corrupt("unexpected end of snapshot".into()));
+    }
+    Ok(buf.get_i64_le())
+}
+
+fn read_str(buf: &mut &[u8]) -> Result<String, PersistError> {
+    let len = read_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(PersistError::Corrupt("truncated string".into()));
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|e| PersistError::Corrupt(format!("bad utf8: {e}")))
+}
+
+fn read_descriptor(buf: &mut &[u8]) -> Result<SampleDescriptor, PersistError> {
+    let input = read_str(buf)?;
+    let qcs_n = read_u32(buf)? as usize;
+    let qcs = (0..qcs_n)
+        .map(|_| read_str(buf))
+        .collect::<Result<Vec<_>, _>>()?;
+    let qvs_n = read_u32(buf)? as usize;
+    let qvs = (0..qvs_n)
+        .map(|_| read_str(buf))
+        .collect::<Result<Vec<_>, _>>()?;
+    let k = read_u64(buf)? as usize;
+    let pred_cols = read_u32(buf)? as usize;
+    let mut predicates = Predicates::none();
+    for _ in 0..pred_cols {
+        let col = read_str(buf)?;
+        let ivs = read_u32(buf)? as usize;
+        // 16 bytes per interval on the wire: bound the allocation.
+        if ivs > buf.remaining() / 16 {
+            return Err(PersistError::Corrupt(format!(
+                "interval count {ivs} exceeds snapshot size"
+            )));
+        }
+        let mut intervals = Vec::with_capacity(ivs);
+        for _ in 0..ivs {
+            let lo = read_i64(buf)?;
+            let hi = read_i64(buf)?;
+            if lo > hi {
+                return Err(PersistError::Corrupt(format!(
+                    "interval bounds out of order: [{lo}, {hi}]"
+                )));
+            }
+            intervals.push(Interval::new(lo, hi));
+        }
+        predicates = predicates.with(col, IntervalSet::from_intervals(intervals));
+    }
+    Ok(SampleDescriptor::new(input, qcs, qvs, predicates, k))
+}
+
+fn read_schema(buf: &mut &[u8]) -> Result<SampleSchema, PersistError> {
+    let n = read_u32(buf)? as usize;
+    if n > MAX_SAMPLE_COLS {
+        return Err(PersistError::Corrupt(format!(
+            "schema width {n} exceeds maximum {MAX_SAMPLE_COLS}"
+        )));
+    }
+    let mut cols = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = read_str(buf)?;
+        let kind = match read_u8(buf)? {
+            0 => SlotKind::Int,
+            1 => SlotKind::Float,
+            other => {
+                return Err(PersistError::Corrupt(format!("bad slot kind {other}")));
+            }
+        };
+        cols.push((name, kind));
+    }
+    Ok(SampleSchema::new(cols))
+}
+
+fn read_sampler(
+    buf: &mut &[u8],
+    width: usize,
+    expected_k: usize,
+) -> Result<StratifiedSampler<GroupKey, SampleTuple>, PersistError> {
+    let capacity = read_u64(buf)? as usize;
+    if capacity == 0 {
+        return Err(PersistError::Corrupt("zero reservoir capacity".into()));
+    }
+    if capacity < expected_k {
+        return Err(PersistError::Corrupt(format!(
+            "sampler capacity {capacity} below descriptor k {expected_k}"
+        )));
+    }
+    let strata = read_u32(buf)? as usize;
+    // Every stratum needs at least key-len(1) + weight(8) + count(4)
+    // bytes; bound the hash-table pre-allocation so corrupt counts cannot
+    // trigger giant allocations.
+    if strata > buf.remaining() / 13 {
+        return Err(PersistError::Corrupt(format!(
+            "stratum count {strata} exceeds snapshot size"
+        )));
+    }
+    let mut sampler = StratifiedSampler::with_strata_hint(capacity, strata);
+    for _ in 0..strata {
+        let key_len = read_u8(buf)? as usize;
+        if key_len > laqy_engine::MAX_KEY_COLS {
+            return Err(PersistError::Corrupt(format!("key width {key_len}")));
+        }
+        let mut parts = [0i64; laqy_engine::MAX_KEY_COLS];
+        for p in parts.iter_mut().take(key_len) {
+            *p = read_i64(buf)?;
+        }
+        let key = GroupKey::new(&parts[..key_len]);
+        let weight = read_u64(buf)?;
+        let count = read_u32(buf)? as usize;
+        if count > capacity {
+            return Err(PersistError::Corrupt(format!(
+                "stratum holds {count} items over capacity {capacity}"
+            )));
+        }
+        if (weight as usize) < count {
+            return Err(PersistError::Corrupt(
+                "stratum weight below item count".into(),
+            ));
+        }
+        if width > 0 && count > buf.remaining() / (width * 8) {
+            return Err(PersistError::Corrupt(format!(
+                "stratum item count {count} exceeds snapshot size"
+            )));
+        }
+        let mut items = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut vals = [0i64; MAX_SAMPLE_COLS];
+            for v in vals.iter_mut().take(width) {
+                *v = read_i64(buf)?;
+            }
+            items.push(SampleTuple::new(vals));
+        }
+        sampler.insert_stratum(key, Reservoir::from_parts(capacity, items, weight));
+    }
+    Ok(sampler)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laqy_sampling::Lehmer64;
+
+    fn schema() -> SampleSchema {
+        SampleSchema::new(vec![
+            ("x".into(), SlotKind::Int),
+            ("v".into(), SlotKind::Float),
+        ])
+    }
+
+    fn descriptor(lo: i64, hi: i64) -> SampleDescriptor {
+        SampleDescriptor::new(
+            "lineorder[True]",
+            vec!["lo_orderdate".into()],
+            vec!["v".into(), "x".into()],
+            Predicates::on("x", IntervalSet::of(Interval::new(lo, hi))),
+            4,
+        )
+    }
+
+    fn populated_store() -> SampleStore {
+        let mut store = SampleStore::new();
+        let mut rng = Lehmer64::new(1);
+        for (i, (lo, hi)) in [(0i64, 99i64), (200, 399)].iter().enumerate() {
+            let mut s = StratifiedSampler::new(4);
+            for g in 0..3i64 {
+                for x in *lo..(*lo + 20) {
+                    s.offer(
+                        GroupKey::new(&[g, i as i64]),
+                        SampleTuple::from_slice(&[x, (x as f64 * 0.5).to_bits() as i64]),
+                        &mut rng,
+                    );
+                }
+            }
+            store.absorb(descriptor(*lo, *hi), schema(), s, &mut rng);
+        }
+        store
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let store = populated_store();
+        let bytes = save_store(&store);
+        let restored = load_store(&bytes).unwrap();
+        assert_eq!(restored.len(), store.len());
+
+        let originals: Vec<_> = store.iter_samples().collect();
+        let restoreds: Vec<_> = restored.iter_samples().collect();
+        for (o, r) in originals.iter().zip(&restoreds) {
+            assert_eq!(o.descriptor, r.descriptor);
+            assert_eq!(o.schema, r.schema);
+            assert_eq!(o.sample.num_strata(), r.sample.num_strata());
+            assert_eq!(o.sample.total_weight(), r.sample.total_weight());
+            for (key, items, weight) in o.sample.iter() {
+                let (r_items, r_weight) = r.sample.stratum(key).expect("stratum survives");
+                assert_eq!(weight, r_weight);
+                assert_eq!(items, r_items);
+            }
+        }
+    }
+
+    #[test]
+    fn restored_store_classifies_like_original() {
+        let store = populated_store();
+        let restored = load_store(&save_store(&store)).unwrap();
+        let q = descriptor(10, 50);
+        // Compare decision *kinds* (ids differ).
+        let kind = |d: &crate::store::ReuseDecision| match d {
+            crate::store::ReuseDecision::Full { .. } => 0,
+            crate::store::ReuseDecision::Partial { .. } => 1,
+            crate::store::ReuseDecision::None => 2,
+        };
+        assert_eq!(kind(&store.classify(&q)), kind(&restored.classify(&q)));
+        let q2 = descriptor(50, 150);
+        assert_eq!(kind(&store.classify(&q2)), kind(&restored.classify(&q2)));
+        let q3 = descriptor(1000, 2000);
+        assert_eq!(kind(&store.classify(&q3)), kind(&restored.classify(&q3)));
+    }
+
+    #[test]
+    fn empty_store_roundtrip() {
+        let store = SampleStore::new();
+        let restored = load_store(&save_store(&store)).unwrap();
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = save_store(&SampleStore::new());
+        bytes[0] = b'X';
+        assert!(matches!(load_store(&bytes), Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = save_store(&SampleStore::new());
+        bytes[4] = 99;
+        assert!(matches!(load_store(&bytes), Err(PersistError::Version(99))));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        // Any prefix of a valid snapshot must fail loudly, never panic.
+        let bytes = save_store(&populated_store());
+        for cut in 0..bytes.len() {
+            let r = load_store(&bytes[..cut]);
+            assert!(r.is_err(), "truncation at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = save_store(&populated_store());
+        bytes.push(0);
+        assert!(matches!(load_store(&bytes), Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let store = populated_store();
+        let path = std::env::temp_dir().join(format!("laqy_snapshot_{}.bin", std::process::id()));
+        save_to_file(&store, &path).unwrap();
+        let restored = load_from_file(&path).unwrap();
+        assert_eq!(restored.len(), store.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_interval_rejected() {
+        // Flip bytes in the middle and ensure errors (not panics). The
+        // format has checksums only via structural validation, so some
+        // flips may survive; the key property is that nothing panics.
+        let bytes = save_store(&populated_store());
+        for pos in (8..bytes.len()).step_by(7) {
+            let mut b = bytes.clone();
+            b[pos] ^= 0xFF;
+            let _ = load_store(&b); // must not panic
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Sampling operators as engine aggregation functions (paper §6.2).
+//!
+//! "We introduced reservoir sampling as a new aggregation function that
+//! produces a bag of items. Stratified sampling is then implemented as a
+//! group-by that aggregates the input using the reservoir aggregation
+//! function." — this module is exactly that: [`ReservoirAggFactory`]
+//! implements the engine's [`AggregatorFactory`], so the engine's hash
+//! group-by (keyed by the QCS columns) produces one reservoir per stratum.
+//! A keyless group-by (reduction) yields a simple reservoir sample.
+//!
+//! The produced group-by hash table is converted into a
+//! [`StratifiedSampler`] without copying tuple payloads (ownership
+//! transfer, §6.3).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use laqy_engine::ops::{Aggregator, AggregatorFactory, GroupTable, Inputs};
+use laqy_engine::GroupKey;
+use laqy_sampling::{Lehmer64, Reservoir, StratifiedSampler};
+
+/// Maximum payload columns carried per sampled tuple.
+pub const MAX_SAMPLE_COLS: usize = 8;
+
+/// How a payload slot is interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotKind {
+    /// Integer (also dictionary codes).
+    Int,
+    /// Float, stored as raw bits.
+    Float,
+}
+
+/// A fixed-width sampled tuple: the QVS payload of one input row. Floats
+/// are stored bit-cast so the tuple stays `Copy` and branch-free to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleTuple {
+    vals: [i64; MAX_SAMPLE_COLS],
+}
+
+impl SampleTuple {
+    /// Construct from raw slot values (floats pre-encoded with `to_bits`).
+    pub fn new(vals: [i64; MAX_SAMPLE_COLS]) -> Self {
+        Self { vals }
+    }
+
+    /// Construct from a prefix of slot values; remaining slots are zero.
+    pub fn from_slice(prefix: &[i64]) -> Self {
+        assert!(prefix.len() <= MAX_SAMPLE_COLS, "too many slots");
+        let mut vals = [0i64; MAX_SAMPLE_COLS];
+        vals[..prefix.len()].copy_from_slice(prefix);
+        Self { vals }
+    }
+
+    /// Raw integer slot.
+    #[inline]
+    pub fn int(&self, slot: usize) -> i64 {
+        self.vals[slot]
+    }
+
+    /// Float slot (bit-cast back).
+    #[inline]
+    pub fn float(&self, slot: usize) -> f64 {
+        f64::from_bits(self.vals[slot] as u64)
+    }
+
+    /// Numeric view of a slot under its declared kind.
+    #[inline]
+    pub fn numeric(&self, slot: usize, kind: SlotKind) -> f64 {
+        match kind {
+            SlotKind::Int => self.vals[slot] as f64,
+            SlotKind::Float => self.float(slot),
+        }
+    }
+}
+
+/// Schema of sampled tuples: which column occupies which slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleSchema {
+    columns: Vec<(String, SlotKind)>,
+}
+
+impl SampleSchema {
+    /// Build from `(column, kind)` pairs; at most [`MAX_SAMPLE_COLS`].
+    pub fn new(columns: Vec<(String, SlotKind)>) -> Self {
+        assert!(
+            columns.len() <= MAX_SAMPLE_COLS,
+            "too many sample payload columns"
+        );
+        Self { columns }
+    }
+
+    /// Slot index of a column.
+    pub fn slot(&self, column: &str) -> Option<usize> {
+        self.columns.iter().position(|(c, _)| c == column)
+    }
+
+    /// Kind of a slot.
+    pub fn kind(&self, slot: usize) -> SlotKind {
+        self.columns[slot].1
+    }
+
+    /// Number of payload columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the schema is empty.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Column names in slot order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|(c, _)| c.as_str()).collect()
+    }
+}
+
+/// Per-group reservoir aggregation state. Each group keeps its own inlined
+/// RNG so admission draws never contend and stay register-resident, as the
+/// paper's generated code does with its Lehmer generator.
+pub struct ReservoirAgg {
+    reservoir: Reservoir<SampleTuple>,
+    rng: Lehmer64,
+    kinds: [SlotKind; MAX_SAMPLE_COLS],
+    width: usize,
+}
+
+impl ReservoirAgg {
+    /// The reservoir accumulated so far.
+    pub fn reservoir(&self) -> &Reservoir<SampleTuple> {
+        &self.reservoir
+    }
+
+    /// Take the reservoir out.
+    pub fn into_reservoir(self) -> Reservoir<SampleTuple> {
+        self.reservoir
+    }
+}
+
+impl Aggregator for ReservoirAgg {
+    #[inline]
+    fn update(&mut self, inputs: &Inputs<'_>, i: usize) {
+        let mut vals = [0i64; MAX_SAMPLE_COLS];
+        for (slot, v) in vals.iter_mut().enumerate().take(self.width) {
+            *v = match self.kinds[slot] {
+                SlotKind::Int => inputs.i64(slot, i),
+                SlotKind::Float => inputs.f64(slot, i).to_bits() as i64,
+            };
+        }
+        self.reservoir.offer(SampleTuple { vals }, &mut self.rng);
+    }
+
+    fn merge(&mut self, other: Self) {
+        // Exchange-operator path: combine per-thread partial reservoirs of
+        // the same stratum (Algorithm 2).
+        let merged = laqy_sampling::merge_reservoirs(
+            Some(&self.reservoir),
+            Some(&other.reservoir),
+            &mut self.rng,
+        );
+        self.reservoir = merged;
+    }
+}
+
+/// Factory producing [`ReservoirAgg`] states; implements the engine's
+/// pluggable aggregate interface, turning its group-by into a stratified
+/// sampler.
+pub struct ReservoirAggFactory {
+    k: usize,
+    kinds: [SlotKind; MAX_SAMPLE_COLS],
+    width: usize,
+    seed: AtomicU64,
+}
+
+impl ReservoirAggFactory {
+    /// `k`: per-stratum reservoir capacity; `schema`: payload layout;
+    /// `seed`: base RNG seed (each created state derives a distinct
+    /// stream).
+    pub fn new(k: usize, schema: &SampleSchema, seed: u64) -> Self {
+        let mut kinds = [SlotKind::Int; MAX_SAMPLE_COLS];
+        for (i, (_, kind)) in schema.columns.iter().enumerate() {
+            kinds[i] = *kind;
+        }
+        Self {
+            k,
+            kinds,
+            width: schema.len(),
+            seed: AtomicU64::new(seed),
+        }
+    }
+}
+
+impl AggregatorFactory for ReservoirAggFactory {
+    type Agg = ReservoirAgg;
+
+    fn create(&self) -> ReservoirAgg {
+        let s = self.seed.fetch_add(0x9E37_79B9, Ordering::Relaxed);
+        ReservoirAgg {
+            reservoir: Reservoir::new(self.k),
+            rng: Lehmer64::new(s),
+            kinds: self.kinds,
+            width: self.width,
+        }
+    }
+}
+
+/// Transfer ownership of a reservoir group-by hash table into a stratified
+/// sample (paper §6.3: "we transfer the ownership of the hash-table used
+/// by our group-by... This process does not require moving or copying the
+/// data" — here the tuple storage moves by pointer inside each
+/// `Reservoir`).
+pub fn group_table_into_sample(
+    table: GroupTable<ReservoirAgg>,
+    k: usize,
+) -> StratifiedSampler<GroupKey, SampleTuple> {
+    let mut out = StratifiedSampler::with_strata_hint(k, table.len());
+    for (key, agg) in table.map {
+        out.insert_stratum(key, agg.into_reservoir());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laqy_engine::ops::{group_by, BoundCol};
+    use laqy_engine::{AggInput, Column, Table};
+
+    fn schema() -> SampleSchema {
+        SampleSchema::new(vec![
+            ("v".to_string(), SlotKind::Int),
+            ("w".to_string(), SlotKind::Float),
+        ])
+    }
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                (
+                    "g".into(),
+                    Column::Int64((0..1000).map(|i| i % 5).collect()),
+                ),
+                ("v".into(), Column::Int64((0..1000).collect())),
+                (
+                    "w".into(),
+                    Column::Float64((0..1000).map(|i| i as f64 * 0.5).collect()),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn sample_table(k: usize) -> StratifiedSampler<GroupKey, SampleTuple> {
+        let t = table();
+        let factory = ReservoirAggFactory::new(k, &schema(), 42);
+        let key = BoundCol::new(t.column("g").unwrap(), None);
+        let inputs = Inputs::bind(
+            &[AggInput::Col("v".into()), AggInput::Col("w".into())],
+            |name| Ok(BoundCol::new(t.column(name).unwrap(), None)),
+        )
+        .unwrap();
+        let gt = group_by(&[key], &inputs, t.num_rows(), &factory);
+        group_table_into_sample(gt, k)
+    }
+
+    #[test]
+    fn stratified_sampling_via_group_by() {
+        let s = sample_table(8);
+        assert_eq!(s.num_strata(), 5);
+        assert_eq!(s.total_weight(), 1000);
+        for g in 0..5 {
+            let (items, w) = s.stratum(&GroupKey::new(&[g])).unwrap();
+            assert_eq!(w, 200);
+            assert_eq!(items.len(), 8);
+            for t in items {
+                // v % 5 must equal the stratum key; w must be v * 0.5.
+                assert_eq!(t.int(0) % 5, g);
+                assert_eq!(t.float(1), t.int(0) as f64 * 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn small_k_keeps_reservoirs_at_capacity() {
+        let s = sample_table(2);
+        assert_eq!(s.total_items(), 10);
+    }
+
+    #[test]
+    fn large_k_keeps_whole_strata() {
+        let s = sample_table(500);
+        // Each stratum has only 200 tuples < k ⇒ everything retained.
+        assert_eq!(s.total_items(), 1000);
+    }
+
+    #[test]
+    fn partial_merge_combines_thread_reservoirs() {
+        let t = table();
+        let factory = ReservoirAggFactory::new(16, &schema(), 7);
+        let key = BoundCol::new(t.column("g").unwrap(), None);
+        let inputs = Inputs::bind(
+            &[AggInput::Col("v".into()), AggInput::Col("w".into())],
+            |name| Ok(BoundCol::new(t.column(name).unwrap(), None)),
+        )
+        .unwrap();
+        // Simulate two morsels.
+        let rows_a: Vec<u32> = (0..500).collect();
+        let rows_b: Vec<u32> = (500..1000).collect();
+        let key_a = BoundCol::new(t.column("g").unwrap(), Some(&rows_a));
+        let inputs_a = Inputs::bind(
+            &[AggInput::Col("v".into()), AggInput::Col("w".into())],
+            |name| Ok(BoundCol::new(t.column(name).unwrap(), Some(&rows_a))),
+        )
+        .unwrap();
+        let key_b = BoundCol::new(t.column("g").unwrap(), Some(&rows_b));
+        let inputs_b = Inputs::bind(
+            &[AggInput::Col("v".into()), AggInput::Col("w".into())],
+            |name| Ok(BoundCol::new(t.column(name).unwrap(), Some(&rows_b))),
+        )
+        .unwrap();
+        let mut ga = group_by(&[key_a], &inputs_a, rows_a.len(), &factory);
+        let gb = group_by(&[key_b], &inputs_b, rows_b.len(), &factory);
+        ga.merge(gb);
+        let merged = group_table_into_sample(ga, 16);
+        assert_eq!(merged.total_weight(), 1000);
+        assert_eq!(merged.num_strata(), 5);
+
+        // Single-pass reference for comparison of weights.
+        let gt = group_by(&[key], &inputs, t.num_rows(), &factory);
+        let single = group_table_into_sample(gt, 16);
+        for g in 0..5 {
+            let (_, wm) = merged.stratum(&GroupKey::new(&[g])).unwrap();
+            let (_, ws) = single.stratum(&GroupKey::new(&[g])).unwrap();
+            assert_eq!(wm, ws);
+        }
+    }
+
+    #[test]
+    fn keyless_group_by_is_simple_reservoir() {
+        let t = table();
+        let factory = ReservoirAggFactory::new(32, &schema(), 11);
+        let inputs = Inputs::bind(
+            &[AggInput::Col("v".into()), AggInput::Col("w".into())],
+            |name| Ok(BoundCol::new(t.column(name).unwrap(), None)),
+        )
+        .unwrap();
+        let gt = group_by(&[], &inputs, t.num_rows(), &factory);
+        assert_eq!(gt.len(), 1);
+        let s = group_table_into_sample(gt, 32);
+        let (items, w) = s.stratum(&GroupKey::new(&[])).unwrap();
+        assert_eq!(w, 1000);
+        assert_eq!(items.len(), 32);
+    }
+
+    #[test]
+    fn schema_slots() {
+        let s = schema();
+        assert_eq!(s.slot("v"), Some(0));
+        assert_eq!(s.slot("w"), Some(1));
+        assert_eq!(s.slot("missing"), None);
+        assert_eq!(s.kind(1), SlotKind::Float);
+        assert_eq!(s.column_names(), vec!["v", "w"]);
+    }
+
+    #[test]
+    fn tuple_numeric_views() {
+        let t = SampleTuple {
+            vals: [3, (2.5f64).to_bits() as i64, 0, 0, 0, 0, 0, 0],
+        };
+        assert_eq!(t.numeric(0, SlotKind::Int), 3.0);
+        assert_eq!(t.numeric(1, SlotKind::Float), 2.5);
+    }
+}

@@ -1,0 +1,135 @@
+//! The high-level LAQy session API.
+//!
+//! A [`LaqySession`] owns a catalog, a sample store, and an executor, and
+//! exposes the four execution modes the evaluation compares:
+//!
+//! - [`LaqySession::run`] — LAQy lazy sampling (full/partial/no reuse);
+//! - [`LaqySession::run_online_oblivious`] — workload-oblivious online
+//!   sampling (samples the full range every time, stores nothing);
+//! - [`LaqySession::run_exact`] — exact execution (the GroupBy baseline);
+//! - [`LaqySession::scan_floor`] — a pure filtered scan (the memory-
+//!   bandwidth floor).
+
+use laqy_engine::{Catalog, Table, Value};
+
+use crate::executor::{ApproxQuery, ApproxResult, LaqyExecutor, Result, ReuseMode};
+use crate::stats::ExecStats;
+use crate::store::SampleStore;
+use crate::support::SupportPolicy;
+
+/// Session configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Worker threads (defaults to available parallelism).
+    pub threads: usize,
+    /// Support / oversampling policy.
+    pub policy: SupportPolicy,
+    /// Base RNG seed (determinism across runs).
+    pub seed: u64,
+    /// Optional sample-store byte budget (LRU-evicted).
+    pub store_budget_bytes: Option<usize>,
+    /// Reuse aggressiveness (ablation switch; default lazy/partial reuse).
+    pub reuse_mode: ReuseMode,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            threads: laqy_engine::parallel::default_threads(),
+            policy: SupportPolicy::default(),
+            seed: 0xACE1,
+            store_budget_bytes: None,
+            reuse_mode: ReuseMode::default(),
+        }
+    }
+}
+
+/// A LAQy session: catalog + sample store + executor.
+pub struct LaqySession {
+    catalog: Catalog,
+    store: SampleStore,
+    executor: LaqyExecutor,
+}
+
+impl LaqySession {
+    /// Create a session with default configuration.
+    pub fn new(catalog: Catalog) -> Self {
+        Self::with_config(catalog, SessionConfig::default())
+    }
+
+    /// Create a session with explicit configuration.
+    pub fn with_config(catalog: Catalog, config: SessionConfig) -> Self {
+        let store = match config.store_budget_bytes {
+            Some(b) => SampleStore::with_budget(b),
+            None => SampleStore::new(),
+        };
+        Self {
+            catalog,
+            store,
+            executor: LaqyExecutor::new(config.threads, config.policy, config.seed)
+                .with_mode(config.reuse_mode),
+        }
+    }
+
+    /// Register (or replace) a table.
+    pub fn register_table(&mut self, table: Table) {
+        self.catalog.register(table);
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The sample store (inspection / tests).
+    pub fn store(&self) -> &SampleStore {
+        &self.store
+    }
+
+    /// Clear all materialized samples (cold-start experiments).
+    pub fn clear_samples(&mut self) {
+        self.store.clear();
+    }
+
+    /// Serialize the sample store (offline-sample persistence).
+    pub fn export_samples(&self) -> Vec<u8> {
+        crate::persist::save_store(&self.store)
+    }
+
+    /// Replace the sample store from a snapshot produced by
+    /// [`LaqySession::export_samples`].
+    pub fn import_samples(&mut self, bytes: &[u8]) -> Result<()> {
+        self.store = crate::persist::load_store(bytes)
+            .map_err(|e| crate::executor::LaqyError::Unsupported(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Run a query with LAQy's lazy sampling.
+    pub fn run(&mut self, query: &ApproxQuery) -> Result<ApproxResult> {
+        self.executor.run_lazy(&self.catalog, &mut self.store, query)
+    }
+
+    /// Run with workload-oblivious online sampling (baseline).
+    pub fn run_online_oblivious(&mut self, query: &ApproxQuery) -> Result<ApproxResult> {
+        self.executor.run_online(&self.catalog, query)
+    }
+
+    /// Run exactly (baseline). Returns engine results plus stats.
+    pub fn run_exact(&self, query: &ApproxQuery) -> Result<(laqy_engine::QueryResult, ExecStats)> {
+        self.executor.run_exact(&self.catalog, query)
+    }
+
+    /// Pure filtered scan timing (floor).
+    pub fn scan_floor(&self, query: &ApproxQuery) -> Result<ExecStats> {
+        self.executor.scan_floor(&self.catalog, query)
+    }
+
+    /// Decode estimate group keys into display values.
+    pub fn decode_keys(
+        &self,
+        query: &ApproxQuery,
+        result: &ApproxResult,
+    ) -> Result<Vec<Vec<Value>>> {
+        self.executor.decode_keys(&self.catalog, query, &result.groups)
+    }
+}

@@ -1,0 +1,122 @@
+//! Per-query execution statistics.
+//!
+//! The figure harness reconstructs the paper's time breakdowns (Figure 11:
+//! scan vs. processing vs. merge) and per-query/cumulative series
+//! (Figures 12–15) from these counters.
+
+use std::time::Duration;
+
+/// Which reuse path a query took (Algorithm 1's three arms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReuseClass {
+    /// Stored sample subsumed the query: no scan, no sampling.
+    Full,
+    /// Δ sample built and merged.
+    Partial,
+    /// Full online sampling.
+    Online,
+    /// Exact (non-approximate) execution.
+    Exact,
+}
+
+impl ReuseClass {
+    /// Short label for harness output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReuseClass::Full => "full",
+            ReuseClass::Partial => "partial",
+            ReuseClass::Online => "online",
+            ReuseClass::Exact => "exact",
+        }
+    }
+}
+
+/// Timing and cardinality breakdown of one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Time in the filtered scan (and joins, for sampler-above-join
+    /// plans) feeding the sampler.
+    pub scan: Duration,
+    /// Time spent in sampling / aggregation processing.
+    pub processing: Duration,
+    /// Time merging the Δ sample with the stored sample.
+    pub merge: Duration,
+    /// Time spent producing estimates from the (merged) sample.
+    pub estimate: Duration,
+    /// Wall-clock total.
+    pub total: Duration,
+    /// Rows the scan had to consider (0 on full reuse).
+    pub scanned_rows: u64,
+    /// Rows that reached the sampler after filters/joins.
+    pub sampled_input_rows: u64,
+    /// Effective selectivity actually processed: Δ-range measure divided by
+    /// the predicate-domain measure (Figure 9's y-axis).
+    pub effective_selectivity: f64,
+    /// Which reuse arm ran.
+    pub reuse: Option<ReuseClass>,
+}
+
+impl ExecStats {
+    /// Sum of the instrumented phases (excludes untimed slack).
+    pub fn phases_total(&self) -> Duration {
+        self.scan + self.processing + self.merge + self.estimate
+    }
+
+    /// Accumulate another query's stats (cumulative series).
+    pub fn accumulate(&mut self, other: &ExecStats) {
+        self.scan += other.scan;
+        self.processing += other.processing;
+        self.merge += other.merge;
+        self.estimate += other.estimate;
+        self.total += other.total;
+        self.scanned_rows += other.scanned_rows;
+        self.sampled_input_rows += other.sampled_input_rows;
+        self.effective_selectivity += other.effective_selectivity;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_adds_everything() {
+        let mut a = ExecStats {
+            scan: Duration::from_millis(10),
+            processing: Duration::from_millis(5),
+            merge: Duration::from_millis(1),
+            estimate: Duration::from_millis(2),
+            total: Duration::from_millis(20),
+            scanned_rows: 100,
+            sampled_input_rows: 50,
+            effective_selectivity: 0.5,
+            reuse: Some(ReuseClass::Partial),
+        };
+        let b = a.clone();
+        a.accumulate(&b);
+        assert_eq!(a.scan, Duration::from_millis(20));
+        assert_eq!(a.total, Duration::from_millis(40));
+        assert_eq!(a.scanned_rows, 200);
+        assert_eq!(a.effective_selectivity, 1.0);
+    }
+
+    #[test]
+    fn phases_total_sums_components() {
+        let s = ExecStats {
+            scan: Duration::from_millis(3),
+            processing: Duration::from_millis(4),
+            merge: Duration::from_millis(5),
+            estimate: Duration::from_millis(6),
+            ..Default::default()
+        };
+        assert_eq!(s.phases_total(), Duration::from_millis(18));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ReuseClass::Full.label(), "full");
+        assert_eq!(ReuseClass::Partial.label(), "partial");
+        assert_eq!(ReuseClass::Online.label(), "online");
+        assert_eq!(ReuseClass::Exact.label(), "exact");
+    }
+}

@@ -1,0 +1,554 @@
+//! The sample store: sample lifetime management and reuse classification
+//! (paper §6, "sample lifetime management module that captures the
+//! generated samples to allow reuse on subsequent queries").
+//!
+//! The store owns materialized stratified samples together with their
+//! [`SampleDescriptor`]s. For an incoming logical sampler it classifies the
+//! best reuse opportunity (full / partial / none — the dispatch of
+//! Algorithm 1) and merges Δ samples into stored ones, extending their
+//! predicate coverage. An optional byte budget with LRU eviction hooks this
+//! store into Taster-style storage management (paper §8).
+
+use laqy_engine::GroupKey;
+use laqy_sampling::{merge_stratified, Lehmer64, StratifiedSampler};
+
+use crate::descriptor::{Predicates, SampleDescriptor};
+use crate::sampler_ops::{SampleSchema, SampleTuple};
+
+/// Stable identity of a stored sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SampleId(u64);
+
+/// A materialized sample with its descriptor and payload schema.
+pub struct StoredSample {
+    /// Identity and coverage.
+    pub descriptor: SampleDescriptor,
+    /// Payload tuple layout.
+    pub schema: SampleSchema,
+    /// The stratified sample itself (ownership of the group-by hash table,
+    /// §6.3).
+    pub sample: StratifiedSampler<GroupKey, SampleTuple>,
+    last_used: u64,
+    bytes: usize,
+}
+
+impl StoredSample {
+    fn measure_bytes(&mut self) {
+        self.bytes = self.sample.heap_bytes();
+    }
+}
+
+/// How a query's sampler requirement relates to the store's contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReuseDecision {
+    /// A stored sample's predicates subsume the query's: use it directly
+    /// ("full reuse: offline"), possibly tightening.
+    Full {
+        /// The subsuming sample.
+        id: SampleId,
+    },
+    /// A stored sample partially overlaps: build a Δ sample on `delta` and
+    /// merge ("partial reuse: delta range sample").
+    Partial {
+        /// The partially-matching sample.
+        id: SampleId,
+        /// Predicates for the Δ sampler (pushed down the plan).
+        delta: Predicates,
+        /// The single predicate column along which coverage is extended.
+        varying: String,
+    },
+    /// Nothing usable: full online sampling.
+    None,
+}
+
+/// The sample store.
+pub struct SampleStore {
+    samples: Vec<(SampleId, StoredSample)>,
+    next_id: u64,
+    clock: u64,
+    budget_bytes: Option<usize>,
+    evictions: u64,
+}
+
+impl SampleStore {
+    /// Unbounded store.
+    pub fn new() -> Self {
+        Self {
+            samples: Vec::new(),
+            next_id: 0,
+            clock: 0,
+            budget_bytes: None,
+            evictions: 0,
+        }
+    }
+
+    /// Store with an LRU-evicted byte budget.
+    pub fn with_budget(budget_bytes: usize) -> Self {
+        Self {
+            budget_bytes: Some(budget_bytes),
+            ..Self::new()
+        }
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total payload bytes held.
+    pub fn total_bytes(&self) -> usize {
+        self.samples.iter().map(|(_, s)| s.bytes).sum()
+    }
+
+    /// Number of budget-driven evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Classify the best reuse opportunity for a query's logical sampler —
+    /// the store-side decision of **Algorithm 1**.
+    pub fn classify(&self, query: &SampleDescriptor) -> ReuseDecision {
+        if query.predicates.is_unsatisfiable() {
+            return ReuseDecision::None;
+        }
+        let mut best_partial: Option<(SampleId, Predicates, String, u64)> = None;
+        for (id, stored) in &self.samples {
+            if !stored.descriptor.matches_characteristics(query) {
+                continue;
+            }
+            if stored.descriptor.predicates.subsumes(&query.predicates) {
+                return ReuseDecision::Full { id: *id };
+            }
+            if let Some((delta, varying)) =
+                query.predicates.delta_against(&stored.descriptor.predicates)
+            {
+                let delta_measure = delta
+                    .get(&varying)
+                    .map(|s| s.measure())
+                    .unwrap_or(0);
+                let query_measure = query
+                    .predicates
+                    .get(&varying)
+                    .map(|s| s.measure())
+                    .unwrap_or(u64::MAX);
+                // Partial reuse only pays off if some of the query range is
+                // already covered.
+                if delta_measure < query_measure {
+                    let better = match &best_partial {
+                        Some((_, _, _, best)) => delta_measure < *best,
+                        None => true,
+                    };
+                    if better {
+                        best_partial = Some((*id, delta, varying, delta_measure));
+                    }
+                }
+            }
+        }
+        match best_partial {
+            Some((id, delta, varying, _)) => ReuseDecision::Partial { id, delta, varying },
+            None => ReuseDecision::None,
+        }
+    }
+
+    /// Access a stored sample, updating its LRU stamp.
+    pub fn get(&mut self, id: SampleId) -> Option<&StoredSample> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.samples.iter_mut().find(|(i, _)| *i == id).map(|(_, s)| {
+            s.last_used = clock;
+            &*s
+        })
+    }
+
+    /// Access without touching the LRU stamp.
+    pub fn peek(&self, id: SampleId) -> Option<&StoredSample> {
+        self.samples.iter().find(|(i, _)| *i == id).map(|(_, s)| s)
+    }
+
+    /// Iterate stored descriptors.
+    pub fn descriptors(&self) -> impl Iterator<Item = (SampleId, &SampleDescriptor)> {
+        self.samples.iter().map(|(id, s)| (*id, &s.descriptor))
+    }
+
+    /// Iterate stored samples in full (snapshot/persistence use).
+    pub fn iter_samples(&self) -> impl Iterator<Item = &StoredSample> {
+        self.samples.iter().map(|(_, s)| s)
+    }
+
+    /// Insert a sample verbatim, bypassing merge/replace logic (snapshot
+    /// restore). The budget is still enforced.
+    pub fn insert_raw(
+        &mut self,
+        descriptor: SampleDescriptor,
+        schema: SampleSchema,
+        sample: StratifiedSampler<GroupKey, SampleTuple>,
+    ) -> SampleId {
+        self.clock += 1;
+        let id = SampleId(self.next_id);
+        self.next_id += 1;
+        let mut stored = StoredSample {
+            descriptor,
+            schema,
+            sample,
+            last_used: self.clock,
+            bytes: 0,
+        };
+        stored.measure_bytes();
+        self.samples.push((id, stored));
+        self.enforce_budget(id);
+        id
+    }
+
+    /// Insert a freshly built sample, combining it with a stored
+    /// same-characteristics sample when their coverages are disjoint along
+    /// a single column (valid union coverage — §5's non-overlap
+    /// requirement). Returns the id holding the data afterwards.
+    pub fn absorb(
+        &mut self,
+        descriptor: SampleDescriptor,
+        schema: SampleSchema,
+        sample: StratifiedSampler<GroupKey, SampleTuple>,
+        rng: &mut Lehmer64,
+    ) -> SampleId {
+        self.clock += 1;
+        // Try to merge with an existing disjoint sample of the same shape.
+        let target = self.samples.iter().position(|(_, s)| {
+            s.descriptor.matches_characteristics(&descriptor)
+                && descriptor.matches_characteristics(&s.descriptor)
+                && disjoint_single_column(&s.descriptor.predicates, &descriptor.predicates)
+                    .is_some()
+        });
+        if let Some(pos) = target {
+            let (id, stored) = &mut self.samples[pos];
+            let varying =
+                disjoint_single_column(&stored.descriptor.predicates, &descriptor.predicates)
+                    .expect("checked above");
+            let old = std::mem::replace(
+                &mut stored.sample,
+                StratifiedSampler::new(descriptor.k.max(1)),
+            );
+            stored.sample = merge_stratified(old, sample, rng);
+            stored.descriptor.predicates = stored
+                .descriptor
+                .predicates
+                .union_on(&varying, &descriptor.predicates);
+            stored.last_used = self.clock;
+            stored.measure_bytes();
+            let id = *id;
+            self.enforce_budget(id);
+            return id;
+        }
+        // Replace any stored sample this one strictly subsumes.
+        self.samples.retain(|(_, s)| {
+            !(s.descriptor.matches_characteristics(&descriptor)
+                && descriptor.matches_characteristics(&s.descriptor)
+                && descriptor.predicates.subsumes(&s.descriptor.predicates))
+        });
+        let id = SampleId(self.next_id);
+        self.next_id += 1;
+        let mut stored = StoredSample {
+            descriptor,
+            schema,
+            sample,
+            last_used: self.clock,
+            bytes: 0,
+        };
+        stored.measure_bytes();
+        self.samples.push((id, stored));
+        self.enforce_budget(id);
+        id
+    }
+
+    /// Merge a Δ sample into the stored sample `id`, extending its coverage
+    /// along `varying` by `delta_predicates` (step 4 of Figure 7).
+    pub fn merge_delta(
+        &mut self,
+        id: SampleId,
+        delta_sample: StratifiedSampler<GroupKey, SampleTuple>,
+        delta_predicates: &Predicates,
+        varying: &str,
+        rng: &mut Lehmer64,
+    ) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let Some((_, stored)) = self.samples.iter_mut().find(|(i, _)| *i == id) else {
+            return false;
+        };
+        let old = std::mem::replace(
+            &mut stored.sample,
+            StratifiedSampler::new(stored.descriptor.k.max(1)),
+        );
+        stored.sample = merge_stratified(old, delta_sample, rng);
+        stored.descriptor.predicates = stored
+            .descriptor
+            .predicates
+            .union_on(varying, delta_predicates);
+        stored.last_used = clock;
+        stored.measure_bytes();
+        self.enforce_budget(id);
+        true
+    }
+
+    /// Drop a sample.
+    pub fn remove(&mut self, id: SampleId) -> bool {
+        let before = self.samples.len();
+        self.samples.retain(|(i, _)| *i != id);
+        self.samples.len() != before
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+
+    fn enforce_budget(&mut self, protect: SampleId) {
+        let Some(budget) = self.budget_bytes else {
+            return;
+        };
+        while self.total_bytes() > budget && self.samples.len() > 1 {
+            // Evict the least recently used sample, never the protected one.
+            let victim = self
+                .samples
+                .iter()
+                .filter(|(i, _)| *i != protect)
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| *i);
+            match victim {
+                Some(v) => {
+                    self.remove(v);
+                    self.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+impl Default for SampleStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// If `a` and `b` are identical except for one column whose coverage sets
+/// are disjoint, return that column.
+fn disjoint_single_column(a: &Predicates, b: &Predicates) -> Option<String> {
+    let cols_a: Vec<&str> = a.columns().collect();
+    let cols_b: Vec<&str> = b.columns().collect();
+    if cols_a != cols_b {
+        return None;
+    }
+    let mut varying: Option<&str> = None;
+    for col in cols_a {
+        let (sa, sb) = (a.get(col).unwrap(), b.get(col).unwrap());
+        if sa == sb {
+            continue;
+        }
+        if sa.overlaps(sb) {
+            return None;
+        }
+        match varying {
+            None => varying = Some(col),
+            Some(_) => return None,
+        }
+    }
+    varying.map(|v| v.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::{Interval, IntervalSet};
+    use crate::sampler_ops::SlotKind;
+    use laqy_sampling::Lehmer64;
+
+    fn iv(lo: i64, hi: i64) -> IntervalSet {
+        IntervalSet::of(Interval::new(lo, hi))
+    }
+
+    fn desc(lo: i64, hi: i64) -> SampleDescriptor {
+        SampleDescriptor::new(
+            "lineorder",
+            vec!["lo_orderdate".into()],
+            vec!["lo_intkey".into(), "lo_revenue".into()],
+            Predicates::on("lo_intkey", iv(lo, hi)),
+            8,
+        )
+    }
+
+    fn schema() -> SampleSchema {
+        SampleSchema::new(vec![
+            ("lo_intkey".into(), SlotKind::Int),
+            ("lo_revenue".into(), SlotKind::Int),
+        ])
+    }
+
+    /// Build a toy stratified sample: strata 0..strata, `per` tuples each,
+    /// intkey values drawn from [lo, hi].
+    fn toy_sample(strata: i64, per: i64, lo: i64) -> StratifiedSampler<GroupKey, SampleTuple> {
+        let mut rng = Lehmer64::new(1);
+        let mut s = StratifiedSampler::new(8);
+        for g in 0..strata {
+            for i in 0..per {
+                s.offer(
+                    GroupKey::new(&[g]),
+                    SampleTuple::from_slice(&[lo + i, 100 + i]),
+                    &mut rng,
+                );
+            }
+        }
+        s
+    }
+
+    use crate::sampler_ops::SampleTuple;
+
+    #[test]
+    fn classify_empty_store_is_none() {
+        let store = SampleStore::new();
+        assert_eq!(store.classify(&desc(0, 99)), ReuseDecision::None);
+    }
+
+    #[test]
+    fn full_partial_none_classification() {
+        let mut store = SampleStore::new();
+        let mut rng = Lehmer64::new(2);
+        let id = store.absorb(desc(0, 99), schema(), toy_sample(3, 20, 0), &mut rng);
+
+        // Subsumed ⇒ full reuse.
+        assert_eq!(store.classify(&desc(10, 50)), ReuseDecision::Full { id });
+        // Overlapping ⇒ partial with the uncovered remainder as Δ.
+        match store.classify(&desc(50, 149)) {
+            ReuseDecision::Partial { id: pid, delta, varying } => {
+                assert_eq!(pid, id);
+                assert_eq!(varying, "lo_intkey");
+                assert_eq!(delta.get("lo_intkey").unwrap(), &iv(100, 149));
+            }
+            other => panic!("expected partial reuse, got {other:?}"),
+        }
+        // Disjoint ⇒ none.
+        assert_eq!(store.classify(&desc(200, 300)), ReuseDecision::None);
+    }
+
+    #[test]
+    fn classify_prefers_smaller_delta() {
+        let mut store = SampleStore::new();
+        let mut rng = Lehmer64::new(3);
+        let _small = store.absorb(desc(0, 49), schema(), toy_sample(2, 10, 0), &mut rng);
+        let big = store.absorb(desc(200, 349), schema(), toy_sample(2, 10, 200), &mut rng);
+        // Query [150, 360]: vs sample A delta = [150,360] minus [0,49] → still
+        // [150,360] (no overlap ⇒ not partial); vs sample B delta = [150,199] ∪ [350,360].
+        match store.classify(&desc(150, 360)) {
+            ReuseDecision::Partial { id, delta, .. } => {
+                assert_eq!(id, big);
+                assert_eq!(delta.get("lo_intkey").unwrap().measure(), 50 + 11);
+            }
+            other => panic!("expected partial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn characteristics_mismatch_prevents_reuse() {
+        let mut store = SampleStore::new();
+        let mut rng = Lehmer64::new(4);
+        store.absorb(desc(0, 99), schema(), toy_sample(2, 10, 0), &mut rng);
+        // Different QCS.
+        let mut q = desc(10, 20);
+        q.qcs = vec!["lo_quantity".into()];
+        assert_eq!(store.classify(&q), ReuseDecision::None);
+        // Different k.
+        let mut q = desc(10, 20);
+        q.k = 16;
+        assert_eq!(store.classify(&q), ReuseDecision::None);
+        // QVS requiring a column the sample lacks.
+        let mut q = desc(10, 20);
+        q.qvs = vec!["lo_tax".into()];
+        assert_eq!(store.classify(&q), ReuseDecision::None);
+    }
+
+    #[test]
+    fn merge_delta_extends_coverage() {
+        let mut store = SampleStore::new();
+        let mut rng = Lehmer64::new(5);
+        let id = store.absorb(desc(0, 99), schema(), toy_sample(2, 30, 0), &mut rng);
+        let delta_pred = Predicates::on("lo_intkey", iv(100, 199));
+        assert!(store.merge_delta(id, toy_sample(2, 30, 100), &delta_pred, "lo_intkey", &mut rng));
+        // Coverage is now [0, 199] ⇒ full reuse for [0, 150].
+        assert_eq!(store.classify(&desc(0, 150)), ReuseDecision::Full { id });
+        let stored = store.peek(id).unwrap();
+        assert_eq!(stored.sample.total_weight(), 120);
+    }
+
+    #[test]
+    fn merge_delta_unknown_id_is_false() {
+        let mut store = SampleStore::new();
+        let mut rng = Lehmer64::new(6);
+        assert!(!store.merge_delta(
+            SampleId(999),
+            toy_sample(1, 1, 0),
+            &Predicates::none(),
+            "x",
+            &mut rng
+        ));
+    }
+
+    #[test]
+    fn absorb_merges_disjoint_same_shape() {
+        let mut store = SampleStore::new();
+        let mut rng = Lehmer64::new(7);
+        let a = store.absorb(desc(0, 99), schema(), toy_sample(2, 10, 0), &mut rng);
+        let b = store.absorb(desc(150, 199), schema(), toy_sample(2, 10, 150), &mut rng);
+        assert_eq!(a, b, "disjoint same-shape samples merge in place");
+        assert_eq!(store.len(), 1);
+        let d = store.peek(a).unwrap();
+        let set = d.descriptor.predicates.get("lo_intkey").unwrap();
+        assert_eq!(set.intervals().len(), 2);
+    }
+
+    #[test]
+    fn absorb_replaces_subsumed_samples() {
+        let mut store = SampleStore::new();
+        let mut rng = Lehmer64::new(8);
+        store.absorb(desc(10, 20), schema(), toy_sample(2, 5, 10), &mut rng);
+        // Overlapping (not disjoint) and subsuming ⇒ replaces.
+        store.absorb(desc(0, 99), schema(), toy_sample(2, 20, 0), &mut rng);
+        assert_eq!(store.len(), 1);
+        let (_, d) = store.descriptors().next().unwrap();
+        assert_eq!(d.predicates.get("lo_intkey").unwrap(), &iv(0, 99));
+    }
+
+    #[test]
+    fn budget_evicts_lru() {
+        let mut rng = Lehmer64::new(9);
+        // Each toy sample: 2 strata × 8-cap reservoirs of 64-byte tuples.
+        let one = toy_sample(2, 10, 0).heap_bytes();
+        let mut store = SampleStore::with_budget(one * 2);
+        let a = store.absorb(desc(0, 9), schema(), toy_sample(2, 10, 0), &mut rng);
+        // A different shape so it cannot merge with `a`.
+        let mut qb = desc(2000, 2009);
+        qb.qcs = vec!["lo_discount".into()];
+        let _b = store.absorb(qb, schema(), toy_sample(2, 10, 2000), &mut rng);
+        // Touch `a` so the next insertion evicts `b`.
+        store.get(a);
+        let mut q = desc(4000, 4009);
+        q.qcs = vec!["lo_quantity".into()]; // different shape: no merge
+        let _c = store.absorb(q, schema(), toy_sample(2, 10, 4000), &mut rng);
+        assert!(store.len() <= 2);
+        assert!(store.peek(a).is_some(), "recently used sample must survive");
+        assert!(store.evictions() >= 1);
+    }
+
+    #[test]
+    fn unsatisfiable_query_is_none() {
+        let mut store = SampleStore::new();
+        let mut rng = Lehmer64::new(10);
+        store.absorb(desc(0, 99), schema(), toy_sample(2, 10, 0), &mut rng);
+        let mut q = desc(0, 0);
+        q.predicates = Predicates::on("lo_intkey", IntervalSet::empty());
+        assert_eq!(store.classify(&q), ReuseDecision::None);
+    }
+}

@@ -1,0 +1,201 @@
+//! Sample-support policies (paper §5.2).
+//!
+//! Tightening a predicate on a stored sample (§5.2.1) is admissible only if
+//! enough sampled tuples survive the stricter predicate to honour the
+//! requested error guarantees. This module checks per-stratum support,
+//! implements the conservative fallback (§5.2.3: strata with insufficient
+//! support are re-sampled online with the filter pushed down), and exposes
+//! the oversampling factor α that trades space for reusability under
+//! stricter predicates.
+
+use laqy_engine::GroupKey;
+use laqy_sampling::StratifiedSampler;
+
+use crate::descriptor::Predicates;
+use crate::estimate::EstimateError;
+use crate::sampler_ops::{SampleSchema, SampleTuple, SlotKind};
+
+/// Support requirements and the oversampling knob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupportPolicy {
+    /// Minimum matching tuples a stratum must retain for its estimate to
+    /// count as supported.
+    pub min_rows_per_stratum: usize,
+    /// Oversampling factor α ≥ 1: reservoirs are sized `α · k` so stricter
+    /// predicates still leave enough support (§5.2.3). Tuning is out of the
+    /// paper's scope; exposed as a plain multiplier.
+    pub oversampling_alpha: f64,
+    /// Conservative mode: if true, under-supported strata demand an online
+    /// fallback; if false, estimates are reported with the available
+    /// (wider) error bounds.
+    pub conservative: bool,
+}
+
+impl Default for SupportPolicy {
+    fn default() -> Self {
+        Self {
+            min_rows_per_stratum: 30,
+            oversampling_alpha: 1.0,
+            conservative: false,
+        }
+    }
+}
+
+impl SupportPolicy {
+    /// Effective reservoir capacity after oversampling.
+    pub fn effective_k(&self, k: usize) -> usize {
+        ((k as f64 * self.oversampling_alpha).ceil() as usize).max(1)
+    }
+}
+
+/// Outcome of a support check over a tightened sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupportReport {
+    /// Strata whose matching tuple count meets the policy.
+    pub supported: usize,
+    /// Strata keys that fall short (candidates for the online fallback).
+    pub under_supported: Vec<GroupKey>,
+    /// Strata with zero matching tuples. May be a true empty region or a
+    /// sampling artifact — only an online probe can tell (§5.2.3).
+    pub empty: Vec<GroupKey>,
+}
+
+impl SupportReport {
+    /// True if every stratum meets the policy.
+    pub fn fully_supported(&self) -> bool {
+        self.under_supported.is_empty() && self.empty.is_empty()
+    }
+}
+
+/// Count per-stratum tuples matching `tighten` and compare against the
+/// policy.
+pub fn check_support(
+    sample: &StratifiedSampler<GroupKey, SampleTuple>,
+    schema: &SampleSchema,
+    tighten: Option<&Predicates>,
+    policy: &SupportPolicy,
+) -> Result<SupportReport, EstimateError> {
+    // Pre-resolve tightening columns.
+    let mut checks: Vec<(usize, crate::interval::IntervalSet)> = Vec::new();
+    if let Some(preds) = tighten {
+        for col in preds.columns() {
+            let slot = preds
+                .get(col)
+                .map(|set| (col, set))
+                .expect("column listed by columns()");
+            let idx = schema
+                .slot(slot.0)
+                .ok_or_else(|| EstimateError::UnknownColumn(slot.0.to_string()))?;
+            if schema.kind(idx) != SlotKind::Int {
+                return Err(EstimateError::NonIntegerPredicate(slot.0.to_string()));
+            }
+            checks.push((idx, slot.1.clone()));
+        }
+    }
+
+    let mut report = SupportReport {
+        supported: 0,
+        under_supported: Vec::new(),
+        empty: Vec::new(),
+    };
+    for (key, items, _weight) in sample.iter() {
+        let matching = items
+            .iter()
+            .filter(|t| checks.iter().all(|(slot, set)| set.contains(t.int(*slot))))
+            .count();
+        if matching == 0 {
+            report.empty.push(*key);
+        } else if matching < policy.min_rows_per_stratum {
+            report.under_supported.push(*key);
+        } else {
+            report.supported += 1;
+        }
+    }
+    report.under_supported.sort();
+    report.empty.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::{Interval, IntervalSet};
+    use laqy_sampling::Lehmer64;
+
+    fn schema() -> SampleSchema {
+        SampleSchema::new(vec![("x".into(), SlotKind::Int)])
+    }
+
+    fn sample(per_stratum: &[(i64, std::ops::Range<i64>)]) -> StratifiedSampler<GroupKey, SampleTuple> {
+        let mut rng = Lehmer64::new(1);
+        let mut s = StratifiedSampler::new(10_000);
+        for (g, range) in per_stratum {
+            for x in range.clone() {
+                s.offer(
+                    GroupKey::new(&[*g]),
+                    SampleTuple::from_slice(&[x]),
+                    &mut rng,
+                );
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn all_supported_without_tightening() {
+        let s = sample(&[(0, 0..100), (1, 0..100)]);
+        let r = check_support(&s, &schema(), None, &SupportPolicy::default()).unwrap();
+        assert!(r.fully_supported());
+        assert_eq!(r.supported, 2);
+    }
+
+    #[test]
+    fn tightening_exposes_under_supported_strata() {
+        // Stratum 0 has x in 0..100 (50 match [0,49]); stratum 1 has x in
+        // 200..300 (0 match); stratum 2 has x in 40..60 (10 match → under
+        // the default 30).
+        let s = sample(&[(0, 0..100), (1, 200..300), (2, 40..60)]);
+        let tighten = Predicates::on("x", IntervalSet::of(Interval::new(0, 49)));
+        let r = check_support(&s, &schema(), Some(&tighten), &SupportPolicy::default()).unwrap();
+        assert_eq!(r.supported, 1);
+        assert_eq!(r.under_supported, vec![GroupKey::new(&[2])]);
+        assert_eq!(r.empty, vec![GroupKey::new(&[1])]);
+        assert!(!r.fully_supported());
+    }
+
+    #[test]
+    fn policy_threshold_is_respected() {
+        let s = sample(&[(0, 0..10)]);
+        let strict = SupportPolicy {
+            min_rows_per_stratum: 11,
+            ..Default::default()
+        };
+        let r = check_support(&s, &schema(), None, &strict).unwrap();
+        assert_eq!(r.under_supported.len(), 1);
+        let lax = SupportPolicy {
+            min_rows_per_stratum: 10,
+            ..Default::default()
+        };
+        let r = check_support(&s, &schema(), None, &lax).unwrap();
+        assert!(r.fully_supported());
+    }
+
+    #[test]
+    fn oversampling_scales_k() {
+        let p = SupportPolicy {
+            oversampling_alpha: 2.5,
+            ..Default::default()
+        };
+        assert_eq!(p.effective_k(100), 250);
+        assert_eq!(p.effective_k(0), 1);
+        let unit = SupportPolicy::default();
+        assert_eq!(unit.effective_k(64), 64);
+    }
+
+    #[test]
+    fn unknown_tighten_column_errors() {
+        let s = sample(&[(0, 0..10)]);
+        let tighten = Predicates::on("nope", IntervalSet::of(Interval::new(0, 1)));
+        assert!(check_support(&s, &schema(), Some(&tighten), &SupportPolicy::default()).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Sliding-window adaptation of lazy sampling (paper §8, *Window-based
+//! aggregations*).
+//!
+//! The paper observes that LAQy extends to streaming windows "by adding
+//! the time dimension as an additional predication to each sample and
+//! using the sample merging techniques to merge samples from different
+//! window slides". This module implements exactly that: a
+//! [`SlidingSampler`] maintains one stratified sample per time *slice*
+//! (pane). Answering a window query merges the per-slice reservoirs
+//! (Algorithm 3) — statistically equivalent to having sampled the window's
+//! tuples directly — and expired slices are dropped without touching the
+//! retained ones. Unlike classic pane-based exact aggregation, the merge
+//! here *rebalances probabilistically*, which is the difference the paper
+//! highlights over traditional sliding-window summaries.
+
+use laqy_engine::GroupKey;
+use laqy_sampling::{merge_stratified, Lehmer64, StratifiedSampler};
+
+use crate::estimate::{estimate, EstimateError, EstimateOptions, GroupEstimate};
+use crate::sampler_ops::{SampleSchema, SampleTuple};
+use laqy_engine::AggSpec;
+
+/// A pane-based stratified sampler over a sliding time window.
+pub struct SlidingSampler {
+    k: usize,
+    slice_width: u64,
+    schema: SampleSchema,
+    /// `(slice index, sample)` in increasing slice order.
+    slices: Vec<(u64, StratifiedSampler<GroupKey, SampleTuple>)>,
+    rng: Lehmer64,
+}
+
+impl SlidingSampler {
+    /// Create a sliding sampler with per-stratum capacity `k`, time slices
+    /// of `slice_width` ticks, and the given payload schema.
+    pub fn new(k: usize, slice_width: u64, schema: SampleSchema, seed: u64) -> Self {
+        assert!(slice_width > 0, "slice width must be nonzero");
+        assert!(k > 0, "reservoir capacity must be nonzero");
+        Self {
+            k,
+            slice_width,
+            schema,
+            slices: Vec::new(),
+            rng: Lehmer64::new(seed),
+        }
+    }
+
+    /// Payload schema.
+    pub fn schema(&self) -> &SampleSchema {
+        &self.schema
+    }
+
+    /// Number of retained slices.
+    pub fn num_slices(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Total elements considered across all retained slices.
+    pub fn total_weight(&self) -> u64 {
+        self.slices.iter().map(|(_, s)| s.total_weight()).sum()
+    }
+
+    /// Ingest one timestamped element into its stratum.
+    ///
+    /// Elements may arrive in any order; each lands in the sample of the
+    /// slice containing its timestamp (the "time dimension as additional
+    /// predication").
+    pub fn ingest(&mut self, timestamp: u64, stratum: GroupKey, tuple: SampleTuple) {
+        let slice = timestamp / self.slice_width;
+        let k = self.k;
+        let idx = match self.slices.binary_search_by_key(&slice, |(s, _)| *s) {
+            Ok(i) => i,
+            Err(i) => {
+                self.slices.insert(i, (slice, StratifiedSampler::new(k)));
+                i
+            }
+        };
+        self.slices[idx].1.offer(stratum, tuple, &mut self.rng);
+    }
+
+    /// Drop slices that end at or before `watermark` (time-based
+    /// expiration).
+    pub fn expire_before(&mut self, watermark: u64) {
+        let width = self.slice_width;
+        self.slices.retain(|(s, _)| (s + 1) * width > watermark);
+    }
+
+    /// Merge the samples of every slice overlapping `[from, to)` into one
+    /// logical sample of the window.
+    pub fn window_sample(
+        &mut self,
+        from: u64,
+        to: u64,
+    ) -> Option<StratifiedSampler<GroupKey, SampleTuple>> {
+        let width = self.slice_width;
+        let mut merged: Option<StratifiedSampler<GroupKey, SampleTuple>> = None;
+        for (slice, sample) in &self.slices {
+            let (start, end) = (slice * width, (slice + 1) * width);
+            if end <= from || start >= to {
+                continue;
+            }
+            // Cloning the slice sample keeps it available for future
+            // windows (slices are reused across overlapping windows, which
+            // is the whole point of pane-based processing).
+            let part = sample.clone();
+            merged = Some(match merged {
+                None => part,
+                Some(acc) => merge_stratified(acc, part, &mut self.rng),
+            });
+        }
+        merged
+    }
+
+    /// Estimate aggregates over a window directly.
+    pub fn window_estimate(
+        &mut self,
+        from: u64,
+        to: u64,
+        aggs: &[AggSpec],
+    ) -> Result<Vec<GroupEstimate>, EstimateError> {
+        match self.window_sample(from, to) {
+            None => Ok(Vec::new()),
+            Some(sample) => estimate(&sample, &self.schema, aggs, &EstimateOptions::default()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler_ops::SlotKind;
+
+    fn schema() -> SampleSchema {
+        SampleSchema::new(vec![("v".into(), SlotKind::Int)])
+    }
+
+    fn sampler(k: usize) -> SlidingSampler {
+        SlidingSampler::new(k, 10, schema(), 1)
+    }
+
+    #[test]
+    fn ingest_routes_to_slices() {
+        let mut s = sampler(4);
+        for t in 0..35u64 {
+            s.ingest(t, GroupKey::new(&[0]), SampleTuple::from_slice(&[t as i64]));
+        }
+        assert_eq!(s.num_slices(), 4); // slices 0..=3
+        assert_eq!(s.total_weight(), 35);
+    }
+
+    #[test]
+    fn out_of_order_arrivals_are_fine() {
+        let mut s = sampler(4);
+        for &t in &[25u64, 3, 17, 8, 29, 1] {
+            s.ingest(t, GroupKey::new(&[0]), SampleTuple::from_slice(&[t as i64]));
+        }
+        assert_eq!(s.num_slices(), 3);
+        assert_eq!(s.total_weight(), 6);
+    }
+
+    #[test]
+    fn window_sample_merges_covered_slices() {
+        let mut s = sampler(100);
+        for t in 0..40u64 {
+            s.ingest(t, GroupKey::new(&[(t % 2) as i64]), SampleTuple::from_slice(&[t as i64]));
+        }
+        // Window [10, 30) covers slices 1 and 2 → 20 elements.
+        let w = s.window_sample(10, 30).unwrap();
+        assert_eq!(w.total_weight(), 20);
+        assert_eq!(w.num_strata(), 2);
+        // All retained tuples come from the window.
+        for (_, items, _) in w.iter() {
+            for t in items {
+                assert!((10..30).contains(&t.int(0)));
+            }
+        }
+    }
+
+    #[test]
+    fn window_outside_data_is_none() {
+        let mut s = sampler(4);
+        s.ingest(5, GroupKey::new(&[0]), SampleTuple::from_slice(&[5]));
+        assert!(s.window_sample(100, 200).is_none());
+    }
+
+    #[test]
+    fn expiration_drops_old_slices_only() {
+        let mut s = sampler(4);
+        for t in 0..50u64 {
+            s.ingest(t, GroupKey::new(&[0]), SampleTuple::from_slice(&[t as i64]));
+        }
+        assert_eq!(s.num_slices(), 5);
+        s.expire_before(20); // slices 0 and 1 end at 10 and 20
+        assert_eq!(s.num_slices(), 3);
+        assert_eq!(s.total_weight(), 30);
+    }
+
+    #[test]
+    fn window_estimates_are_exact_on_population() {
+        let mut s = sampler(1000); // retains everything
+        for t in 0..60u64 {
+            s.ingest(
+                t,
+                GroupKey::new(&[(t % 3) as i64]),
+                SampleTuple::from_slice(&[t as i64]),
+            );
+        }
+        let ests = s
+            .window_estimate(0, 30, &[AggSpec::sum("v"), AggSpec::count()])
+            .unwrap();
+        assert_eq!(ests.len(), 3);
+        for e in &ests {
+            let g = e.key[0] as u64;
+            let exact_sum: i64 = (0..30u64).filter(|t| t % 3 == g).map(|t| t as i64).sum();
+            let exact_n = (0..30u64).filter(|t| t % 3 == g).count();
+            assert_eq!(e.values[0].value, exact_sum as f64);
+            assert_eq!(e.values[1].value, exact_n as f64);
+        }
+    }
+
+    #[test]
+    fn sliding_windows_share_slices() {
+        // Two overlapping windows both answerable; slice reuse means the
+        // second query needs no re-ingestion.
+        let mut s = sampler(8);
+        for t in 0..100u64 {
+            s.ingest(t, GroupKey::new(&[0]), SampleTuple::from_slice(&[t as i64]));
+        }
+        let w1 = s.window_sample(0, 50).unwrap();
+        let w2 = s.window_sample(30, 80).unwrap();
+        assert_eq!(w1.total_weight(), 50);
+        assert_eq!(w2.total_weight(), 50);
+    }
+
+    #[test]
+    fn merged_window_tracks_slice_proportions() {
+        // Slice A has 9x the data of slice B; merged window items should
+        // reflect that ratio.
+        let trials = 400;
+        let mut from_heavy = 0usize;
+        let mut total = 0usize;
+        for seed in 0..trials {
+            let mut s = SlidingSampler::new(10, 1000, schema(), seed);
+            for t in 0..900u64 {
+                s.ingest(t, GroupKey::new(&[0]), SampleTuple::from_slice(&[t as i64]));
+            }
+            for t in 1000..1100u64 {
+                s.ingest(t, GroupKey::new(&[0]), SampleTuple::from_slice(&[t as i64]));
+            }
+            let w = s.window_sample(0, 2000).unwrap();
+            let (items, weight) = w.stratum(&GroupKey::new(&[0])).unwrap();
+            assert_eq!(weight, 1000);
+            from_heavy += items.iter().filter(|t| t.int(0) < 900).count();
+            total += items.len();
+        }
+        let frac = from_heavy as f64 / total as f64;
+        assert!(
+            (frac - 0.9).abs() < 0.05,
+            "window merge should weight slices by size, got {frac}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "slice width")]
+    fn zero_slice_width_rejected() {
+        let _ = SlidingSampler::new(4, 0, schema(), 1);
+    }
+}

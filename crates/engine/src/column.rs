@@ -1,0 +1,217 @@
+//! Typed in-memory columns (binary column layout, as in the paper's
+//! experimental setup).
+
+use std::sync::Arc;
+
+use crate::error::{EngineError, Result};
+use crate::types::{DataType, Value};
+
+/// A typed column of values.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// 32-bit integers.
+    Int32(Vec<i32>),
+    /// 64-bit integers.
+    Int64(Vec<i64>),
+    /// 64-bit floats.
+    Float64(Vec<f64>),
+    /// Dictionary-encoded strings: `codes[i]` indexes into `dict`.
+    Dict {
+        /// Per-row dictionary codes.
+        codes: Vec<u32>,
+        /// Shared dictionary (sorted construction is not required).
+        dict: Arc<Vec<String>>,
+    },
+}
+
+impl Column {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int32(v) => v.len(),
+            Column::Int64(v) => v.len(),
+            Column::Float64(v) => v.len(),
+            Column::Dict { codes, .. } => codes.len(),
+        }
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Physical type of this column.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int32(_) => DataType::Int32,
+            Column::Int64(_) => DataType::Int64,
+            Column::Float64(_) => DataType::Float64,
+            Column::Dict { .. } => DataType::Dict,
+        }
+    }
+
+    /// Scalar value at `row` (boundary/result use only).
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Int32(v) => Value::Int(v[row] as i64),
+            Column::Int64(v) => Value::Int(v[row]),
+            Column::Float64(v) => Value::Float(v[row]),
+            Column::Dict { codes, dict } => Value::Str(dict[codes[row] as usize].clone()),
+        }
+    }
+
+    /// Integer view of the value at `row`: Int32 widens, Dict yields its
+    /// code, Float64 is rejected at resolve time (see [`Column::check_int`]).
+    #[inline]
+    pub fn i64_at(&self, row: usize) -> i64 {
+        match self {
+            Column::Int32(v) => v[row] as i64,
+            Column::Int64(v) => v[row],
+            Column::Float64(v) => v[row] as i64,
+            Column::Dict { codes, .. } => codes[row] as i64,
+        }
+    }
+
+    /// Float view of the value at `row`.
+    #[inline]
+    pub fn f64_at(&self, row: usize) -> f64 {
+        match self {
+            Column::Int32(v) => v[row] as f64,
+            Column::Int64(v) => v[row] as f64,
+            Column::Float64(v) => v[row],
+            Column::Dict { codes, .. } => codes[row] as f64,
+        }
+    }
+
+    /// Validate that the column has an integer-comparable representation
+    /// (Int32/Int64/Dict) for predicate evaluation.
+    pub fn check_int(&self, name: &str) -> Result<()> {
+        match self {
+            Column::Float64(_) => Err(EngineError::TypeMismatch {
+                column: name.to_string(),
+                expected: "integer-comparable",
+                actual: self.data_type().name(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Look up a string in a dictionary column, returning its code.
+    pub fn dict_code(&self, name: &str, value: &str) -> Result<u32> {
+        match self {
+            Column::Dict { dict, .. } => dict
+                .iter()
+                .position(|s| s == value)
+                .map(|p| p as u32)
+                .ok_or_else(|| EngineError::UnknownDictValue {
+                    column: name.to_string(),
+                    value: value.to_string(),
+                }),
+            _ => Err(EngineError::TypeMismatch {
+                column: name.to_string(),
+                expected: "Dict",
+                actual: self.data_type().name(),
+            }),
+        }
+    }
+
+    /// Decode an integer key produced by [`Column::i64_at`] back into a
+    /// result value (dict codes decode to their strings).
+    pub fn decode_key(&self, key: i64) -> Value {
+        match self {
+            Column::Dict { dict, .. } => dict
+                .get(key as usize)
+                .map(|s| Value::Str(s.clone()))
+                .unwrap_or(Value::Null),
+            Column::Float64(_) => Value::Float(f64::from_bits(key as u64)),
+            _ => Value::Int(key),
+        }
+    }
+
+    /// Heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Column::Int32(v) => v.capacity() * 4,
+            Column::Int64(v) => v.capacity() * 8,
+            Column::Float64(v) => v.capacity() * 8,
+            Column::Dict { codes, dict } => {
+                codes.capacity() * 4 + dict.iter().map(|s| s.capacity() + 24).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// Build a dictionary column from string-ish values, constructing the
+/// dictionary in first-seen order.
+pub fn dict_column<S: AsRef<str>>(values: impl IntoIterator<Item = S>) -> Column {
+    let mut dict: Vec<String> = Vec::new();
+    let mut index: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
+    let mut codes = Vec::new();
+    for v in values {
+        let s = v.as_ref();
+        let code = match index.get(s) {
+            Some(&c) => c,
+            None => {
+                let c = dict.len() as u32;
+                dict.push(s.to_string());
+                index.insert(s.to_string(), c);
+                c
+            }
+        };
+        codes.push(code);
+    }
+    Column::Dict {
+        codes,
+        dict: Arc::new(dict),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_type() {
+        let c = Column::Int32(vec![1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.data_type(), DataType::Int32);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn integer_views_widen() {
+        let c = Column::Int32(vec![5, -7]);
+        assert_eq!(c.i64_at(1), -7);
+        assert_eq!(c.f64_at(0), 5.0);
+    }
+
+    #[test]
+    fn dict_roundtrip() {
+        let c = dict_column(["AMERICA", "ASIA", "AMERICA", "EUROPE"]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.value(2), Value::Str("AMERICA".into()));
+        let code = c.dict_code("region", "ASIA").unwrap();
+        assert_eq!(c.i64_at(1), code as i64);
+        assert_eq!(c.decode_key(code as i64), Value::Str("ASIA".into()));
+    }
+
+    #[test]
+    fn dict_unknown_value_is_error() {
+        let c = dict_column(["A", "B"]);
+        let err = c.dict_code("col", "Z").unwrap_err();
+        assert!(matches!(err, EngineError::UnknownDictValue { .. }));
+    }
+
+    #[test]
+    fn float_rejected_for_int_predicates() {
+        let c = Column::Float64(vec![1.0]);
+        assert!(c.check_int("f").is_err());
+        assert!(Column::Int64(vec![1]).check_int("i").is_ok());
+    }
+
+    #[test]
+    fn decode_key_for_plain_ints() {
+        let c = Column::Int64(vec![1]);
+        assert_eq!(c.decode_key(42), Value::Int(42));
+    }
+}

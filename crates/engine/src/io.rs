@@ -1,0 +1,309 @@
+//! CSV data import.
+//!
+//! Minimal, dependency-free CSV reading for loading user data into engine
+//! tables: header row, comma separation, optional double-quote quoting
+//! with `""` escapes. Column types are declared up front; integer columns
+//! widen (`Int32`/`Int64`), `Float64` parses decimals, and `Dict` columns
+//! dictionary-encode arbitrary strings.
+
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+use crate::column::{dict_column, Column};
+use crate::error::{EngineError, Result};
+use crate::table::Table;
+use crate::types::DataType;
+
+/// Declared schema for a CSV import: `(column name, type)` in file order.
+pub type CsvSchema = Vec<(String, DataType)>;
+
+/// CSV import errors (wrapped into [`EngineError::InvalidPlan`] for
+/// simplicity of the engine error surface).
+fn csv_err(line: usize, msg: impl std::fmt::Display) -> EngineError {
+    EngineError::InvalidPlan(format!("csv line {line}: {msg}"))
+}
+
+/// Load a table from a CSV file.
+pub fn load_csv_file(
+    name: impl Into<String>,
+    path: impl AsRef<Path>,
+    schema: &CsvSchema,
+) -> Result<Table> {
+    let file = std::fs::File::open(path.as_ref())
+        .map_err(|e| EngineError::InvalidPlan(format!("cannot open csv: {e}")))?;
+    load_csv(name, file, schema)
+}
+
+/// Load a table from any CSV reader. The first row must be a header whose
+/// column names match the declared schema (order-sensitive).
+pub fn load_csv(
+    name: impl Into<String>,
+    reader: impl Read,
+    schema: &CsvSchema,
+) -> Result<Table> {
+    let mut lines = BufReader::new(reader);
+    let mut line = String::new();
+
+    // Header.
+    let n = read_logical_line(&mut lines, &mut line).map_err(|e| csv_err(1, e))?;
+    if n == 0 {
+        return Err(csv_err(1, "missing header row"));
+    }
+    let header = split_fields(line.trim_end_matches(['\r', '\n'])).map_err(|e| csv_err(1, e))?;
+    if header.len() != schema.len() {
+        return Err(csv_err(
+            1,
+            format!(
+                "header has {} columns, schema declares {}",
+                header.len(),
+                schema.len()
+            ),
+        ));
+    }
+    for (h, (declared, _)) in header.iter().zip(schema) {
+        if h != declared {
+            return Err(csv_err(
+                1,
+                format!("header column `{h}` does not match declared `{declared}`"),
+            ));
+        }
+    }
+
+    // Column builders.
+    enum Builder {
+        I32(Vec<i32>),
+        I64(Vec<i64>),
+        F64(Vec<f64>),
+        Str(Vec<String>),
+    }
+    let mut builders: Vec<Builder> = schema
+        .iter()
+        .map(|(_, t)| match t {
+            DataType::Int32 => Builder::I32(Vec::new()),
+            DataType::Int64 => Builder::I64(Vec::new()),
+            DataType::Float64 => Builder::F64(Vec::new()),
+            DataType::Dict => Builder::Str(Vec::new()),
+        })
+        .collect();
+
+    let mut lineno = 1;
+    loop {
+        line.clear();
+        lineno += 1;
+        let n = read_logical_line(&mut lines, &mut line).map_err(|e| csv_err(lineno, e))?;
+        if n == 0 {
+            break;
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields = split_fields(trimmed).map_err(|e| csv_err(lineno, e))?;
+        if fields.len() != schema.len() {
+            return Err(csv_err(
+                lineno,
+                format!("expected {} fields, found {}", schema.len(), fields.len()),
+            ));
+        }
+        for (field, builder) in fields.iter().zip(builders.iter_mut()) {
+            match builder {
+                Builder::I32(v) => v.push(
+                    field
+                        .trim()
+                        .parse()
+                        .map_err(|e| csv_err(lineno, format!("bad Int32 `{field}`: {e}")))?,
+                ),
+                Builder::I64(v) => v.push(
+                    field
+                        .trim()
+                        .parse()
+                        .map_err(|e| csv_err(lineno, format!("bad Int64 `{field}`: {e}")))?,
+                ),
+                Builder::F64(v) => v.push(
+                    field
+                        .trim()
+                        .parse()
+                        .map_err(|e| csv_err(lineno, format!("bad Float64 `{field}`: {e}")))?,
+                ),
+                Builder::Str(v) => v.push(field.clone()),
+            }
+        }
+    }
+
+    let columns = schema
+        .iter()
+        .zip(builders)
+        .map(|((name, _), b)| {
+            let col = match b {
+                Builder::I32(v) => Column::Int32(v),
+                Builder::I64(v) => Column::Int64(v),
+                Builder::F64(v) => Column::Float64(v),
+                Builder::Str(v) => dict_column(v),
+            };
+            (name.clone(), col)
+        })
+        .collect();
+    Table::new(name, columns)
+}
+
+/// Read one logical CSV line (respecting quoted embedded newlines).
+/// Returns 0 at EOF.
+fn read_logical_line(
+    reader: &mut impl BufRead,
+    out: &mut String,
+) -> std::result::Result<usize, String> {
+    let mut total = 0;
+    loop {
+        let n = reader.read_line(out).map_err(|e| e.to_string())?;
+        total += n;
+        if n == 0 {
+            return Ok(total);
+        }
+        // Balanced quotes ⇒ the logical line is complete.
+        if out.bytes().filter(|&b| b == b'"').count() % 2 == 0 {
+            return Ok(total);
+        }
+    }
+}
+
+/// Split a CSV record into fields, handling double-quoted fields with `""`
+/// escapes.
+fn split_fields(line: &str) -> std::result::Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        cur.push('"');
+                        chars.next();
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => cur.push(other),
+            }
+        } else {
+            match c {
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                '"' => {
+                    if !cur.is_empty() {
+                        return Err("quote inside unquoted field".into());
+                    }
+                    in_quotes = true;
+                }
+                other => cur.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".into());
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Value;
+
+    fn schema() -> CsvSchema {
+        vec![
+            ("id".into(), DataType::Int64),
+            ("score".into(), DataType::Float64),
+            ("tag".into(), DataType::Dict),
+        ]
+    }
+
+    #[test]
+    fn loads_basic_csv() {
+        let data = "id,score,tag\n1,0.5,alpha\n2,1.5,beta\n3,2.5,alpha\n";
+        let t = load_csv("t", data.as_bytes(), &schema()).unwrap();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.column("id").unwrap().i64_at(2), 3);
+        assert_eq!(t.column("score").unwrap().f64_at(1), 1.5);
+        assert_eq!(t.column("tag").unwrap().value(0), Value::Str("alpha".into()));
+        // Dictionary is shared across equal strings.
+        assert_eq!(
+            t.column("tag").unwrap().i64_at(0),
+            t.column("tag").unwrap().i64_at(2)
+        );
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_escapes() {
+        let data = "id,score,tag\n1,0.5,\"a,b\"\n2,1.0,\"say \"\"hi\"\"\"\n";
+        let t = load_csv("t", data.as_bytes(), &schema()).unwrap();
+        assert_eq!(t.column("tag").unwrap().value(0), Value::Str("a,b".into()));
+        assert_eq!(
+            t.column("tag").unwrap().value(1),
+            Value::Str("say \"hi\"".into())
+        );
+    }
+
+    #[test]
+    fn quoted_embedded_newline() {
+        let data = "id,score,tag\n1,0.5,\"two\nlines\"\n";
+        let t = load_csv("t", data.as_bytes(), &schema()).unwrap();
+        assert_eq!(
+            t.column("tag").unwrap().value(0),
+            Value::Str("two\nlines".into())
+        );
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let data = "wrong,score,tag\n";
+        assert!(load_csv("t", data.as_bytes(), &schema()).is_err());
+        let data = "id,score\n";
+        assert!(load_csv("t", data.as_bytes(), &schema()).is_err());
+    }
+
+    #[test]
+    fn bad_values_rejected_with_line_numbers() {
+        let data = "id,score,tag\n1,0.5,a\nnope,1.0,b\n";
+        let err = load_csv("t", data.as_bytes(), &schema()).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let data = "id,score,tag\n1,0.5\n";
+        assert!(load_csv("t", data.as_bytes(), &schema()).is_err());
+    }
+
+    #[test]
+    fn empty_lines_skipped() {
+        let data = "id,score,tag\n1,0.5,a\n\n2,1.0,b\n";
+        let t = load_csv("t", data.as_bytes(), &schema()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn int32_columns_parse() {
+        let s: CsvSchema = vec![("n".into(), DataType::Int32)];
+        let t = load_csv("t", "n\n-5\n7\n".as_bytes(), &s).unwrap();
+        assert_eq!(t.column("n").unwrap().i64_at(0), -5);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let path = std::env::temp_dir().join(format!("laqy_csv_{}.csv", std::process::id()));
+        std::fs::write(&path, "id,score,tag\n1,2.0,x\n").unwrap();
+        let t = load_csv_file("t", &path, &schema()).unwrap();
+        assert_eq!(t.num_rows(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let data = "id,score,tag\n1,0.5,\"oops\n";
+        assert!(load_csv("t", data.as_bytes(), &schema()).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! # laqy-engine
+//!
+//! A vectorized, in-memory, columnar analytical engine — the execution
+//! substrate for the LAQy reproduction. It stands in for Proteus, the JIT
+//! code-generating engine the paper integrates with: what the evaluation
+//! depends on is the *relative cost structure* of operators (bandwidth-bound
+//! sequential scans, random-access hash group-by/stratification keyed by
+//! |QCS|, join-dominated pipelines), which a morsel-parallel vectorized
+//! engine reproduces.
+//!
+//! Key integration point for LAQy (paper §6.2): aggregation is driven by a
+//! pluggable [`ops::AggregatorFactory`], so reservoir sampling plugs into
+//! the same hash group-by as exact aggregates, and the group-by hash table
+//! is returned by value so a sample manager can take ownership without
+//! copying (§6.3).
+
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod error;
+pub mod expr;
+pub mod hash;
+pub mod io;
+pub mod ops;
+pub mod parallel;
+pub mod plan;
+pub mod sql;
+pub mod table;
+pub mod types;
+
+pub use column::{dict_column, Column};
+pub use error::{EngineError, Result};
+pub use expr::{AggInput, AggKind, AggSpec, Predicate};
+pub use hash::{FxBuildHasher, FxHashMap, GroupKey, MAX_KEY_COLS};
+pub use io::{load_csv, load_csv_file, CsvSchema};
+pub use plan::{
+    execute_exact, execute_exact_prepared, scan_count, validate_plan, ColRef, GroupedRow,
+    JoinSpec, PreparedJoins, QueryPlan, QueryResult,
+};
+pub use table::{Catalog, Table};
+pub use types::{DataType, Value};

@@ -1,0 +1,483 @@
+//! Hash aggregation with pluggable aggregate functions.
+//!
+//! Following the paper's integration strategy (§6.2), stratified sampling
+//! is *not* a bespoke operator: it is this group-by parameterized with a
+//! reservoir aggregation function supplied by the `laqy` crate. The
+//! group-by returns its hash table by value so a sample manager can take
+//! ownership of it without copying (§6.3).
+
+use crate::column::Column;
+use crate::error::Result;
+use crate::expr::{AggInput, AggKind, AggSpec};
+use crate::hash::{FxHashMap, GroupKey};
+use crate::table::Table;
+
+/// A column resolved to its typed storage.
+#[derive(Clone, Copy)]
+pub enum ResolvedCol<'a> {
+    /// 32-bit ints.
+    I32(&'a [i32]),
+    /// 64-bit ints.
+    I64(&'a [i64]),
+    /// 64-bit floats.
+    F64(&'a [f64]),
+    /// Dictionary codes.
+    Dict(&'a [u32]),
+}
+
+impl<'a> ResolvedCol<'a> {
+    /// Resolve from a [`Column`].
+    pub fn from_column(col: &'a Column) -> Self {
+        match col {
+            Column::Int32(v) => ResolvedCol::I32(v),
+            Column::Int64(v) => ResolvedCol::I64(v),
+            Column::Float64(v) => ResolvedCol::F64(v),
+            Column::Dict { codes, .. } => ResolvedCol::Dict(codes),
+        }
+    }
+
+    /// Integer view of the value at physical row `row`.
+    #[inline(always)]
+    pub fn i64(&self, row: usize) -> i64 {
+        match self {
+            ResolvedCol::I32(v) => v[row] as i64,
+            ResolvedCol::I64(v) => v[row],
+            ResolvedCol::F64(v) => v[row] as i64,
+            ResolvedCol::Dict(v) => v[row] as i64,
+        }
+    }
+
+    /// Float view of the value at physical row `row`.
+    #[inline(always)]
+    pub fn f64(&self, row: usize) -> f64 {
+        match self {
+            ResolvedCol::I32(v) => v[row] as f64,
+            ResolvedCol::I64(v) => v[row] as f64,
+            ResolvedCol::F64(v) => v[row],
+            ResolvedCol::Dict(v) => v[row] as f64,
+        }
+    }
+}
+
+/// A resolved column bound to a logical row mapping: `rows[i]` gives the
+/// physical row for logical position `i`; `None` means identity (dense
+/// scan). Join outputs bind fact and dimension columns through their
+/// respective aligned row vectors.
+#[derive(Clone, Copy)]
+pub struct BoundCol<'a> {
+    col: ResolvedCol<'a>,
+    rows: Option<&'a [u32]>,
+}
+
+impl<'a> BoundCol<'a> {
+    /// Bind a column to a row-id vector.
+    pub fn new(col: &'a Column, rows: Option<&'a [u32]>) -> Self {
+        Self {
+            col: ResolvedCol::from_column(col),
+            rows,
+        }
+    }
+
+    #[inline(always)]
+    fn physical(&self, i: usize) -> usize {
+        match self.rows {
+            Some(rows) => rows[i] as usize,
+            None => i,
+        }
+    }
+
+    /// Integer value at logical position `i`.
+    #[inline(always)]
+    pub fn i64(&self, i: usize) -> i64 {
+        self.col.i64(self.physical(i))
+    }
+
+    /// Float value at logical position `i`.
+    #[inline(always)]
+    pub fn f64(&self, i: usize) -> f64 {
+        self.col.f64(self.physical(i))
+    }
+}
+
+/// The bound aggregate-input expressions an aggregator reads from.
+pub struct Inputs<'a> {
+    exprs: Vec<BoundExpr<'a>>,
+}
+
+enum BoundExpr<'a> {
+    Col(BoundCol<'a>),
+    Mul(BoundCol<'a>, BoundCol<'a>),
+    None,
+}
+
+impl<'a> Inputs<'a> {
+    /// Bind aggregate inputs against a source: `resolve(name)` must return
+    /// the bound column for a given column name.
+    pub fn bind(
+        specs: &[AggInput],
+        mut resolve: impl FnMut(&str) -> Result<BoundCol<'a>>,
+    ) -> Result<Self> {
+        let mut exprs = Vec::with_capacity(specs.len());
+        for spec in specs {
+            exprs.push(match spec {
+                AggInput::Col(c) => BoundExpr::Col(resolve(c)?),
+                AggInput::Mul(a, b) => BoundExpr::Mul(resolve(a)?, resolve(b)?),
+                AggInput::None => BoundExpr::None,
+            });
+        }
+        Ok(Self { exprs })
+    }
+
+    /// Number of input expressions.
+    pub fn len(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// True if no inputs are bound.
+    pub fn is_empty(&self) -> bool {
+        self.exprs.is_empty()
+    }
+
+    /// Float value of input expression `pos` at logical position `i`.
+    /// `AggInput::None` reads as 1.0 (COUNT increments).
+    #[inline(always)]
+    pub fn f64(&self, pos: usize, i: usize) -> f64 {
+        match &self.exprs[pos] {
+            BoundExpr::Col(c) => c.f64(i),
+            BoundExpr::Mul(a, b) => a.f64(i) * b.f64(i),
+            BoundExpr::None => 1.0,
+        }
+    }
+
+    /// Integer value of input expression `pos` at logical position `i`.
+    #[inline(always)]
+    pub fn i64(&self, pos: usize, i: usize) -> i64 {
+        match &self.exprs[pos] {
+            BoundExpr::Col(c) => c.i64(i),
+            BoundExpr::Mul(a, b) => a.i64(i) * b.i64(i),
+            BoundExpr::None => 1,
+        }
+    }
+}
+
+/// Per-group aggregation state.
+pub trait Aggregator: Send {
+    /// Fold logical row `i` of `inputs` into the state.
+    fn update(&mut self, inputs: &Inputs<'_>, i: usize);
+    /// Merge another partial state (parallel execution / exchange).
+    fn merge(&mut self, other: Self)
+    where
+        Self: Sized;
+}
+
+/// Creates per-group aggregation states.
+pub trait AggregatorFactory: Sync {
+    /// The aggregator this factory creates.
+    type Agg: Aggregator;
+    /// Create a fresh state for a new group.
+    fn create(&self) -> Self::Agg;
+}
+
+/// The group-by result: ownership of this hash table is what the sample
+/// manager takes over when the aggregator is a reservoir (§6.3).
+pub struct GroupTable<A> {
+    /// Group key → aggregation state.
+    pub map: FxHashMap<GroupKey, A>,
+}
+
+impl<A: Aggregator> GroupTable<A> {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self {
+            map: FxHashMap::default(),
+        }
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no groups.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Merge another partial table into this one (exchange-operator step of
+    /// the parallel plan).
+    pub fn merge(&mut self, other: GroupTable<A>) {
+        for (k, v) in other.map {
+            match self.map.entry(k) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(v),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                }
+            }
+        }
+    }
+}
+
+impl<A: Aggregator> Default for GroupTable<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Hash group-by over `len` logical rows: key columns are read per row to
+/// form a [`GroupKey`]; each group's aggregator folds the row in.
+pub fn group_by<F: AggregatorFactory>(
+    keys: &[BoundCol<'_>],
+    inputs: &Inputs<'_>,
+    len: usize,
+    factory: &F,
+) -> GroupTable<F::Agg> {
+    let mut table = GroupTable::new();
+    let mut key_buf = [0i64; crate::hash::MAX_KEY_COLS];
+    for i in 0..len {
+        for (j, k) in keys.iter().enumerate() {
+            key_buf[j] = k.i64(i);
+        }
+        let key = GroupKey::new(&key_buf[..keys.len()]);
+        let agg = table.map.entry(key).or_insert_with(|| factory.create());
+        agg.update(inputs, i);
+    }
+    table
+}
+
+/// Built-in exact aggregation state covering SUM / COUNT / MIN / MAX / AVG.
+#[derive(Debug, Clone)]
+pub struct ExactAgg {
+    accs: Vec<Acc>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Acc {
+    Sum(f64),
+    Count(u64),
+    Min(f64),
+    Max(f64),
+    Avg { sum: f64, n: u64 },
+}
+
+impl ExactAgg {
+    /// Finalized per-spec values.
+    pub fn finalize(&self) -> Vec<f64> {
+        self.accs
+            .iter()
+            .map(|a| match a {
+                Acc::Sum(s) => *s,
+                Acc::Count(c) => *c as f64,
+                Acc::Min(m) => *m,
+                Acc::Max(m) => *m,
+                Acc::Avg { sum, n } => {
+                    if *n == 0 {
+                        f64::NAN
+                    } else {
+                        sum / *n as f64
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+impl Aggregator for ExactAgg {
+    #[inline]
+    fn update(&mut self, inputs: &Inputs<'_>, i: usize) {
+        for (pos, acc) in self.accs.iter_mut().enumerate() {
+            match acc {
+                Acc::Sum(s) => *s += inputs.f64(pos, i),
+                Acc::Count(c) => *c += 1,
+                Acc::Min(m) => *m = m.min(inputs.f64(pos, i)),
+                Acc::Max(m) => *m = m.max(inputs.f64(pos, i)),
+                Acc::Avg { sum, n } => {
+                    *sum += inputs.f64(pos, i);
+                    *n += 1;
+                }
+            }
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (a, b) in self.accs.iter_mut().zip(other.accs) {
+            match (a, b) {
+                (Acc::Sum(x), Acc::Sum(y)) => *x += y,
+                (Acc::Count(x), Acc::Count(y)) => *x += y,
+                (Acc::Min(x), Acc::Min(y)) => *x = x.min(y),
+                (Acc::Max(x), Acc::Max(y)) => *x = x.max(y),
+                (Acc::Avg { sum: xs, n: xn }, Acc::Avg { sum: ys, n: yn }) => {
+                    *xs += ys;
+                    *xn += yn;
+                }
+                _ => unreachable!("mismatched aggregate states"),
+            }
+        }
+    }
+}
+
+/// Factory for [`ExactAgg`], configured from [`AggSpec`] kinds; the input
+/// expression at position `i` feeds accumulator `i`.
+pub struct ExactAggFactory {
+    kinds: Vec<AggKind>,
+}
+
+impl ExactAggFactory {
+    /// Build from aggregate specs.
+    pub fn new(specs: &[AggSpec]) -> Self {
+        Self {
+            kinds: specs.iter().map(|s| s.kind).collect(),
+        }
+    }
+}
+
+impl AggregatorFactory for ExactAggFactory {
+    type Agg = ExactAgg;
+
+    fn create(&self) -> ExactAgg {
+        ExactAgg {
+            accs: self
+                .kinds
+                .iter()
+                .map(|k| match k {
+                    AggKind::Sum => Acc::Sum(0.0),
+                    AggKind::Count => Acc::Count(0),
+                    AggKind::Min => Acc::Min(f64::INFINITY),
+                    AggKind::Max => Acc::Max(f64::NEG_INFINITY),
+                    AggKind::Avg => Acc::Avg { sum: 0.0, n: 0 },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Bind the named columns of `table` through an optional row mapping —
+/// the common resolver used when all inputs come from one table.
+pub fn bind_table_cols<'a>(
+    table: &'a Table,
+    rows: Option<&'a [u32]>,
+) -> impl FnMut(&str) -> Result<BoundCol<'a>> {
+    move |name: &str| Ok(BoundCol::new(table.column(name)?, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AggSpec;
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                ("g".into(), Column::Int64(vec![1, 2, 1, 2, 1])),
+                ("v".into(), Column::Int64(vec![10, 20, 30, 40, 50])),
+                ("w".into(), Column::Float64(vec![1.0, 2.0, 3.0, 4.0, 5.0])),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn run_exact(t: &Table, specs: &[AggSpec], rows: Option<&[u32]>) -> GroupTable<ExactAgg> {
+        let key = BoundCol::new(t.column("g").unwrap(), rows);
+        let inputs = Inputs::bind(
+            &specs.iter().map(|s| s.input.clone()).collect::<Vec<_>>(),
+            bind_table_cols(t, rows),
+        )
+        .unwrap();
+        let len = rows.map(|r| r.len()).unwrap_or(t.num_rows());
+        group_by(&[key], &inputs, len, &ExactAggFactory::new(specs))
+    }
+
+    fn group_value(gt: &GroupTable<ExactAgg>, key: i64, pos: usize) -> f64 {
+        gt.map.get(&GroupKey::new(&[key])).unwrap().finalize()[pos]
+    }
+
+    #[test]
+    fn sum_and_count_per_group() {
+        let t = table();
+        let gt = run_exact(&t, &[AggSpec::sum("v"), AggSpec::count()], None);
+        assert_eq!(gt.len(), 2);
+        assert_eq!(group_value(&gt, 1, 0), 90.0);
+        assert_eq!(group_value(&gt, 2, 0), 60.0);
+        assert_eq!(group_value(&gt, 1, 1), 3.0);
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let t = table();
+        let specs = [
+            AggSpec {
+                kind: AggKind::Min,
+                input: AggInput::Col("v".into()),
+            },
+            AggSpec {
+                kind: AggKind::Max,
+                input: AggInput::Col("v".into()),
+            },
+            AggSpec::avg("v"),
+        ];
+        let gt = run_exact(&t, &specs, None);
+        assert_eq!(group_value(&gt, 1, 0), 10.0);
+        assert_eq!(group_value(&gt, 1, 1), 50.0);
+        assert_eq!(group_value(&gt, 1, 2), 30.0);
+    }
+
+    #[test]
+    fn sum_of_product() {
+        let t = table();
+        let gt = run_exact(&t, &[AggSpec::sum_product("v", "w")], None);
+        // Group 1: 10*1 + 30*3 + 50*5 = 350
+        assert_eq!(group_value(&gt, 1, 0), 350.0);
+        // Group 2: 20*2 + 40*4 = 200
+        assert_eq!(group_value(&gt, 2, 0), 200.0);
+    }
+
+    #[test]
+    fn selection_vector_restricts_rows() {
+        let t = table();
+        let rows = [0u32, 1, 2];
+        let gt = run_exact(&t, &[AggSpec::sum("v")], Some(&rows));
+        assert_eq!(group_value(&gt, 1, 0), 40.0);
+        assert_eq!(group_value(&gt, 2, 0), 20.0);
+    }
+
+    #[test]
+    fn partial_merge_equals_single_pass() {
+        let t = table();
+        let all = run_exact(&t, &[AggSpec::sum("v"), AggSpec::count()], None);
+        let mut left = run_exact(&t, &[AggSpec::sum("v"), AggSpec::count()], Some(&[0, 1]));
+        let right = run_exact(&t, &[AggSpec::sum("v"), AggSpec::count()], Some(&[2, 3, 4]));
+        left.merge(right);
+        assert_eq!(left.len(), all.len());
+        for (k, v) in &all.map {
+            assert_eq!(left.map.get(k).unwrap().finalize(), v.finalize());
+        }
+    }
+
+    #[test]
+    fn keyless_group_by_is_global_aggregate() {
+        let t = table();
+        let inputs = Inputs::bind(
+            &[AggInput::Col("v".into())],
+            bind_table_cols(&t, None),
+        )
+        .unwrap();
+        let gt = group_by(
+            &[],
+            &inputs,
+            t.num_rows(),
+            &ExactAggFactory::new(&[AggSpec::sum("v")]),
+        );
+        assert_eq!(gt.len(), 1);
+        assert_eq!(
+            gt.map.get(&GroupKey::new(&[])).unwrap().finalize()[0],
+            150.0
+        );
+    }
+
+    #[test]
+    fn avg_of_empty_group_is_nan() {
+        let f = ExactAggFactory::new(&[AggSpec::avg("v")]);
+        let agg = f.create();
+        assert!(agg.finalize()[0].is_nan());
+    }
+}

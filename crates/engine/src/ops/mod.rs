@@ -1,0 +1,15 @@
+//! Physical operators: filtering scans, hash joins, and hash aggregation
+//! with pluggable aggregate functions.
+
+pub mod aggregate;
+pub mod filter;
+pub mod join;
+pub mod project;
+
+pub use aggregate::{
+    group_by, Aggregator, AggregatorFactory, BoundCol, ExactAgg, ExactAggFactory, GroupTable,
+    Inputs, ResolvedCol,
+};
+pub use filter::{refine_selection, scan_filter};
+pub use join::{build_join_map, star_probe, JoinMap, StarJoinOutput};
+pub use project::{gather, materialize, materialize_view};

@@ -1,0 +1,142 @@
+//! Morsel-driven parallelism (paper §6.1, §6.3).
+//!
+//! Work is split into fixed-size morsels of consecutive rows, pulled by
+//! worker threads from a shared atomic cursor (work stealing at morsel
+//! granularity). Each worker produces a partial result; callers merge the
+//! partials — the analog of collecting reservoirs/aggregates after an
+//! exchange operator.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default morsel size (rows). Large enough that per-morsel overhead is
+/// negligible, small enough for load balancing.
+pub const DEFAULT_MORSEL_ROWS: usize = 1 << 16;
+
+/// Number of worker threads to use: the available parallelism, overridable
+/// with the `LAQY_THREADS` environment variable.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("LAQY_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Split `0..n` into morsel ranges.
+pub fn morsel_ranges(n: usize, morsel: usize) -> Vec<Range<usize>> {
+    assert!(morsel > 0, "morsel size must be nonzero");
+    let mut out = Vec::with_capacity(n.div_ceil(morsel));
+    let mut start = 0;
+    while start < n {
+        let end = (start + morsel).min(n);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Run `work` over every morsel of `0..n` on `threads` workers, returning
+/// one partial result per worker (workers that received no morsels still
+/// return their identity partial).
+///
+/// `init` creates each worker's accumulator; `work(acc, range)` folds one
+/// morsel into it. Panics in workers propagate.
+pub fn parallel_fold<Acc, I, W>(n: usize, morsel: usize, threads: usize, init: I, work: W) -> Vec<Acc>
+where
+    Acc: Send,
+    I: Fn() -> Acc + Sync,
+    W: Fn(&mut Acc, Range<usize>) + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || n <= morsel {
+        let mut acc = init();
+        for r in morsel_ranges(n, morsel) {
+            work(&mut acc, r);
+        }
+        return vec![acc];
+    }
+    let ranges = morsel_ranges(n, morsel);
+    let cursor = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut acc = init();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(r) = ranges.get(idx) else { break };
+                        work(&mut acc, r.clone());
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("thread scope failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsel_ranges_cover_exactly() {
+        let ranges = morsel_ranges(100, 30);
+        assert_eq!(ranges, vec![0..30, 30..60, 60..90, 90..100]);
+        assert!(morsel_ranges(0, 10).is_empty());
+        assert_eq!(morsel_ranges(10, 10), vec![0..10]);
+    }
+
+    #[test]
+    fn parallel_sum_matches_serial() {
+        let n = 1_000_000usize;
+        let partials = parallel_fold(n, 1000, 4, || 0u64, |acc, r| {
+            for i in r {
+                *acc += i as u64;
+            }
+        });
+        let total: u64 = partials.into_iter().sum();
+        assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let partials = parallel_fold(50, 7, 1, Vec::new, |acc: &mut Vec<usize>, r| {
+            acc.extend(r);
+        });
+        assert_eq!(partials.len(), 1);
+        assert_eq!(partials[0], (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_row_processed_exactly_once() {
+        let partials = parallel_fold(10_000, 64, 8, Vec::new, |acc: &mut Vec<usize>, r| {
+            acc.extend(r);
+        });
+        let mut all: Vec<usize> = partials.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_threads_than_morsels_is_fine() {
+        let partials = parallel_fold(10, 3, 16, || 0usize, |acc, r| *acc += r.len());
+        let total: usize = partials.into_iter().sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

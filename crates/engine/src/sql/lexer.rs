@@ -1,0 +1,289 @@
+//! SQL tokenizer.
+
+use super::SqlError;
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are matched case-insensitively by
+    /// the parser; the original spelling is preserved here).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `.`
+    Dot,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<>` or `!=`
+    Ne,
+}
+
+impl Token {
+    /// True if this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex {
+                        position: i,
+                        message: "unexpected `!`".into(),
+                    });
+                }
+            }
+            '\'' => {
+                // String literal with '' escaping.
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    match bytes.get(j) {
+                        None => {
+                            return Err(SqlError::Lex {
+                                position: i,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') => {
+                            if bytes.get(j + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                j += 2;
+                            } else {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            j += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+                i = j;
+            }
+            c if c.is_ascii_digit() || (c == '-' && starts_number(bytes, i)) => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                let mut is_float = false;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_digit() {
+                        i += 1;
+                    } else if d == '.' && !is_float && bytes.get(i + 1).map(|b| (*b as char).is_ascii_digit()).unwrap_or(false) {
+                        is_float = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    let v = text.parse::<f64>().map_err(|e| SqlError::Lex {
+                        position: start,
+                        message: format!("bad float literal `{text}`: {e}"),
+                    })?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v = text.parse::<i64>().map_err(|e| SqlError::Lex {
+                        position: start,
+                        message: format!("bad integer literal `{text}`: {e}"),
+                    })?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '#' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    position: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// A `-` starts a number only when followed directly by a digit (we have
+/// no arithmetic, so no ambiguity with subtraction).
+fn starts_number(bytes: &[u8], i: usize) -> bool {
+    bytes
+        .get(i + 1)
+        .map(|b| (*b as char).is_ascii_digit())
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let t = tokenize("SELECT a, SUM(b) FROM t WHERE x = 3").unwrap();
+        assert_eq!(t[0], Token::Ident("SELECT".into()));
+        assert!(t[0].is_kw("select"));
+        assert_eq!(t[2], Token::Comma);
+        assert_eq!(t[4], Token::LParen);
+        assert_eq!(t.last(), Some(&Token::Int(3)));
+    }
+
+    #[test]
+    fn string_literals_and_escapes() {
+        let t = tokenize("'AMERICA' 'it''s'").unwrap();
+        assert_eq!(t[0], Token::Str("AMERICA".into()));
+        assert_eq!(t[1], Token::Str("it's".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(tokenize("'oops"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn numbers() {
+        let t = tokenize("42 -7 3.5 -0.25").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Int(42),
+                Token::Int(-7),
+                Token::Float(3.5),
+                Token::Float(-0.25)
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let t = tokenize("< <= > >= <> != =").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Ne,
+                Token::Ne,
+                Token::Eq
+            ]
+        );
+    }
+
+    #[test]
+    fn idents_allow_hash_and_underscore() {
+        // SSB values like MFGR#12 appear as string literals, but column
+        // names like lo_intkey and p_brand1 must lex as single idents.
+        let t = tokenize("lo_intkey p_brand1").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn qualified_column() {
+        let t = tokenize("date.d_year").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("date".into()),
+                Token::Dot,
+                Token::Ident("d_year".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        assert!(matches!(tokenize("a ; b"), Err(SqlError::Lex { position: 2, .. })));
+    }
+}

@@ -1,0 +1,70 @@
+//! A SQL front-end for the star-schema plans this engine executes.
+//!
+//! Supports the query shape of the paper's evaluation (aggregations over a
+//! fact table with optional dimension equi-joins, conjunctive predicates,
+//! and grouping):
+//!
+//! ```sql
+//! SELECT d_year, p_brand1, SUM(lo_revenue)
+//! FROM lineorder, date, supplier, part
+//! WHERE lo_intkey BETWEEN 0 AND 599999
+//!   AND s_region = 'AMERICA' AND p_category = 'MFGR#12'
+//!   AND lo_orderdate = d_datekey AND lo_suppkey = s_suppkey
+//!   AND lo_partkey = p_partkey
+//! GROUP BY d_year, p_brand1
+//! ```
+//!
+//! [`parse`] produces an AST; [`plan`] resolves it against a catalog into
+//! a [`QueryPlan`](crate::plan::QueryPlan): the first FROM table is the
+//! fact, column-to-column equalities become star joins, and remaining
+//! predicates are routed to the owning table (dimension predicates filter
+//! the join build side; fact predicates push into the scan).
+
+mod lexer;
+mod parser;
+mod planner;
+
+pub use lexer::{tokenize, Token};
+pub use parser::{
+    parse, AggItem, Condition, SelectItem, SelectStmt, SqlAggFn, SqlExpr, SqlValue,
+};
+pub use planner::{plan, plan_statement};
+
+use std::fmt;
+
+/// SQL front-end errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexing failed at the given position.
+    Lex {
+        /// Byte offset in the input.
+        position: usize,
+        /// Description.
+        message: String,
+    },
+    /// Parsing failed.
+    Parse {
+        /// Description, including what was found.
+        message: String,
+    },
+    /// The statement parsed but cannot be planned (unknown tables/columns,
+    /// unsupported shape).
+    Plan {
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            SqlError::Parse { message } => write!(f, "parse error: {message}"),
+            SqlError::Plan { message } => write!(f, "plan error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}

@@ -1,0 +1,513 @@
+//! Recursive-descent SQL parser for the supported SELECT shape.
+
+use super::lexer::{tokenize, Token};
+use super::SqlError;
+
+/// An aggregate function name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlAggFn {
+    /// `SUM(expr)`
+    Sum,
+    /// `COUNT(*)` / `COUNT(expr)`
+    Count,
+    /// `AVG(expr)`
+    Avg,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+}
+
+/// An aggregate input expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// A (possibly table-qualified) column.
+    Col {
+        /// Optional table qualifier.
+        table: Option<String>,
+        /// Column name.
+        column: String,
+    },
+    /// Elementwise product of two columns.
+    Mul(Box<SqlExpr>, Box<SqlExpr>),
+    /// `*` (COUNT only).
+    Star,
+}
+
+/// One SELECT-list item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A plain column (must also appear in GROUP BY).
+    Column(SqlExpr),
+    /// An aggregate.
+    Agg(AggItem),
+}
+
+/// An aggregate with its input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggItem {
+    /// Function.
+    pub func: SqlAggFn,
+    /// Input expression.
+    pub input: SqlExpr,
+}
+
+/// A literal value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlValue {
+    /// Integer.
+    Int(i64),
+    /// String.
+    Str(String),
+}
+
+/// One conjunct of the WHERE clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// `col BETWEEN lo AND hi`
+    Between {
+        /// Column.
+        col: SqlExpr,
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// `col = literal`
+    EqValue {
+        /// Column.
+        col: SqlExpr,
+        /// Literal.
+        value: SqlValue,
+    },
+    /// `col1 = col2` (join condition).
+    EqColumns {
+        /// Left column.
+        left: SqlExpr,
+        /// Right column.
+        right: SqlExpr,
+    },
+    /// `col IN (v1, v2, ...)`
+    InList {
+        /// Column.
+        col: SqlExpr,
+        /// Accepted integer values.
+        values: Vec<i64>,
+    },
+    /// `col < v`, `col <= v`, `col > v`, `col >= v` (integer bounds).
+    Compare {
+        /// Column.
+        col: SqlExpr,
+        /// One of `<`, `<=`, `>`, `>=`.
+        op: CompareOp,
+        /// Bound.
+        value: i64,
+    },
+}
+
+/// Inequality operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// SELECT-list items in order.
+    pub items: Vec<SelectItem>,
+    /// FROM tables in order (first = fact).
+    pub from: Vec<String>,
+    /// WHERE conjuncts.
+    pub conditions: Vec<Condition>,
+    /// GROUP BY columns.
+    pub group_by: Vec<SqlExpr>,
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Parse one SELECT statement.
+pub fn parse(sql: &str) -> Result<SelectStmt, SqlError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select()?;
+    if p.pos != p.tokens.len() {
+        return Err(SqlError::Parse {
+            message: format!("trailing tokens after statement: {:?}", p.peek()),
+        });
+    }
+    Ok(stmt)
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        match self.next() {
+            Some(t) if t.is_kw(kw) => Ok(()),
+            other => Err(SqlError::Parse {
+                message: format!("expected `{kw}`, found {other:?}"),
+            }),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().map(|t| t.is_kw(kw)).unwrap_or(false) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: Token) -> Result<(), SqlError> {
+        match self.next() {
+            Some(t) if t == token => Ok(()),
+            other => Err(SqlError::Parse {
+                message: format!("expected {token:?}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(SqlError::Parse {
+                message: format!("expected identifier, found {other:?}"),
+            }),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, SqlError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(v),
+            other => Err(SqlError::Parse {
+                message: format!("expected integer, found {other:?}"),
+            }),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, SqlError> {
+        self.expect_kw("SELECT")?;
+        let mut items = vec![self.select_item()?];
+        while matches!(self.peek(), Some(Token::Comma)) {
+            self.pos += 1;
+            items.push(self.select_item()?);
+        }
+        self.expect_kw("FROM")?;
+        let mut from = vec![self.ident()?];
+        while matches!(self.peek(), Some(Token::Comma)) {
+            self.pos += 1;
+            from.push(self.ident()?);
+        }
+        let mut conditions = Vec::new();
+        if self.eat_kw("WHERE") {
+            conditions.push(self.condition()?);
+            while self.eat_kw("AND") {
+                conditions.push(self.condition()?);
+            }
+        }
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.column()?);
+            while matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+                group_by.push(self.column()?);
+            }
+        }
+        Ok(SelectStmt {
+            items,
+            from,
+            conditions,
+            group_by,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        // Aggregate keyword followed by '(' — otherwise a plain column.
+        if let Some(Token::Ident(name)) = self.peek() {
+            let func = match name.to_ascii_uppercase().as_str() {
+                "SUM" => Some(SqlAggFn::Sum),
+                "COUNT" => Some(SqlAggFn::Count),
+                "AVG" => Some(SqlAggFn::Avg),
+                "MIN" => Some(SqlAggFn::Min),
+                "MAX" => Some(SqlAggFn::Max),
+                _ => None,
+            };
+            if let Some(func) = func {
+                if self.tokens.get(self.pos + 1) == Some(&Token::LParen) {
+                    self.pos += 2; // name + '('
+                    let input = if matches!(self.peek(), Some(Token::Star)) {
+                        self.pos += 1;
+                        SqlExpr::Star
+                    } else {
+                        self.expr()?
+                    };
+                    self.expect(Token::RParen)?;
+                    if input == SqlExpr::Star && func != SqlAggFn::Count {
+                        return Err(SqlError::Parse {
+                            message: "`*` is only valid inside COUNT".into(),
+                        });
+                    }
+                    return Ok(SelectItem::Agg(AggItem { func, input }));
+                }
+            }
+        }
+        Ok(SelectItem::Column(self.column()?))
+    }
+
+    /// Column or column product.
+    fn expr(&mut self) -> Result<SqlExpr, SqlError> {
+        let first = self.column()?;
+        if matches!(self.peek(), Some(Token::Star)) {
+            self.pos += 1;
+            let second = self.column()?;
+            return Ok(SqlExpr::Mul(Box::new(first), Box::new(second)));
+        }
+        Ok(first)
+    }
+
+    fn column(&mut self) -> Result<SqlExpr, SqlError> {
+        let first = self.ident()?;
+        if matches!(self.peek(), Some(Token::Dot)) {
+            self.pos += 1;
+            let col = self.ident()?;
+            Ok(SqlExpr::Col {
+                table: Some(first),
+                column: col,
+            })
+        } else {
+            Ok(SqlExpr::Col {
+                table: None,
+                column: first,
+            })
+        }
+    }
+
+    fn condition(&mut self) -> Result<Condition, SqlError> {
+        let col = self.column()?;
+        match self.next() {
+            Some(t) if t.is_kw("BETWEEN") => {
+                let lo = self.int()?;
+                self.expect_kw("AND")?;
+                let hi = self.int()?;
+                Ok(Condition::Between { col, lo, hi })
+            }
+            Some(t) if t.is_kw("IN") => {
+                self.expect(Token::LParen)?;
+                let mut values = vec![self.int()?];
+                while matches!(self.peek(), Some(Token::Comma)) {
+                    self.pos += 1;
+                    values.push(self.int()?);
+                }
+                self.expect(Token::RParen)?;
+                Ok(Condition::InList { col, values })
+            }
+            Some(Token::Eq) => match self.next() {
+                Some(Token::Int(v)) => Ok(Condition::EqValue {
+                    col,
+                    value: SqlValue::Int(v),
+                }),
+                Some(Token::Str(s)) => Ok(Condition::EqValue {
+                    col,
+                    value: SqlValue::Str(s),
+                }),
+                Some(Token::Ident(t)) => {
+                    // Column = column (join) — possibly qualified.
+                    let right = if matches!(self.peek(), Some(Token::Dot)) {
+                        self.pos += 1;
+                        let c = self.ident()?;
+                        SqlExpr::Col {
+                            table: Some(t),
+                            column: c,
+                        }
+                    } else {
+                        SqlExpr::Col {
+                            table: None,
+                            column: t,
+                        }
+                    };
+                    Ok(Condition::EqColumns { left: col, right })
+                }
+                other => Err(SqlError::Parse {
+                    message: format!("expected literal or column after `=`, found {other:?}"),
+                }),
+            },
+            Some(Token::Lt) => Ok(Condition::Compare {
+                col,
+                op: CompareOp::Lt,
+                value: self.int()?,
+            }),
+            Some(Token::Le) => Ok(Condition::Compare {
+                col,
+                op: CompareOp::Le,
+                value: self.int()?,
+            }),
+            Some(Token::Gt) => Ok(Condition::Compare {
+                col,
+                op: CompareOp::Gt,
+                value: self.int()?,
+            }),
+            Some(Token::Ge) => Ok(Condition::Compare {
+                col,
+                op: CompareOp::Ge,
+                value: self.int()?,
+            }),
+            other => Err(SqlError::Parse {
+                message: format!("expected predicate operator, found {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(name: &str) -> SqlExpr {
+        SqlExpr::Col {
+            table: None,
+            column: name.into(),
+        }
+    }
+
+    #[test]
+    fn parses_q1_shape() {
+        let stmt = parse(
+            "SELECT lo_orderdate, SUM(lo_revenue), COUNT(*) FROM lineorder \
+             WHERE lo_intkey BETWEEN 0 AND 99 GROUP BY lo_orderdate",
+        )
+        .unwrap();
+        assert_eq!(stmt.from, vec!["lineorder"]);
+        assert_eq!(stmt.items.len(), 3);
+        assert_eq!(stmt.group_by, vec![col("lo_orderdate")]);
+        assert_eq!(
+            stmt.conditions,
+            vec![Condition::Between {
+                col: col("lo_intkey"),
+                lo: 0,
+                hi: 99
+            }]
+        );
+    }
+
+    #[test]
+    fn parses_joins_and_string_predicates() {
+        let stmt = parse(
+            "SELECT d_year, SUM(lo_revenue) FROM lineorder, date, supplier \
+             WHERE lo_orderdate = d_datekey AND lo_suppkey = s_suppkey \
+             AND s_region = 'AMERICA' GROUP BY d_year",
+        )
+        .unwrap();
+        assert_eq!(stmt.from.len(), 3);
+        assert_eq!(stmt.conditions.len(), 3);
+        assert!(matches!(stmt.conditions[0], Condition::EqColumns { .. }));
+        assert_eq!(
+            stmt.conditions[2],
+            Condition::EqValue {
+                col: col("s_region"),
+                value: SqlValue::Str("AMERICA".into())
+            }
+        );
+    }
+
+    #[test]
+    fn between_and_binds_correctly() {
+        // The AND inside BETWEEN must not terminate the conjunct list.
+        let stmt = parse(
+            "SELECT COUNT(*) FROM t WHERE a BETWEEN 1 AND 5 AND b BETWEEN 6 AND 9",
+        )
+        .unwrap();
+        assert_eq!(stmt.conditions.len(), 2);
+    }
+
+    #[test]
+    fn parses_sum_of_product() {
+        let stmt =
+            parse("SELECT SUM(lo_extendedprice * lo_discount) FROM lineorder").unwrap();
+        match &stmt.items[0] {
+            SelectItem::Agg(AggItem {
+                func: SqlAggFn::Sum,
+                input: SqlExpr::Mul(a, b),
+            }) => {
+                assert_eq!(**a, col("lo_extendedprice"));
+                assert_eq!(**b, col("lo_discount"));
+            }
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_in_list_and_comparisons() {
+        let stmt = parse("SELECT COUNT(*) FROM t WHERE g IN (1, 2, 3) AND x >= 10").unwrap();
+        assert_eq!(
+            stmt.conditions[0],
+            Condition::InList {
+                col: col("g"),
+                values: vec![1, 2, 3]
+            }
+        );
+        assert_eq!(
+            stmt.conditions[1],
+            Condition::Compare {
+                col: col("x"),
+                op: CompareOp::Ge,
+                value: 10
+            }
+        );
+    }
+
+    #[test]
+    fn qualified_columns() {
+        let stmt = parse("SELECT date.d_year FROM lineorder, date GROUP BY date.d_year").unwrap();
+        assert_eq!(
+            stmt.group_by[0],
+            SqlExpr::Col {
+                table: Some("date".into()),
+                column: "d_year".into()
+            }
+        );
+    }
+
+    #[test]
+    fn star_only_in_count() {
+        assert!(parse("SELECT SUM(*) FROM t").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t").is_ok());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("SELECT a FROM t extra").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_from() {
+        assert!(parse("SELECT a").is_err());
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse("select a from t where x between 1 and 2 group by a").is_ok());
+    }
+}

@@ -1,0 +1,184 @@
+//! Tables: named collections of equal-length columns.
+
+use std::sync::Arc;
+
+use crate::column::Column;
+use crate::error::{EngineError, Result};
+use crate::types::DataType;
+
+/// An immutable in-memory table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    columns: Vec<(String, Column)>,
+    rows: usize,
+}
+
+impl Table {
+    /// Construct a table; all columns must have equal length.
+    pub fn new(name: impl Into<String>, columns: Vec<(String, Column)>) -> Result<Self> {
+        let rows = columns.first().map(|(_, c)| c.len()).unwrap_or(0);
+        if columns.iter().any(|(_, c)| c.len() != rows) {
+            return Err(EngineError::LengthMismatch {
+                context: "table construction",
+            });
+        }
+        Ok(Self {
+            name: name.into(),
+            columns,
+            rows,
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Look up a column by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c)
+            .ok_or_else(|| EngineError::UnknownColumn {
+                table: self.name.clone(),
+                column: name.to_string(),
+            })
+    }
+
+    /// True if the table has the named column.
+    pub fn has_column(&self, name: &str) -> bool {
+        self.columns.iter().any(|(n, _)| n == name)
+    }
+
+    /// `(name, type)` pairs describing the schema.
+    pub fn schema(&self) -> Vec<(&str, DataType)> {
+        self.columns
+            .iter()
+            .map(|(n, c)| (n.as_str(), c.data_type()))
+            .collect()
+    }
+
+    /// Iterate columns as `(name, column)`.
+    pub fn columns(&self) -> impl Iterator<Item = (&str, &Column)> {
+        self.columns.iter().map(|(n, c)| (n.as_str(), c))
+    }
+
+    /// Total heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.columns.iter().map(|(_, c)| c.heap_bytes()).sum()
+    }
+}
+
+/// A catalog of shared tables.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: Vec<Arc<Table>>,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a table, replacing any table with the same name.
+    pub fn register(&mut self, table: Table) -> Arc<Table> {
+        let arc = Arc::new(table);
+        self.tables.retain(|t| t.name() != arc.name());
+        self.tables.push(arc.clone());
+        arc
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Result<&Arc<Table>> {
+        self.tables
+            .iter()
+            .find(|t| t.name() == name)
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// Registered table names.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.iter().map(|t| t.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                ("a".into(), Column::Int64(vec![1, 2, 3])),
+                ("b".into(), Column::Float64(vec![0.5, 1.5, 2.5])),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let t = sample_table();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_columns(), 2);
+        assert!(t.has_column("a"));
+        assert!(!t.has_column("z"));
+        assert_eq!(t.column("b").unwrap().f64_at(2), 2.5);
+        assert!(matches!(
+            t.column("z"),
+            Err(EngineError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_ragged_columns() {
+        let err = Table::new(
+            "bad",
+            vec![
+                ("a".into(), Column::Int64(vec![1])),
+                ("b".into(), Column::Int64(vec![1, 2])),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn schema_reports_types() {
+        let t = sample_table();
+        let schema = t.schema();
+        assert_eq!(schema[0], ("a", DataType::Int64));
+        assert_eq!(schema[1], ("b", DataType::Float64));
+    }
+
+    #[test]
+    fn catalog_register_and_replace() {
+        let mut cat = Catalog::new();
+        cat.register(sample_table());
+        assert!(cat.table("t").is_ok());
+        assert!(cat.table("missing").is_err());
+        // Replacing keeps a single entry.
+        cat.register(sample_table());
+        assert_eq!(cat.table_names(), vec!["t"]);
+    }
+
+    #[test]
+    fn empty_table_allowed() {
+        let t = Table::new("e", vec![]).unwrap();
+        assert_eq!(t.num_rows(), 0);
+    }
+}

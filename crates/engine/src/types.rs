@@ -1,0 +1,94 @@
+//! Scalar types and values.
+
+use std::fmt;
+
+/// Physical data types supported by the engine's columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 32-bit signed integer.
+    Int32,
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE float.
+    Float64,
+    /// Dictionary-encoded string (u32 codes into a per-column dictionary).
+    Dict,
+}
+
+impl DataType {
+    /// Human-readable name (used in error messages).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataType::Int32 => "Int32",
+            DataType::Int64 => "Int64",
+            DataType::Float64 => "Float64",
+            DataType::Dict => "Dict",
+        }
+    }
+}
+
+/// A scalar value, used at plan boundaries and in query results. Hot paths
+/// use typed column slices instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit integer (Int32 columns widen to this).
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Decoded string from a dictionary column.
+    Str(String),
+    /// Missing / not-applicable.
+    Null,
+}
+
+impl Value {
+    /// Integer view, widening as needed; `None` for non-numeric values.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Float(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// Float view; `None` for non-numeric values.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_numeric_views() {
+        assert_eq!(Value::Int(3).as_i64(), Some(3));
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_i64(), Some(2));
+        assert_eq!(Value::Str("x".into()).as_i64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Str("abc".into()).to_string(), "abc");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

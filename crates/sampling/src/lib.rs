@@ -1,0 +1,42 @@
+//! # laqy-sampling
+//!
+//! Reservoir-based sampling primitives for the LAQy reproduction:
+//!
+//! - [`rng`]: low-overhead, inlineable random number generators. The hot
+//!   sampling paths use a 128-bit multiplicative Lehmer generator, the same
+//!   family the paper inlines into generated code to keep RNG state in
+//!   registers (paper §6.2, citing Park & Miller).
+//! - [`reservoir`]: single-reservoir sampling with Algorithm R admission and
+//!   a running *weight* (the number of considered elements), the state that
+//!   makes reservoirs mergeable (paper §5.1).
+//! - [`weighted`]: weighted reservoir sampling (Chao's algorithm), the
+//!   primitive behind proportional reservoir merging.
+//! - [`merge`]: reservoir merging (paper Algorithm 2) — merging `{R1, w1}`
+//!   and `{R2, w2}` yields `{Rm, w1 + w2}`, statistically equivalent to a
+//!   full resample of the combined input.
+//! - [`stratified`]: stratified reservoir sampling — a hash table of strata
+//!   keyed by the Query Column Set values, with admission state kept compact
+//!   and reservoir storage held behind a pointer (paper §4.1, §6.3).
+//! - [`stratified_merge`]: stratified sample merging (paper Algorithm 3) —
+//!   a group-by over strata keys whose aggregation function is Algorithm 2.
+//! - [`universe`]: hash-based universe sampling (Quickr-style), whose
+//!   join-consistency complements reservoir samplers.
+//!
+//! All sampling is deterministic given a seed, which the paper also relies on
+//! for repeatable experiments (§7, Workload).
+
+pub mod merge;
+pub mod reservoir;
+pub mod rng;
+pub mod stratified;
+pub mod stratified_merge;
+pub mod universe;
+pub mod weighted;
+
+pub use merge::{merge_reservoirs, merge_reservoirs_with_capacity};
+pub use reservoir::Reservoir;
+pub use rng::{Lehmer64, MinStd, SplitMix64};
+pub use stratified::{StratifiedSampler, StratumKey};
+pub use stratified_merge::merge_stratified;
+pub use universe::UniverseSampler;
+pub use weighted::WeightedReservoir;

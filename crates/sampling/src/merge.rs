@@ -1,0 +1,339 @@
+//! Reservoir merging — paper **Algorithm 2**.
+//!
+//! Two independent reservoirs `{R1, w1}` and `{R2, w2}` merge into
+//! `{Rm, w1 + w2}`, statistically equivalent to having run a single
+//! reservoir over the union of both original inputs, without touching the
+//! original data. The cases follow the paper exactly:
+//!
+//! - *only a single reservoir defined*: the defined one is the merge result
+//!   (`DefinedReservoir`);
+//! - *either reservoir array not full*: the not-full reservoir's items are
+//!   its complete considered population, so they can simply be offered into
+//!   the other reservoir with plain reservoir sampling
+//!   (`ReservoirSampling`);
+//! - *both full, `k1 == k2`*: `ProportionalSampling` — weighted reservoir
+//!   sampling where elements of `R_i` carry weight `w_i / k_i`, so `R1`
+//!   elements are selected with aggregate probability `w1 / (w1 + w2)`;
+//! - *both full, `k1 != k2`*: `ScaledPropSampling` — the same weighted
+//!   sampling; the per-element weight `w_i / k_i` is precisely the paper's
+//!   scaling of the weight factor by the reservoir-size ratio.
+
+use crate::reservoir::Reservoir;
+use crate::rng::Lehmer64;
+
+/// Merge two optional reservoirs into one with capacity
+/// `max(k1, k2)` (or the defined reservoir's capacity when only one input is
+/// defined). See [`merge_reservoirs_with_capacity`] to control the output
+/// capacity explicitly.
+///
+/// Panics if both inputs are `None` — a merge of two undefined reservoirs
+/// has no meaningful result and indicates a planning bug upstream.
+pub fn merge_reservoirs<T: Clone>(
+    r1: Option<&Reservoir<T>>,
+    r2: Option<&Reservoir<T>>,
+    rng: &mut Lehmer64,
+) -> Reservoir<T> {
+    let capacity = match (r1, r2) {
+        (Some(a), Some(b)) => a.capacity().max(b.capacity()),
+        (Some(a), None) => a.capacity(),
+        (None, Some(b)) => b.capacity(),
+        (None, None) => panic!("merge of two undefined reservoirs"),
+    };
+    merge_reservoirs_with_capacity(r1, r2, capacity, rng)
+}
+
+/// Merge two optional reservoirs into one with the given output capacity.
+pub fn merge_reservoirs_with_capacity<T: Clone>(
+    r1: Option<&Reservoir<T>>,
+    r2: Option<&Reservoir<T>>,
+    capacity: usize,
+    rng: &mut Lehmer64,
+) -> Reservoir<T> {
+    match (r1, r2) {
+        (None, None) => panic!("merge of two undefined reservoirs"),
+        // DefinedReservoir: only one input exists.
+        (Some(a), None) => resize_into(a, capacity, rng),
+        (None, Some(b)) => resize_into(b, capacity, rng),
+        (Some(a), Some(b)) => {
+            let a_population = !a.is_full() && a.weight() == a.len() as u64;
+            let b_population = !b.is_full() && b.weight() == b.len() as u64;
+            if a_population || b_population {
+                // ReservoirSampling path: offer the complete population of
+                // the not-full side into (a resized copy of) the other.
+                let (population, other) = if b_population { (b, a) } else { (a, b) };
+                // If both are complete populations, either order is valid.
+                let mut out = resize_into(other, capacity, rng);
+                out.offer_all(population.items(), rng);
+                out
+            } else {
+                // Proportional / ScaledProp sampling: weighted reservoir
+                // sampling with per-element weight w_i / |R_i|.
+                proportional_merge(a, b, capacity, rng)
+            }
+        }
+    }
+}
+
+/// Weighted merge of two (conceptually full) reservoirs.
+///
+/// Exact construction of a sample equivalent to a full resample of the
+/// union input: a uniform `k`-subset of the `w1 + w2` union tuples contains
+/// `C1 ~ Hypergeometric(w1 + w2, w1, k)` tuples from input 1, and
+/// conditioned on `C1` those tuples are a uniform subset of input 1 — which
+/// a uniform `C1`-subset of `R1`'s items also is (uniform subsample of a
+/// uniform sample). So: draw the per-source counts by sequential
+/// without-replacement draws at source granularity, then take uniform
+/// subsets of each reservoir's items. This is the paper's
+/// `ProportionalSampling`, and, because the counts are driven by the
+/// represented weights rather than the reservoir sizes, it degrades
+/// gracefully to `ScaledPropSampling` when `k1 != k2`.
+///
+/// The drawn count for a source must never exceed its retained items, or
+/// the merge would have to over-draw from the other source and bias the
+/// composition. The effective merged size is therefore capped at
+/// `min(capacity, |R1|, |R2|)`: for the common equal-`k` merge this is the
+/// full `k` (each side can always supply up to `k` items); for unequal
+/// sizes the merge shrinks to the smaller side's support — the honest
+/// `ScaledPropSampling` outcome, trading support for unbiasedness exactly
+/// as the paper trades support in under-supported strata (§5.2.3).
+fn proportional_merge<T: Clone>(
+    a: &Reservoir<T>,
+    b: &Reservoir<T>,
+    capacity: usize,
+    rng: &mut Lehmer64,
+) -> Reservoir<T> {
+    let k = capacity.min(a.len()).min(b.len());
+    // Sequential hypergeometric draw of how many of the k merged slots come
+    // from input A.
+    let mut remaining_a = a.weight();
+    let mut remaining_total = a.weight() + b.weight();
+    let mut take_a = 0usize;
+    for _ in 0..k {
+        if rng.next_below(remaining_total) < remaining_a {
+            take_a += 1;
+            remaining_a -= 1;
+        }
+        remaining_total -= 1;
+    }
+    let take_b = k - take_a;
+
+    let mut items = Vec::with_capacity(take_a + take_b);
+    sample_without_replacement(a.items(), take_a, rng, &mut items);
+    sample_without_replacement(b.items(), take_b, rng, &mut items);
+    Reservoir::from_parts(capacity, items, a.weight() + b.weight())
+}
+
+/// Append a uniform `count`-subset of `src` to `out` (partial Fisher–Yates
+/// over an index array).
+fn sample_without_replacement<T: Clone>(
+    src: &[T],
+    count: usize,
+    rng: &mut Lehmer64,
+    out: &mut Vec<T>,
+) {
+    debug_assert!(count <= src.len());
+    if count == src.len() {
+        out.extend_from_slice(src);
+        return;
+    }
+    let mut idx: Vec<u32> = (0..src.len() as u32).collect();
+    for i in 0..count {
+        let j = i + rng.next_index(idx.len() - i);
+        idx.swap(i, j);
+        out.push(src[idx[i] as usize].clone());
+    }
+}
+
+/// Copy a reservoir into a (possibly different) capacity.
+///
+/// Growing a full reservoir cannot recover items that were already sampled
+/// out, so the items are carried over as-is with the original weight — the
+/// sample stays valid, merely with less support than a native-capacity
+/// sample would have. Shrinking downsamples uniformly.
+fn resize_into<T: Clone>(r: &Reservoir<T>, capacity: usize, rng: &mut Lehmer64) -> Reservoir<T> {
+    if capacity == r.capacity() {
+        return r.clone();
+    }
+    if r.len() <= capacity {
+        return Reservoir::from_parts(capacity, r.items().to_vec(), r.weight());
+    }
+    // Downsample uniformly: plain reservoir over the retained items.
+    let mut out = Reservoir::new(capacity);
+    out.offer_all(r.items(), rng);
+    // The output represents the same considered population as the input;
+    // offer_all recorded len() offers, so reconcile to the true weight.
+    let already = out.weight();
+    out.add_weight(r.weight() - already);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_reservoir(k: usize, data: std::ops::Range<i64>, seed: u64) -> Reservoir<i64> {
+        let mut rng = Lehmer64::new(seed);
+        let mut r = Reservoir::new(k);
+        for i in data {
+            r.offer(i, &mut rng);
+        }
+        r
+    }
+
+    #[test]
+    fn merged_weight_is_sum_of_weights() {
+        let mut rng = Lehmer64::new(1);
+        let a = full_reservoir(10, 0..500, 2);
+        let b = full_reservoir(10, 500..1300, 3);
+        let m = merge_reservoirs(Some(&a), Some(&b), &mut rng);
+        assert_eq!(m.weight(), 1300);
+        assert_eq!(m.len(), 10);
+    }
+
+    #[test]
+    fn single_defined_reservoir_is_identity() {
+        let mut rng = Lehmer64::new(4);
+        let a = full_reservoir(8, 0..100, 5);
+        let m = merge_reservoirs(Some(&a), None, &mut rng);
+        assert_eq!(m, a);
+        let m2 = merge_reservoirs(None, Some(&a), &mut rng);
+        assert_eq!(m2, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined reservoirs")]
+    fn both_undefined_panics() {
+        let mut rng = Lehmer64::new(6);
+        let _: Reservoir<i64> = merge_reservoirs(None, None, &mut rng);
+    }
+
+    #[test]
+    fn not_full_side_streams_into_other() {
+        let mut rng = Lehmer64::new(7);
+        let a = full_reservoir(10, 0..1000, 8); // full
+        let b = full_reservoir(10, 1000..1004, 9); // 4 items, population
+        let m = merge_reservoirs(Some(&a), Some(&b), &mut rng);
+        assert_eq!(m.weight(), 1004);
+        assert_eq!(m.len(), 10);
+    }
+
+    #[test]
+    fn two_small_populations_concatenate() {
+        let mut rng = Lehmer64::new(10);
+        let a = full_reservoir(10, 0..3, 11);
+        let b = full_reservoir(10, 3..6, 12);
+        let m = merge_reservoirs(Some(&a), Some(&b), &mut rng);
+        assert_eq!(m.weight(), 6);
+        let mut items = m.into_items();
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn merged_items_come_from_inputs_without_duplicates() {
+        let mut rng = Lehmer64::new(13);
+        let a = full_reservoir(20, 0..5000, 14);
+        let b = full_reservoir(20, 5000..9000, 15);
+        let m = merge_reservoirs(Some(&a), Some(&b), &mut rng);
+        let mut items = m.items().to_vec();
+        let before = items.len();
+        items.sort_unstable();
+        items.dedup();
+        assert_eq!(items.len(), before, "merge must not duplicate items");
+        for &x in &items {
+            assert!(a.items().contains(&x) || b.items().contains(&x));
+        }
+    }
+
+    #[test]
+    fn proportional_representation_tracks_weights() {
+        // R1 represents 9000 tuples, R2 represents 1000: after many merges
+        // roughly 90% of merged items should come from R1's input domain.
+        let trials = 1500;
+        let mut from_a = 0usize;
+        let mut total = 0usize;
+        for t in 0..trials {
+            let a = full_reservoir(20, 0..9000, 100 + t);
+            let b = full_reservoir(20, 9000..10_000, 5000 + t);
+            let mut rng = Lehmer64::new(9000 + t);
+            let m = merge_reservoirs(Some(&a), Some(&b), &mut rng);
+            from_a += m.items().iter().filter(|&&x| x < 9000).count();
+            total += m.len();
+        }
+        let frac = from_a as f64 / total as f64;
+        assert!(
+            (frac - 0.9).abs() < 0.03,
+            "fraction from R1 {frac} should track w1/(w1+w2) = 0.9"
+        );
+    }
+
+    #[test]
+    fn scaled_prop_sampling_handles_unequal_k() {
+        // k1=30 over 3000 tuples, k2=10 over 3000 tuples. Both represent the
+        // same input size, so each side should contribute ~half of the
+        // merged sample despite unequal reservoir sizes.
+        let trials = 1500;
+        let mut from_a = 0usize;
+        let mut total = 0usize;
+        for t in 0..trials {
+            let a = full_reservoir(30, 0..3000, 200 + t);
+            let b = full_reservoir(10, 3000..6000, 7000 + t);
+            let mut rng = Lehmer64::new(40_000 + t);
+            let m = merge_reservoirs_with_capacity(Some(&a), Some(&b), 20, &mut rng);
+            assert_eq!(m.weight(), 6000);
+            // Effective size caps at the smaller side's support (10) so the
+            // composition stays unbiased.
+            assert_eq!(m.len(), 10);
+            from_a += m.items().iter().filter(|&&x| x < 3000).count();
+            total += m.len();
+        }
+        let frac = from_a as f64 / total as f64;
+        assert!(
+            (frac - 0.5).abs() < 0.03,
+            "unequal-k merge should weight by represented input, got {frac}"
+        );
+    }
+
+    #[test]
+    fn merge_equals_full_resample_statistically() {
+        // Key property from §5.1: merging two reservoirs over disjoint
+        // inputs is statistically equivalent to one reservoir over the
+        // union. Compare per-element inclusion frequency of a merged sample
+        // against the analytic k/n.
+        let k = 10;
+        let n = 400; // 0..300 in R1, 300..400 in R2
+        let trials = 6000;
+        let mut incl_first = 0usize; // element 0 (in R1's domain)
+        let mut incl_late = 0usize; // element 399 (in R2's domain)
+        for t in 0..trials {
+            let a = full_reservoir(k, 0..300, 3 * t + 1);
+            let b = full_reservoir(k, 300..400, 3 * t + 2);
+            let mut rng = Lehmer64::new(3 * t + 3);
+            let m = merge_reservoirs(Some(&a), Some(&b), &mut rng);
+            if m.items().contains(&0) {
+                incl_first += 1;
+            }
+            if m.items().contains(&399) {
+                incl_late += 1;
+            }
+        }
+        let expected = trials as f64 * k as f64 / n as f64; // 150
+        for c in [incl_first, incl_late] {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(
+                dev < 0.15,
+                "merged inclusion {c} deviates {dev:.3} from full-resample expectation {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn shrinking_resize_preserves_weight() {
+        let mut rng = Lehmer64::new(50);
+        let a = full_reservoir(20, 0..100, 51);
+        let m = merge_reservoirs_with_capacity(Some(&a), None, 5, &mut rng);
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.weight(), 100);
+        assert_eq!(m.capacity(), 5);
+    }
+}

@@ -1,0 +1,160 @@
+//! Stratified sample merging — paper **Algorithm 3**.
+//!
+//! Merging two stratified samples is a group-by over the union of their
+//! strata keys whose aggregation function is reservoir merging
+//! (Algorithm 2): strata present in both inputs merge proportionally;
+//! strata present in only one input pass through via the
+//! `DefinedReservoir` case.
+
+use crate::merge::merge_reservoirs_with_capacity;
+use crate::rng::Lehmer64;
+use crate::stratified::{StratifiedSampler, StratumKey};
+
+/// Merge two stratified samples into a new one whose per-stratum reservoirs
+/// are Algorithm-2 merges. The output capacity is the maximum of the two
+/// input capacities (`ScaledPropSampling` reconciles unequal sizes).
+pub fn merge_stratified<K: StratumKey, T: Clone>(
+    a: StratifiedSampler<K, T>,
+    b: StratifiedSampler<K, T>,
+    rng: &mut Lehmer64,
+) -> StratifiedSampler<K, T> {
+    let capacity = a.capacity().max(b.capacity());
+    let mut out = StratifiedSampler::with_strata_hint(capacity, a.num_strata() + b.num_strata());
+
+    // Index B's strata by key so we can pair them with A's.
+    let mut b_strata: std::collections::HashMap<K, crate::reservoir::Reservoir<T>> =
+        b.into_strata().collect();
+
+    for (key, ra) in a.into_strata() {
+        let merged = match b_strata.remove(&key) {
+            Some(rb) => merge_reservoirs_with_capacity(Some(&ra), Some(&rb), capacity, rng),
+            // DefinedReservoir pass-through: move the stratum without
+            // copying its tuple storage (§6.3's zero-copy ownership
+            // transfer matters here — merges touch only sample data, and
+            // pass-through strata shouldn't even touch that).
+            None => move_into_capacity(ra, capacity, rng),
+        };
+        out.insert_stratum(key, merged);
+    }
+    // Strata only present in B.
+    for (key, rb) in b_strata {
+        out.insert_stratum(key, move_into_capacity(rb, capacity, rng));
+    }
+    out
+}
+
+/// Move a reservoir into the output capacity without cloning its items;
+/// downsample only if it holds more items than the target capacity allows.
+fn move_into_capacity<T: Clone>(
+    r: crate::reservoir::Reservoir<T>,
+    capacity: usize,
+    rng: &mut Lehmer64,
+) -> crate::reservoir::Reservoir<T> {
+    if r.capacity() == capacity {
+        return r;
+    }
+    if r.len() <= capacity {
+        let weight = r.weight();
+        return crate::reservoir::Reservoir::from_parts(capacity, r.into_items(), weight);
+    }
+    merge_reservoirs_with_capacity(Some(&r), None, capacity, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(keys: i64, n: i64, k: usize, seed: u64, offset: i64) -> StratifiedSampler<i64, i64> {
+        let mut rng = Lehmer64::new(seed);
+        let mut s = StratifiedSampler::new(k);
+        for i in 0..n {
+            s.offer(i % keys, offset + i, &mut rng);
+        }
+        s
+    }
+
+    #[test]
+    fn union_of_strata_keys() {
+        let mut rng = Lehmer64::new(1);
+        let a = build(3, 300, 4, 2, 0); // strata 0,1,2
+        let mut b = StratifiedSampler::new(4);
+        let mut rng_b = Lehmer64::new(3);
+        for i in 0..100 {
+            b.offer(2 + (i % 3), 10_000 + i, &mut rng_b); // strata 2,3,4
+        }
+        let m = merge_stratified(a, b, &mut rng);
+        assert_eq!(m.num_strata(), 5);
+        assert_eq!(m.total_weight(), 400);
+    }
+
+    #[test]
+    fn disjoint_strata_pass_through_unchanged() {
+        let mut rng = Lehmer64::new(4);
+        let a = build(2, 200, 5, 5, 0);
+        let mut b = StratifiedSampler::new(5);
+        let mut rng_b = Lehmer64::new(6);
+        for i in 0..50 {
+            b.offer(100 + (i % 2), i, &mut rng_b);
+        }
+        let a_items0: Vec<i64> = a.stratum(&0).unwrap().0.to_vec();
+        let m = merge_stratified(a, b, &mut rng);
+        let (items0, w0) = m.stratum(&0).unwrap();
+        assert_eq!(items0, a_items0.as_slice());
+        assert_eq!(w0, 100);
+    }
+
+    #[test]
+    fn shared_strata_merge_weights() {
+        let mut rng = Lehmer64::new(7);
+        let a = build(4, 400, 3, 8, 0);
+        let b = build(4, 800, 3, 9, 100_000);
+        let m = merge_stratified(a, b, &mut rng);
+        assert_eq!(m.num_strata(), 4);
+        for key in 0..4 {
+            let (_, w) = m.stratum(&key).unwrap();
+            assert_eq!(w, 100 + 200, "per-stratum weights must add");
+        }
+    }
+
+    #[test]
+    fn unequal_capacities_take_max() {
+        let mut rng = Lehmer64::new(10);
+        let a = build(2, 1000, 8, 11, 0);
+        let b = build(2, 1000, 4, 12, 50_000);
+        let m = merge_stratified(a, b, &mut rng);
+        assert_eq!(m.capacity(), 8);
+        assert_eq!(m.total_weight(), 2000);
+    }
+
+    #[test]
+    fn merged_stratum_tracks_proportions() {
+        // Stratum 0: A considered 9000, B considered 1000 — merged stratum
+        // should hold ~90% A items.
+        let trials = 800;
+        let mut from_a = 0usize;
+        let mut total = 0usize;
+        for t in 0..trials {
+            let mut a = StratifiedSampler::new(10);
+            let mut rng_a = Lehmer64::new(20 + t);
+            for i in 0..9000 {
+                a.offer(0i64, i, &mut rng_a);
+            }
+            let mut b = StratifiedSampler::new(10);
+            let mut rng_b = Lehmer64::new(5000 + t);
+            for i in 0..1000 {
+                b.offer(0i64, 100_000 + i, &mut rng_b);
+            }
+            let mut rng = Lehmer64::new(90_000 + t);
+            let m = merge_stratified(a, b, &mut rng);
+            let (items, w) = m.stratum(&0).unwrap();
+            assert_eq!(w, 10_000);
+            from_a += items.iter().filter(|&&x| x < 100_000).count();
+            total += items.len();
+        }
+        let frac = from_a as f64 / total as f64;
+        assert!(
+            (frac - 0.9).abs() < 0.03,
+            "stratum merge should track weights, got {frac}"
+        );
+    }
+}

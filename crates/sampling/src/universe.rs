@@ -1,0 +1,207 @@
+//! Universe (hash-based) sampling.
+//!
+//! The online-AQP systems LAQy builds on (Quickr, and the big-data
+//! production experience report it cites) complement reservoir samplers
+//! with *universe* sampling: a row qualifies iff a hash of its key falls
+//! below a threshold `p · 2^64`. The decisive property is **consistency**:
+//! two relations universe-sampled on the same join key at the same rate
+//! keep exactly the matching keys on both sides, so samples commute with
+//! joins — something row-level Bernoulli or reservoir sampling cannot do.
+//!
+//! Universe samples over the same key domain are also trivially mergeable:
+//! the sample at rate `min(p1, p2)` is a subset of both inputs, and two
+//! samples at the same rate over disjoint inputs union directly — the same
+//! non-overlap requirement LAQy's Δ-merging relies on.
+
+use std::hash::{BuildHasher, BuildHasherDefault, Hash};
+
+use crate::stratified::FxHasher;
+
+/// A deterministic universe sampler over a key domain.
+///
+/// ```
+/// use laqy_sampling::UniverseSampler;
+///
+/// let sampler = UniverseSampler::new(0.1, 42);
+/// // Admission depends only on the key: both sides of a join agree.
+/// for key in 0..100i64 {
+///     assert_eq!(sampler.admits(&key), sampler.admits(&key));
+/// }
+/// assert_eq!(sampler.scale(), 10.0); // each admitted key stands for 10
+/// ```
+#[derive(Debug, Clone)]
+pub struct UniverseSampler {
+    threshold: u64,
+    rate: f64,
+    seed: u64,
+}
+
+impl UniverseSampler {
+    /// Create a sampler admitting keys with probability `rate` ∈ [0, 1].
+    /// `seed` decorrelates samplers over the same domain.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        let threshold = if rate >= 1.0 {
+            u64::MAX
+        } else {
+            (rate * u64::MAX as f64) as u64
+        };
+        Self {
+            threshold,
+            rate,
+            seed,
+        }
+    }
+
+    /// The sampling rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// True iff `key` belongs to the sampled universe.
+    #[inline]
+    pub fn admits<K: Hash>(&self, key: &K) -> bool {
+        let bh: BuildHasherDefault<FxHasher> = BuildHasherDefault::default();
+        // Mix the seed into the key hash so different samplers disagree.
+        let h = bh.hash_one((self.seed, key));
+        h <= self.threshold
+    }
+
+    /// Filter an iterator down to the sampled universe.
+    pub fn filter<'a, K: Hash + 'a>(
+        &'a self,
+        keys: impl Iterator<Item = K> + 'a,
+    ) -> impl Iterator<Item = K> + 'a {
+        keys.filter(move |k| self.admits(k))
+    }
+
+    /// Horvitz–Thompson scale factor for estimates over this sample
+    /// (each admitted key stands for `1 / rate` keys).
+    pub fn scale(&self) -> f64 {
+        if self.rate == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.rate
+        }
+    }
+
+    /// The stricter of two samplers over the same domain (same seed): the
+    /// lower-rate sample is a subset of the higher-rate one, so the
+    /// intersection is just the lower rate.
+    pub fn intersect(&self, other: &UniverseSampler) -> Option<UniverseSampler> {
+        (self.seed == other.seed).then(|| UniverseSampler {
+            threshold: self.threshold.min(other.threshold),
+            rate: self.rate.min(other.rate),
+            seed: self.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_controls_admission_fraction() {
+        for rate in [0.01f64, 0.1, 0.5, 0.9] {
+            let s = UniverseSampler::new(rate, 7);
+            let n = 100_000;
+            let admitted = (0..n).filter(|k| s.admits(k)).count();
+            let observed = admitted as f64 / n as f64;
+            assert!(
+                (observed - rate).abs() < 0.01,
+                "rate {rate}: observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_rates() {
+        let all = UniverseSampler::new(1.0, 1);
+        assert!((0..1000).all(|k| all.admits(&k)));
+        let none = UniverseSampler::new(0.0, 1);
+        // Hash equal to 0 would still pass `<= 0`; over 1000 keys the
+        // chance is ~0 but allow a stray.
+        assert!((0..1000).filter(|k| none.admits(k)).count() <= 1);
+        assert!(none.scale().is_infinite());
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = UniverseSampler::new(0.3, 1);
+        let b = UniverseSampler::new(0.3, 1);
+        let c = UniverseSampler::new(0.3, 2);
+        let pick = |s: &UniverseSampler| -> Vec<i64> { (0..500).filter(|k| s.admits(k)).collect() };
+        assert_eq!(pick(&a), pick(&b));
+        assert_ne!(pick(&a), pick(&c));
+    }
+
+    #[test]
+    fn join_consistency() {
+        // The defining property: sampling both join sides on the same key
+        // universe keeps matches aligned — every admitted key on side A
+        // with a partner in B finds that partner admitted too.
+        let s = UniverseSampler::new(0.2, 42);
+        let left: Vec<i64> = (0..10_000).collect();
+        let right: Vec<i64> = (5_000..15_000).collect();
+        let left_sampled: std::collections::HashSet<i64> =
+            s.filter(left.iter().copied()).collect();
+        let right_sampled: std::collections::HashSet<i64> =
+            s.filter(right.iter().copied()).collect();
+        for k in 5_000..15_000i64 {
+            if k < 10_000 {
+                assert_eq!(
+                    left_sampled.contains(&k),
+                    right_sampled.contains(&k),
+                    "key {k} admitted inconsistently"
+                );
+            }
+        }
+        // And the join of the samples is the sample of the join.
+        let join_then_sample: Vec<i64> =
+            (5_000..10_000).filter(|k| s.admits(k)).collect();
+        let sample_then_join: Vec<i64> = left_sampled
+            .intersection(&right_sampled)
+            .copied()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        assert_eq!(
+            join_then_sample,
+            sample_then_join,
+            "universe sampling must commute with the join"
+        );
+    }
+
+    #[test]
+    fn lower_rate_is_subset() {
+        let coarse = UniverseSampler::new(0.5, 9);
+        let fine = UniverseSampler::new(0.1, 9);
+        for k in 0..5_000i64 {
+            if fine.admits(&k) {
+                assert!(coarse.admits(&k), "rate nesting violated at {k}");
+            }
+        }
+        let inter = coarse.intersect(&fine).unwrap();
+        assert_eq!(inter.rate(), 0.1);
+        assert!(coarse.intersect(&UniverseSampler::new(0.5, 10)).is_none());
+    }
+
+    #[test]
+    fn ht_scaling_recovers_counts() {
+        let s = UniverseSampler::new(0.25, 3);
+        let n = 200_000;
+        let admitted = (0..n).filter(|k| s.admits(k)).count();
+        let estimate = admitted as f64 * s.scale();
+        assert!(
+            (estimate - n as f64).abs() / (n as f64) < 0.02,
+            "HT estimate {estimate} vs {n}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn bad_rate_rejected() {
+        let _ = UniverseSampler::new(1.5, 0);
+    }
+}

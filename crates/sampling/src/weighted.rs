@@ -1,0 +1,241 @@
+//! Weighted reservoir sampling (paper citation \[7\], \[41\]).
+//!
+//! [`WeightedReservoir`] implements the Efraimidis–Spirakis (A-Res) scheme:
+//! each item draws key `u^(1/w)` for `u ~ U(0,1)` and the reservoir keeps
+//! the `k` items with the largest keys. This yields exact
+//! weighted-random-sampling-without-replacement semantics for arbitrary
+//! per-item weights, including weights large enough that a naive
+//! admit-with-probability implementation would have to clamp probabilities
+//! above one (the case that arises when merging reservoirs with very
+//! different represented populations).
+//!
+//! The reservoir *merge* path (paper Algorithm 2) does not stream through
+//! this type — it uses the exact hypergeometric split in [`crate::merge`] —
+//! but this sampler is exposed as a general primitive and is used by tests
+//! to cross-check merge proportions.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::rng::Lehmer64;
+
+/// Heap entry: min-heap on key so the smallest key is evicted first.
+struct Entry<T> {
+    key: f64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap; we want the minimum key on top.
+        other.key.partial_cmp(&self.key).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Efraimidis–Spirakis weighted reservoir sampler.
+pub struct WeightedReservoir<T> {
+    capacity: usize,
+    heap: BinaryHeap<Entry<T>>,
+    total_weight: f64,
+}
+
+impl<T> WeightedReservoir<T> {
+    /// Create an empty weighted reservoir with capacity `k`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be nonzero");
+        Self {
+            capacity,
+            heap: BinaryHeap::with_capacity(capacity + 1),
+            total_weight: 0.0,
+        }
+    }
+
+    /// Number of retained items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no items are retained.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Running sum of offered weights.
+    #[inline]
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Consider one item with the given positive weight.
+    #[inline]
+    pub fn offer(&mut self, item: T, weight: f64, rng: &mut Lehmer64) {
+        debug_assert!(weight > 0.0, "weights must be positive");
+        self.total_weight += weight;
+        // Key u^(1/w); computed in log-space for numerical stability:
+        // ln(key) = ln(u) / w, and comparing keys is equivalent to
+        // comparing log-keys.
+        let u = rng.next_f64().max(f64::MIN_POSITIVE);
+        let log_key = u.ln() / weight;
+        if self.heap.len() < self.capacity {
+            self.heap.push(Entry {
+                key: log_key,
+                item,
+            });
+        } else if let Some(min) = self.heap.peek() {
+            if log_key > min.key {
+                self.heap.pop();
+                self.heap.push(Entry {
+                    key: log_key,
+                    item,
+                });
+            }
+        }
+    }
+
+    /// Consume the sampler, returning the retained items (unspecified order).
+    pub fn into_items(self) -> Vec<T> {
+        self.heap.into_iter().map(|e| e.item).collect()
+    }
+
+    /// Retained items, collected by reference (unspecified order).
+    pub fn items(&self) -> Vec<&T> {
+        self.heap.iter().map(|e| &e.item).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contains<T: PartialEq>(wr: &WeightedReservoir<T>, x: &T) -> bool {
+        wr.heap.iter().any(|e| &e.item == x)
+    }
+
+    #[test]
+    fn keeps_all_below_capacity() {
+        let mut rng = Lehmer64::new(1);
+        let mut wr = WeightedReservoir::new(5);
+        for i in 0..3 {
+            wr.offer(i, 1.0, &mut rng);
+        }
+        let mut items = wr.into_items();
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn len_bounded_by_capacity() {
+        let mut rng = Lehmer64::new(2);
+        let mut wr = WeightedReservoir::new(4);
+        for i in 0..1000 {
+            wr.offer(i, 1.0 + (i % 7) as f64, &mut rng);
+        }
+        assert_eq!(wr.len(), 4);
+    }
+
+    #[test]
+    fn total_weight_accumulates() {
+        let mut rng = Lehmer64::new(3);
+        let mut wr = WeightedReservoir::new(2);
+        wr.offer(1, 2.5, &mut rng);
+        wr.offer(2, 1.5, &mut rng);
+        wr.offer(3, 6.0, &mut rng);
+        assert!((wr.total_weight() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_weights_behave_uniformly() {
+        // With all weights equal, A-Res degenerates to uniform sampling
+        // without replacement: inclusion probability k/n for every element.
+        let k = 8;
+        let n = 100;
+        let trials = 5000;
+        let mut count_first = 0usize;
+        let mut count_last = 0usize;
+        for t in 0..trials {
+            let mut rng = Lehmer64::new(500 + t as u64);
+            let mut wr = WeightedReservoir::new(k);
+            for i in 0..n {
+                wr.offer(i, 1.0, &mut rng);
+            }
+            if contains(&wr, &0) {
+                count_first += 1;
+            }
+            if contains(&wr, &(n - 1)) {
+                count_last += 1;
+            }
+        }
+        // p = 0.08, sigma = sqrt(trials * p * (1-p)) ~ 19.2; allow 4.5 sigma.
+        let expected = trials as f64 * k as f64 / n as f64;
+        let sigma = (trials as f64 * 0.08 * 0.92).sqrt();
+        for c in [count_first, count_last] {
+            assert!(
+                (c as f64 - expected).abs() < 4.5 * sigma,
+                "inclusion {c} too far from {expected} (sigma {sigma:.1})"
+            );
+        }
+    }
+
+    #[test]
+    fn heavier_items_dominate() {
+        // Weight-9 vs weight-1 items in equal numbers: the heavy class
+        // should fill most of the reservoir.
+        let trials = 2000;
+        let mut heavy_total = 0usize;
+        for t in 0..trials {
+            let mut rng = Lehmer64::new(91 + t as u64);
+            let mut wr = WeightedReservoir::new(10);
+            for i in 0..200 {
+                let heavy = i % 2 == 0;
+                wr.offer(heavy, if heavy { 9.0 } else { 1.0 }, &mut rng);
+            }
+            heavy_total += wr.items().iter().filter(|&&&h| h).count();
+        }
+        let frac = heavy_total as f64 / (trials * 10) as f64;
+        assert!(frac > 0.8, "heavy fraction {frac} should dominate");
+    }
+
+    #[test]
+    fn extreme_weights_always_survive() {
+        // An item with overwhelming weight must essentially always be kept,
+        // even when offered early (the case a clamped admit-probability
+        // implementation gets wrong).
+        let trials = 500;
+        let mut kept = 0usize;
+        for t in 0..trials {
+            let mut rng = Lehmer64::new(7 + t as u64);
+            let mut wr = WeightedReservoir::new(3);
+            wr.offer(-1i64, 1e9, &mut rng);
+            for i in 0..100 {
+                wr.offer(i, 1.0, &mut rng);
+            }
+            if contains(&wr, &-1) {
+                kept += 1;
+            }
+        }
+        assert!(
+            kept >= trials - 2,
+            "heavy item evicted {} times",
+            trials - kept
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_rejected() {
+        let _: WeightedReservoir<u8> = WeightedReservoir::new(0);
+    }
+}

@@ -1,0 +1,19 @@
+//! # laqy-workload
+//!
+//! Workload substrate for the LAQy reproduction: a Star Schema Benchmark
+//! data generator with the paper's added `lo_intkey` selectivity-control
+//! column ([`ssb`]), the exploratory query-sequence generators driving the
+//! reuse evaluation ([`sequences`]), and the paper's query templates Strat,
+//! Q1, and Q2 ([`queries`]).
+
+#![warn(missing_docs)]
+
+pub mod queries;
+pub mod sequences;
+pub mod ssb;
+pub mod ssb_queries;
+
+pub use queries::{q1, q2, qcs_cardinality, qcs_columns, strat};
+pub use sequences::{long_running, selectivity, short_running, ExploreConfig};
+pub use ssb::{generate, SsbConfig, REGIONS};
+pub use ssb_queries::all_queries;

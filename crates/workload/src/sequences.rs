@@ -1,0 +1,248 @@
+//! Exploratory query-sequence generators (paper §7, Workload).
+//!
+//! Two sequence shapes drive the reuse evaluation:
+//!
+//! - **Long-running analysis**: one user runs the query template over 50
+//!   iterations, progressively extending the value range, narrowing it, or
+//!   keeping it, with rate `r = 0.3` for same-or-narrower steps.
+//! - **Short-running analyses**: 60 queries split into 3 × 20 batches; each
+//!   batch restarts the analysis at a fresh uniformly-random focus region
+//!   (the "user changes the focus of interest" scenario — cold starts at
+//!   queries 0, 20, 40 in Figure 13).
+//!
+//! As in the paper: "We select the starting point uniformly at random in
+//! the value interval, use geometric distribution to instantiate the
+//! per-query value range around the starting point, and use r = 0.3 as the
+//! rate when the same or narrower value range occurs." Generator seeds are
+//! fixed for repeatable, mutually-comparable experiments.
+
+use laqy::Interval;
+use laqy_sampling::Lehmer64;
+
+/// Sequence generator parameters.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Number of queries (per batch for the short-running shape).
+    pub n_queries: usize,
+    /// Value domain of the explored column (`lo_intkey` ∈ [0, n)).
+    pub domain: Interval,
+    /// Rate `r` of same-or-narrower steps (paper: 0.3).
+    pub rate_same_or_narrower: f64,
+    /// Success probability of the geometric step distribution; smaller
+    /// values mean larger range extensions.
+    pub growth_p: f64,
+    /// Step unit as a fraction of the domain (each geometric draw extends
+    /// a range edge by `draw × unit_fraction × |domain|`).
+    pub unit_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ExploreConfig {
+    /// The paper's long-running setup: 50 queries, r = 0.3.
+    pub fn long_running(domain: Interval, seed: u64) -> Self {
+        Self {
+            n_queries: 50,
+            domain,
+            rate_same_or_narrower: 0.3,
+            growth_p: 0.5,
+            unit_fraction: 0.01,
+            seed,
+        }
+    }
+
+    /// One short-running batch: 20 queries, r = 0.3.
+    pub fn short_batch(domain: Interval, seed: u64) -> Self {
+        Self {
+            n_queries: 20,
+            domain,
+            rate_same_or_narrower: 0.3,
+            growth_p: 0.5,
+            unit_fraction: 0.01,
+            seed,
+        }
+    }
+}
+
+/// Draw from a geometric distribution with success probability `p`
+/// (support 1, 2, ...), via inversion.
+fn geometric(rng: &mut Lehmer64, p: f64) -> u64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+    let u = rng.next_f64().max(f64::MIN_POSITIVE);
+    (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u64
+}
+
+/// Generate a long-running exploration: per-query inclusive ranges on the
+/// domain.
+pub fn long_running(cfg: &ExploreConfig) -> Vec<Interval> {
+    let mut rng = Lehmer64::new(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.n_queries);
+    if cfg.n_queries == 0 {
+        return out;
+    }
+    let domain_width = cfg.domain.width() as f64;
+    let unit = ((domain_width * cfg.unit_fraction).round() as i64).max(1);
+
+    // Initial range around a uniform starting point, geometric width.
+    let start = rng.next_range_i64(cfg.domain.lo, cfg.domain.hi);
+    let half = geometric(&mut rng, cfg.growth_p) as i64 * unit / 2;
+    let mut lo = (start - half).max(cfg.domain.lo);
+    let mut hi = (start + half).min(cfg.domain.hi);
+    out.push(Interval::new(lo, hi));
+
+    for _ in 1..cfg.n_queries {
+        if rng.next_f64() < cfg.rate_same_or_narrower {
+            // Same or narrower: half the time identical, otherwise shrink
+            // each edge by up to a quarter of the current width.
+            if rng.next_f64() < 0.5 {
+                out.push(Interval::new(lo, hi));
+                continue;
+            }
+            let width = hi - lo;
+            let shrink_lo = rng.next_below((width / 4 + 1) as u64) as i64;
+            let shrink_hi = rng.next_below((width / 4 + 1) as u64) as i64;
+            let (nlo, nhi) = (lo + shrink_lo, hi - shrink_hi);
+            // A narrower query does not move the running extent.
+            out.push(Interval::new(nlo.min(nhi), nhi.max(nlo)));
+        } else {
+            // Extend: geometric increments on one or both edges.
+            let grow_lo = geometric(&mut rng, cfg.growth_p) as i64 * unit;
+            let grow_hi = geometric(&mut rng, cfg.growth_p) as i64 * unit;
+            match rng.next_below(3) {
+                0 => lo = (lo - grow_lo).max(cfg.domain.lo),
+                1 => hi = (hi + grow_hi).min(cfg.domain.hi),
+                _ => {
+                    lo = (lo - grow_lo).max(cfg.domain.lo);
+                    hi = (hi + grow_hi).min(cfg.domain.hi);
+                }
+            }
+            out.push(Interval::new(lo, hi));
+        }
+    }
+    out
+}
+
+/// Generate a short-running exploration: `batches` independent analyses of
+/// `cfg.n_queries` each, every batch restarting at a fresh focus region.
+pub fn short_running(cfg: &ExploreConfig, batches: usize) -> Vec<Interval> {
+    let mut out = Vec::with_capacity(batches * cfg.n_queries);
+    for b in 0..batches {
+        let batch_cfg = ExploreConfig {
+            seed: cfg.seed.wrapping_add(0x9E37 * (b as u64 + 1)),
+            ..cfg.clone()
+        };
+        out.extend(long_running(&batch_cfg));
+    }
+    out
+}
+
+/// Selectivity of a range over the domain (Figure 9's y-axis).
+pub fn selectivity(range: &Interval, domain: &Interval) -> f64 {
+    range
+        .intersect(domain)
+        .map(|iv| iv.width() as f64 / domain.width() as f64)
+        .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> Interval {
+        Interval::new(0, 599_999)
+    }
+
+    #[test]
+    fn long_sequence_shape() {
+        let cfg = ExploreConfig::long_running(domain(), 42);
+        let seq = long_running(&cfg);
+        assert_eq!(seq.len(), 50);
+        for iv in &seq {
+            assert!(iv.lo >= domain().lo && iv.hi <= domain().hi);
+        }
+    }
+
+    #[test]
+    fn ranges_mostly_grow() {
+        let cfg = ExploreConfig::long_running(domain(), 7);
+        let seq = long_running(&cfg);
+        // The final extent should be significantly wider than the initial
+        // range — extensions dominate at r = 0.3.
+        let first = seq[0].width();
+        let max_width = seq.iter().map(|iv| iv.width()).max().unwrap();
+        assert!(
+            max_width > first * 2,
+            "extent should grow: first {first}, max {max_width}"
+        );
+    }
+
+    #[test]
+    fn some_steps_repeat_or_narrow() {
+        let cfg = ExploreConfig::long_running(domain(), 3);
+        let seq = long_running(&cfg);
+        let non_growing = seq
+            .windows(2)
+            .filter(|w| w[1].width() <= w[0].width())
+            .count();
+        assert!(
+            non_growing >= 5,
+            "expect same/narrower steps at r=0.3, got {non_growing}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ExploreConfig::long_running(domain(), 11);
+        assert_eq!(long_running(&cfg), long_running(&cfg));
+        let cfg2 = ExploreConfig {
+            seed: 12,
+            ..cfg.clone()
+        };
+        assert_ne!(long_running(&cfg), long_running(&cfg2));
+    }
+
+    #[test]
+    fn short_running_has_batches() {
+        let cfg = ExploreConfig::short_batch(domain(), 21);
+        let seq = short_running(&cfg, 3);
+        assert_eq!(seq.len(), 60);
+        // Batch starts (0, 20, 40) should target different focus regions:
+        // their midpoints should not coincide.
+        let mid = |iv: &Interval| (iv.lo + iv.hi) / 2;
+        let m0 = mid(&seq[0]);
+        let m1 = mid(&seq[20]);
+        let m2 = mid(&seq[40]);
+        assert!(m0 != m1 && m1 != m2 && m0 != m2);
+    }
+
+    #[test]
+    fn selectivity_computation() {
+        let d = Interval::new(0, 99);
+        assert_eq!(selectivity(&Interval::new(0, 49), &d), 0.5);
+        assert_eq!(selectivity(&Interval::new(0, 99), &d), 1.0);
+        assert_eq!(selectivity(&Interval::new(200, 300), &d), 0.0);
+    }
+
+    #[test]
+    fn geometric_draws_have_expected_mean() {
+        let mut rng = Lehmer64::new(5);
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| geometric(&mut rng, 0.5)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "geometric(0.5) mean {mean} != 2");
+    }
+
+    #[test]
+    fn cumulative_extent_is_monotone_under_extension() {
+        // The running [lo, hi] extent never shrinks across the sequence
+        // (narrow steps report a sub-range but do not move the extent).
+        let cfg = ExploreConfig::long_running(domain(), 99);
+        let seq = long_running(&cfg);
+        let mut extent = seq[0];
+        for iv in &seq[1..] {
+            let new_extent = Interval::new(extent.lo.min(iv.lo), extent.hi.max(iv.hi));
+            assert!(new_extent.width() >= extent.width());
+            extent = new_extent;
+        }
+    }
+}

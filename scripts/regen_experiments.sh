@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure (plus the repo's own ablation and
+# sensitivity experiments) into figures_sf<SF>.txt. Run on an otherwise
+# idle machine: the harness measures wall time.
+set -euo pipefail
+SF="${1:-0.1}"
+cd "$(dirname "$0")/.."
+cargo build --release -p laqy-bench
+./target/release/figures --sf "$SF" all seeds rates > "figures_sf${SF}.txt"
+echo "wrote figures_sf${SF}.txt"

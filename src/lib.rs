@@ -1,0 +1,5 @@
+//! Integration-test and example host for the LAQy workspace; see the README.
+pub use laqy;
+pub use laqy_engine;
+pub use laqy_sampling;
+pub use laqy_workload;

@@ -1,0 +1,144 @@
+//! Statistical validation of the paper's central guarantee: lazy sampling
+//! accelerates AQP **without loss of approximation guarantees**. These
+//! tests measure estimator bias and CI coverage over repeated seeds, for
+//! fresh online samples and for merged (partial-reuse) samples alike.
+
+use laqy::{Interval, LaqySession, ReuseClass, SessionConfig};
+use laqy_engine::{Catalog, Value};
+use laqy_workload::{generate, q1, SsbConfig};
+
+fn catalog() -> Catalog {
+    generate(&SsbConfig {
+        scale_factor: 0.003, // 18k fact rows
+        seed: 0x57A7,
+    })
+}
+
+fn session(cat: &Catalog, seed: u64) -> LaqySession {
+    LaqySession::with_config(
+        cat.clone(),
+        SessionConfig {
+            threads: 1,
+            seed,
+            ..Default::default()
+        },
+    )
+}
+
+/// Aggregate SUM(lo_revenue) over all lo_orderdate groups, exactly.
+fn exact_total(cat: &Catalog, query: &laqy::ApproxQuery) -> f64 {
+    let (exact, _) = session(cat, 0).run_exact(query).unwrap();
+    exact.rows.iter().map(|r| r.values[0]).sum()
+}
+
+#[test]
+fn merged_sample_total_is_unbiased_across_seeds() {
+    // Mean of the merged-sample estimate over many seeds must sit close to
+    // the exact total — bias would indicate the merge distorts inclusion
+    // probabilities.
+    let cat = catalog();
+    let n = cat.table("lineorder").unwrap().num_rows() as i64;
+    let target = q1(Interval::new(0, (0.7 * n as f64) as i64), 12);
+    let truth = exact_total(&cat, &target);
+
+    let trials = 30;
+    let mut sum_est = 0.0;
+    for t in 0..trials {
+        let mut s = session(&cat, 5_000 + t);
+        // Warm coverage of the first 40% so the target query merges.
+        s.run(&q1(Interval::new(0, (0.4 * n as f64) as i64), 12))
+            .unwrap();
+        let r = s.run(&target).unwrap();
+        assert_eq!(r.stats.reuse, Some(ReuseClass::Partial));
+        sum_est += r.groups.iter().map(|g| g.values[0].value).sum::<f64>();
+    }
+    let mean = sum_est / trials as f64;
+    let bias = (mean - truth).abs() / truth;
+    assert!(
+        bias < 0.02,
+        "merged-sample mean estimate {mean} vs exact {truth}: bias {bias}"
+    );
+}
+
+#[test]
+fn per_group_ci_coverage_is_near_nominal_for_merged_samples() {
+    // 95% CIs should cover the exact per-group value at a rate near 95%
+    // (small-m CLT intervals run a bit below nominal; 85% is a sturdy
+    // floor that still catches broken variance accounting).
+    let cat = catalog();
+    let n = cat.table("lineorder").unwrap().num_rows() as i64;
+    let target = q1(Interval::new(0, (0.7 * n as f64) as i64), 16);
+    let (exact, _) = session(&cat, 0).run_exact(&target).unwrap();
+
+    let trials = 15;
+    let (mut covered, mut total) = (0usize, 0usize);
+    for t in 0..trials {
+        let mut s = session(&cat, 9_000 + t);
+        s.run(&q1(Interval::new(0, (0.4 * n as f64) as i64), 16))
+            .unwrap();
+        let r = s.run(&target).unwrap();
+        for g in &r.groups {
+            let Some(truth) = exact.row_by_key(&[Value::Int(g.key[0])]) else {
+                continue;
+            };
+            let est = &g.values[0];
+            if est.support == 0 || est.ci_half_width.is_nan() {
+                continue;
+            }
+            total += 1;
+            if (est.value - truth.values[0]).abs() <= est.ci_half_width {
+                covered += 1;
+            }
+        }
+    }
+    let coverage = covered as f64 / total as f64;
+    assert!(
+        coverage > 0.85,
+        "CI coverage {coverage:.3} too low ({covered}/{total})"
+    );
+}
+
+#[test]
+fn estimate_variance_shrinks_with_k() {
+    // CI half-width should shrink roughly as 1/sqrt(k): quadrupling k
+    // should roughly halve the interval.
+    let cat = catalog();
+    let n = cat.table("lineorder").unwrap().num_rows() as i64;
+    let mean_ci = |k: usize| -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for t in 0..5 {
+            let mut s = session(&cat, 20_000 + t);
+            let r = s.run(&q1(Interval::new(0, n - 1), k)).unwrap();
+            for g in &r.groups {
+                let est = &g.values[0];
+                if est.support > 0 && est.ci_half_width.is_finite() && est.ci_half_width > 0.0 {
+                    total += est.ci_half_width;
+                    count += 1;
+                }
+            }
+        }
+        total / count as f64
+    };
+    let ci_small = mean_ci(4);
+    let ci_large = mean_ci(16);
+    let ratio = ci_small / ci_large;
+    assert!(
+        ratio > 1.4 && ratio < 3.0,
+        "4x k should roughly halve CI width: ratio {ratio}"
+    );
+}
+
+#[test]
+fn repeated_full_reuse_returns_identical_answers() {
+    // Determinism: full reuse is a pure function of the stored sample.
+    let cat = catalog();
+    let n = cat.table("lineorder").unwrap().num_rows() as i64;
+    let mut s = session(&cat, 31);
+    let query = q1(Interval::new(0, n / 2), 32);
+    s.run(&query).unwrap();
+    let a = s.run(&query).unwrap();
+    let b = s.run(&query).unwrap();
+    assert_eq!(a.stats.reuse, Some(ReuseClass::Full));
+    assert_eq!(a.groups, b.groups);
+}

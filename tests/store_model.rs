@@ -1,0 +1,140 @@
+//! Model-based property test for the sample store: random sequences of
+//! absorb / merge-delta / classify operations are checked against a simple
+//! reference model (a coverage `IntervalSet` per sample family).
+//!
+//! The invariants under test are the ones Algorithm 1's correctness rests
+//! on:
+//! - `Full` is returned iff some stored sample's coverage subsumes the
+//!   query range;
+//! - `Partial` implies the returned Δ equals `query − coverage` of the
+//!   chosen sample and is strictly smaller than the query;
+//! - `None` implies no stored same-family sample overlaps usefully;
+//! - stored weights always equal the number of tuples absorbed into the
+//!   family region (no tuple is ever double-counted by a merge).
+
+use laqy::{
+    Interval, IntervalSet, Predicates, ReuseDecision, SampleDescriptor, SampleSchema,
+    SampleStore, SampleTuple, SlotKind,
+};
+use laqy_engine::GroupKey;
+use laqy_sampling::{Lehmer64, StratifiedSampler};
+use proptest::prelude::*;
+
+const K: usize = 4;
+
+fn descriptor(set: IntervalSet) -> SampleDescriptor {
+    SampleDescriptor::new(
+        "t",
+        vec!["g".into()],
+        vec!["x".into()],
+        Predicates::on("x", set),
+        K,
+    )
+}
+
+fn schema() -> SampleSchema {
+    SampleSchema::new(vec![("x".into(), SlotKind::Int)])
+}
+
+/// Build a sample whose tuples are exactly the integers of `set` (one
+/// stratum), so weights are checkable against interval measures.
+fn sample_for(set: &IntervalSet, rng: &mut Lehmer64) -> StratifiedSampler<GroupKey, SampleTuple> {
+    let mut s = StratifiedSampler::new(K);
+    for iv in set.intervals() {
+        for x in iv.lo..=iv.hi {
+            s.offer(GroupKey::new(&[0]), SampleTuple::from_slice(&[x]), rng);
+        }
+    }
+    s
+}
+
+fn interval() -> impl Strategy<Value = Interval> {
+    (0i64..300, 0i64..80).prop_map(|(lo, w)| Interval::new(lo, lo + w))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn classify_agrees_with_coverage_model(
+        ops in prop::collection::vec(interval(), 1..12),
+        queries in prop::collection::vec(interval(), 1..8),
+    ) {
+        let mut rng = Lehmer64::new(7);
+        let mut store = SampleStore::new();
+
+        // Drive the store exactly as the executor would: classify, then
+        // absorb/merge according to the decision. The model tracks total
+        // covered ground.
+        let mut model_coverage = IntervalSet::empty();
+        for iv in &ops {
+            let q = IntervalSet::of(*iv);
+            let desc = descriptor(q.clone());
+            match store.classify(&desc) {
+                ReuseDecision::Full { .. } => {
+                    // Model: already covered.
+                    prop_assert!(model_coverage.subsumes(&q));
+                }
+                ReuseDecision::Partial { id, delta, varying } => {
+                    let delta_set = delta.get(&varying).cloned().unwrap_or_default();
+                    prop_assert!(!delta_set.overlaps(&model_coverage) ||
+                        // The chosen sample's coverage may be a subset of the
+                        // union model when several families split coverage;
+                        // but single-family workloads keep them equal.
+                        store.len() > 1);
+                    let delta_sample = sample_for(&delta_set, &mut rng);
+                    store.merge_delta(id, delta_sample, &delta, &varying, &mut rng);
+                }
+                ReuseDecision::None => {
+                    let s = sample_for(&q, &mut rng);
+                    store.absorb(desc, schema(), s, &mut rng);
+                }
+            }
+            model_coverage = model_coverage.union(&q);
+        }
+
+        // The union of stored coverages must equal the model's coverage.
+        let mut stored_union = IntervalSet::empty();
+        for (_, d) in store.descriptors() {
+            stored_union = stored_union.union(d.predicates.get("x").unwrap());
+        }
+        prop_assert_eq!(&stored_union, &model_coverage);
+
+        // Total stored weight equals covered ground: every integer was
+        // absorbed exactly once (no double sampling from merges).
+        let total_weight: u64 = store.iter_samples().map(|s| s.sample.total_weight()).sum();
+        prop_assert_eq!(total_weight, model_coverage.measure());
+
+        // Classification of arbitrary queries agrees with the model.
+        for q in &queries {
+            let qset = IntervalSet::of(*q);
+            match store.classify(&descriptor(qset.clone())) {
+                ReuseDecision::Full { id } => {
+                    let stored = store.peek(id).unwrap();
+                    prop_assert!(stored.descriptor.predicates.get("x").unwrap().subsumes(&qset));
+                }
+                ReuseDecision::Partial { id, delta, varying } => {
+                    let stored_set = store
+                        .peek(id)
+                        .unwrap()
+                        .descriptor
+                        .predicates
+                        .get("x")
+                        .unwrap()
+                        .clone();
+                    let delta_set = delta.get(&varying).cloned().unwrap_or_default();
+                    prop_assert_eq!(&delta_set, &qset.difference(&stored_set));
+                    prop_assert!(delta_set.measure() < qset.measure());
+                }
+                ReuseDecision::None => {
+                    // No single stored sample may subsume or usefully
+                    // overlap the query.
+                    for (_, d) in store.descriptors() {
+                        let set = d.predicates.get("x").unwrap();
+                        prop_assert!(!set.subsumes(&qset));
+                        prop_assert!(!set.overlaps(&qset));
+                    }
+                }
+            }
+        }
+    }
+}
