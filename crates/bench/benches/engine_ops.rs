@@ -4,10 +4,10 @@
 //! group-by (Figure 8's comparison).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use laqy::Interval;
 use laqy::{LaqySession, SessionConfig};
 use laqy_engine::{scan_count, Predicate};
 use laqy_workload::{generate, strat, SsbConfig};
-use laqy::Interval;
 use std::hint::black_box;
 
 fn catalog() -> laqy_engine::Catalog {

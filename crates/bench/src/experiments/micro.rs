@@ -112,7 +112,8 @@ pub fn fig3(cfg: &BenchConfig, catalog: &Catalog) -> Figure {
             let (_, d) = time_best(|| input.build(rows, cols, cfg.k_micro, cfg.seed, |_| true));
             pts.push((rows as f64, d.as_secs_f64()));
         }
-        fig.series.push(Series::new(format!("{strata} strata"), pts));
+        fig.series
+            .push(Series::new(format!("{strata} strata"), pts));
     }
     fig.notes.push(
         "paper: time grows with tuples for every strata count; more strata shift the curve up"
@@ -139,11 +140,11 @@ pub fn fig4(cfg: &BenchConfig, catalog: &Catalog) -> Figure {
             let (_, d) = time_best(|| input.build(n, cols, k, cfg.seed, |_| true));
             pts.push((k as f64, d.as_secs_f64()));
         }
-        fig.series.push(Series::new(format!("{strata} groups"), pts));
+        fig.series
+            .push(Series::new(format!("{strata} groups"), pts));
     }
     fig.notes.push(
-        "paper: k variation has marginal impact; the number of groups dominates build time"
-            .into(),
+        "paper: k variation has marginal impact; the number of groups dominates build time".into(),
     );
     fig
 }

@@ -1,11 +1,16 @@
 //! Experiment implementations, one per paper table/figure.
 
+pub mod concurrent;
 pub mod micro;
 pub mod sequence;
 pub mod strategy;
 
+pub use concurrent::concurrent;
 pub use micro::{fig3, fig4};
-pub use sequence::{ablation, fig10, fig11, fig12_13, fig14_15, fig9, headline, rate_sensitivity, seed_sensitivity, table1, SequenceKind};
+pub use sequence::{
+    ablation, fig10, fig11, fig12_13, fig14_15, fig9, headline, rate_sensitivity, seed_sensitivity,
+    table1, SequenceKind,
+};
 pub use strategy::{fig6, fig8};
 
 use laqy_engine::Catalog;
@@ -55,9 +60,30 @@ impl BenchConfig {
 
 /// All experiment names, in paper order.
 pub const ALL: &[&str] = &[
-    "table1", "fig3", "fig4", "fig6", "fig8a", "fig8b", "fig8c", "fig9a", "fig9b", "fig10",
-    "fig11", "fig12a", "fig12b", "fig13a", "fig13b", "fig14a", "fig14b", "fig15a", "fig15b",
-    "headline", "ablation", "seeds", "rates",
+    "table1",
+    "fig3",
+    "fig4",
+    "fig6",
+    "fig8a",
+    "fig8b",
+    "fig8c",
+    "fig9a",
+    "fig9b",
+    "fig10",
+    "fig11",
+    "fig12a",
+    "fig12b",
+    "fig13a",
+    "fig13b",
+    "fig14a",
+    "fig14b",
+    "fig15a",
+    "fig15b",
+    "headline",
+    "ablation",
+    "seeds",
+    "rates",
+    "concurrent",
 ];
 
 /// Run one experiment by name against a pre-generated catalog.
@@ -86,6 +112,7 @@ pub fn run_experiment(name: &str, cfg: &BenchConfig, catalog: &Catalog) -> Optio
         "ablation" => ablation(cfg, catalog),
         "seeds" => seed_sensitivity(cfg, catalog),
         "rates" => rate_sensitivity(cfg, catalog),
+        "concurrent" => concurrent(cfg, catalog),
         _ => return None,
     })
 }

@@ -266,8 +266,10 @@ pub fn fig12_13(
     for (label, v) in &times.methods {
         fig.series.push(Series::new(*label, enumerate(v)));
     }
-    fig.notes
-        .push("paper: LAQy tracks online sampling on cold starts, then drops toward (or below) scan".into());
+    fig.notes.push(
+        "paper: LAQy tracks online sampling on cold starts, then drops toward (or below) scan"
+            .into(),
+    );
     fig
 }
 
@@ -339,7 +341,10 @@ pub fn fig11(cfg: &BenchConfig, catalog: &Catalog) -> Figure {
     fig.x_categories = Some(phases.iter().map(|s| s.to_string()).collect());
     fig.series.push(Series::new(
         "LAQy",
-        laqy.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect(),
+        laqy.iter()
+            .enumerate()
+            .map(|(i, &y)| (i as f64, y))
+            .collect(),
     ));
     fig.series.push(Series::new(
         "Online Sampling",
@@ -448,9 +453,12 @@ pub fn ablation(cfg: &BenchConfig, catalog: &Catalog) -> Figure {
         full_only.last().copied().unwrap_or(0.0),
         online.last().copied().unwrap_or(0.0)
     );
-    fig.series.push(Series::new("LAQy (partial reuse)", enumerate(&lazy)));
     fig.series
-        .push(Series::new("full-match-only (Taster-style)", enumerate(&full_only)));
+        .push(Series::new("LAQy (partial reuse)", enumerate(&lazy)));
+    fig.series.push(Series::new(
+        "full-match-only (Taster-style)",
+        enumerate(&full_only),
+    ));
     fig.series
         .push(Series::new("online (no caching)", enumerate(&online)));
     fig.notes.push(note);

@@ -31,14 +31,16 @@ pub fn fig6(cfg: &BenchConfig, catalog: &Catalog) -> Figure {
     let mut qcs_pushdown = Vec::new();
     for sel in SELECTIVITIES {
         let key_cut = (n as f64 * sel) as i64;
-        let (_, d) = time_best(|| input.build(n, 2, cfg.k_micro, cfg.seed, |r| input.intkey(r) < key_cut));
+        let (_, d) =
+            time_best(|| input.build(n, 2, cfg.k_micro, cfg.seed, |r| input.intkey(r) < key_cut));
         qvs_pushdown.push((sel, d.as_secs_f64()));
 
         let (_, d) = time_best(|| input.build(n, 3, cfg.k_micro, cfg.seed, |_| true));
         qcs_no_pushdown.push((sel, d.as_secs_f64()));
 
         let q_cut = ((50.0 * sel).round() as i64).max(1);
-        let (_, d) = time_best(|| input.build(n, 3, cfg.k_micro, cfg.seed, |r| input.quantity(r) <= q_cut));
+        let (_, d) =
+            time_best(|| input.build(n, 3, cfg.k_micro, cfg.seed, |r| input.quantity(r) <= q_cut));
         qcs_pushdown.push((sel, d.as_secs_f64()));
     }
     // Measured slowdown of the all-or-none strategy (2) vs. the

@@ -111,6 +111,9 @@ impl Repl {
                 None => "usage: .error <positive float>|off".into(),
             }),
             Some("stats") => Some(self.stats()),
+            Some("concurrent") => {
+                Some(self.concurrent(cmd.strip_prefix("concurrent").unwrap_or("").trim()))
+            }
             Some("save") => Some(self.save(parts.get(1).copied())),
             Some("restore") => Some(self.restore(parts.get(1).copied())),
             Some(other) => Some(format!("unknown command `.{other}` (try .help)")),
@@ -148,7 +151,10 @@ impl Repl {
                     scale_factor: sf,
                     seed: self.seed,
                 });
-                let rows = catalog.table("lineorder").map(|t| t.num_rows()).unwrap_or(0);
+                let rows = catalog
+                    .table("lineorder")
+                    .map(|t| t.num_rows())
+                    .unwrap_or(0);
                 self.session = Some(self.make_session(catalog));
                 format!("loaded SSB at SF {sf}: lineorder has {rows} rows")
             }
@@ -189,8 +195,9 @@ impl Repl {
             None => "no data loaded (try `.load ssb 0.01`)".into(),
             Some(s) => {
                 let mut out = String::new();
-                for name in s.catalog().table_names() {
-                    let t = s.catalog().table(name).expect("listed table");
+                let catalog = s.catalog();
+                for name in catalog.table_names() {
+                    let t = catalog.table(name).expect("listed table");
                     let _ = writeln!(
                         out,
                         "{name}: {} rows, {} columns ({})",
@@ -224,6 +231,71 @@ impl Repl {
         }
     }
 
+    /// `.concurrent <threads> <sql>`: run the same approximate query from
+    /// N client threads sharing this session's sample store, then report
+    /// per-client reuse outcomes and the service's dedup counters.
+    fn concurrent(&mut self, args: &str) -> String {
+        const USAGE: &str = ".concurrent <threads 1..=64> <sql>";
+        let Some(session) = &self.session else {
+            return "no data loaded (try `.load ssb 0.01`)".into();
+        };
+        let mut split = args.splitn(2, char::is_whitespace);
+        let clients = match split.next().and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if (1..=64).contains(&n) => n,
+            _ => return format!("usage: {USAGE}"),
+        };
+        let sql = split.next().unwrap_or("").trim();
+        if sql.is_empty() {
+            return format!("usage: {USAGE}");
+        }
+        let query = match approx_query(&session.catalog(), sql, self.k) {
+            Ok(q) => q,
+            Err(e) => return format!("error: {e}"),
+        };
+        let service = session.service();
+        let before = service.stats();
+        let t = std::time::Instant::now();
+        let outcomes: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let service = service.clone();
+                    let query = &query;
+                    scope.spawn(move || service.run(query).map(|r| r.stats.reuse))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread panicked"))
+                .collect()
+        });
+        let wall = t.elapsed();
+        if let Some(Err(e)) = outcomes.iter().find(|o| o.is_err()) {
+            return format!("error: {e}");
+        }
+        let count = |class| {
+            outcomes
+                .iter()
+                .filter(|o| matches!(o, Ok(Some(c)) if *c == class))
+                .count()
+        };
+        let after = service.stats();
+        format!(
+            "{clients} clients in {wall:?}: {} full, {} partial, {} online\n\
+             scans performed {} (Δ {}, online {}), deduped {}, merge retries {}\n\
+             store: {} samples, {} bytes",
+            count(laqy::ReuseClass::Full),
+            count(laqy::ReuseClass::Partial),
+            count(laqy::ReuseClass::Online),
+            after.scans_performed() - before.scans_performed(),
+            after.delta_scans - before.delta_scans,
+            after.online_scans - before.online_scans,
+            after.scans_deduped() - before.scans_deduped(),
+            after.merge_retries - before.merge_retries,
+            session.store().len(),
+            session.store().total_bytes(),
+        )
+    }
+
     fn save(&self, path: Option<&str>) -> String {
         let Some(path) = path else {
             return "usage: .save <path>".into();
@@ -233,7 +305,11 @@ impl Repl {
             Some(s) => {
                 let bytes = s.export_samples();
                 match std::fs::write(path, &bytes) {
-                    Ok(()) => format!("saved {} samples ({} bytes) to {path}", s.store().len(), bytes.len()),
+                    Ok(()) => format!(
+                        "saved {} samples ({} bytes) to {path}",
+                        s.store().len(),
+                        bytes.len()
+                    ),
                     Err(e) => format!("save failed: {e}"),
                 }
             }
@@ -262,22 +338,27 @@ impl Repl {
         };
         if self.mode == ExecMode::Exact {
             // Exact path accepts SQL without a BETWEEN range.
-            let plan = match laqy_engine::sql::plan(session.catalog(), sql) {
+            let plan = match laqy_engine::sql::plan(&session.catalog(), sql) {
                 Ok(p) => p,
                 Err(e) => return format!("error: {e}"),
             };
             let t = std::time::Instant::now();
-            return match laqy_engine::execute_exact(session.catalog(), &plan, 1) {
+            return match laqy_engine::execute_exact(&session.catalog(), &plan, 1) {
                 Ok(result) => {
                     let mut out = render_exact(&result);
-                    let _ = writeln!(out, "({} rows, exact, {:?})", result.rows.len(), t.elapsed());
+                    let _ = writeln!(
+                        out,
+                        "({} rows, exact, {:?})",
+                        result.rows.len(),
+                        t.elapsed()
+                    );
                     out
                 }
                 Err(e) => format!("error: {e}"),
             };
         }
 
-        let query = match approx_query(session.catalog(), sql, self.k) {
+        let query = match approx_query(&session.catalog(), sql, self.k) {
             Ok(q) => q,
             Err(e) => return format!("error: {e}"),
         };
@@ -347,9 +428,13 @@ fn render_approx(
     query: &laqy::ApproxQuery,
     result: &laqy::ApproxResult,
 ) -> String {
-    let keys = session
-        .decode_keys(query, result)
-        .unwrap_or_else(|_| result.groups.iter().map(|g| g.key.iter().map(|&v| Value::Int(v)).collect()).collect());
+    let keys = session.decode_keys(query, result).unwrap_or_else(|_| {
+        result
+            .groups
+            .iter()
+            .map(|g| g.key.iter().map(|&v| Value::Int(v)).collect())
+            .collect()
+    });
     let mut header: Vec<String> = query
         .plan
         .group_by
@@ -420,7 +505,11 @@ pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
             .join("  ")
     };
     let _ = writeln!(out, "{}", fmt_row(header, &widths));
-    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1))
+    );
     for r in rows {
         let _ = writeln!(out, "{}", fmt_row(r, &widths));
     }
@@ -436,6 +525,7 @@ laqy-cli — approximate SQL shell
   .mode lazy|strict|online|exact     execution mode
   .error <rel>|off                   bounded-error execution (escalates k)
   .stats                             sample-store statistics
+  .concurrent <n> <sql>              run <sql> from n threads sharing the store
   .save <path> / .restore <path>     persist / restore materialized samples
   .quit                              exit
 SQL: SELECT aggs FROM fact[, dims] WHERE col BETWEEN lo AND hi [AND ...] GROUP BY cols
@@ -542,6 +632,33 @@ mod tests {
             .handle("SELECT COUNT(*) FROM lineorder GROUP BY lo_quantity")
             .unwrap();
         assert!(out.contains("no BETWEEN"), "{out}");
+    }
+
+    #[test]
+    fn concurrent_command_shares_the_store() {
+        let mut r = loaded_repl();
+        let out = r
+            .handle(
+                ".concurrent 4 SELECT lo_orderdate, SUM(lo_revenue) FROM lineorder \
+                 WHERE lo_intkey BETWEEN 0 AND 2999 GROUP BY lo_orderdate",
+            )
+            .unwrap();
+        assert!(out.contains("4 clients"), "{out}");
+        // All four identical queries materialize exactly one stored sample.
+        assert!(r.handle(".stats").unwrap().contains("1 samples"));
+        // A follow-up single-threaded query reuses it fully.
+        let out = r
+            .handle(
+                "SELECT lo_orderdate, SUM(lo_revenue) FROM lineorder \
+                 WHERE lo_intkey BETWEEN 0 AND 2999 GROUP BY lo_orderdate",
+            )
+            .unwrap();
+        assert!(out.contains("reuse full"), "{out}");
+        assert!(r.handle(".concurrent").unwrap().contains("usage"));
+        assert!(r
+            .handle(".concurrent 0 SELECT 1")
+            .unwrap()
+            .contains("usage"));
     }
 
     #[test]

@@ -150,12 +150,7 @@ mod tests {
     fn tight_target_escalates_k() {
         let n = 40_000;
         let mut session = LaqySession::with_config(catalog(n), SessionConfig::default());
-        let out = run_bounded(
-            &mut session,
-            &query(n, 16),
-            &ErrorTarget::relative(0.02),
-        )
-        .unwrap();
+        let out = run_bounded(&mut session, &query(n, 16), &ErrorTarget::relative(0.02)).unwrap();
         assert!(out.met, "target should be reachable: {out:?}");
         assert!(out.attempts > 1, "k=16 cannot meet 2% on 10k-row groups");
         assert!(out.k_used > 16);
@@ -166,12 +161,7 @@ mod tests {
     fn loose_target_met_first_try() {
         let n = 10_000;
         let mut session = LaqySession::with_config(catalog(n), SessionConfig::default());
-        let out = run_bounded(
-            &mut session,
-            &query(n, 512),
-            &ErrorTarget::relative(0.5),
-        )
-        .unwrap();
+        let out = run_bounded(&mut session, &query(n, 512), &ErrorTarget::relative(0.5)).unwrap();
         assert!(out.met);
         assert_eq!(out.attempts, 1);
         assert_eq!(out.k_used, 512);
@@ -195,12 +185,8 @@ mod tests {
     fn population_sample_has_zero_error() {
         let n = 1_000;
         let mut session = LaqySession::with_config(catalog(n), SessionConfig::default());
-        let out = run_bounded(
-            &mut session,
-            &query(n, 10_000),
-            &ErrorTarget::relative(0.0),
-        )
-        .unwrap();
+        let out =
+            run_bounded(&mut session, &query(n, 10_000), &ErrorTarget::relative(0.0)).unwrap();
         assert!(out.met);
         assert_eq!(out.worst_relative_error, 0.0);
     }

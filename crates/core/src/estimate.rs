@@ -143,7 +143,9 @@ impl Tighten {
 
     #[inline]
     fn matches(&self, t: &SampleTuple) -> bool {
-        self.checks.iter().all(|(slot, set)| set.contains(t.int(*slot)))
+        self.checks
+            .iter()
+            .all(|(slot, set)| set.contains(t.int(*slot)))
     }
 }
 
@@ -151,11 +153,30 @@ impl Tighten {
 /// independently, so variances add.
 #[derive(Clone)]
 enum EstAcc {
-    Sum { est: f64, var: f64, support: usize },
-    Count { est: f64, var: f64, support: usize },
-    Avg { sum: f64, var: f64, n_est: f64, support: usize },
-    Min { val: f64, support: usize },
-    Max { val: f64, support: usize },
+    Sum {
+        est: f64,
+        var: f64,
+        support: usize,
+    },
+    Count {
+        est: f64,
+        var: f64,
+        support: usize,
+    },
+    Avg {
+        sum: f64,
+        var: f64,
+        n_est: f64,
+        support: usize,
+    },
+    Min {
+        val: f64,
+        support: usize,
+    },
+    Max {
+        val: f64,
+        support: usize,
+    },
 }
 
 impl EstAcc {
@@ -390,8 +411,7 @@ mod tests {
         for g in 0..groups {
             for i in 0..per {
                 let x = g * per + i;
-                let tuple =
-                    SampleTuple::from_slice(&[x, (x as f64 * 0.5).to_bits() as i64]);
+                let tuple = SampleTuple::from_slice(&[x, (x as f64 * 0.5).to_bits() as i64]);
                 s.offer(GroupKey::new(&[g]), tuple, &mut rng);
             }
         }
@@ -413,7 +433,10 @@ mod tests {
             let g = e.key[0];
             let exact_sum: f64 = (0..100).map(|i| (g * 100 + i) as f64 * 0.5).sum();
             assert!((e.values[0].value - exact_sum).abs() < 1e-9);
-            assert_eq!(e.values[0].ci_half_width, 0.0, "population sample has no error");
+            assert_eq!(
+                e.values[0].ci_half_width, 0.0,
+                "population sample has no error"
+            );
             assert_eq!(e.values[1].value, 100.0);
             assert!((e.values[2].value - exact_sum / 100.0).abs() < 1e-9);
         }

@@ -158,6 +158,11 @@ impl LaqyExecutor {
         &self.policy
     }
 
+    /// The merge RNG (the service's write path drives merges itself).
+    pub(crate) fn rng_mut(&mut self) -> &mut Lehmer64 {
+        &mut self.rng
+    }
+
     fn next_seed(&mut self) -> u64 {
         self.seed_counter = self.seed_counter.wrapping_add(0x9E37_79B9_7F4A_7C15);
         self.seed_counter
@@ -176,7 +181,11 @@ impl LaqyExecutor {
                 None => c.column.clone(),
             })
             .collect();
-        let qvs: Vec<String> = schema.column_names().iter().map(|s| s.to_string()).collect();
+        let qvs: Vec<String> = schema
+            .column_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         Ok(SampleDescriptor::new(
             input_identity(&query.plan),
             qcs,
@@ -188,7 +197,7 @@ impl LaqyExecutor {
 
     /// Payload columns the sample must carry: every aggregate input plus
     /// the explored range column (for tightening).
-    fn payload_schema(
+    pub(crate) fn payload_schema(
         &self,
         catalog: &Catalog,
         query: &ApproxQuery,
@@ -256,7 +265,13 @@ impl LaqyExecutor {
                     // the filter pushed down, only the under-supported
                     // strata — validating whether low support reflects the
                     // data or a sampling artifact.
-                    if !self.refine_support(catalog, query, &mut groups, &mut support, &mut stats)? {
+                    if !self.refine_support(
+                        catalog,
+                        query,
+                        &mut groups,
+                        &mut support,
+                        &mut stats,
+                    )? {
                         return self.run_online_and_absorb(catalog, store, query, t_start);
                     }
                 }
@@ -282,10 +297,18 @@ impl LaqyExecutor {
                 stats.estimate = est_time;
                 stats.effective_selectivity = effective;
                 stats.reuse = Some(ReuseClass::Partial);
-                if self.policy.conservative && !support.fully_supported()
-                    && !self.refine_support(catalog, query, &mut groups, &mut support, &mut stats)? {
-                        return self.run_online_and_absorb(catalog, store, query, t_start);
-                    }
+                if self.policy.conservative
+                    && !support.fully_supported()
+                    && !self.refine_support(
+                        catalog,
+                        query,
+                        &mut groups,
+                        &mut support,
+                        &mut stats,
+                    )?
+                {
+                    return self.run_online_and_absorb(catalog, store, query, t_start);
+                }
                 stats.total = t_start.elapsed();
                 ApproxResult {
                     groups,
@@ -305,10 +328,16 @@ impl LaqyExecutor {
     pub fn run_online(&mut self, catalog: &Catalog, query: &ApproxQuery) -> Result<ApproxResult> {
         let t_start = Instant::now();
         let ranges = IntervalSet::of(query.range);
-        let (sample, mut stats) = self.sample_pipeline(catalog, query, &ranges, &Predicate::True)?;
+        let (sample, mut stats) =
+            self.sample_pipeline(catalog, query, &ranges, &Predicate::True)?;
         let (_, schema) = self.payload_schema(catalog, query)?;
         let t_est = Instant::now();
-        let groups = estimate(&sample, &schema, &query.plan.aggs, &EstimateOptions::default())?;
+        let groups = estimate(
+            &sample,
+            &schema,
+            &query.plan.aggs,
+            &EstimateOptions::default(),
+        )?;
         let support = check_support(&sample, &schema, None, &self.policy)?;
         stats.estimate = t_est.elapsed();
         stats.effective_selectivity = 1.0;
@@ -331,9 +360,15 @@ impl LaqyExecutor {
         let descriptor = self.descriptor(catalog, query)?;
         let (_, schema) = self.payload_schema(catalog, query)?;
         let ranges = IntervalSet::of(query.range);
-        let (sample, mut stats) = self.sample_pipeline(catalog, query, &ranges, &Predicate::True)?;
+        let (sample, mut stats) =
+            self.sample_pipeline(catalog, query, &ranges, &Predicate::True)?;
         let t_est = Instant::now();
-        let groups = estimate(&sample, &schema, &query.plan.aggs, &EstimateOptions::default())?;
+        let groups = estimate(
+            &sample,
+            &schema,
+            &query.plan.aggs,
+            &EstimateOptions::default(),
+        )?;
         let support = check_support(&sample, &schema, None, &self.policy)?;
         stats.estimate = t_est.elapsed();
         // Capture the sample for future reuse (sample-as-you-query: the
@@ -399,7 +434,7 @@ impl LaqyExecutor {
     /// groups into the result. Returns `false` when the fallback does not
     /// apply (dimension-table group keys, or too many bad strata) and the
     /// caller should fall back to a full online query instead.
-    fn refine_support(
+    pub(crate) fn refine_support(
         &mut self,
         catalog: &Catalog,
         query: &ApproxQuery,
@@ -451,7 +486,12 @@ impl LaqyExecutor {
 
         let (_, schema) = self.payload_schema(catalog, query)?;
         let t_est = Instant::now();
-        let fresh_groups = estimate(&fresh, &schema, &query.plan.aggs, &EstimateOptions::default())?;
+        let fresh_groups = estimate(
+            &fresh,
+            &schema,
+            &query.plan.aggs,
+            &EstimateOptions::default(),
+        )?;
         stats.estimate += t_est.elapsed();
 
         // Splice: replace the bad strata's estimates with the validated
@@ -473,9 +513,9 @@ impl LaqyExecutor {
     }
 
     /// Estimate from a stored sample with tightening + support check.
-    fn estimate_stored(
+    pub(crate) fn estimate_stored(
         &self,
-        store: &mut SampleStore,
+        store: &SampleStore,
         id: crate::store::SampleId,
         query: &ApproxQuery,
         tighten: &Predicates,
@@ -499,7 +539,7 @@ impl LaqyExecutor {
     /// Build a stratified sample of the query's pipeline restricted to
     /// `ranges` on the range column — the Δ (or full online) sampler with
     /// the predicate pushed down (Figure 7 step 3).
-    fn sample_pipeline(
+    pub(crate) fn sample_pipeline(
         &mut self,
         catalog: &Catalog,
         query: &ApproxQuery,
@@ -585,10 +625,9 @@ impl LaqyExecutor {
                         .group_by
                         .iter()
                         .map(|c| match &c.table {
-                            None => BoundCol::new(
-                                fact.column(&c.column).unwrap(),
-                                Some(&out.fact_rows),
-                            ),
+                            None => {
+                                BoundCol::new(fact.column(&c.column).unwrap(), Some(&out.fact_rows))
+                            }
                             Some(t) => {
                                 let idx = joins.dim_index(t).expect("dim joined");
                                 let dim = catalog.table(t).unwrap();
@@ -679,7 +718,10 @@ impl LaqyExecutor {
 /// Build a [`SupportReport`] from per-group estimates whose `support`
 /// fields carry the tightened matching counts (valid when output groups
 /// coincide with strata, i.e. no group projection).
-fn support_from_groups(groups: &[GroupEstimate], policy: &SupportPolicy) -> SupportReport {
+pub(crate) fn support_from_groups(
+    groups: &[GroupEstimate],
+    policy: &SupportPolicy,
+) -> SupportReport {
     let mut report = SupportReport {
         supported: 0,
         under_supported: Vec::new(),
@@ -870,8 +912,8 @@ mod tests {
 
     #[test]
     fn executor_mode_roundtrip() {
-        let exec = LaqyExecutor::new(2, SupportPolicy::default(), 1)
-            .with_mode(ReuseMode::FullMatchOnly);
+        let exec =
+            LaqyExecutor::new(2, SupportPolicy::default(), 1).with_mode(ReuseMode::FullMatchOnly);
         assert_eq!(exec.mode(), ReuseMode::FullMatchOnly);
         assert_eq!(exec.threads(), 2);
     }

@@ -251,10 +251,7 @@ mod tests {
     fn normalization_coalesces() {
         let s = set(&[(5, 9), (0, 3), (4, 4), (12, 14)]);
         // [0,3] + [4,4] + [5,9] coalesce into [0,9].
-        assert_eq!(
-            s.intervals(),
-            &[Interval::new(0, 9), Interval::new(12, 14)]
-        );
+        assert_eq!(s.intervals(), &[Interval::new(0, 9), Interval::new(12, 14)]);
         assert_eq!(s.measure(), 13);
     }
 

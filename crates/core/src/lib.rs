@@ -21,6 +21,9 @@
 //!   function (stratified sampling = group-by with reservoir aggregation);
 //! - [`executor`] / [`session`] — the end-to-end flow of Figure 7 for both
 //!   sampler placements (pushed to scan, and above star joins);
+//! - [`service`] — the concurrent, shared-store deployment of the same
+//!   flow: a `Send + Sync` handle many client threads clone, with an
+//!   in-flight registry deduplicating concurrent Δ/online scans;
 //! - [`mod@estimate`] / [`support`] — Horvitz–Thompson estimation with CLT
 //!   error bounds, tightening, and sample-support policies.
 //!
@@ -50,6 +53,45 @@
 //! let result = session.run(&query).unwrap();
 //! assert_eq!(result.groups.len(), 7);
 //! ```
+//!
+//! For concurrent clients, hand out clones of a [`LaqyService`]: all
+//! clones share one catalog, one sample store, and one set of counters,
+//! so samples materialized by one client are reused by the others.
+//!
+//! ```
+//! use laqy::{ApproxQuery, Interval, LaqyService};
+//! use laqy_engine::{AggSpec, Catalog, ColRef, Column, Predicate, QueryPlan, Table};
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.register(Table::new("t", vec![
+//!     ("key".into(), Column::Int64((0..10_000).collect())),
+//!     ("grp".into(), Column::Int64((0..10_000).map(|i| i % 7).collect())),
+//!     ("val".into(), Column::Int64((0..10_000).map(|i| i % 100).collect())),
+//! ]).unwrap());
+//! let service = LaqyService::new(catalog);
+//! let query = |lo, hi| ApproxQuery {
+//!     plan: QueryPlan {
+//!         fact: "t".into(),
+//!         predicate: Predicate::True,
+//!         joins: vec![],
+//!         group_by: vec![ColRef::fact("grp")],
+//!         aggs: vec![AggSpec::sum("val"), AggSpec::count()],
+//!     },
+//!     range_column: "key".into(),
+//!     range: Interval::new(lo, hi),
+//!     k: 256,
+//! };
+//! service.run(&query(0, 5_999)).unwrap(); // warm the shared store
+//! let workers: Vec<_> = (0..4i64).map(|w| {
+//!     let service = service.clone(); // cheap: Arc handle
+//!     std::thread::spawn(move || service.run(&query(0, 4_999 + w)).unwrap())
+//! }).collect();
+//! for w in workers {
+//!     assert_eq!(w.join().unwrap().groups.len(), 7);
+//! }
+//! // One shared store: every client reused the warm sample.
+//! assert_eq!(service.stats().full_hits, 4);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -61,6 +103,7 @@ pub mod interval;
 pub mod lazy;
 pub mod persist;
 pub mod sampler_ops;
+pub mod service;
 pub mod session;
 pub mod sql;
 pub mod stats;
@@ -72,8 +115,8 @@ pub use bounded::{run_bounded, BoundedResult, ErrorTarget};
 pub use descriptor::{Predicates, SampleDescriptor};
 pub use estimate::{estimate, AggEstimate, EstimateError, EstimateOptions, GroupEstimate};
 pub use executor::{
-    input_identity, range_predicate, ApproxQuery, ApproxResult, LaqyError, LaqyExecutor,
-    Result, ReuseMode,
+    input_identity, range_predicate, ApproxQuery, ApproxResult, LaqyError, LaqyExecutor, Result,
+    ReuseMode,
 };
 pub use interval::{Interval, IntervalSet};
 pub use lazy::{plan_lazy, LazyPlan};
@@ -82,9 +125,10 @@ pub use sampler_ops::{
     group_table_into_sample, ReservoirAgg, ReservoirAggFactory, SampleSchema, SampleTuple,
     SlotKind, MAX_SAMPLE_COLS,
 };
+pub use service::LaqyService;
 pub use session::{LaqySession, SessionConfig};
 pub use sql::{approx_query, approx_query_on};
-pub use stats::{ExecStats, ReuseClass};
+pub use stats::{ExecStats, ReuseClass, ServiceStats};
 pub use store::{ReuseDecision, SampleId, SampleStore, StoredSample};
 pub use support::{check_support, SupportPolicy, SupportReport};
 pub use window::SlidingSampler;

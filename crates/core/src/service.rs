@@ -1,0 +1,725 @@
+//! The concurrent, shared-store LAQy service.
+//!
+//! [`LaqyService`] is a cheaply cloneable (`Arc`-based), `Send + Sync`
+//! handle wrapping one catalog and one concurrency-safe [`SampleStore`],
+//! so many client threads can run approximate queries against a single
+//! shared sample store — the multi-tenant AQP-middleware deployment model
+//! (VerdictDB-style service, PilotDB-style concurrent ad-hoc workloads).
+//! Sample *reuse* (the paper's central asset) compounds across clients:
+//! one tenant's Δ-merge widens coverage for everyone.
+//!
+//! Concurrency design:
+//!
+//! - **Read path** (classification + full-reuse estimation) runs under a
+//!   `parking_lot::RwLock` *read* guard. LRU touches are relaxed atomic
+//!   stores ([`SampleStore::get`]), so readers never take the write lock.
+//! - **Write path** (absorb / Δ-merge / eviction) takes the write lock
+//!   only around the in-memory merge — never around the sampling scan,
+//!   which is the expensive part and runs lock-free.
+//! - **In-flight dedup registry**: when two clients concurrently miss on
+//!   the same uncovered interval of the same sample (or the same fully
+//!   uncovered query), only the first performs the Δ/online sampling
+//!   scan; the rest wait on a condvar and then re-classify, typically
+//!   upgrading to full reuse. This bounds the sampling work per uncovered
+//!   region at one scan regardless of client count.
+//! - **Optimistic revalidation**: a Δ-merge is validated under the write
+//!   lock (sample still present, coverage still disjoint from the Δ).
+//!   If another client's merge or an eviction invalidated it, the Δ
+//!   sample is discarded — never double-counted — and the query retries,
+//!   degrading to online sampling after a bounded number of attempts.
+//!
+//! Lock ordering: the registry mutex, the store lock, and the catalog
+//! lock are never held while waiting on an in-flight entry, and the
+//! store write lock never nests inside a catalog or registry acquisition
+//! made by the same operation, so the service is deadlock-free by
+//! construction.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use laqy_engine::{Catalog, Predicate, QueryResult, Table, Value};
+use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard};
+
+use crate::descriptor::Predicates;
+use crate::executor::{ApproxQuery, ApproxResult, LaqyError, LaqyExecutor, Result, ReuseMode};
+use crate::interval::IntervalSet;
+use crate::lazy::{plan_lazy, LazyPlan};
+use crate::session::SessionConfig;
+use crate::stats::{ExecStats, ReuseClass, ServiceStats};
+use crate::store::{SampleId, SampleStore};
+
+/// Attempts before a query stops chasing invalidated reuse plans and
+/// forces online sampling. Each retry means another client changed the
+/// store meanwhile, so contention this deep is already pathological.
+const MAX_PLAN_RETRIES: u32 = 16;
+
+/// One in-flight sampling operation; waiters block on `cv` until the
+/// owner completes (successfully or not) and then re-plan.
+struct Inflight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Inflight {
+    fn new() -> Self {
+        Self {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Monotonic service-wide counters (all relaxed; they are telemetry, not
+/// synchronization).
+#[derive(Default)]
+struct Counters {
+    queries: AtomicU64,
+    full_hits: AtomicU64,
+    partial_merges: AtomicU64,
+    online_runs: AtomicU64,
+    delta_scans: AtomicU64,
+    online_scans: AtomicU64,
+    merges_deduped: AtomicU64,
+    online_deduped: AtomicU64,
+    merge_retries: AtomicU64,
+    support_fallbacks: AtomicU64,
+    lock_wait_nanos: AtomicU64,
+}
+
+struct ServiceInner {
+    catalog: RwLock<Catalog>,
+    store: RwLock<SampleStore>,
+    inflight: Mutex<HashMap<String, Arc<Inflight>>>,
+    counters: Counters,
+    threads: usize,
+    policy: crate::support::SupportPolicy,
+    mode: ReuseMode,
+    seed: AtomicU64,
+    /// Fault-injection hook (nanoseconds; 0 = off): owners of an
+    /// in-flight sampling operation sleep this long before scanning,
+    /// widening the race window so tests can deterministically exercise
+    /// the dedup/piggyback path.
+    sampling_hold_nanos: AtomicU64,
+}
+
+/// A shared, thread-safe LAQy query service.
+///
+/// Clone the handle freely — all clones operate on the same catalog,
+/// sample store, and counters. See the crate-level example.
+pub struct LaqyService {
+    inner: Arc<ServiceInner>,
+}
+
+impl Clone for LaqyService {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Outcome of one plan-and-execute attempt.
+enum Attempt {
+    Done(ApproxResult),
+    /// The store changed under us (eviction, competing merge, or an
+    /// in-flight wait completed): re-plan from scratch.
+    Retry,
+}
+
+impl LaqyService {
+    /// Create a service with default configuration.
+    pub fn new(catalog: Catalog) -> Self {
+        Self::with_config(catalog, SessionConfig::default())
+    }
+
+    /// Create a service with explicit configuration.
+    pub fn with_config(catalog: Catalog, config: SessionConfig) -> Self {
+        let store = match config.store_budget_bytes {
+            Some(b) => SampleStore::with_budget(b),
+            None => SampleStore::new(),
+        };
+        Self {
+            inner: Arc::new(ServiceInner {
+                catalog: RwLock::new(catalog),
+                store: RwLock::new(store),
+                inflight: Mutex::new(HashMap::new()),
+                counters: Counters::default(),
+                threads: config.threads,
+                policy: config.policy,
+                mode: config.reuse_mode,
+                seed: AtomicU64::new(config.seed),
+                sampling_hold_nanos: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Register (or replace) a table. Waits for in-progress queries'
+    /// catalog reads to drain. Samples built from a replaced table keep
+    /// their old contents until evicted or cleared (same caveat as the
+    /// single-owner session).
+    pub fn register_table(&self, table: Table) {
+        self.inner.catalog.write().register(table);
+    }
+
+    /// Shared read access to the catalog.
+    pub fn catalog(&self) -> RwLockReadGuard<'_, Catalog> {
+        self.timed(|i| i.catalog.read())
+    }
+
+    /// Shared read access to the sample store (inspection / tests).
+    pub fn store(&self) -> RwLockReadGuard<'_, SampleStore> {
+        self.timed(|i| i.store.read())
+    }
+
+    /// Snapshot of the per-service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.inner.counters;
+        ServiceStats {
+            queries: c.queries.load(Ordering::Relaxed),
+            full_hits: c.full_hits.load(Ordering::Relaxed),
+            partial_merges: c.partial_merges.load(Ordering::Relaxed),
+            online_runs: c.online_runs.load(Ordering::Relaxed),
+            delta_scans: c.delta_scans.load(Ordering::Relaxed),
+            online_scans: c.online_scans.load(Ordering::Relaxed),
+            merges_deduped: c.merges_deduped.load(Ordering::Relaxed),
+            online_deduped: c.online_deduped.load(Ordering::Relaxed),
+            merge_retries: c.merge_retries.load(Ordering::Relaxed),
+            support_fallbacks: c.support_fallbacks.load(Ordering::Relaxed),
+            lock_wait_nanos: c.lock_wait_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Clear all materialized samples (cold-start experiments).
+    pub fn clear_samples(&self) {
+        self.timed(|i| i.store.write()).clear();
+    }
+
+    /// Serialize the sample store (offline-sample persistence).
+    pub fn export_samples(&self) -> Vec<u8> {
+        crate::persist::save_store(&self.store())
+    }
+
+    /// Replace the sample store from a snapshot produced by
+    /// [`LaqyService::export_samples`].
+    pub fn import_samples(&self, bytes: &[u8]) -> Result<()> {
+        let loaded =
+            crate::persist::load_store(bytes).map_err(|e| LaqyError::Unsupported(e.to_string()))?;
+        *self.timed(|i| i.store.write()) = loaded;
+        Ok(())
+    }
+
+    /// Fault-injection hook: make in-flight sampling owners pause before
+    /// the scan, widening the window in which concurrent identical
+    /// queries dedup against them. `None` disables. Intended for stress
+    /// tests and demos; leave unset in production use.
+    pub fn set_sampling_hold(&self, hold: Option<Duration>) {
+        let nanos = hold.map(|d| d.as_nanos() as u64).unwrap_or(0);
+        self.inner
+            .sampling_hold_nanos
+            .store(nanos, Ordering::Relaxed);
+    }
+
+    /// Run a query through the lazy sampling flow against the shared
+    /// store.
+    pub fn run(&self, query: &ApproxQuery) -> Result<ApproxResult> {
+        let t_start = Instant::now();
+        self.inner.counters.queries.fetch_add(1, Ordering::Relaxed);
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match self.try_run(query, t_start, attempts > MAX_PLAN_RETRIES)? {
+                Attempt::Done(result) => return Ok(result),
+                Attempt::Retry => continue,
+            }
+        }
+    }
+
+    /// Run with workload-oblivious online sampling (baseline): samples
+    /// the full range, stores nothing, touches no shared state beyond a
+    /// catalog read.
+    pub fn run_online_oblivious(&self, query: &ApproxQuery) -> Result<ApproxResult> {
+        let mut executor = self.executor();
+        let catalog = self.catalog();
+        executor.run_online(&catalog, query)
+    }
+
+    /// Run exactly (baseline). Returns engine results plus stats.
+    pub fn run_exact(&self, query: &ApproxQuery) -> Result<(QueryResult, ExecStats)> {
+        let executor = self.executor();
+        let catalog = self.catalog();
+        executor.run_exact(&catalog, query)
+    }
+
+    /// Pure filtered scan timing (floor).
+    pub fn scan_floor(&self, query: &ApproxQuery) -> Result<ExecStats> {
+        let executor = self.executor();
+        let catalog = self.catalog();
+        executor.scan_floor(&catalog, query)
+    }
+
+    /// Decode estimate group keys into display values.
+    pub fn decode_keys(
+        &self,
+        query: &ApproxQuery,
+        result: &ApproxResult,
+    ) -> Result<Vec<Vec<Value>>> {
+        let executor = self.executor();
+        let catalog = self.catalog();
+        executor.decode_keys(&catalog, query, &result.groups)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Acquire a lock via `f`, charging the wait to the contention
+    /// counter.
+    fn timed<'a, G>(&'a self, f: impl FnOnce(&'a ServiceInner) -> G) -> G {
+        let t = Instant::now();
+        let guard = f(&self.inner);
+        self.inner
+            .counters
+            .lock_wait_nanos
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        guard
+    }
+
+    /// A fresh per-query executor. Seeds advance through a service-wide
+    /// atomic so concurrent queries draw distinct, reproducible streams.
+    fn executor(&self) -> LaqyExecutor {
+        let seed = self
+            .inner
+            .seed
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        LaqyExecutor::new(self.inner.threads, self.inner.policy, seed).with_mode(self.inner.mode)
+    }
+
+    fn hold_for_test(&self) {
+        let nanos = self.inner.sampling_hold_nanos.load(Ordering::Relaxed);
+        if nanos > 0 {
+            std::thread::sleep(Duration::from_nanos(nanos));
+        }
+    }
+
+    /// One optimistic plan-and-execute attempt.
+    fn try_run(
+        &self,
+        query: &ApproxQuery,
+        t_start: Instant,
+        force_online: bool,
+    ) -> Result<Attempt> {
+        let mut executor = self.executor();
+        let descriptor = {
+            let catalog = self.catalog();
+            executor.descriptor(&catalog, query)?
+        };
+        let tighten = Predicates::on(query.range_column.clone(), IntervalSet::of(query.range));
+
+        let mut plan = if force_online {
+            LazyPlan::Online
+        } else {
+            let store = self.store();
+            plan_lazy(&store, &descriptor)
+        };
+        if self.inner.mode == ReuseMode::FullMatchOnly {
+            if let LazyPlan::PartialReuse { .. } = plan {
+                plan = LazyPlan::Online;
+            }
+        }
+        let effective = plan.uncovered_fraction(&descriptor);
+
+        match plan {
+            LazyPlan::FullReuse { id } => {
+                let pre = ExecStats {
+                    effective_selectivity: 0.0,
+                    reuse: Some(ReuseClass::Full),
+                    ..Default::default()
+                };
+                match self.estimate_reused(&mut executor, id, query, &tighten, pre, t_start)? {
+                    Some(result) => {
+                        self.inner
+                            .counters
+                            .full_hits
+                            .fetch_add(1, Ordering::Relaxed);
+                        Ok(Attempt::Done(result))
+                    }
+                    None => Ok(Attempt::Retry),
+                }
+            }
+            LazyPlan::PartialReuse { id, delta, varying } => self.run_partial(
+                &mut executor,
+                query,
+                id,
+                delta,
+                varying,
+                effective,
+                &tighten,
+                t_start,
+            ),
+            LazyPlan::Online => {
+                self.run_online_absorbing(&mut executor, query, &descriptor, t_start)
+            }
+        }
+    }
+
+    /// Δ-sample, merge, estimate — with in-flight dedup and optimistic
+    /// revalidation under the write lock.
+    #[allow(clippy::too_many_arguments)]
+    fn run_partial(
+        &self,
+        executor: &mut LaqyExecutor,
+        query: &ApproxQuery,
+        id: SampleId,
+        delta: Predicates,
+        varying: String,
+        effective: f64,
+        tighten: &Predicates,
+        t_start: Instant,
+    ) -> Result<Attempt> {
+        let delta_set = delta
+            .get(&varying)
+            .cloned()
+            .unwrap_or_else(IntervalSet::empty);
+        let key = format!("Δ|{:?}|{varying}|{delta_set:?}", id);
+        let Some(_guard) = self.begin_inflight(&key) else {
+            // Another client is sampling this exact uncovered interval:
+            // we waited for it, so re-plan (normally upgrading to full
+            // reuse) instead of scanning the same Δ again.
+            self.inner
+                .counters
+                .merges_deduped
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(Attempt::Retry);
+        };
+        self.hold_for_test();
+
+        let (delta_sample, mut stats) = {
+            let catalog = self.catalog();
+            executor.sample_pipeline(&catalog, query, &delta_set, &Predicate::True)?
+        };
+        self.inner
+            .counters
+            .delta_scans
+            .fetch_add(1, Ordering::Relaxed);
+
+        let t_merge = Instant::now();
+        let merged = {
+            let mut store = self.timed(|i| i.store.write());
+            // Revalidate before merging: the sample may have been evicted,
+            // or a competing merge may have grown its coverage into our Δ
+            // (merging then would double-count those rows).
+            let still_valid = store.peek(id).is_some_and(|stored| {
+                stored
+                    .descriptor
+                    .predicates
+                    .get(&varying)
+                    .map(|coverage| !coverage.overlaps(&delta_set))
+                    .unwrap_or(true)
+            });
+            if still_valid {
+                store.merge_delta(id, delta_sample, &delta, &varying, executor.rng_mut())
+            } else {
+                false
+            }
+        };
+        stats.merge = t_merge.elapsed();
+        if !merged {
+            self.inner
+                .counters
+                .merge_retries
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(Attempt::Retry);
+        }
+
+        stats.effective_selectivity = effective;
+        stats.reuse = Some(ReuseClass::Partial);
+        match self.estimate_reused(executor, id, query, tighten, stats, t_start)? {
+            Some(result) => {
+                self.inner
+                    .counters
+                    .partial_merges
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(Attempt::Done(result))
+            }
+            None => Ok(Attempt::Retry),
+        }
+    }
+
+    /// Estimate a query from stored sample `id` (full or freshly merged
+    /// partial reuse), applying the conservative support fallback.
+    /// Returns `None` when the sample vanished and the caller must
+    /// re-plan.
+    fn estimate_reused(
+        &self,
+        executor: &mut LaqyExecutor,
+        id: SampleId,
+        query: &ApproxQuery,
+        tighten: &Predicates,
+        mut stats: ExecStats,
+        t_start: Instant,
+    ) -> Result<Option<ApproxResult>> {
+        let estimated = {
+            let store = self.store();
+            if store.peek(id).is_none() {
+                None
+            } else {
+                Some(executor.estimate_stored(&store, id, query, tighten)?)
+            }
+        };
+        let Some((mut groups, mut support, est_time)) = estimated else {
+            return Ok(None);
+        };
+        stats.estimate += est_time;
+        if self.inner.policy.conservative && !support.fully_supported() {
+            let refined = {
+                let catalog = self.catalog();
+                executor.refine_support(&catalog, query, &mut groups, &mut support, &mut stats)?
+            };
+            if !refined {
+                // Low support not recoverable per-stratum: validate with a
+                // full online run, as the single-owner path does.
+                self.inner
+                    .counters
+                    .support_fallbacks
+                    .fetch_add(1, Ordering::Relaxed);
+                let descriptor = {
+                    let catalog = self.catalog();
+                    executor.descriptor(&catalog, query)?
+                };
+                return match self.run_online_absorbing(executor, query, &descriptor, t_start)? {
+                    Attempt::Done(result) => Ok(Some(result)),
+                    Attempt::Retry => Ok(None),
+                };
+            }
+        }
+        stats.total = t_start.elapsed();
+        Ok(Some(ApproxResult {
+            groups,
+            stats,
+            support,
+        }))
+    }
+
+    /// Full online sampling + absorb into the shared store, deduplicating
+    /// identical concurrent misses.
+    fn run_online_absorbing(
+        &self,
+        executor: &mut LaqyExecutor,
+        query: &ApproxQuery,
+        descriptor: &crate::descriptor::SampleDescriptor,
+        t_start: Instant,
+    ) -> Result<Attempt> {
+        let key = format!("O|{}|{:?}", descriptor.fingerprint(), descriptor.predicates);
+        let Some(_guard) = self.begin_inflight(&key) else {
+            self.inner
+                .counters
+                .online_deduped
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(Attempt::Retry);
+        };
+        self.hold_for_test();
+
+        let ranges = IntervalSet::of(query.range);
+        let (sample, mut stats, schema, groups, support) = {
+            let catalog = self.catalog();
+            let (sample, stats) =
+                executor.sample_pipeline(&catalog, query, &ranges, &Predicate::True)?;
+            let (_, schema) = executor.payload_schema(&catalog, query)?;
+            let t_est = Instant::now();
+            let groups = crate::estimate::estimate(
+                &sample,
+                &schema,
+                &query.plan.aggs,
+                &crate::estimate::EstimateOptions::default(),
+            )?;
+            let support =
+                crate::support::check_support(&sample, &schema, None, &self.inner.policy)?;
+            let mut stats = stats;
+            stats.estimate = t_est.elapsed();
+            (sample, stats, schema, groups, support)
+        };
+        self.inner
+            .counters
+            .online_scans
+            .fetch_add(1, Ordering::Relaxed);
+
+        {
+            let mut store = self.timed(|i| i.store.write());
+            store.absorb(descriptor.clone(), schema, sample, executor.rng_mut());
+        }
+        self.inner
+            .counters
+            .online_runs
+            .fetch_add(1, Ordering::Relaxed);
+
+        stats.effective_selectivity = 1.0;
+        stats.reuse = Some(ReuseClass::Online);
+        stats.total = t_start.elapsed();
+        Ok(Attempt::Done(ApproxResult {
+            groups,
+            stats,
+            support,
+        }))
+    }
+
+    /// Claim or wait on the in-flight sampling slot for `key`.
+    ///
+    /// Returns `Some(guard)` if this thread is now the owner (the guard
+    /// releases waiters on drop, including on error paths), or `None`
+    /// after having waited for a concurrent owner to finish. No store,
+    /// catalog, or registry lock is held while waiting.
+    fn begin_inflight(&self, key: &str) -> Option<InflightGuard<'_>> {
+        let entry = {
+            let mut registry = self.inner.inflight.lock();
+            match registry.get(key) {
+                Some(entry) => Some(Arc::clone(entry)),
+                None => {
+                    registry.insert(key.to_string(), Arc::new(Inflight::new()));
+                    None
+                }
+            }
+        };
+        match entry {
+            Some(entry) => {
+                let mut done = entry.done.lock();
+                while !*done {
+                    entry.cv.wait(&mut done);
+                }
+                None
+            }
+            None => Some(InflightGuard {
+                inner: &self.inner,
+                key: key.to_string(),
+            }),
+        }
+    }
+}
+
+/// Releases an in-flight slot on drop, waking all waiters — also on
+/// panic or error unwinding, so waiters can never hang on a dead owner.
+struct InflightGuard<'a> {
+    inner: &'a ServiceInner,
+    key: String,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let entry = self.inner.inflight.lock().remove(&self.key);
+        if let Some(entry) = entry {
+            *entry.done.lock() = true;
+            entry.cv.notify_all();
+        }
+    }
+}
+
+#[allow(dead_code)]
+fn _assert_service_is_shareable() {
+    fn check<T: Send + Sync + Clone>() {}
+    check::<LaqyService>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laqy_engine::{AggSpec, ColRef, Column, QueryPlan};
+
+    use crate::interval::Interval;
+
+    fn catalog(n: i64) -> Catalog {
+        let mut cat = Catalog::new();
+        cat.register(
+            Table::new(
+                "t",
+                vec![
+                    ("key".into(), Column::Int64((0..n).collect())),
+                    ("g".into(), Column::Int64((0..n).map(|i| i % 4).collect())),
+                    ("v".into(), Column::Int64((0..n).map(|i| i % 100).collect())),
+                ],
+            )
+            .unwrap(),
+        );
+        cat
+    }
+
+    fn query(lo: i64, hi: i64) -> ApproxQuery {
+        ApproxQuery {
+            plan: QueryPlan {
+                fact: "t".into(),
+                predicate: Predicate::True,
+                joins: vec![],
+                group_by: vec![ColRef::fact("g")],
+                aggs: vec![AggSpec::sum("v"), AggSpec::count()],
+            },
+            range_column: "key".into(),
+            range: Interval::new(lo, hi),
+            k: 64,
+        }
+    }
+
+    #[test]
+    fn reuse_arms_and_counters_line_up() {
+        let service = LaqyService::with_config(
+            catalog(4000),
+            SessionConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let a = service.run(&query(0, 1999)).unwrap();
+        assert_eq!(a.stats.reuse, Some(ReuseClass::Online));
+        let b = service.run(&query(500, 1500)).unwrap();
+        assert_eq!(b.stats.reuse, Some(ReuseClass::Full));
+        let c = service.run(&query(0, 2999)).unwrap();
+        assert_eq!(c.stats.reuse, Some(ReuseClass::Partial));
+        let stats = service.stats();
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.online_runs, 1);
+        assert_eq!(stats.full_hits, 1);
+        assert_eq!(stats.partial_merges, 1);
+        assert_eq!(stats.delta_scans, 1);
+        assert_eq!(stats.merges_deduped, 0);
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let service = LaqyService::with_config(
+            catalog(2000),
+            SessionConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let other = service.clone();
+        service.run(&query(0, 999)).unwrap();
+        assert_eq!(other.store().len(), 1);
+        let r = other.run(&query(100, 800)).unwrap();
+        assert_eq!(r.stats.reuse, Some(ReuseClass::Full));
+    }
+
+    #[test]
+    fn oblivious_runs_do_not_touch_the_store() {
+        let service = LaqyService::with_config(
+            catalog(2000),
+            SessionConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        service.run_online_oblivious(&query(0, 999)).unwrap();
+        assert!(service.store().is_empty());
+        assert_eq!(service.stats().online_runs, 0);
+    }
+
+    #[test]
+    fn inflight_guard_releases_on_drop() {
+        let service = LaqyService::new(catalog(100));
+        {
+            let guard = service.begin_inflight("k");
+            assert!(guard.is_some());
+        }
+        // Slot free again: claiming succeeds instead of waiting.
+        assert!(service.begin_inflight("k").is_some());
+    }
+}

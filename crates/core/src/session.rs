@@ -1,7 +1,13 @@
 //! The high-level LAQy session API.
 //!
-//! A [`LaqySession`] owns a catalog, a sample store, and an executor, and
-//! exposes the four execution modes the evaluation compares:
+//! A [`LaqySession`] is the single-owner convenience facade over the
+//! concurrent [`LaqyService`](crate::service::LaqyService): it owns one
+//! service handle and forwards every call, so the familiar `&mut self`
+//! API and the multi-client service share one implementation of the lazy
+//! sampling flow. Use [`LaqySession::service`] to hand clones of the
+//! underlying service to worker threads.
+//!
+//! The session exposes the four execution modes the evaluation compares:
 //!
 //! - [`LaqySession::run`] — LAQy lazy sampling (full/partial/no reuse);
 //! - [`LaqySession::run_online_oblivious`] — workload-oblivious online
@@ -11,8 +17,10 @@
 //!   bandwidth floor).
 
 use laqy_engine::{Catalog, Table, Value};
+use parking_lot::RwLockReadGuard;
 
-use crate::executor::{ApproxQuery, ApproxResult, LaqyExecutor, Result, ReuseMode};
+use crate::executor::{ApproxQuery, ApproxResult, Result, ReuseMode};
+use crate::service::LaqyService;
 use crate::stats::ExecStats;
 use crate::store::SampleStore;
 use crate::support::SupportPolicy;
@@ -46,9 +54,7 @@ impl Default for SessionConfig {
 
 /// A LAQy session: catalog + sample store + executor.
 pub struct LaqySession {
-    catalog: Catalog,
-    store: SampleStore,
-    executor: LaqyExecutor,
+    service: LaqyService,
 }
 
 impl LaqySession {
@@ -59,69 +65,68 @@ impl LaqySession {
 
     /// Create a session with explicit configuration.
     pub fn with_config(catalog: Catalog, config: SessionConfig) -> Self {
-        let store = match config.store_budget_bytes {
-            Some(b) => SampleStore::with_budget(b),
-            None => SampleStore::new(),
-        };
         Self {
-            catalog,
-            store,
-            executor: LaqyExecutor::new(config.threads, config.policy, config.seed)
-                .with_mode(config.reuse_mode),
+            service: LaqyService::with_config(catalog, config),
         }
+    }
+
+    /// The shared service behind this session. Clones are cheap and may be
+    /// moved to other threads; they keep operating on this session's
+    /// catalog and sample store.
+    pub fn service(&self) -> LaqyService {
+        self.service.clone()
     }
 
     /// Register (or replace) a table.
     pub fn register_table(&mut self, table: Table) {
-        self.catalog.register(table);
+        self.service.register_table(table);
     }
 
-    /// The catalog.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// The catalog (read guard; held clones of [`LaqySession::service`]
+    /// block on [`LaqySession::register_table`] while it is alive).
+    pub fn catalog(&self) -> RwLockReadGuard<'_, Catalog> {
+        self.service.catalog()
     }
 
     /// The sample store (inspection / tests).
-    pub fn store(&self) -> &SampleStore {
-        &self.store
+    pub fn store(&self) -> RwLockReadGuard<'_, SampleStore> {
+        self.service.store()
     }
 
     /// Clear all materialized samples (cold-start experiments).
     pub fn clear_samples(&mut self) {
-        self.store.clear();
+        self.service.clear_samples();
     }
 
     /// Serialize the sample store (offline-sample persistence).
     pub fn export_samples(&self) -> Vec<u8> {
-        crate::persist::save_store(&self.store)
+        self.service.export_samples()
     }
 
     /// Replace the sample store from a snapshot produced by
     /// [`LaqySession::export_samples`].
     pub fn import_samples(&mut self, bytes: &[u8]) -> Result<()> {
-        self.store = crate::persist::load_store(bytes)
-            .map_err(|e| crate::executor::LaqyError::Unsupported(e.to_string()))?;
-        Ok(())
+        self.service.import_samples(bytes)
     }
 
     /// Run a query with LAQy's lazy sampling.
     pub fn run(&mut self, query: &ApproxQuery) -> Result<ApproxResult> {
-        self.executor.run_lazy(&self.catalog, &mut self.store, query)
+        self.service.run(query)
     }
 
     /// Run with workload-oblivious online sampling (baseline).
     pub fn run_online_oblivious(&mut self, query: &ApproxQuery) -> Result<ApproxResult> {
-        self.executor.run_online(&self.catalog, query)
+        self.service.run_online_oblivious(query)
     }
 
     /// Run exactly (baseline). Returns engine results plus stats.
     pub fn run_exact(&self, query: &ApproxQuery) -> Result<(laqy_engine::QueryResult, ExecStats)> {
-        self.executor.run_exact(&self.catalog, query)
+        self.service.run_exact(query)
     }
 
     /// Pure filtered scan timing (floor).
     pub fn scan_floor(&self, query: &ApproxQuery) -> Result<ExecStats> {
-        self.executor.scan_floor(&self.catalog, query)
+        self.service.scan_floor(query)
     }
 
     /// Decode estimate group keys into display values.
@@ -130,6 +135,6 @@ impl LaqySession {
         query: &ApproxQuery,
         result: &ApproxResult,
     ) -> Result<Vec<Vec<Value>>> {
-        self.executor.decode_keys(&self.catalog, query, &result.groups)
+        self.service.decode_keys(query, result)
     }
 }

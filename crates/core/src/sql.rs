@@ -41,14 +41,16 @@ fn build(
     let mut query_plan = plan(catalog, sql).map_err(sql_err)?;
 
     // Flatten the fact predicate into conjuncts and pull out the range.
-    let conjuncts = flatten(std::mem::replace(&mut query_plan.predicate, Predicate::True));
+    let conjuncts = flatten(std::mem::replace(
+        &mut query_plan.predicate,
+        Predicate::True,
+    ));
     let mut range: Option<(String, Interval)> = None;
     let mut rest: Vec<Predicate> = Vec::new();
     for c in conjuncts {
         match &c {
             Predicate::Between { column, lo, hi }
-                if range.is_none()
-                    && range_column.map(|r| r == column).unwrap_or(true) =>
+                if range.is_none() && range_column.map(|r| r == column).unwrap_or(true) =>
             {
                 range = Some((column.clone(), Interval::new(*lo, *hi)));
             }
@@ -70,9 +72,7 @@ fn build(
             None => "no BETWEEN range predicate found to approximate over".to_string(),
         }));
     };
-    query_plan.predicate = rest
-        .into_iter()
-        .fold(Predicate::True, |acc, p| acc.and(p));
+    query_plan.predicate = rest.into_iter().fold(Predicate::True, |acc, p| acc.and(p));
 
     Ok(ApproxQuery {
         plan: query_plan,
@@ -154,7 +154,8 @@ mod tests {
     #[test]
     fn two_betweens_need_explicit_column() {
         let cat = catalog();
-        let sql = "SELECT g, SUM(v) FROM t WHERE key BETWEEN 0 AND 9 AND q BETWEEN 1 AND 3 GROUP BY g";
+        let sql =
+            "SELECT g, SUM(v) FROM t WHERE key BETWEEN 0 AND 9 AND q BETWEEN 1 AND 3 GROUP BY g";
         assert!(approx_query(&cat, sql, 8).is_err());
         let q = approx_query_on(&cat, sql, "key", 8).unwrap();
         assert_eq!(q.range_column, "key");
@@ -169,10 +170,13 @@ mod tests {
     fn missing_range_is_an_error() {
         let cat = catalog();
         assert!(approx_query(&cat, "SELECT g, SUM(v) FROM t GROUP BY g", 8).is_err());
-        assert!(
-            approx_query_on(&cat, "SELECT g, SUM(v) FROM t WHERE q = 1 GROUP BY g", "key", 8)
-                .is_err()
-        );
+        assert!(approx_query_on(
+            &cat,
+            "SELECT g, SUM(v) FROM t WHERE q = 1 GROUP BY g",
+            "key",
+            8
+        )
+        .is_err());
     }
 
     #[test]

@@ -75,6 +75,51 @@ impl ExecStats {
     }
 }
 
+/// Cumulative counters of a [`LaqyService`](crate::service::LaqyService):
+/// how the concurrent workload actually hit the shared store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Queries accepted by [`run`](crate::service::LaqyService::run).
+    pub queries: u64,
+    /// Queries answered by full reuse (no sampling scan at all).
+    pub full_hits: u64,
+    /// Queries answered via a successful Δ-merge (partial reuse).
+    pub partial_merges: u64,
+    /// Queries that ran full online sampling and absorbed the result.
+    pub online_runs: u64,
+    /// Δ sampling scans actually performed.
+    pub delta_scans: u64,
+    /// Full online sampling scans actually performed.
+    pub online_scans: u64,
+    /// Δ scans *avoided* because an identical uncovered interval was
+    /// already being sampled by a concurrent client (piggyback).
+    pub merges_deduped: u64,
+    /// Online scans avoided the same way.
+    pub online_deduped: u64,
+    /// Δ merges discarded at revalidation (store changed concurrently;
+    /// the query re-planned).
+    pub merge_retries: u64,
+    /// Reused estimates that failed the conservative support check and
+    /// fell back to a full online run (§5.2.3 fallback, service-side).
+    pub support_fallbacks: u64,
+    /// Total nanoseconds threads spent waiting to acquire the store and
+    /// catalog locks (contention telemetry).
+    pub lock_wait_nanos: u64,
+}
+
+impl ServiceStats {
+    /// Sampling scans performed (Δ + online): the work the shared store
+    /// could not elide.
+    pub fn scans_performed(&self) -> u64 {
+        self.delta_scans + self.online_scans
+    }
+
+    /// Sampling scans avoided via in-flight dedup.
+    pub fn scans_deduped(&self) -> u64 {
+        self.merges_deduped + self.online_deduped
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

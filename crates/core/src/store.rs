@@ -9,6 +9,8 @@
 //! predicate coverage. An optional byte budget with LRU eviction hooks this
 //! store into Taster-style storage management (paper §8).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use laqy_engine::GroupKey;
 use laqy_sampling::{merge_stratified, Lehmer64, StratifiedSampler};
 
@@ -28,7 +30,10 @@ pub struct StoredSample {
     /// The stratified sample itself (ownership of the group-by hash table,
     /// §6.3).
     pub sample: StratifiedSampler<GroupKey, SampleTuple>,
-    last_used: u64,
+    // Atomic so the concurrent service's read path (classification +
+    // full-reuse lookup under a shared `RwLock` read guard) can refresh
+    // the LRU stamp without taking the write lock.
+    last_used: AtomicU64,
     bytes: usize,
 }
 
@@ -65,7 +70,9 @@ pub enum ReuseDecision {
 pub struct SampleStore {
     samples: Vec<(SampleId, StoredSample)>,
     next_id: u64,
-    clock: u64,
+    // Atomic for the same reason as `StoredSample::last_used`: shared
+    // readers advance the logical clock without exclusive access.
+    clock: AtomicU64,
     budget_bytes: Option<usize>,
     evictions: u64,
 }
@@ -76,7 +83,7 @@ impl SampleStore {
         Self {
             samples: Vec::new(),
             next_id: 0,
-            clock: 0,
+            clock: AtomicU64::new(0),
             budget_bytes: None,
             evictions: 0,
         }
@@ -124,13 +131,11 @@ impl SampleStore {
             if stored.descriptor.predicates.subsumes(&query.predicates) {
                 return ReuseDecision::Full { id: *id };
             }
-            if let Some((delta, varying)) =
-                query.predicates.delta_against(&stored.descriptor.predicates)
+            if let Some((delta, varying)) = query
+                .predicates
+                .delta_against(&stored.descriptor.predicates)
             {
-                let delta_measure = delta
-                    .get(&varying)
-                    .map(|s| s.measure())
-                    .unwrap_or(0);
+                let delta_measure = delta.get(&varying).map(|s| s.measure()).unwrap_or(0);
                 let query_measure = query
                     .predicates
                     .get(&varying)
@@ -155,14 +160,20 @@ impl SampleStore {
         }
     }
 
-    /// Access a stored sample, updating its LRU stamp.
-    pub fn get(&mut self, id: SampleId) -> Option<&StoredSample> {
-        self.clock += 1;
-        let clock = self.clock;
-        self.samples.iter_mut().find(|(i, _)| *i == id).map(|(_, s)| {
-            s.last_used = clock;
-            &*s
+    /// Access a stored sample, updating its LRU stamp. Shared access
+    /// suffices: the touch is a relaxed atomic store, so concurrent
+    /// readers (the service's full-reuse path) never need the write lock.
+    pub fn get(&self, id: SampleId) -> Option<&StoredSample> {
+        let clock = self.tick();
+        self.samples.iter().find(|(i, _)| *i == id).map(|(_, s)| {
+            s.last_used.store(clock, Ordering::Relaxed);
+            s
         })
+    }
+
+    /// Advance and read the logical LRU clock.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Access without touching the LRU stamp.
@@ -188,14 +199,14 @@ impl SampleStore {
         schema: SampleSchema,
         sample: StratifiedSampler<GroupKey, SampleTuple>,
     ) -> SampleId {
-        self.clock += 1;
+        let clock = self.tick();
         let id = SampleId(self.next_id);
         self.next_id += 1;
         let mut stored = StoredSample {
             descriptor,
             schema,
             sample,
-            last_used: self.clock,
+            last_used: AtomicU64::new(clock),
             bytes: 0,
         };
         stored.measure_bytes();
@@ -215,7 +226,7 @@ impl SampleStore {
         sample: StratifiedSampler<GroupKey, SampleTuple>,
         rng: &mut Lehmer64,
     ) -> SampleId {
-        self.clock += 1;
+        let clock = self.tick();
         // Try to merge with an existing disjoint sample of the same shape.
         let target = self.samples.iter().position(|(_, s)| {
             s.descriptor.matches_characteristics(&descriptor)
@@ -237,7 +248,7 @@ impl SampleStore {
                 .descriptor
                 .predicates
                 .union_on(&varying, &descriptor.predicates);
-            stored.last_used = self.clock;
+            stored.last_used.store(clock, Ordering::Relaxed);
             stored.measure_bytes();
             let id = *id;
             self.enforce_budget(id);
@@ -255,7 +266,7 @@ impl SampleStore {
             descriptor,
             schema,
             sample,
-            last_used: self.clock,
+            last_used: AtomicU64::new(clock),
             bytes: 0,
         };
         stored.measure_bytes();
@@ -274,8 +285,7 @@ impl SampleStore {
         varying: &str,
         rng: &mut Lehmer64,
     ) -> bool {
-        self.clock += 1;
-        let clock = self.clock;
+        let clock = self.tick();
         let Some((_, stored)) = self.samples.iter_mut().find(|(i, _)| *i == id) else {
             return false;
         };
@@ -288,7 +298,7 @@ impl SampleStore {
             .descriptor
             .predicates
             .union_on(varying, delta_predicates);
-        stored.last_used = clock;
+        stored.last_used.store(clock, Ordering::Relaxed);
         stored.measure_bytes();
         self.enforce_budget(id);
         true
@@ -316,7 +326,7 @@ impl SampleStore {
                 .samples
                 .iter()
                 .filter(|(i, _)| *i != protect)
-                .min_by_key(|(_, s)| s.last_used)
+                .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
                 .map(|(i, _)| *i);
             match victim {
                 Some(v) => {
@@ -423,7 +433,11 @@ mod tests {
         assert_eq!(store.classify(&desc(10, 50)), ReuseDecision::Full { id });
         // Overlapping ⇒ partial with the uncovered remainder as Δ.
         match store.classify(&desc(50, 149)) {
-            ReuseDecision::Partial { id: pid, delta, varying } => {
+            ReuseDecision::Partial {
+                id: pid,
+                delta,
+                varying,
+            } => {
                 assert_eq!(pid, id);
                 assert_eq!(varying, "lo_intkey");
                 assert_eq!(delta.get("lo_intkey").unwrap(), &iv(100, 149));
@@ -476,7 +490,13 @@ mod tests {
         let mut rng = Lehmer64::new(5);
         let id = store.absorb(desc(0, 99), schema(), toy_sample(2, 30, 0), &mut rng);
         let delta_pred = Predicates::on("lo_intkey", iv(100, 199));
-        assert!(store.merge_delta(id, toy_sample(2, 30, 100), &delta_pred, "lo_intkey", &mut rng));
+        assert!(store.merge_delta(
+            id,
+            toy_sample(2, 30, 100),
+            &delta_pred,
+            "lo_intkey",
+            &mut rng
+        ));
         // Coverage is now [0, 199] ⇒ full reuse for [0, 150].
         assert_eq!(store.classify(&desc(0, 150)), ReuseDecision::Full { id });
         let stored = store.peek(id).unwrap();

@@ -126,7 +126,9 @@ mod tests {
         SampleSchema::new(vec![("x".into(), SlotKind::Int)])
     }
 
-    fn sample(per_stratum: &[(i64, std::ops::Range<i64>)]) -> StratifiedSampler<GroupKey, SampleTuple> {
+    fn sample(
+        per_stratum: &[(i64, std::ops::Range<i64>)],
+    ) -> StratifiedSampler<GroupKey, SampleTuple> {
         let mut rng = Lehmer64::new(1);
         let mut s = StratifiedSampler::new(10_000);
         for (g, range) in per_stratum {

@@ -162,7 +162,11 @@ mod tests {
     fn window_sample_merges_covered_slices() {
         let mut s = sampler(100);
         for t in 0..40u64 {
-            s.ingest(t, GroupKey::new(&[(t % 2) as i64]), SampleTuple::from_slice(&[t as i64]));
+            s.ingest(
+                t,
+                GroupKey::new(&[(t % 2) as i64]),
+                SampleTuple::from_slice(&[t as i64]),
+            );
         }
         // Window [10, 30) covers slices 1 and 2 → 20 elements.
         let w = s.window_sample(10, 30).unwrap();

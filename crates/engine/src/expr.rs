@@ -306,10 +306,7 @@ mod tests {
             vec![
                 ("x".into(), Column::Int64(vec![1, 5, 10, 15, 20])),
                 ("y".into(), Column::Int32(vec![2, 4, 6, 8, 10])),
-                (
-                    "region".into(),
-                    dict_column(["A", "B", "A", "C", "B"]),
-                ),
+                ("region".into(), dict_column(["A", "B", "A", "C", "B"])),
             ],
         )
         .unwrap()
@@ -332,7 +329,10 @@ mod tests {
     #[test]
     fn eq_str_uses_dictionary() {
         let t = table();
-        assert_eq!(rows_matching(&t, &Predicate::eq_str("region", "A")), vec![0, 2]);
+        assert_eq!(
+            rows_matching(&t, &Predicate::eq_str("region", "A")),
+            vec![0, 2]
+        );
     }
 
     #[test]

@@ -36,11 +36,7 @@ pub fn load_csv_file(
 
 /// Load a table from any CSV reader. The first row must be a header whose
 /// column names match the declared schema (order-sensitive).
-pub fn load_csv(
-    name: impl Into<String>,
-    reader: impl Read,
-    schema: &CsvSchema,
-) -> Result<Table> {
+pub fn load_csv(name: impl Into<String>, reader: impl Read, schema: &CsvSchema) -> Result<Table> {
     let mut lines = BufReader::new(reader);
     let mut line = String::new();
 
@@ -228,7 +224,10 @@ mod tests {
         assert_eq!(t.num_rows(), 3);
         assert_eq!(t.column("id").unwrap().i64_at(2), 3);
         assert_eq!(t.column("score").unwrap().f64_at(1), 1.5);
-        assert_eq!(t.column("tag").unwrap().value(0), Value::Str("alpha".into()));
+        assert_eq!(
+            t.column("tag").unwrap().value(0),
+            Value::Str("alpha".into())
+        );
         // Dictionary is shared across equal strings.
         assert_eq!(
             t.column("tag").unwrap().i64_at(0),

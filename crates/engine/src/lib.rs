@@ -34,8 +34,8 @@ pub use expr::{AggInput, AggKind, AggSpec, Predicate};
 pub use hash::{FxBuildHasher, FxHashMap, GroupKey, MAX_KEY_COLS};
 pub use io::{load_csv, load_csv_file, CsvSchema};
 pub use plan::{
-    execute_exact, execute_exact_prepared, scan_count, validate_plan, ColRef, GroupedRow,
-    JoinSpec, PreparedJoins, QueryPlan, QueryResult,
+    execute_exact, execute_exact_prepared, scan_count, validate_plan, ColRef, GroupedRow, JoinSpec,
+    PreparedJoins, QueryPlan, QueryResult,
 };
 pub use table::{Catalog, Table};
 pub use types::{DataType, Value};

@@ -456,11 +456,7 @@ mod tests {
     #[test]
     fn keyless_group_by_is_global_aggregate() {
         let t = table();
-        let inputs = Inputs::bind(
-            &[AggInput::Col("v".into())],
-            bind_table_cols(&t, None),
-        )
-        .unwrap();
+        let inputs = Inputs::bind(&[AggInput::Col("v".into())], bind_table_cols(&t, None)).unwrap();
         let gt = group_by(
             &[],
             &inputs,

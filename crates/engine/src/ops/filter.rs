@@ -20,7 +20,11 @@ pub fn scan_filter(table: &Table, range: Range<usize>, predicate: &Predicate) ->
 }
 
 /// Narrow an existing selection with an additional predicate.
-pub fn refine_selection(table: &Table, selection: &[u32], predicate: &Predicate) -> Result<Vec<u32>> {
+pub fn refine_selection(
+    table: &Table,
+    selection: &[u32],
+    predicate: &Predicate,
+) -> Result<Vec<u32>> {
     let compiled = predicate.compile(table)?;
     Ok(selection
         .iter()
@@ -131,8 +135,13 @@ mod tests {
     #[test]
     fn true_and_false_predicates() {
         let t = table();
-        assert_eq!(scan_filter(&t, 0..100, &Predicate::True).unwrap().len(), 100);
-        assert!(scan_filter(&t, 0..100, &Predicate::False).unwrap().is_empty());
+        assert_eq!(
+            scan_filter(&t, 0..100, &Predicate::True).unwrap().len(),
+            100
+        );
+        assert!(scan_filter(&t, 0..100, &Predicate::False)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

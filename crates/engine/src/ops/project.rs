@@ -50,9 +50,7 @@ pub fn materialize_view(
 ) -> Result<Table> {
     let cols = columns
         .iter()
-        .map(|(out, table, col, rows)| {
-            Ok(((*out).to_string(), gather(table.column(col)?, rows)))
-        })
+        .map(|(out, table, col, rows)| Ok(((*out).to_string(), gather(table.column(col)?, rows))))
         .collect::<Result<Vec<_>>>()?;
     Table::new(name, cols)
 }
@@ -71,8 +69,14 @@ mod tests {
             "t",
             vec![
                 ("a".into(), Column::Int64((0..10).collect())),
-                ("b".into(), Column::Float64((0..10).map(|i| i as f64).collect())),
-                ("c".into(), dict_column((0..10).map(|i| if i % 2 == 0 { "x" } else { "y" }))),
+                (
+                    "b".into(),
+                    Column::Float64((0..10).map(|i| i as f64).collect()),
+                ),
+                (
+                    "c".into(),
+                    dict_column((0..10).map(|i| if i % 2 == 0 { "x" } else { "y" })),
+                ),
             ],
         )
         .unwrap()
@@ -132,8 +136,14 @@ mod tests {
         )
         .unwrap();
         assert_eq!(view.num_rows(), 4);
-        assert_eq!(view.column("label").unwrap().value(0), Value::Str("zero".into()));
-        assert_eq!(view.column("label").unwrap().value(2), Value::Str("zero".into()));
+        assert_eq!(
+            view.column("label").unwrap().value(0),
+            Value::Str("zero".into())
+        );
+        assert_eq!(
+            view.column("label").unwrap().value(2),
+            Value::Str("zero".into())
+        );
         assert_eq!(view.column("v").unwrap().i64_at(3), 40);
     }
 

@@ -47,7 +47,13 @@ pub fn morsel_ranges(n: usize, morsel: usize) -> Vec<Range<usize>> {
 ///
 /// `init` creates each worker's accumulator; `work(acc, range)` folds one
 /// morsel into it. Panics in workers propagate.
-pub fn parallel_fold<Acc, I, W>(n: usize, morsel: usize, threads: usize, init: I, work: W) -> Vec<Acc>
+pub fn parallel_fold<Acc, I, W>(
+    n: usize,
+    morsel: usize,
+    threads: usize,
+    init: I,
+    work: W,
+) -> Vec<Acc>
 where
     Acc: Send,
     I: Fn() -> Acc + Sync,
@@ -100,11 +106,17 @@ mod tests {
     #[test]
     fn parallel_sum_matches_serial() {
         let n = 1_000_000usize;
-        let partials = parallel_fold(n, 1000, 4, || 0u64, |acc, r| {
-            for i in r {
-                *acc += i as u64;
-            }
-        });
+        let partials = parallel_fold(
+            n,
+            1000,
+            4,
+            || 0u64,
+            |acc, r| {
+                for i in r {
+                    *acc += i as u64;
+                }
+            },
+        );
         let total: u64 = partials.into_iter().sum();
         assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
     }

@@ -349,7 +349,12 @@ fn finalize_result(
 
 /// Count rows matching a predicate with a parallel scan — the
 /// memory-bandwidth floor the paper's figures plot as "scan".
-pub fn scan_count(catalog: &Catalog, fact: &str, predicate: &Predicate, threads: usize) -> Result<usize> {
+pub fn scan_count(
+    catalog: &Catalog,
+    fact: &str,
+    predicate: &Predicate,
+    threads: usize,
+) -> Result<usize> {
     let table = catalog.table(fact)?;
     predicate.compile(table).map(|_| ())?;
     let partials = parallel_fold(
@@ -526,6 +531,9 @@ mod tests {
         };
         let res = execute_exact(&cat, &plan, 4).unwrap();
         assert_eq!(res.rows.len(), 1);
-        assert_eq!(res.rows[0].values[0], (0..1000i64).map(|i| i * 2).sum::<i64>() as f64);
+        assert_eq!(
+            res.rows[0].values[0],
+            (0..1000i64).map(|i| i * 2).sum::<i64>() as f64
+        );
     }
 }

@@ -150,7 +150,13 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
                     let d = bytes[i] as char;
                     if d.is_ascii_digit() {
                         i += 1;
-                    } else if d == '.' && !is_float && bytes.get(i + 1).map(|b| (*b as char).is_ascii_digit()).unwrap_or(false) {
+                    } else if d == '.'
+                        && !is_float
+                        && bytes
+                            .get(i + 1)
+                            .map(|b| (*b as char).is_ascii_digit())
+                            .unwrap_or(false)
+                    {
                         is_float = true;
                         i += 1;
                     } else {
@@ -284,6 +290,9 @@ mod tests {
 
     #[test]
     fn bad_character_errors() {
-        assert!(matches!(tokenize("a ; b"), Err(SqlError::Lex { position: 2, .. })));
+        assert!(matches!(
+            tokenize("a ; b"),
+            Err(SqlError::Lex { position: 2, .. })
+        ));
     }
 }

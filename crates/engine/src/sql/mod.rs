@@ -25,9 +25,7 @@ mod parser;
 mod planner;
 
 pub use lexer::{tokenize, Token};
-pub use parser::{
-    parse, AggItem, Condition, SelectItem, SelectStmt, SqlAggFn, SqlExpr, SqlValue,
-};
+pub use parser::{parse, AggItem, Condition, SelectItem, SelectStmt, SqlAggFn, SqlExpr, SqlValue};
 pub use planner::{plan, plan_statement};
 
 use std::fmt;

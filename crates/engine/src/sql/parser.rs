@@ -435,17 +435,14 @@ mod tests {
     #[test]
     fn between_and_binds_correctly() {
         // The AND inside BETWEEN must not terminate the conjunct list.
-        let stmt = parse(
-            "SELECT COUNT(*) FROM t WHERE a BETWEEN 1 AND 5 AND b BETWEEN 6 AND 9",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT COUNT(*) FROM t WHERE a BETWEEN 1 AND 5 AND b BETWEEN 6 AND 9").unwrap();
         assert_eq!(stmt.conditions.len(), 2);
     }
 
     #[test]
     fn parses_sum_of_product() {
-        let stmt =
-            parse("SELECT SUM(lo_extendedprice * lo_discount) FROM lineorder").unwrap();
+        let stmt = parse("SELECT SUM(lo_extendedprice * lo_discount) FROM lineorder").unwrap();
         match &stmt.items[0] {
             SelectItem::Agg(AggItem {
                 func: SqlAggFn::Sum,

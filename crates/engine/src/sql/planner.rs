@@ -303,8 +303,14 @@ mod tests {
                     ("id".into(), Column::Int64((0..100).collect())),
                     ("g".into(), Column::Int64((0..100).map(|i| i % 4).collect())),
                     ("v".into(), Column::Int64((0..100).map(|i| i * 2).collect())),
-                    ("w".into(), Column::Float64((0..100).map(|i| i as f64).collect())),
-                    ("dk".into(), Column::Int64((0..100).map(|i| i % 5).collect())),
+                    (
+                        "w".into(),
+                        Column::Float64((0..100).map(|i| i as f64).collect()),
+                    ),
+                    (
+                        "dk".into(),
+                        Column::Int64((0..100).map(|i| i % 5).collect()),
+                    ),
                 ],
             )
             .unwrap(),
@@ -314,10 +320,7 @@ mod tests {
                 "dim",
                 vec![
                     ("key".into(), Column::Int64((0..5).collect())),
-                    (
-                        "name".into(),
-                        dict_column(["a", "b", "c", "d", "e"]),
-                    ),
+                    ("name".into(), dict_column(["a", "b", "c", "d", "e"])),
                 ],
             )
             .unwrap(),

@@ -144,8 +144,7 @@ mod tests {
         let s = UniverseSampler::new(0.2, 42);
         let left: Vec<i64> = (0..10_000).collect();
         let right: Vec<i64> = (5_000..15_000).collect();
-        let left_sampled: std::collections::HashSet<i64> =
-            s.filter(left.iter().copied()).collect();
+        let left_sampled: std::collections::HashSet<i64> = s.filter(left.iter().copied()).collect();
         let right_sampled: std::collections::HashSet<i64> =
             s.filter(right.iter().copied()).collect();
         for k in 5_000..15_000i64 {
@@ -158,8 +157,7 @@ mod tests {
             }
         }
         // And the join of the samples is the sample of the join.
-        let join_then_sample: Vec<i64> =
-            (5_000..10_000).filter(|k| s.admits(k)).collect();
+        let join_then_sample: Vec<i64> = (5_000..10_000).filter(|k| s.admits(k)).collect();
         let sample_then_join: Vec<i64> = left_sampled
             .intersection(&right_sampled)
             .copied()
@@ -167,8 +165,7 @@ mod tests {
             .into_iter()
             .collect();
         assert_eq!(
-            join_then_sample,
-            sample_then_join,
+            join_then_sample, sample_then_join,
             "universe sampling must commute with the join"
         );
     }

@@ -90,17 +90,11 @@ impl<T> WeightedReservoir<T> {
         let u = rng.next_f64().max(f64::MIN_POSITIVE);
         let log_key = u.ln() / weight;
         if self.heap.len() < self.capacity {
-            self.heap.push(Entry {
-                key: log_key,
-                item,
-            });
+            self.heap.push(Entry { key: log_key, item });
         } else if let Some(min) = self.heap.peek() {
             if log_key > min.key {
                 self.heap.pop();
-                self.heap.push(Entry {
-                    key: log_key,
-                    item,
-                });
+                self.heap.push(Entry { key: log_key, item });
             }
         }
     }

@@ -38,12 +38,7 @@ pub fn qcs_cardinality(n: usize) -> usize {
 /// `qcs_cols` grouping columns. `range` applies to `range_column`
 /// (`lo_intkey` for QVS-selectivity experiments, `lo_quantity` for
 /// QCS-selectivity experiments).
-pub fn strat(
-    qcs_cols: usize,
-    range_column: &str,
-    range: Interval,
-    k: usize,
-) -> ApproxQuery {
+pub fn strat(qcs_cols: usize, range_column: &str, range: Interval, k: usize) -> ApproxQuery {
     ApproxQuery {
         plan: QueryPlan {
             fact: "lineorder".into(),
@@ -116,7 +111,10 @@ pub fn q2(range: Interval, k: usize) -> ApproxQuery {
                     predicate: Predicate::eq_str("p_category", "MFGR#12"),
                 },
             ],
-            group_by: vec![ColRef::dim("date", "d_year"), ColRef::dim("part", "p_brand1")],
+            group_by: vec![
+                ColRef::dim("date", "d_year"),
+                ColRef::dim("part", "p_brand1"),
+            ],
             aggs: vec![AggSpec::sum("lo_revenue"), AggSpec::count()],
         },
         range_column: "lo_intkey".into(),

@@ -159,7 +159,9 @@ fn generate_supplier(config: &SsbConfig, rng: &mut Lehmer64) -> Table {
         city_codes.push((nation * 10 + rng.next_index(10)) as u32);
     }
     let nations: Vec<String> = (0..25).map(|i| format!("NATION_{i:02}")).collect();
-    let cities: Vec<String> = (0..250).map(|i| format!("CITY_{:02}_{}", i / 10, i % 10)).collect();
+    let cities: Vec<String> = (0..250)
+        .map(|i| format!("CITY_{:02}_{}", i / 10, i % 10))
+        .collect();
     Table::new(
         "supplier",
         vec![
@@ -205,7 +207,9 @@ fn generate_customer(config: &SsbConfig, rng: &mut Lehmer64) -> Table {
         city_codes.push((nation * 10 + rng.next_index(10)) as u32);
     }
     let nations: Vec<String> = (0..25).map(|i| format!("NATION_{i:02}")).collect();
-    let cities: Vec<String> = (0..250).map(|i| format!("CITY_{:02}_{}", i / 10, i % 10)).collect();
+    let cities: Vec<String> = (0..250)
+        .map(|i| format!("CITY_{:02}_{}", i / 10, i % 10))
+        .collect();
     Table::new(
         "customer",
         vec![
@@ -414,7 +418,9 @@ mod tests {
         let two: HashSet<(i64, i64)> = {
             let q = lo.column("lo_quantity").unwrap();
             let t = lo.column("lo_tax").unwrap();
-            (0..lo.num_rows()).map(|i| (q.i64_at(i), t.i64_at(i))).collect()
+            (0..lo.num_rows())
+                .map(|i| (q.i64_at(i), t.i64_at(i)))
+                .collect()
         };
         assert_eq!(two.len(), 450);
     }
@@ -482,7 +488,11 @@ mod tests {
         };
         assert_eq!(cats.len(), domains::CATEGORIES);
         // The category the paper filters on exists.
-        assert!(p.column("p_category").unwrap().dict_code("p_category", "MFGR#12").is_ok());
+        assert!(p
+            .column("p_category")
+            .unwrap()
+            .dict_code("p_category", "MFGR#12")
+            .is_ok());
     }
 
     #[test]
@@ -490,7 +500,10 @@ mod tests {
         let a = generate(&SsbConfig::tiny());
         let b = generate(&SsbConfig::tiny());
         let (la, lb) = (a.table("lineorder").unwrap(), b.table("lineorder").unwrap());
-        let (ca, cb) = (la.column("lo_intkey").unwrap(), lb.column("lo_intkey").unwrap());
+        let (ca, cb) = (
+            la.column("lo_intkey").unwrap(),
+            lb.column("lo_intkey").unwrap(),
+        );
         for i in 0..la.num_rows() {
             assert_eq!(ca.i64_at(i), cb.i64_at(i));
         }

@@ -58,8 +58,11 @@ fn join_customer(predicate: Predicate) -> JoinSpec {
 pub fn q1_1() -> QueryPlan {
     QueryPlan {
         fact: "lineorder".into(),
-        predicate: Predicate::between("lo_discount", 1, 3)
-            .and(Predicate::between("lo_quantity", 1, 24)),
+        predicate: Predicate::between("lo_discount", 1, 3).and(Predicate::between(
+            "lo_quantity",
+            1,
+            24,
+        )),
         joins: vec![join_date_filtered(Predicate::between("d_year", 1993, 1993))],
         group_by: vec![],
         aggs: vec![AggSpec::sum_product("lo_extendedprice", "lo_discount")],
@@ -70,8 +73,11 @@ pub fn q1_1() -> QueryPlan {
 pub fn q1_2() -> QueryPlan {
     QueryPlan {
         fact: "lineorder".into(),
-        predicate: Predicate::between("lo_discount", 4, 6)
-            .and(Predicate::between("lo_quantity", 26, 35)),
+        predicate: Predicate::between("lo_discount", 4, 6).and(Predicate::between(
+            "lo_quantity",
+            26,
+            35,
+        )),
         joins: vec![join_date_filtered(Predicate::between(
             "d_yearmonthnum",
             199401,
@@ -87,8 +93,11 @@ pub fn q1_2() -> QueryPlan {
 pub fn q1_3() -> QueryPlan {
     QueryPlan {
         fact: "lineorder".into(),
-        predicate: Predicate::between("lo_discount", 5, 7)
-            .and(Predicate::between("lo_quantity", 26, 35)),
+        predicate: Predicate::between("lo_discount", 5, 7).and(Predicate::between(
+            "lo_quantity",
+            26,
+            35,
+        )),
         joins: vec![join_date_filtered(Predicate::between(
             "d_yearmonthnum",
             199402,
@@ -109,7 +118,10 @@ pub fn q2_1() -> QueryPlan {
             join_part(Predicate::eq_str("p_category", "MFGR#12")),
             join_supplier(Predicate::eq_str("s_region", "AMERICA")),
         ],
-        group_by: vec![ColRef::dim("date", "d_year"), ColRef::dim("part", "p_brand1")],
+        group_by: vec![
+            ColRef::dim("date", "d_year"),
+            ColRef::dim("part", "p_brand1"),
+        ],
         aggs: vec![AggSpec::sum("lo_revenue")],
     }
 }
@@ -127,7 +139,10 @@ pub fn q2_2() -> QueryPlan {
             join_part(Predicate::Or(brands)),
             join_supplier(Predicate::eq_str("s_region", "ASIA")),
         ],
-        group_by: vec![ColRef::dim("date", "d_year"), ColRef::dim("part", "p_brand1")],
+        group_by: vec![
+            ColRef::dim("date", "d_year"),
+            ColRef::dim("part", "p_brand1"),
+        ],
         aggs: vec![AggSpec::sum("lo_revenue")],
     }
 }
@@ -142,7 +157,10 @@ pub fn q2_3() -> QueryPlan {
             join_part(Predicate::eq_str("p_brand1", "MFGR#2221")),
             join_supplier(Predicate::eq_str("s_region", "EUROPE")),
         ],
-        group_by: vec![ColRef::dim("date", "d_year"), ColRef::dim("part", "p_brand1")],
+        group_by: vec![
+            ColRef::dim("date", "d_year"),
+            ColRef::dim("part", "p_brand1"),
+        ],
         aggs: vec![AggSpec::sum("lo_revenue")],
     }
 }
@@ -307,7 +325,8 @@ mod tests {
         });
         for (name, plan) in all_queries() {
             validate_plan(&catalog, &plan).unwrap_or_else(|e| panic!("{name}: {e}"));
-            let result = execute_exact(&catalog, &plan, 2).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let result =
+                execute_exact(&catalog, &plan, 2).unwrap_or_else(|e| panic!("{name}: {e}"));
             // Flight 1 is a global aggregate; the rest group.
             if name.starts_with("Q1") {
                 assert_eq!(result.rows.len(), 1, "{name}");
@@ -329,7 +348,10 @@ mod tests {
         let r11 = execute_exact(&catalog, &q1_1(), 2).unwrap().rows[0].values[0];
         let r12 = execute_exact(&catalog, &q1_2(), 2).unwrap().rows[0].values[0];
         assert!(r11 > 0.0);
-        assert!(r11 > r12, "year slice {r11} should exceed month slice {r12}");
+        assert!(
+            r11 > r12,
+            "year slice {r11} should exceed month slice {r12}"
+        );
     }
 
     #[test]

@@ -51,13 +51,19 @@ fn main() {
                 lazy.stats.reuse.unwrap().label(),
                 lazy.stats.total,
                 online.stats.total,
-                if i % 20 == 0 { "   <- new focus region (cold start)" } else { "" }
+                if i % 20 == 0 {
+                    "   <- new focus region (cold start)"
+                } else {
+                    ""
+                }
             );
         }
     }
 
-    println!("\ncumulative: LAQy {lazy_total:.3}s vs online {online_total:.3}s  ({:.1}x)",
-        online_total / lazy_total.max(1e-9));
+    println!(
+        "\ncumulative: LAQy {lazy_total:.3}s vs online {online_total:.3}s  ({:.1}x)",
+        online_total / lazy_total.max(1e-9)
+    );
 
     // Show a few estimated result rows with their confidence intervals.
     let query = q2(Interval::new(0, n / 2), 64);

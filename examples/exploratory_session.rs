@@ -15,7 +15,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.05);
-    println!("generating SSB data at SF {sf} (~{} fact rows)...", (6e6 * sf) as u64);
+    println!(
+        "generating SSB data at SF {sf} (~{} fact rows)...",
+        (6e6 * sf) as u64
+    );
     let catalog = generate(&SsbConfig {
         scale_factor: sf,
         seed: 42,
@@ -57,7 +60,10 @@ fn main() {
         );
     }
 
-    println!("\nreuse classes: {} full, {} partial, {} online", reuse_counts[0], reuse_counts[1], reuse_counts[2]);
+    println!(
+        "\nreuse classes: {} full, {} partial, {} online",
+        reuse_counts[0], reuse_counts[1], reuse_counts[2]
+    );
     println!("cumulative: LAQy {lazy_total:.3}s | online sampling {online_total:.3}s | exact {exact_total:.3}s");
     println!(
         "LAQy speedup over online sampling: {:.1}x (paper reports 2.5x-19.3x across workloads)",

@@ -79,7 +79,10 @@ fn main() {
 
     // 5. Compare the estimate against the exact answer.
     let (exact, exact_stats) = session.run_exact(&q).expect("exact");
-    println!("\nexact execution of query 3 took {:?}\n", exact_stats.total);
+    println!(
+        "\nexact execution of query 3 took {:?}\n",
+        exact_stats.total
+    );
     println!("group | estimate ±95% CI        | exact        | within CI?");
     for g in &r3.groups {
         let grp = g.key[0];

@@ -80,7 +80,5 @@ fn main() {
             );
         }
     }
-    println!(
-        "\nsecond run answered from the stored sample — no scan, no joins, no sampling."
-    );
+    println!("\nsecond run answered from the stored sample — no scan, no joins, no sampling.");
 }

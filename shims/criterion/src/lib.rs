@@ -1,0 +1,286 @@
+//! Offline shim for the `criterion` crate. See `shims/README.md`.
+//!
+//! A lightweight wall-clock benchmark harness exposing the subset of the
+//! criterion API the workspace's benches use: `criterion_group!` /
+//! `criterion_main!`, benchmark groups with throughput annotations,
+//! `Bencher::iter` / `iter_with_setup`, and `BenchmarkId`. Results are
+//! printed as `ns/iter` (plus derived element throughput) with a
+//! median-of-samples measurement; there is no statistical analysis, HTML
+//! report, or CLI filtering.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Input elements processed per iteration.
+    Elements(u64),
+    /// Input bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration of the measured routine.
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `routine`, called in a calibrated loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the iteration count until one sample takes long
+        // enough for the timer to resolve it meaningfully.
+        let mut iters: u64 = 1;
+        let min_sample = Duration::from_millis(2);
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= min_sample || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 4).min(1 << 20);
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = per_iter[per_iter.len() / 2];
+    }
+
+    /// Measure `routine` with a fresh, untimed `setup` product per call.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            per_iter.push(t.elapsed().as_nanos() as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Ignored (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result_ns: 0.0,
+        };
+        f(&mut b);
+        report(&self.name, &id.label, b.result_ns, self.throughput);
+        self.criterion.benches_run += 1;
+        self
+    }
+
+    /// Run one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    benches_run: usize,
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = id.label.clone();
+        self.benchmark_group(label).bench_function(id, f);
+        self
+    }
+
+    /// Hook for CLI configuration (accepted for API compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+fn report(group: &str, bench: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if ns_per_iter > 0.0 => {
+            format!("  ({:.1} Melem/s)", n as f64 / ns_per_iter * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if ns_per_iter > 0.0 => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / ns_per_iter * 1e9 / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!("{group}/{bench}: {ns_per_iter:.0} ns/iter{rate}");
+}
+
+/// Collect benchmark functions into a group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(3).throughput(Throughput::Elements(100));
+        let mut ran = false;
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran = true;
+        });
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.finish();
+        assert!(ran);
+        assert_eq!(c.benches_run, 2);
+    }
+
+    #[test]
+    fn iter_with_setup_gets_fresh_input() {
+        let mut c = Criterion::default();
+        c.bench_function("setup", |b| {
+            b.iter_with_setup(|| vec![1u8; 16], |v| v.len());
+        });
+    }
+
+    criterion_group!(self_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        self_group();
+    }
+}

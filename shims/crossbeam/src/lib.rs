@@ -1,0 +1,106 @@
+//! Offline shim for the `crossbeam` crate: the `crossbeam::thread::scope`
+//! scoped-thread API, implemented over `std::thread::scope` (stable since
+//! Rust 1.63). See `shims/README.md`.
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    /// Result of joining a scoped thread: `Err` carries the panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope in which threads borrowing the environment can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish, returning its value or the
+        /// panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Create a scope for spawning threads that borrow from the caller's
+    /// stack. All threads are joined before `scope` returns.
+    ///
+    /// crossbeam returns `Err` when an unjoined child panicked; with the
+    /// std backend an unjoined child's panic resumes on the scope owner
+    /// instead, so the `Err` arm here is only reachable through a caller
+    /// that catches and rethrows — callers in this workspace `.expect()`
+    /// the result either way.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let counter = AtomicUsize::new(0);
+            let counter = &counter;
+            let results = super::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|i| {
+                        s.spawn(move |_| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                            i * 2
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("no panic"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("scope");
+            assert_eq!(results, vec![0, 2, 4, 6]);
+            assert_eq!(counter.load(Ordering::Relaxed), 4);
+        }
+
+        #[test]
+        fn child_panic_is_captured_by_join() {
+            let joined = super::scope(|s| {
+                let h = s.spawn(|_| -> usize { panic!("boom") });
+                h.join()
+            })
+            .expect("scope itself succeeds");
+            assert!(joined.is_err(), "panic payload must surface via join()");
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let v = super::scope(|s| {
+                s.spawn(|inner| inner.spawn(|_| 7).join().expect("inner"))
+                    .join()
+                    .expect("outer")
+            })
+            .expect("scope");
+            assert_eq!(v, 7);
+        }
+    }
+}

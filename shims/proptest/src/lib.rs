@@ -1,0 +1,467 @@
+//! Offline shim for the `proptest` crate. See `shims/README.md`.
+//!
+//! Provides the subset of the proptest API this workspace uses:
+//!
+//! - the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`),
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! - integer-range, tuple, `prop::collection::vec`, `prop::sample::select`,
+//!   `any::<T>()`, `Just`, and `.prop_map` strategies,
+//! - string strategies for the regex forms `".*"` and `"[<class>]{m,n}"`.
+//!
+//! Differences from the real crate: generation is deterministic (seeded
+//! from the test path), there is **no shrinking**, and failures simply
+//! panic with the case number so the deterministic seed re-derives the
+//! inputs.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Runner configuration: how many random cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Deterministic split-mix RNG driving value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded RNG; the same seed replays the same case.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift bounded sampling; bias is negligible for test use.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Seed derived stably from a test's module path and name.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy producing always the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                (self.start as $wide).wrapping_add(rng.below(width) as $wide) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy! {
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64,
+    usize => u64, isize => i64,
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),* $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+}
+
+/// `&str` as a pattern strategy: supports exactly `".*"` (arbitrary short
+/// strings over a fuzzing alphabet) and `"[<class>]{m,n}"` (character
+/// class with a repetition count), the two forms used in this repo.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+mod pattern {
+    use super::TestRng;
+
+    /// Alphabet for `".*"`: printable ASCII plus newline, tab, and a few
+    /// multi-byte characters so tokenizers meet non-ASCII input.
+    const ANY: &[char] = &[
+        'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '\t', '\n', '(', ')', ',', '.', '*', '=', '<', '>',
+        '\'', '"', '-', '+', '_', ';', '%', 'é', 'λ', '→', '💥',
+    ];
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        if pattern == ".*" {
+            let len = rng.below(33) as usize;
+            return (0..len)
+                .map(|_| ANY[rng.below(ANY.len() as u64) as usize])
+                .collect();
+        }
+        if let Some(parsed) = parse_class_repeat(pattern) {
+            let (chars, lo, hi) = parsed;
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            return (0..len)
+                .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                .collect();
+        }
+        panic!("proptest shim: unsupported string pattern {pattern:?} (see shims/README.md)");
+    }
+
+    /// Parse `[<class>]{m,n}` where `<class>` is literals and `a-z` style
+    /// ranges. Returns the expanded alphabet and the repetition bounds.
+    fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class: Vec<char> = rest[..close].chars().collect();
+        let counts = rest[close + 1..]
+            .strip_prefix('{')?
+            .strip_suffix('}')?
+            .split_once(',')?;
+        let lo: usize = counts.0.trim().parse().ok()?;
+        let hi: usize = counts.1.trim().parse().ok()?;
+        if lo > hi {
+            return None;
+        }
+        let mut chars = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (a, b) = (class[i] as u32, class[i + 2] as u32);
+                for c in a..=b {
+                    chars.push(char::from_u32(c)?);
+                }
+                i += 3;
+            } else {
+                chars.push(class[i]);
+                i += 1;
+            }
+        }
+        if chars.is_empty() {
+            return None;
+        }
+        Some((chars, lo, hi))
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy for any value of `T` (see [`any`]).
+pub struct Any<T>(PhantomData<T>);
+
+/// The strategy generating arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vector of `len` elements generated by `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy picking one element of a fixed set.
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Pick uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select over an empty set");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// The usual glob import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+
+    /// Module-style access (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::{collection, sample};
+    }
+}
+
+/// Assert a condition inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Define property tests: each `fn` runs its body for many generated
+/// inputs. Accepts an optional leading
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — one plain `#[test]` per property.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let base = $crate::seed_from_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let case_seed = base ^ (case as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
+                let mut rng = $crate::TestRng::new(case_seed);
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let run = || { $body };
+                if let Err(payload) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                    eprintln!(
+                        "proptest shim: property {} failed at case {case} (seed {case_seed:#x})",
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..1000 {
+            let v = crate::Strategy::generate(&(-50i64..7), &mut rng);
+            assert!((-50..7).contains(&v));
+            let u = crate::Strategy::generate(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_values() {
+        let strat = prop::collection::vec((0i64..100, 0i64..10).prop_map(|(a, b)| a + b), 1..20);
+        let a: Vec<i64> = crate::Strategy::generate(&strat, &mut crate::TestRng::new(9));
+        let b: Vec<i64> = crate::Strategy::generate(&strat, &mut crate::TestRng::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn class_pattern_generates_in_class() {
+        let mut rng = crate::TestRng::new(5);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-z]{1,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 6);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn select_picks_from_options() {
+        let mut rng = crate::TestRng::new(6);
+        for _ in 0..50 {
+            let v = crate::Strategy::generate(&prop::sample::select(vec!["x", "y"]), &mut rng);
+            assert!(v == "x" || v == "y");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn macro_wires_strategies(a in 0i64..100, b in 1i64..10, flip in any::<bool>()) {
+            prop_assert!((0..100).contains(&a));
+            prop_assert!((1..10).contains(&b));
+            prop_assert!(usize::from(flip) <= 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config_runs(v in prop::collection::vec(0u8..255, 0..8)) {
+            prop_assert!(v.len() < 8);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Stress tests for the concurrent shared-store [`LaqyService`].
+//!
+//! Many client threads hammer one service with overlapping exploratory
+//! ranges, then the shared store is checked for the invariants the
+//! concurrency design must preserve:
+//!
+//! - no duplicate sample descriptors (competing absorbs/merges must not
+//!   materialize the same coverage twice);
+//! - the byte budget is respected under concurrent insertion;
+//! - every estimate stays within its CLT error bound of the exact answer
+//!   (a wrong merge or a double-counted Δ would blow the bound);
+//! - final store coverage matches a single-threaded oracle replay of the
+//!   same query multiset;
+//! - two clients concurrently missing on the same uncovered interval
+//!   perform the Δ-sampling scan exactly once (the in-flight dedup).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Barrier;
+use std::time::Duration;
+
+use laqy::{
+    ApproxResult, Interval, IntervalSet, LaqyService, LaqySession, ReuseClass, SessionConfig,
+};
+use laqy_engine::{Catalog, QueryResult, Value};
+use laqy_workload::{generate, q1, SsbConfig};
+
+const THREADS: usize = 8;
+const QUERIES_PER_THREAD: usize = 10;
+
+fn catalog() -> Catalog {
+    generate(&SsbConfig {
+        scale_factor: 0.005, // 30k fact rows
+        seed: 0xC0C0,
+    })
+}
+
+fn config(budget: Option<usize>) -> SessionConfig {
+    SessionConfig {
+        threads: 1, // client threads are the parallelism under test
+        seed: 0x5EED,
+        store_budget_bytes: budget,
+        ..Default::default()
+    }
+}
+
+/// Deterministic, heavily overlapping range for client `t`, query `j`.
+fn range_for(n: i64, t: usize, j: usize) -> Interval {
+    let lo = ((t * 3 + j * 5) % 8) as i64 * n / 10;
+    let hi = (lo + n / 4 + ((t + j) % 3) as i64 * n / 10).min(n - 1);
+    Interval::new(lo, hi)
+}
+
+/// Every estimate must sit within a generous multiple of its 95% CI of
+/// the exact value. 6σ-ish: over thousands of checks a correct estimator
+/// never trips this, while double-counted merge tuples do.
+fn assert_within_clt_bound(range: Interval, result: &ApproxResult, exact: &QueryResult) {
+    for g in &result.groups {
+        let est = &g.values[0];
+        if est.support == 0 || !est.ci_half_width.is_finite() || est.ci_half_width <= 0.0 {
+            continue;
+        }
+        let Some(truth) = exact.row_by_key(&[Value::Int(g.key[0])]) else {
+            continue;
+        };
+        let err = (est.value - truth.values[0]).abs();
+        assert!(
+            err <= 6.0 * est.ci_half_width + 1e-6,
+            "estimate for group {:?} on range {range:?} off by {err}, \
+             CI half-width {} (reuse {:?})",
+            g.key,
+            est.ci_half_width,
+            result.stats.reuse,
+        );
+    }
+}
+
+/// Run the standard overlapping workload from `THREADS` clients against
+/// one service; returns every (range, result) pair.
+fn hammer(service: &LaqyService, n: i64, k: usize) -> Vec<(Interval, ApproxResult)> {
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let service = service.clone();
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    (0..QUERIES_PER_THREAD)
+                        .map(|j| {
+                            let range = range_for(n, t, j);
+                            let result = service.run(&q1(range, k)).expect("query");
+                            (range, result)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    })
+}
+
+/// Union of stored `lo_intkey` coverage across all samples in the store.
+fn stored_coverage(service: &LaqyService) -> IntervalSet {
+    let store = service.store();
+    let mut union = IntervalSet::empty();
+    for (_, d) in store.descriptors() {
+        union = union.union(d.predicates.get("lo_intkey").expect("q1 range column"));
+    }
+    union
+}
+
+#[test]
+fn stress_overlapping_clients_preserve_store_invariants() {
+    let cat = catalog();
+    let n = cat.table("lineorder").unwrap().num_rows() as i64;
+    let service = LaqyService::with_config(cat.clone(), config(None));
+    let k = 24;
+
+    let outcomes = hammer(&service, n, k);
+    assert_eq!(outcomes.len(), THREADS * QUERIES_PER_THREAD);
+    let stats = service.stats();
+    assert_eq!(stats.queries, (THREADS * QUERIES_PER_THREAD) as u64);
+
+    // Exact oracle per distinct range.
+    let mut exact: HashMap<(i64, i64), QueryResult> = HashMap::new();
+    for (range, _) in &outcomes {
+        exact
+            .entry((range.lo, range.hi))
+            .or_insert_with(|| service.run_exact(&q1(*range, k)).expect("exact oracle").0);
+    }
+    for (range, result) in &outcomes {
+        assert!(result.stats.reuse.is_some());
+        assert!(!result.groups.is_empty(), "no estimates for {range:?}");
+        assert_within_clt_bound(*range, result, &exact[&(range.lo, range.hi)]);
+    }
+
+    // No duplicate descriptors: identical coverage stored twice means two
+    // competing writers both won.
+    let store = service.store();
+    let mut seen = HashSet::new();
+    for (_, d) in store.descriptors() {
+        let signature = format!("{}|{:?}", d.fingerprint(), d.predicates);
+        assert!(seen.insert(signature), "duplicate stored descriptor: {d:?}");
+    }
+    drop(store);
+
+    // Single-threaded oracle replay of the same multiset ends with the
+    // same coverage: the union of all query ranges, independent of
+    // interleaving.
+    let mut replay = LaqySession::with_config(cat, config(None));
+    let mut requested = IntervalSet::empty();
+    for t in 0..THREADS {
+        for j in 0..QUERIES_PER_THREAD {
+            let range = range_for(n, t, j);
+            replay.run(&q1(range, k)).expect("replay query");
+            requested = requested.union(&IntervalSet::of(range));
+        }
+    }
+    let replay_coverage = {
+        let store = replay.store();
+        let mut union = IntervalSet::empty();
+        for (_, d) in store.descriptors() {
+            union = union.union(d.predicates.get("lo_intkey").unwrap());
+        }
+        union
+    };
+    let concurrent_coverage = stored_coverage(&service);
+    assert_eq!(concurrent_coverage, replay_coverage);
+    assert_eq!(concurrent_coverage, requested);
+}
+
+#[test]
+fn byte_budget_holds_under_concurrent_insertion() {
+    let cat = catalog();
+    let n = cat.table("lineorder").unwrap().num_rows() as i64;
+    let k = 24;
+
+    // Size the budget off one materialized sample so roughly three fit.
+    let probe = LaqyService::with_config(cat.clone(), config(None));
+    probe.run(&q1(range_for(n, 0, 0), k)).unwrap();
+    let one = probe.store().total_bytes();
+    assert!(one > 0);
+    let budget = one * 3;
+
+    let service = LaqyService::with_config(cat, config(Some(budget)));
+    let outcomes = hammer(&service, n, k);
+    for (range, result) in &outcomes {
+        assert!(!result.groups.is_empty(), "no estimates for {range:?}");
+    }
+
+    let store = service.store();
+    assert!(
+        store.total_bytes() <= budget || store.len() <= 1,
+        "budget {budget} exceeded: {} bytes across {} samples",
+        store.total_bytes(),
+        store.len()
+    );
+    let mut seen = HashSet::new();
+    for (_, d) in store.descriptors() {
+        let signature = format!("{}|{:?}", d.fingerprint(), d.predicates);
+        assert!(seen.insert(signature), "duplicate stored descriptor: {d:?}");
+    }
+}
+
+#[test]
+fn identical_partial_misses_scan_the_delta_exactly_once() {
+    let cat = catalog();
+    let n = cat.table("lineorder").unwrap().num_rows() as i64;
+    let service = LaqyService::with_config(cat, config(None));
+    let k = 24;
+
+    // Materialize coverage of the first half.
+    service.run(&q1(Interval::new(0, n / 2), k)).unwrap();
+    assert_eq!(service.stats().online_runs, 1);
+
+    // Both clients miss on the same uncovered interval (n/2, 3n/4]. The
+    // sampling hold keeps the first client inside the Δ scan long enough
+    // that the second must hit the in-flight registry.
+    service.set_sampling_hold(Some(Duration::from_millis(300)));
+    let target = q1(Interval::new(0, 3 * n / 4), k);
+    let before = service.stats();
+    let barrier = Barrier::new(2);
+    let reuse: Vec<ReuseClass> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let service = service.clone();
+                let (barrier, target) = (&barrier, &target);
+                scope.spawn(move || {
+                    barrier.wait();
+                    service.run(target).expect("query").stats.reuse.unwrap()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    service.set_sampling_hold(None);
+
+    let after = service.stats();
+    assert_eq!(
+        after.delta_scans - before.delta_scans,
+        1,
+        "the uncovered interval must be Δ-scanned exactly once"
+    );
+    assert_eq!(
+        after.merges_deduped - before.merges_deduped,
+        1,
+        "the second client must piggyback on the in-flight merge"
+    );
+    assert_eq!(after.partial_merges - before.partial_merges, 1);
+    // The piggybacking client re-plans against the now-extended coverage.
+    assert_eq!(after.full_hits - before.full_hits, 1);
+    let mut reuse = reuse;
+    reuse.sort_by_key(|r| r.label());
+    assert_eq!(reuse, vec![ReuseClass::Full, ReuseClass::Partial]);
+
+    // Coverage is the union, stored once.
+    assert_eq!(
+        stored_coverage(&service),
+        IntervalSet::of(Interval::new(0, 3 * n / 4))
+    );
+    assert_eq!(service.store().len(), 1);
+}

@@ -51,9 +51,7 @@ fn reuse_classes_follow_algorithm_one() {
 
     // A disjoint region: online again (store may extend coverage later).
     // Coverage after the queries above is [0, 3n/4).
-    let r = s
-        .run(&q1(Interval::new(7 * n / 8, n - 1), 64))
-        .unwrap();
+    let r = s.run(&q1(Interval::new(7 * n / 8, n - 1), 64)).unwrap();
     assert_eq!(r.stats.reuse, Some(ReuseClass::Online));
 }
 
@@ -67,7 +65,11 @@ fn estimates_track_exact_answers_q1() {
     let approx = s.run(&query).unwrap();
     let (exact, _) = s.run_exact(&query).unwrap();
 
-    assert_eq!(approx.groups.len(), exact.rows.len(), "group sets must match");
+    assert_eq!(
+        approx.groups.len(),
+        exact.rows.len(),
+        "group sets must match"
+    );
     let (mut total_est, mut total_exact) = (0.0, 0.0);
     for g in &approx.groups {
         let truth = exact
@@ -304,8 +306,12 @@ fn full_ssb_benchmark_approximates_exact_results() {
             range: Interval::new(0, n - 1),
             k: 4096,
         };
-        let approx = session.run(&query).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let (exact, _) = session.run_exact(&query).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let approx = session
+            .run(&query)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (exact, _) = session
+            .run_exact(&query)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(
             approx.groups.len(),
             exact.rows.len(),

@@ -15,10 +15,7 @@ fn build_catalog(seed: u64, rows: usize, dim_rows: usize) -> Catalog {
     let fact = laqy_engine::Table::new(
         "f",
         vec![
-            (
-                "id".into(),
-                Column::Int64((0..rows as i64).collect()),
-            ),
+            ("id".into(), Column::Int64((0..rows as i64).collect())),
             (
                 "g".into(),
                 Column::Int32((0..rows).map(|_| rng.next_below(5) as i32).collect()),
@@ -59,11 +56,7 @@ fn build_catalog(seed: u64, rows: usize, dim_rows: usize) -> Catalog {
 }
 
 /// Reference evaluation: single-table filter + group-by SUM/COUNT.
-fn reference_single(
-    cat: &Catalog,
-    lo: i64,
-    hi: i64,
-) -> BTreeMap<i64, (f64, f64)> {
+fn reference_single(cat: &Catalog, lo: i64, hi: i64) -> BTreeMap<i64, (f64, f64)> {
     let f = cat.table("f").unwrap();
     let (id, g, v) = (
         f.column("id").unwrap(),

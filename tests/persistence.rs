@@ -65,7 +65,10 @@ fn snapshot_estimates_match_pre_restart_estimates() {
     s2.import_samples(&snapshot).unwrap();
     let after = s2.run(&query).unwrap();
     assert_eq!(after.stats.reuse, Some(ReuseClass::Full));
-    assert_eq!(before.groups, after.groups, "estimates must survive restart");
+    assert_eq!(
+        before.groups, after.groups,
+        "estimates must survive restart"
+    );
 }
 
 #[test]

@@ -44,9 +44,7 @@ fn lazy_mode_beats_full_match_only_on_overlapping_sequences() {
     let cat = catalog();
     let n = n_rows(&cat);
     // A growing sequence where every step extends the previous range.
-    let steps: Vec<Interval> = (1..=8)
-        .map(|i| Interval::new(0, n * i / 8 - 1))
-        .collect();
+    let steps: Vec<Interval> = (1..=8).map(|i| Interval::new(0, n * i / 8 - 1)).collect();
     let run = |mode: ReuseMode| -> (u64, u64) {
         let mut s = LaqySession::with_config(
             cat.clone(),

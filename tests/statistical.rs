@@ -3,7 +3,7 @@
 //! tests measure estimator bias and CI coverage over repeated seeds, for
 //! fresh online samples and for merged (partial-reuse) samples alike.
 
-use laqy::{Interval, LaqySession, ReuseClass, SessionConfig};
+use laqy::{Interval, LaqyService, LaqySession, ReuseClass, SessionConfig};
 use laqy_engine::{Catalog, Value};
 use laqy_workload::{generate, q1, SsbConfig};
 
@@ -95,6 +95,81 @@ fn per_group_ci_coverage_is_near_nominal_for_merged_samples() {
     assert!(
         coverage > 0.85,
         "CI coverage {coverage:.3} too low ({covered}/{total})"
+    );
+}
+
+#[test]
+fn concurrent_merge_matches_full_resample_error_distribution() {
+    // Regression for the concurrent path: a partial-reuse sample assembled
+    // through `LaqyService` under client concurrency (warm coverage +
+    // Δ-merge raced by two clients) must be statistically equivalent to a
+    // fresh full resample at the same reservoir budget — same group count,
+    // same sum-estimate error regime. A lost or double-merged Δ would skew
+    // the error distribution even when every individual estimate stays
+    // plausible.
+    let cat = catalog();
+    let n = cat.table("lineorder").unwrap().num_rows() as i64;
+    let k = 12;
+    let warm = q1(Interval::new(0, (0.4 * n as f64) as i64), k);
+    let target = q1(Interval::new(0, (0.7 * n as f64) as i64), k);
+    let (exact, _) = session(&cat, 0).run_exact(&target).unwrap();
+    let truth: f64 = exact.rows.iter().map(|r| r.values[0]).sum();
+    let exact_groups = exact.rows.len();
+
+    let trials = 20;
+    let (mut merged_errs, mut resample_errs) = (Vec::new(), Vec::new());
+    for t in 0..trials {
+        // (a) Merged sample, produced by two concurrent clients racing the
+        // same partially-covered query against one shared store.
+        let service = LaqyService::with_config(
+            cat.clone(),
+            SessionConfig {
+                threads: 1,
+                seed: 40_000 + t,
+                ..Default::default()
+            },
+        );
+        service.run(&warm).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let service = service.clone();
+                let target = &target;
+                scope.spawn(move || service.run(target).unwrap());
+            }
+        });
+        assert!(
+            service.stats().partial_merges >= 1,
+            "the target query must extend coverage via a Δ-merge"
+        );
+        // Estimate deterministically off the merged store content.
+        let r = service.run(&target).unwrap();
+        assert_eq!(r.stats.reuse, Some(ReuseClass::Full));
+        assert_eq!(r.groups.len(), exact_groups, "merged sample lost a group");
+        let est: f64 = r.groups.iter().map(|g| g.values[0].value).sum();
+        merged_errs.push(((est - truth) / truth).abs());
+
+        // (b) Full resample of the same range at the same seed budget.
+        let mut s = session(&cat, 40_000 + t);
+        let r = s.run(&target).unwrap();
+        assert_eq!(r.stats.reuse, Some(ReuseClass::Online));
+        assert_eq!(r.groups.len(), exact_groups, "resample lost a group");
+        let est: f64 = r.groups.iter().map(|g| g.values[0].value).sum();
+        resample_errs.push(((est - truth) / truth).abs());
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (merged, resample) = (mean(&merged_errs), mean(&resample_errs));
+    assert!(
+        merged < 0.05,
+        "concurrent-merge mean error too high: {merged}"
+    );
+    assert!(resample < 0.05, "resample mean error too high: {resample}");
+    // Same error regime: neither path systematically worse. The floor term
+    // keeps the ratio meaningful when both errors are tiny.
+    let floor = 0.002;
+    assert!(
+        merged <= 2.5 * resample.max(floor) && resample <= 2.5 * merged.max(floor),
+        "error distributions diverge: merged {merged} vs resample {resample}"
     );
 }
 

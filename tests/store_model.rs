@@ -12,8 +12,10 @@
 //! - stored weights always equal the number of tuples absorbed into the
 //!   family region (no tuple is ever double-counted by a merge).
 
+use std::collections::HashSet;
+
 use laqy::{
-    Interval, IntervalSet, Predicates, ReuseDecision, SampleDescriptor, SampleSchema,
+    Interval, IntervalSet, Predicates, ReuseDecision, SampleDescriptor, SampleId, SampleSchema,
     SampleStore, SampleTuple, SlotKind,
 };
 use laqy_engine::GroupKey;
@@ -132,6 +134,168 @@ proptest! {
                         let set = d.predicates.get("x").unwrap();
                         prop_assert!(!set.subsumes(&qset));
                         prop_assert!(!set.overlaps(&qset));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// Second model: arbitrary interleavings of query-driven absorb/merge,
+// raw insertion (snapshot restore), and explicit eviction, optionally
+// under a byte budget with LRU eviction. The reference model tracks,
+// after every single operation:
+//
+// - the just-written sample is never evicted by its own insertion;
+// - the byte budget holds (down to a single protected sample);
+// - budget evictions remove exactly the least-recently-used samples;
+// - every surviving sample's total weight equals its coverage measure
+//   (no interleaving of merges and evictions double-counts or loses a
+//   tuple);
+// - nothing is ever stored that was not requested.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    #[test]
+    fn interleavings_with_eviction_preserve_model(
+        ops in prop::collection::vec((0u8..4, 0i64..300, 0i64..80, 0u64..8), 1..20),
+        budgeted in any::<bool>(),
+    ) {
+        let mut rng = Lehmer64::new(11);
+        // Roughly three full reservoirs fit: eviction pressure is real but
+        // not degenerate.
+        let budget =
+            sample_for(&IntervalSet::of(Interval::new(0, 299)), &mut Lehmer64::new(1))
+                .heap_bytes()
+                * 3;
+        let mut store = if budgeted {
+            SampleStore::with_budget(budget)
+        } else {
+            SampleStore::new()
+        };
+        let mut requested = IntervalSet::empty();
+        // Front = most recently used; mirrors the store's LRU stamps.
+        let mut mru: Vec<SampleId> = Vec::new();
+
+        for (kind, lo, w, pick) in &ops {
+            let q = IntervalSet::of(Interval::new(*lo, lo + w));
+            let evictions_before = store.evictions();
+            // The sample this op writes or touches; protected from the
+            // op's own budget enforcement.
+            let mut subject: Option<SampleId> = None;
+            match kind {
+                // Query-driven, exactly as the executor behaves: classify,
+                // then reuse / Δ-merge / absorb per the decision.
+                0 | 1 => {
+                    requested = requested.union(&q);
+                    match store.classify(&descriptor(q.clone())) {
+                        ReuseDecision::Full { id } => {
+                            store.get(id); // full reuse touches the LRU stamp
+                            subject = Some(id);
+                        }
+                        ReuseDecision::Partial { id, delta, varying } => {
+                            let dset = delta.get(&varying).cloned().unwrap_or_default();
+                            let dsample = sample_for(&dset, &mut rng);
+                            prop_assert!(store.merge_delta(id, dsample, &delta, &varying, &mut rng));
+                            subject = Some(id);
+                        }
+                        ReuseDecision::None => {
+                            let s = sample_for(&q, &mut rng);
+                            subject = Some(store.absorb(descriptor(q.clone()), schema(), s, &mut rng));
+                        }
+                    }
+                }
+                // Raw insertion (snapshot restore): bypasses merge/replace,
+                // may duplicate coverage across samples.
+                2 => {
+                    requested = requested.union(&q);
+                    let s = sample_for(&q, &mut rng);
+                    subject = Some(store.insert_raw(descriptor(q.clone()), schema(), s));
+                }
+                // Explicit eviction of an arbitrary stored sample.
+                _ => {
+                    if !mru.is_empty() {
+                        let victim = mru[(*pick as usize) % mru.len()];
+                        prop_assert!(store.remove(victim));
+                        prop_assert!(store.peek(victim).is_none());
+                        mru.retain(|i| *i != victim);
+                    }
+                }
+            }
+            if let Some(id) = subject {
+                mru.retain(|i| *i != id);
+                mru.insert(0, id);
+                // Protected from its own insertion's budget enforcement.
+                prop_assert!(store.peek(id).is_some());
+            }
+
+            if budgeted {
+                prop_assert!(
+                    store.total_bytes() <= budget || store.len() <= 1,
+                    "budget violated: {} bytes across {} samples",
+                    store.total_bytes(),
+                    store.len()
+                );
+            } else {
+                prop_assert_eq!(store.evictions(), 0);
+            }
+
+            // Budget evictions must take exactly the least-recently-used
+            // samples (never the subject).
+            let alive: HashSet<SampleId> = store.descriptors().map(|(i, _)| i).collect();
+            let gone: Vec<SampleId> =
+                mru.iter().copied().filter(|i| !alive.contains(i)).collect();
+            prop_assert_eq!(gone.len() as u64, store.evictions() - evictions_before);
+            let mut expected: Vec<SampleId> = mru
+                .iter()
+                .rev()
+                .copied()
+                .filter(|i| Some(*i) != subject)
+                .take(gone.len())
+                .collect();
+            expected.sort();
+            let mut gone_sorted = gone;
+            gone_sorted.sort();
+            prop_assert_eq!(gone_sorted, expected);
+            mru.retain(|i| alive.contains(i));
+
+            // Weight conservation per sample, under any interleaving.
+            for s in store.iter_samples() {
+                let cover = s.descriptor.predicates.get("x").unwrap();
+                prop_assert_eq!(s.sample.total_weight(), cover.measure());
+            }
+            // Nothing stored that was never requested.
+            let mut union = IntervalSet::empty();
+            for (_, d) in store.descriptors() {
+                union = union.union(d.predicates.get("x").unwrap());
+            }
+            prop_assert!(requested.subsumes(&union));
+        }
+
+        // Surviving coverage still classifies consistently.
+        for (_, lo, w, _) in &ops {
+            let qset = IntervalSet::of(Interval::new(*lo, lo + w));
+            match store.classify(&descriptor(qset.clone())) {
+                ReuseDecision::Full { id } => {
+                    let stored = store.peek(id).unwrap();
+                    prop_assert!(stored.descriptor.predicates.get("x").unwrap().subsumes(&qset));
+                }
+                ReuseDecision::Partial { id, delta, varying } => {
+                    let stored_set = store
+                        .peek(id)
+                        .unwrap()
+                        .descriptor
+                        .predicates
+                        .get("x")
+                        .unwrap()
+                        .clone();
+                    let delta_set = delta.get(&varying).cloned().unwrap_or_default();
+                    prop_assert_eq!(&delta_set, &qset.difference(&stored_set));
+                    prop_assert!(delta_set.measure() < qset.measure());
+                }
+                ReuseDecision::None => {
+                    for (_, d) in store.descriptors() {
+                        let set = d.predicates.get("x").unwrap();
+                        prop_assert!(!set.subsumes(&qset));
                     }
                 }
             }
