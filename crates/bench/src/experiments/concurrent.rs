@@ -62,6 +62,10 @@ fn drive(
         stats.online_runs += snap.online_runs;
         stats.merge_retries += snap.merge_retries;
         stats.lock_wait_nanos += snap.lock_wait_nanos;
+        stats.support_fallbacks += snap.support_fallbacks;
+        stats.morsels_skipped += snap.morsels_skipped;
+        stats.morsels_fast_pathed += snap.morsels_fast_pathed;
+        stats.morsels_scanned += snap.morsels_scanned;
     }
     (wall, stats)
 }

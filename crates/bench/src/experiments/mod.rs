@@ -2,11 +2,13 @@
 
 pub mod concurrent;
 pub mod micro;
+pub mod pruning;
 pub mod sequence;
 pub mod strategy;
 
 pub use concurrent::concurrent;
 pub use micro::{fig3, fig4};
+pub use pruning::pruning;
 pub use sequence::{
     ablation, fig10, fig11, fig12_13, fig14_15, fig9, headline, rate_sensitivity, seed_sensitivity,
     table1, SequenceKind,
@@ -84,6 +86,7 @@ pub const ALL: &[&str] = &[
     "seeds",
     "rates",
     "concurrent",
+    "pruning",
 ];
 
 /// Run one experiment by name against a pre-generated catalog.
@@ -113,6 +116,7 @@ pub fn run_experiment(name: &str, cfg: &BenchConfig, catalog: &Catalog) -> Optio
         "seeds" => seed_sensitivity(cfg, catalog),
         "rates" => rate_sensitivity(cfg, catalog),
         "concurrent" => concurrent(cfg, catalog),
+        "pruning" => pruning::pruning(cfg, catalog),
         _ => return None,
     })
 }

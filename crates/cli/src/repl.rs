@@ -218,16 +218,25 @@ impl Repl {
     fn stats(&self) -> String {
         match &self.session {
             None => "no session".into(),
-            Some(s) => format!(
-                "sample store: {} samples, {:.2} MiB; mode {:?}, k {}{}",
-                s.store().len(),
-                s.store().total_bytes() as f64 / (1024.0 * 1024.0),
-                self.mode,
-                self.k,
-                self.error_target
-                    .map(|e| format!(", error target {e}"))
-                    .unwrap_or_default()
-            ),
+            Some(s) => {
+                let svc = s.service().stats();
+                let morsels = svc.morsels_skipped + svc.morsels_fast_pathed + svc.morsels_scanned;
+                format!(
+                    "sample store: {} samples, {:.2} MiB; mode {:?}, k {}{}\n\
+                     scan pruning: {} morsels skipped, {} fast-pathed, {} scanned ({} total)",
+                    s.store().len(),
+                    s.store().total_bytes() as f64 / (1024.0 * 1024.0),
+                    self.mode,
+                    self.k,
+                    self.error_target
+                        .map(|e| format!(", error target {e}"))
+                        .unwrap_or_default(),
+                    svc.morsels_skipped,
+                    svc.morsels_fast_pathed,
+                    svc.morsels_scanned,
+                    morsels,
+                )
+            }
         }
     }
 

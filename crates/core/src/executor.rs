@@ -20,8 +20,8 @@ use laqy_engine::ops::{group_by, BoundCol, GroupTable, Inputs};
 use laqy_engine::parallel::{parallel_fold, DEFAULT_MORSEL_ROWS};
 use laqy_engine::plan::PreparedJoins;
 use laqy_engine::{
-    execute_exact, scan_count, AggInput, Catalog, EngineError, GroupKey, Predicate, QueryPlan,
-    QueryResult,
+    execute_exact_counted, scan_count_pruned, AggInput, Catalog, EngineError, GroupKey, Predicate,
+    PruneCounts, QueryPlan, QueryResult,
 };
 use laqy_sampling::Lehmer64;
 
@@ -396,10 +396,13 @@ impl LaqyExecutor {
             &query.range_column,
             &IntervalSet::of(query.range),
         ));
-        let result = execute_exact(catalog, &plan, self.threads)?;
+        let (result, prune) = execute_exact_counted(catalog, &plan, self.threads)?;
         let stats = ExecStats {
             total: t.elapsed(),
             effective_selectivity: 1.0,
+            morsels_skipped: prune.skipped,
+            morsels_fast_pathed: prune.fast_pathed,
+            morsels_scanned: prune.scanned,
             reuse: Some(ReuseClass::Exact),
             ..Default::default()
         };
@@ -414,12 +417,15 @@ impl LaqyExecutor {
             &query.range_column,
             &IntervalSet::of(query.range),
         ));
-        let rows = scan_count(catalog, &query.plan.fact, &pred, self.threads)?;
+        let (rows, prune) = scan_count_pruned(catalog, &query.plan.fact, &pred, self.threads)?;
         Ok(ExecStats {
             total: t.elapsed(),
             scan: t.elapsed(),
             scanned_rows: rows as u64,
             effective_selectivity: 1.0,
+            morsels_skipped: prune.skipped,
+            morsels_fast_pathed: prune.fast_pathed,
+            morsels_scanned: prune.scanned,
             ..Default::default()
         })
     }
@@ -483,6 +489,9 @@ impl LaqyExecutor {
         stats.processing += fresh_stats.processing;
         stats.scanned_rows += fresh_stats.scanned_rows;
         stats.sampled_input_rows += fresh_stats.sampled_input_rows;
+        stats.morsels_skipped += fresh_stats.morsels_skipped;
+        stats.morsels_fast_pathed += fresh_stats.morsels_fast_pathed;
+        stats.morsels_scanned += fresh_stats.morsels_scanned;
 
         let (_, schema) = self.payload_schema(catalog, query)?;
         let t_est = Instant::now();
@@ -573,6 +582,7 @@ impl LaqyExecutor {
             sample_ns: u64,
             scanned: u64,
             sampled_input: u64,
+            prune: PruneCounts,
         }
 
         let t_pipeline = Instant::now();
@@ -586,11 +596,17 @@ impl LaqyExecutor {
                 sample_ns: 0,
                 scanned: 0,
                 sampled_input: 0,
+                prune: PruneCounts::default(),
             },
             |acc, range| {
                 let t0 = Instant::now();
-                let sel = laqy_engine::ops::scan_filter(fact, range.clone(), &full_pred)
-                    .expect("predicate validated");
+                let sel = laqy_engine::ops::scan_filter_pruned(
+                    fact,
+                    range.clone(),
+                    &full_pred,
+                    &mut acc.prune,
+                )
+                .expect("predicate validated");
                 acc.scanned += range.len() as u64;
                 if query.plan.joins.is_empty() {
                     acc.scan_ns += t0.elapsed().as_nanos() as u64;
@@ -658,12 +674,14 @@ impl LaqyExecutor {
 
         let mut merged = GroupTable::new();
         let (mut scan_ns, mut sample_ns, mut scanned, mut sampled_input) = (0u64, 0u64, 0u64, 0u64);
+        let mut prune = PruneCounts::default();
         for p in partials {
             merged.merge(p.table);
             scan_ns += p.scan_ns;
             sample_ns += p.sample_ns;
             scanned += p.scanned;
             sampled_input += p.sampled_input;
+            prune.accumulate(&p.prune);
         }
         let sample = group_table_into_sample(merged, k);
 
@@ -677,6 +695,9 @@ impl LaqyExecutor {
             processing: Duration::from_secs_f64(wall * sample_ns as f64 / cpu_total as f64),
             scanned_rows: scanned,
             sampled_input_rows: sampled_input,
+            morsels_skipped: prune.skipped,
+            morsels_fast_pathed: prune.fast_pathed,
+            morsels_scanned: prune.scanned,
             ..Default::default()
         };
         Ok((sample, stats))

@@ -86,6 +86,9 @@ struct Counters {
     merge_retries: AtomicU64,
     support_fallbacks: AtomicU64,
     lock_wait_nanos: AtomicU64,
+    morsels_skipped: AtomicU64,
+    morsels_fast_pathed: AtomicU64,
+    morsels_scanned: AtomicU64,
 }
 
 struct ServiceInner {
@@ -122,7 +125,7 @@ impl Clone for LaqyService {
 
 /// Outcome of one plan-and-execute attempt.
 enum Attempt {
-    Done(ApproxResult),
+    Done(Box<ApproxResult>),
     /// The store changed under us (eviction, competing merge, or an
     /// in-flight wait completed): re-plan from scratch.
     Retry,
@@ -188,6 +191,9 @@ impl LaqyService {
             merge_retries: c.merge_retries.load(Ordering::Relaxed),
             support_fallbacks: c.support_fallbacks.load(Ordering::Relaxed),
             lock_wait_nanos: c.lock_wait_nanos.load(Ordering::Relaxed),
+            morsels_skipped: c.morsels_skipped.load(Ordering::Relaxed),
+            morsels_fast_pathed: c.morsels_fast_pathed.load(Ordering::Relaxed),
+            morsels_scanned: c.morsels_scanned.load(Ordering::Relaxed),
         }
     }
 
@@ -230,7 +236,10 @@ impl LaqyService {
         loop {
             attempts += 1;
             match self.try_run(query, t_start, attempts > MAX_PLAN_RETRIES)? {
-                Attempt::Done(result) => return Ok(result),
+                Attempt::Done(result) => {
+                    self.note_prune(&result.stats);
+                    return Ok(*result);
+                }
                 Attempt::Retry => continue,
             }
         }
@@ -284,6 +293,18 @@ impl LaqyService {
             .lock_wait_nanos
             .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
         guard
+    }
+
+    /// Fold one finished query's zone-map verdict counters into the
+    /// service totals.
+    fn note_prune(&self, stats: &ExecStats) {
+        let c = &self.inner.counters;
+        c.morsels_skipped
+            .fetch_add(stats.morsels_skipped, Ordering::Relaxed);
+        c.morsels_fast_pathed
+            .fetch_add(stats.morsels_fast_pathed, Ordering::Relaxed);
+        c.morsels_scanned
+            .fetch_add(stats.morsels_scanned, Ordering::Relaxed);
     }
 
     /// A fresh per-query executor. Seeds advance through a service-wide
@@ -343,7 +364,7 @@ impl LaqyService {
                             .counters
                             .full_hits
                             .fetch_add(1, Ordering::Relaxed);
-                        Ok(Attempt::Done(result))
+                        Ok(Attempt::Done(Box::new(result)))
                     }
                     None => Ok(Attempt::Retry),
                 }
@@ -441,7 +462,7 @@ impl LaqyService {
                     .counters
                     .partial_merges
                     .fetch_add(1, Ordering::Relaxed);
-                Ok(Attempt::Done(result))
+                Ok(Attempt::Done(Box::new(result)))
             }
             None => Ok(Attempt::Retry),
         }
@@ -489,7 +510,7 @@ impl LaqyService {
                     executor.descriptor(&catalog, query)?
                 };
                 return match self.run_online_absorbing(executor, query, &descriptor, t_start)? {
-                    Attempt::Done(result) => Ok(Some(result)),
+                    Attempt::Done(result) => Ok(Some(*result)),
                     Attempt::Retry => Ok(None),
                 };
             }
@@ -557,11 +578,11 @@ impl LaqyService {
         stats.effective_selectivity = 1.0;
         stats.reuse = Some(ReuseClass::Online);
         stats.total = t_start.elapsed();
-        Ok(Attempt::Done(ApproxResult {
+        Ok(Attempt::Done(Box::new(ApproxResult {
             groups,
             stats,
             support,
-        }))
+        })))
     }
 
     /// Claim or wait on the in-flight sampling slot for `key`.

@@ -52,6 +52,14 @@ pub struct ExecStats {
     /// Effective selectivity actually processed: Δ-range measure divided by
     /// the predicate-domain measure (Figure 9's y-axis).
     pub effective_selectivity: f64,
+    /// Morsels the scan skipped outright via zone maps (provably empty
+    /// under the pushed-down predicate).
+    pub morsels_skipped: u64,
+    /// Morsels fast-pathed via zone maps (provably all-matching; emitted
+    /// without per-row evaluation).
+    pub morsels_fast_pathed: u64,
+    /// Morsels that needed per-row predicate evaluation.
+    pub morsels_scanned: u64,
     /// Which reuse arm ran.
     pub reuse: Option<ReuseClass>,
 }
@@ -72,6 +80,9 @@ impl ExecStats {
         self.scanned_rows += other.scanned_rows;
         self.sampled_input_rows += other.sampled_input_rows;
         self.effective_selectivity += other.effective_selectivity;
+        self.morsels_skipped += other.morsels_skipped;
+        self.morsels_fast_pathed += other.morsels_fast_pathed;
+        self.morsels_scanned += other.morsels_scanned;
     }
 }
 
@@ -105,6 +116,13 @@ pub struct ServiceStats {
     /// Total nanoseconds threads spent waiting to acquire the store and
     /// catalog locks (contention telemetry).
     pub lock_wait_nanos: u64,
+    /// Morsels skipped by zone-map pruning across all served scans.
+    pub morsels_skipped: u64,
+    /// Morsels fast-pathed (all-matching, no per-row eval) across all
+    /// served scans.
+    pub morsels_fast_pathed: u64,
+    /// Morsels that needed per-row evaluation across all served scans.
+    pub morsels_scanned: u64,
 }
 
 impl ServiceStats {
@@ -135,6 +153,9 @@ mod tests {
             scanned_rows: 100,
             sampled_input_rows: 50,
             effective_selectivity: 0.5,
+            morsels_skipped: 7,
+            morsels_fast_pathed: 2,
+            morsels_scanned: 3,
             reuse: Some(ReuseClass::Partial),
         };
         let b = a.clone();
@@ -143,6 +164,9 @@ mod tests {
         assert_eq!(a.total, Duration::from_millis(40));
         assert_eq!(a.scanned_rows, 200);
         assert_eq!(a.effective_selectivity, 1.0);
+        assert_eq!(a.morsels_skipped, 14);
+        assert_eq!(a.morsels_fast_pathed, 4);
+        assert_eq!(a.morsels_scanned, 6);
     }
 
     #[test]

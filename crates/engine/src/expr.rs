@@ -121,8 +121,10 @@ impl Predicate {
 
     /// Resolve column references against a table, producing an evaluable
     /// form. Fails fast on unknown columns, type mismatches, and unknown
-    /// dictionary values.
-    pub fn compile<'a>(&self, table: &'a Table) -> Result<Compiled<'a>> {
+    /// dictionary values. The compiled form borrows both the table's
+    /// columns and this predicate's column names (the names key zone-map
+    /// lookups during pruned scans).
+    pub fn compile<'a>(&'a self, table: &'a Table) -> Result<Compiled<'a>> {
         Ok(match self {
             Predicate::True => Compiled::True,
             Predicate::False => Compiled::False,
@@ -130,6 +132,7 @@ impl Predicate {
                 let col = table.column(column)?;
                 col.check_int(column)?;
                 Compiled::Between {
+                    column,
                     col,
                     lo: *lo,
                     hi: *hi,
@@ -139,6 +142,7 @@ impl Predicate {
                 let col = table.column(column)?;
                 col.check_int(column)?;
                 Compiled::Between {
+                    column,
                     col,
                     lo: *value,
                     hi: *value,
@@ -148,6 +152,7 @@ impl Predicate {
                 let col = table.column(column)?;
                 let code = col.dict_code(column, value)? as i64;
                 Compiled::Between {
+                    column,
                     col,
                     lo: code,
                     hi: code,
@@ -157,6 +162,7 @@ impl Predicate {
                 let col = table.column(column)?;
                 col.check_int(column)?;
                 Compiled::In {
+                    column,
                     col,
                     values: values.clone(),
                 }
@@ -184,6 +190,8 @@ pub enum Compiled<'a> {
     False,
     /// Inclusive range check (equality is a width-zero range).
     Between {
+        /// Source column name (keys zone-map lookups).
+        column: &'a str,
         /// Resolved column.
         col: &'a Column,
         /// Inclusive lower bound.
@@ -193,6 +201,8 @@ pub enum Compiled<'a> {
     },
     /// Membership check.
     In {
+        /// Source column name (keys zone-map lookups).
+        column: &'a str,
         /// Resolved column.
         col: &'a Column,
         /// Accepted values.
@@ -213,11 +223,11 @@ impl Compiled<'_> {
         match self {
             Compiled::True => true,
             Compiled::False => false,
-            Compiled::Between { col, lo, hi } => {
+            Compiled::Between { col, lo, hi, .. } => {
                 let v = col.i64_at(row);
                 v >= *lo && v <= *hi
             }
-            Compiled::In { col, values } => values.contains(&col.i64_at(row)),
+            Compiled::In { col, values, .. } => values.contains(&col.i64_at(row)),
             Compiled::And(ps) => ps.iter().all(|p| p.matches(row)),
             Compiled::Or(ps) => ps.iter().any(|p| p.matches(row)),
             Compiled::Not(p) => !p.matches(row),

@@ -25,6 +25,7 @@ pub mod ops;
 pub mod parallel;
 pub mod plan;
 pub mod sql;
+pub mod synopsis;
 pub mod table;
 pub mod types;
 
@@ -34,8 +35,10 @@ pub use expr::{AggInput, AggKind, AggSpec, Predicate};
 pub use hash::{FxBuildHasher, FxHashMap, GroupKey, MAX_KEY_COLS};
 pub use io::{load_csv, load_csv_file, CsvSchema};
 pub use plan::{
-    execute_exact, execute_exact_prepared, scan_count, validate_plan, ColRef, GroupedRow, JoinSpec,
-    PreparedJoins, QueryPlan, QueryResult,
+    execute_exact, execute_exact_counted, execute_exact_counted_prepared, execute_exact_prepared,
+    scan_count, scan_count_pruned, validate_plan, ColRef, GroupedRow, JoinSpec, PreparedJoins,
+    QueryPlan, QueryResult,
 };
+pub use synopsis::{PruneCounts, TableSynopsis, Verdict};
 pub use table::{Catalog, Table};
 pub use types::{DataType, Value};

@@ -1,31 +1,62 @@
-//! Morsel-driven parallelism (paper §6.1, §6.3).
+//! Morsel-driven parallelism (paper §6.1, §6.3) on a persistent worker
+//! pool.
 //!
 //! Work is split into fixed-size morsels of consecutive rows, pulled by
 //! worker threads from a shared atomic cursor (work stealing at morsel
 //! granularity). Each worker produces a partial result; callers merge the
 //! partials — the analog of collecting reservoirs/aggregates after an
 //! exchange operator.
+//!
+//! Workers live in a process-wide pool that is spawned lazily on the
+//! first parallel fold and then reused for every subsequent query, so a
+//! serving deployment ([`LaqyService`]-style, many queries per second)
+//! stops paying a thread spawn/join per query. Pool semantics (see
+//! DESIGN.md, "Scan pruning and the worker pool"):
+//!
+//! - **Sizing**: [`default_threads`] workers (the `LAQY_THREADS`
+//!   override is read once and cached). A fold may request more workers
+//!   than the pool holds; the extra task units queue and still complete,
+//!   because every unit drains the shared cursor until it is empty.
+//! - **Panic propagation**: a panic inside `init`/`work` is caught on the
+//!   worker, carried back, and re-raised on the calling thread with its
+//!   original payload. The worker itself survives and returns to the
+//!   pool.
+//! - **Shutdown**: the pool is never torn down; workers park in `recv`
+//!   until process exit. Every fold joins its own task units before
+//!   returning, so no user borrow outlives the call.
+//! - **Nesting**: a fold issued *from* a pool worker (no current caller
+//!   does this) runs serially in place rather than queueing task units
+//!   that could wait behind their own parent.
 
+use std::cell::Cell;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Default morsel size (rows). Large enough that per-morsel overhead is
 /// negligible, small enough for load balancing.
 pub const DEFAULT_MORSEL_ROWS: usize = 1 << 16;
 
 /// Number of worker threads to use: the available parallelism, overridable
-/// with the `LAQY_THREADS` environment variable.
+/// with the `LAQY_THREADS` environment variable. The environment is read
+/// and parsed once; later calls return the cached value (this sits on the
+/// per-query hot path).
 pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("LAQY_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        if let Ok(v) = std::env::var("LAQY_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
             }
         }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Split `0..n` into morsel ranges.
@@ -41,12 +72,134 @@ pub fn morsel_ranges(n: usize, morsel: usize) -> Vec<Range<usize>> {
     out
 }
 
+// ---------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------
+
+/// A queued task unit. The boxed closure's true lifetime is the issuing
+/// `parallel_fold` call, which blocks on its latch until every unit it
+/// submitted has run — the `'static` here is an erasure, upheld by that
+/// join (see [`submit_erased`]).
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    tx: Sender<Task>,
+    size: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+static WORKERS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set for the lifetime of a pool worker thread; folds issued from a
+    /// worker fall back to serial execution instead of self-deadlocking
+    /// behind their own parent task.
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let size = default_threads().max(1);
+        let (tx, rx) = channel::<Task>();
+        let rx = std::sync::Arc::new(Mutex::new(rx));
+        for i in 0..size {
+            let rx = std::sync::Arc::clone(&rx);
+            std::thread::Builder::new()
+                .name(format!("laqy-worker-{i}"))
+                .spawn(move || worker_loop(&rx))
+                .expect("spawn pool worker");
+            WORKERS_SPAWNED.fetch_add(1, Ordering::Relaxed);
+        }
+        Pool { tx, size }
+    })
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Task>>) {
+    IS_POOL_WORKER.with(|f| f.set(true));
+    loop {
+        // Hold the receiver lock only for the dequeue, not the task run.
+        let task = {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        match task {
+            Ok(task) => task(),
+            Err(_) => break, // sender dropped: process is tearing down
+        }
+    }
+}
+
+/// Workers the persistent pool holds once initialized (initializes it).
+pub fn pool_size() -> usize {
+    pool().size
+}
+
+/// Total worker threads ever spawned by the pool — stays equal to
+/// [`pool_size`] for the life of the process, whatever the query/service
+/// churn (regression guard against worker leaks).
+pub fn pool_workers_spawned() -> usize {
+    WORKERS_SPAWNED.load(Ordering::Relaxed)
+}
+
+/// Countdown latch: the issuing thread waits until every submitted task
+/// unit has finished (normally or by caught panic).
+struct Latch {
+    remaining: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self {
+            remaining: Mutex::new(count),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        while *remaining > 0 {
+            remaining = self.cv.wait(remaining).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Submit a non-`'static` task to the pool.
+///
+/// # Safety
+///
+/// The caller must not return (or otherwise invalidate anything the task
+/// borrows) until the task has completed. `parallel_fold` guarantees this
+/// by counting every submitted unit down on a latch it waits on before
+/// returning — including on the panic path, because task bodies catch
+/// their own unwinds.
+unsafe fn submit_erased<'a>(task: Box<dyn FnOnce() + Send + 'a>) {
+    let task: Task = unsafe {
+        std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Box<dyn FnOnce() + Send + 'static>>(
+            task,
+        )
+    };
+    // Send can only fail if the receiver side is gone, which for the
+    // process-wide pool means teardown; nothing to run the task on.
+    let _ = pool().tx.send(task);
+}
+
 /// Run `work` over every morsel of `0..n` on `threads` workers, returning
 /// one partial result per worker (workers that received no morsels still
 /// return their identity partial).
 ///
 /// `init` creates each worker's accumulator; `work(acc, range)` folds one
-/// morsel into it. Panics in workers propagate.
+/// morsel into it. Task units run on the persistent pool (the calling
+/// thread doubles as one of the workers); panics in `init`/`work`
+/// propagate to the caller with their original payload.
 pub fn parallel_fold<Acc, I, W>(
     n: usize,
     morsel: usize,
@@ -60,35 +213,77 @@ where
     W: Fn(&mut Acc, Range<usize>) + Sync,
 {
     let threads = threads.max(1);
-    if threads == 1 || n <= morsel {
+    let nested = IS_POOL_WORKER.with(|f| f.get());
+    if threads == 1 || n <= morsel || nested {
         let mut acc = init();
         for r in morsel_ranges(n, morsel) {
             work(&mut acc, r);
         }
         return vec![acc];
     }
+
     let ranges = morsel_ranges(n, morsel);
     let cursor = AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|_| {
-                    let mut acc = init();
-                    loop {
-                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(r) = ranges.get(idx) else { break };
-                        work(&mut acc, r.clone());
-                    }
-                    acc
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    })
-    .expect("thread scope failed")
+    let results: Vec<Mutex<Option<Acc>>> = (0..threads).map(|_| Mutex::new(None)).collect();
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let latch = Latch::new(threads - 1);
+
+    // One task unit per requested worker; each drains the shared cursor,
+    // so correctness is independent of how many pool workers exist.
+    let run_unit = |slot: usize| {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut acc = init();
+            loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(r) = ranges.get(idx) else { break };
+                work(&mut acc, r.clone());
+            }
+            acc
+        }));
+        match outcome {
+            Ok(acc) => {
+                *results[slot].lock().unwrap_or_else(|e| e.into_inner()) = Some(acc);
+            }
+            Err(payload) => {
+                let mut slot = panic_payload.lock().unwrap_or_else(|e| e.into_inner());
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+        }
+    };
+
+    for slot in 1..threads {
+        let unit = &run_unit;
+        let latch_ref = &latch;
+        // SAFETY: the latch wait below keeps `run_unit`, `ranges`,
+        // `cursor`, `results`, and `panic_payload` alive until every
+        // submitted unit has run; unit bodies never unwind (caught).
+        unsafe {
+            submit_erased(Box::new(move || {
+                unit(slot);
+                latch_ref.count_down();
+            }));
+        }
+    }
+    // The calling thread is worker 0.
+    run_unit(0);
+    latch.wait();
+
+    if let Some(payload) = panic_payload
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+    {
+        resume_unwind(payload);
+    }
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("worker finished without panicking")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -148,7 +343,93 @@ mod tests {
     }
 
     #[test]
+    fn more_threads_than_pool_workers_still_completes() {
+        let oversubscribed = pool_size() * 4 + 3;
+        let partials = parallel_fold(
+            5_000,
+            16,
+            oversubscribed,
+            || 0usize,
+            |acc, r| {
+                *acc += r.len();
+            },
+        );
+        assert_eq!(partials.len(), oversubscribed);
+        assert_eq!(partials.into_iter().sum::<usize>(), 5_000);
+    }
+
+    #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
+        // Cached: repeated calls agree.
+        assert_eq!(default_threads(), default_threads());
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_fold(
+                100_000,
+                10,
+                4,
+                || 0usize,
+                |_, r| {
+                    if r.start >= 50_000 {
+                        panic!("boom at {}", r.start);
+                    }
+                },
+            )
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom"), "original payload preserved: {msg}");
+
+        // Pool is intact: the next fold works and no workers were
+        // respawned.
+        let spawned = pool_workers_spawned();
+        let partials = parallel_fold(
+            10_000,
+            64,
+            4,
+            || 0u64,
+            |acc, r| {
+                *acc += r.len() as u64;
+            },
+        );
+        assert_eq!(partials.into_iter().sum::<u64>(), 10_000);
+        assert_eq!(pool_workers_spawned(), spawned);
+    }
+
+    #[test]
+    fn repeated_folds_reuse_the_pool() {
+        for _ in 0..20 {
+            let partials = parallel_fold(4_096, 64, 4, || 0usize, |acc, r| *acc += r.len());
+            assert_eq!(partials.into_iter().sum::<usize>(), 4_096);
+        }
+        assert_eq!(pool_workers_spawned(), pool_size());
+    }
+
+    #[test]
+    fn nested_fold_from_worker_runs_serially() {
+        // A fold inside `work` must not deadlock waiting behind its own
+        // parent unit; it degrades to the serial path in place.
+        let partials = parallel_fold(
+            4 * DEFAULT_MORSEL_ROWS,
+            DEFAULT_MORSEL_ROWS,
+            4,
+            || 0u64,
+            |acc, r| {
+                let inner = parallel_fold(100, 10, 4, || 0u64, |a, rr| *a += rr.len() as u64);
+                // Units that ran on pool workers observed the serial path.
+                *acc += r.len() as u64 + inner.into_iter().sum::<u64>() - 100;
+            },
+        );
+        assert_eq!(
+            partials.into_iter().sum::<u64>(),
+            4 * DEFAULT_MORSEL_ROWS as u64
+        );
     }
 }

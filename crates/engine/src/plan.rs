@@ -6,15 +6,14 @@
 //! scan over the fact table, optional star joins against pre-built
 //! dimension hash maps, then hash aggregation with partial-merge.
 
-use std::ops::Range;
-
 use crate::error::{EngineError, Result};
 use crate::expr::{AggInput, AggSpec, Predicate};
 use crate::hash::{GroupKey, MAX_KEY_COLS};
 use crate::ops::aggregate::{group_by, BoundCol, ExactAgg, ExactAggFactory, GroupTable, Inputs};
-use crate::ops::filter::scan_filter;
+use crate::ops::filter::scan_filter_pruned;
 use crate::ops::join::{build_join_map, star_probe, JoinMap};
 use crate::parallel::{parallel_fold, DEFAULT_MORSEL_ROWS};
+use crate::synopsis::PruneCounts;
 use crate::table::{Catalog, Table};
 use crate::types::Value;
 
@@ -219,9 +218,18 @@ fn resolve_by_name<'a>(
 
 /// Execute a plan exactly, in parallel.
 pub fn execute_exact(catalog: &Catalog, plan: &QueryPlan, threads: usize) -> Result<QueryResult> {
+    execute_exact_counted(catalog, plan, threads).map(|(r, _)| r)
+}
+
+/// [`execute_exact`], also reporting per-morsel zone-map prune verdicts.
+pub fn execute_exact_counted(
+    catalog: &Catalog,
+    plan: &QueryPlan,
+    threads: usize,
+) -> Result<(QueryResult, PruneCounts)> {
     validate_plan(catalog, plan)?;
     let joins = PreparedJoins::build(catalog, plan)?;
-    execute_exact_prepared(catalog, plan, &joins, threads)
+    execute_exact_counted_prepared(catalog, plan, &joins, threads)
 }
 
 /// Execute with pre-built join maps (reused across a query sequence).
@@ -231,6 +239,16 @@ pub fn execute_exact_prepared(
     joins: &PreparedJoins,
     threads: usize,
 ) -> Result<QueryResult> {
+    execute_exact_counted_prepared(catalog, plan, joins, threads).map(|(r, _)| r)
+}
+
+/// [`execute_exact_prepared`], also reporting zone-map prune verdicts.
+pub fn execute_exact_counted_prepared(
+    catalog: &Catalog,
+    plan: &QueryPlan,
+    joins: &PreparedJoins,
+    threads: usize,
+) -> Result<(QueryResult, PruneCounts)> {
     let fact = catalog.table(&plan.fact)?;
     let factory = ExactAggFactory::new(&plan.aggs);
     let agg_inputs: Vec<AggInput> = plan.aggs.iter().map(|a| a.input.clone()).collect();
@@ -239,20 +257,25 @@ pub fn execute_exact_prepared(
         fact.num_rows(),
         DEFAULT_MORSEL_ROWS,
         threads,
-        GroupTable::<ExactAgg>::new,
-        |acc, range| {
-            let partial = run_morsel(catalog, plan, joins, fact, &factory, &agg_inputs, range)
+        || (GroupTable::<ExactAgg>::new(), PruneCounts::default()),
+        |(acc, counts), range| {
+            let sel = scan_filter_pruned(fact, range, &plan.predicate, counts)
+                .expect("plan validated before execution");
+            let partial = run_morsel(catalog, plan, joins, fact, &factory, &agg_inputs, &sel)
                 .expect("plan validated before execution");
             acc.merge(partial);
         },
     );
     let mut merged = GroupTable::<ExactAgg>::new();
-    for p in partials {
+    let mut counts = PruneCounts::default();
+    for (p, c) in partials {
         merged.merge(p);
+        counts.accumulate(&c);
     }
-    finalize_result(catalog, plan, merged)
+    Ok((finalize_result(catalog, plan, merged)?, counts))
 }
 
+/// Aggregate one morsel's already-filtered selection.
 fn run_morsel(
     catalog: &Catalog,
     plan: &QueryPlan,
@@ -260,18 +283,17 @@ fn run_morsel(
     fact: &Table,
     factory: &ExactAggFactory,
     agg_inputs: &[AggInput],
-    range: Range<usize>,
+    sel: &[u32],
 ) -> Result<GroupTable<ExactAgg>> {
-    let sel = scan_filter(fact, range, &plan.predicate)?;
     if plan.joins.is_empty() {
-        let keys = bind_keys(catalog, plan, fact, Some(&sel), None, None)?;
+        let keys = bind_keys(catalog, plan, fact, Some(sel), None, None)?;
         let inputs = Inputs::bind(agg_inputs, |name| {
             let (_, table) = resolve_by_name(catalog, plan, name)?;
-            Ok(BoundCol::new(table.column(name)?, Some(&sel)))
+            Ok(BoundCol::new(table.column(name)?, Some(sel)))
         })?;
         Ok(group_by(&keys, &inputs, sel.len(), factory))
     } else {
-        let out = star_probe(fact, &sel, &joins.probes())?;
+        let out = star_probe(fact, sel, &joins.probes())?;
         let keys = bind_keys(
             catalog,
             plan,
@@ -355,20 +377,36 @@ pub fn scan_count(
     predicate: &Predicate,
     threads: usize,
 ) -> Result<usize> {
+    scan_count_pruned(catalog, fact, predicate, threads).map(|(n, _)| n)
+}
+
+/// [`scan_count`], also reporting per-morsel zone-map prune verdicts.
+pub fn scan_count_pruned(
+    catalog: &Catalog,
+    fact: &str,
+    predicate: &Predicate,
+    threads: usize,
+) -> Result<(usize, PruneCounts)> {
     let table = catalog.table(fact)?;
     predicate.compile(table).map(|_| ())?;
     let partials = parallel_fold(
         table.num_rows(),
         DEFAULT_MORSEL_ROWS,
         threads,
-        || 0usize,
-        |acc, range| {
-            *acc += scan_filter(table, range, predicate)
+        || (0usize, PruneCounts::default()),
+        |(acc, counts), range| {
+            *acc += scan_filter_pruned(table, range, predicate, counts)
                 .expect("predicate validated")
                 .len();
         },
     );
-    Ok(partials.into_iter().sum())
+    let mut n = 0;
+    let mut counts = PruneCounts::default();
+    for (p, c) in partials {
+        n += p;
+        counts.accumulate(&c);
+    }
+    Ok((n, counts))
 }
 
 #[cfg(test)]

@@ -4,30 +4,53 @@ use std::sync::Arc;
 
 use crate::column::Column;
 use crate::error::{EngineError, Result};
+use crate::synopsis::{TableSynopsis, DEFAULT_ZONE_ROWS};
 use crate::types::DataType;
 
-/// An immutable in-memory table.
+/// An immutable in-memory table, with per-morsel zone maps built once at
+/// construction (the paper's "load/registration" time) so every later
+/// scan can prune morsels against the pushed-down predicate.
 #[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     columns: Vec<(String, Column)>,
     rows: usize,
+    synopsis: Arc<TableSynopsis>,
 }
 
 impl Table {
-    /// Construct a table; all columns must have equal length.
+    /// Construct a table; all columns must have equal length. Zone maps
+    /// are built at the default scan-morsel granularity.
     pub fn new(name: impl Into<String>, columns: Vec<(String, Column)>) -> Result<Self> {
+        Self::with_zone_map_rows(name, columns, DEFAULT_ZONE_ROWS)
+    }
+
+    /// Construct a table with zone maps at `zone_rows` granularity
+    /// (tests shrink the block size to exercise pruning on small data).
+    pub fn with_zone_map_rows(
+        name: impl Into<String>,
+        columns: Vec<(String, Column)>,
+        zone_rows: usize,
+    ) -> Result<Self> {
         let rows = columns.first().map(|(_, c)| c.len()).unwrap_or(0);
         if columns.iter().any(|(_, c)| c.len() != rows) {
             return Err(EngineError::LengthMismatch {
                 context: "table construction",
             });
         }
+        let synopsis = Arc::new(TableSynopsis::build(&columns, zone_rows));
         Ok(Self {
             name: name.into(),
             columns,
             rows,
+            synopsis,
         })
+    }
+
+    /// The table's zone maps. `None` is reserved for a future unloaded /
+    /// synopsis-free state; today every table carries one.
+    pub fn synopsis(&self) -> Option<&TableSynopsis> {
+        Some(&self.synopsis)
     }
 
     /// Table name.
@@ -75,9 +98,13 @@ impl Table {
         self.columns.iter().map(|(n, c)| (n.as_str(), c))
     }
 
-    /// Total heap footprint in bytes.
+    /// Total heap footprint in bytes (columns plus zone maps).
     pub fn heap_bytes(&self) -> usize {
-        self.columns.iter().map(|(_, c)| c.heap_bytes()).sum()
+        self.columns
+            .iter()
+            .map(|(_, c)| c.heap_bytes())
+            .sum::<usize>()
+            + self.synopsis.heap_bytes()
     }
 }
 
@@ -180,5 +207,23 @@ mod tests {
     fn empty_table_allowed() {
         let t = Table::new("e", vec![]).unwrap();
         assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.synopsis().unwrap().num_blocks(), 0);
+    }
+
+    #[test]
+    fn tables_carry_zone_maps() {
+        let t = Table::with_zone_map_rows(
+            "z",
+            vec![("a".into(), Column::Int64((0..25).collect()))],
+            10,
+        )
+        .unwrap();
+        let syn = t.synopsis().unwrap();
+        assert_eq!(syn.num_blocks(), 3);
+        assert_eq!(syn.rows_in_block(2), 5);
+        let zone = syn.column("a").unwrap();
+        assert_eq!((zone.mins[1], zone.maxs[1]), (10, 19));
+        // Zone maps count toward the heap footprint.
+        assert!(t.heap_bytes() >= 25 * 8);
     }
 }

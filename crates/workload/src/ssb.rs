@@ -311,6 +311,12 @@ fn generate_lineorder(config: &SsbConfig, date_keys: &[i64], rng: &mut Lehmer64)
         let j = rng.next_index(i + 1);
         intkey.swap(i, j);
     }
+    // lo_orderkey: the same unique ids in storage order — a *clustered*
+    // surrogate key (rows arrive in order-entry sequence, as they would
+    // from an append-only load). Range predicates on it are the best case
+    // for per-morsel zone-map pruning, giving experiments a clustered
+    // counterpart to the deliberately shuffled lo_intkey.
+    let orderkey: Vec<i64> = (0..n as i64).collect();
 
     let mut orderdate = Vec::with_capacity(n);
     let mut quantity = Vec::with_capacity(n);
@@ -339,6 +345,7 @@ fn generate_lineorder(config: &SsbConfig, date_keys: &[i64], rng: &mut Lehmer64)
         "lineorder",
         vec![
             ("lo_intkey".into(), Column::Int64(intkey)),
+            ("lo_orderkey".into(), Column::Int64(orderkey)),
             ("lo_orderdate".into(), Column::Int32(orderdate)),
             ("lo_quantity".into(), Column::Int32(quantity)),
             ("lo_discount".into(), Column::Int32(discount)),
@@ -369,6 +376,7 @@ mod tests {
         assert_eq!(lo.num_rows(), 6_000);
         for col in [
             "lo_intkey",
+            "lo_orderkey",
             "lo_orderdate",
             "lo_quantity",
             "lo_discount",
@@ -394,6 +402,16 @@ mod tests {
         assert!(seen.windows(2).any(|w| w[0] > w[1]), "intkey not shuffled");
         seen.sort_unstable();
         assert_eq!(seen, (0..n as i64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn orderkey_is_clustered_identity() {
+        let cat = catalog();
+        let lo = cat.table("lineorder").unwrap();
+        let col = lo.column("lo_orderkey").unwrap();
+        for i in 0..lo.num_rows() {
+            assert_eq!(col.i64_at(i), i as i64);
+        }
     }
 
     #[test]

@@ -206,6 +206,82 @@ fn byte_budget_holds_under_concurrent_insertion() {
 }
 
 #[test]
+fn persistent_pool_preserves_exactly_once_delta_scans() {
+    // Same in-flight dedup invariant as
+    // `identical_partial_misses_scan_the_delta_exactly_once`, but with
+    // intra-query parallelism enabled so every Δ-scan runs on the
+    // persistent worker pool. The pool must neither double-run a scan
+    // nor spawn fresh workers per service: repeated service
+    // construction reuses the one process-wide pool.
+    use laqy_engine::parallel::{pool_size, pool_workers_spawned, DEFAULT_MORSEL_ROWS};
+
+    // Needs a fact table spanning several morsels, else every fold takes
+    // the serial fast path and the pool is never exercised.
+    let cat = generate(&SsbConfig {
+        scale_factor: 0.02, // ~120k fact rows ≈ 2 morsels
+        seed: 0xC0C1,
+    });
+    let n = cat.table("lineorder").unwrap().num_rows() as i64;
+    assert!(
+        n as usize > DEFAULT_MORSEL_ROWS,
+        "catalog too small to reach the worker pool"
+    );
+    let k = 24;
+    let pooled_config = || SessionConfig {
+        threads: 2,
+        ..config(None)
+    };
+
+    for round in 0..3 {
+        let service = LaqyService::with_config(cat.clone(), pooled_config());
+        service.run(&q1(Interval::new(0, n / 2), k)).unwrap();
+
+        service.set_sampling_hold(Some(Duration::from_millis(300)));
+        let target = q1(Interval::new(0, 3 * n / 4), k);
+        let before = service.stats();
+        let barrier = Barrier::new(2);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let service = service.clone();
+                let (barrier, target) = (&barrier, &target);
+                scope.spawn(move || {
+                    barrier.wait();
+                    service.run(target).expect("query");
+                });
+            }
+        });
+        service.set_sampling_hold(None);
+
+        let after = service.stats();
+        assert_eq!(
+            after.delta_scans - before.delta_scans,
+            1,
+            "round {round}: Δ-scan must run exactly once on the pool"
+        );
+        assert_eq!(
+            after.merges_deduped - before.merges_deduped,
+            1,
+            "round {round}: second client must dedup against the in-flight scan"
+        );
+        assert_eq!(
+            stored_coverage(&service),
+            IntervalSet::of(Interval::new(0, 3 * n / 4)),
+            "round {round}: coverage stored exactly once"
+        );
+    }
+
+    // Three services (plus everything else this test binary ran) used
+    // parallelism, yet the process holds exactly one pool's worth of
+    // workers: construction never leaks threads.
+    let size = pool_size();
+    assert_eq!(
+        pool_workers_spawned(),
+        size,
+        "repeated service construction must reuse the persistent pool"
+    );
+}
+
+#[test]
 fn identical_partial_misses_scan_the_delta_exactly_once() {
     let cat = catalog();
     let n = cat.table("lineorder").unwrap().num_rows() as i64;
