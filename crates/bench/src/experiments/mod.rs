@@ -1,12 +1,14 @@
 //! Experiment implementations, one per paper table/figure.
 
 pub mod concurrent;
+pub mod fragmentation;
 pub mod micro;
 pub mod pruning;
 pub mod sequence;
 pub mod strategy;
 
 pub use concurrent::concurrent;
+pub use fragmentation::fragmentation;
 pub use micro::{fig3, fig4};
 pub use pruning::pruning;
 pub use sequence::{
@@ -87,6 +89,7 @@ pub const ALL: &[&str] = &[
     "rates",
     "concurrent",
     "pruning",
+    "fragmentation",
 ];
 
 /// Run one experiment by name against a pre-generated catalog.
@@ -117,6 +120,7 @@ pub fn run_experiment(name: &str, cfg: &BenchConfig, catalog: &Catalog) -> Optio
         "rates" => rate_sensitivity(cfg, catalog),
         "concurrent" => concurrent(cfg, catalog),
         "pruning" => pruning::pruning(cfg, catalog),
+        "fragmentation" => fragmentation(cfg, catalog),
         _ => return None,
     })
 }

@@ -111,6 +111,7 @@ impl Repl {
                 None => "usage: .error <positive float>|off".into(),
             }),
             Some("stats") => Some(self.stats()),
+            Some("samples") => Some(self.samples()),
             Some("concurrent") => {
                 Some(self.concurrent(cmd.strip_prefix("concurrent").unwrap_or("").trim()))
             }
@@ -223,7 +224,8 @@ impl Repl {
                 let morsels = svc.morsels_skipped + svc.morsels_fast_pathed + svc.morsels_scanned;
                 format!(
                     "sample store: {} samples, {:.2} MiB; mode {:?}, k {}{}\n\
-                     scan pruning: {} morsels skipped, {} fast-pathed, {} scanned ({} total)",
+                     scan pruning: {} morsels skipped, {} fast-pathed, {} scanned ({} total)\n\
+                     coverage: {} stored fragments merged, {} residual fragments Δ-scanned",
                     s.store().len(),
                     s.store().total_bytes() as f64 / (1024.0 * 1024.0),
                     self.mode,
@@ -235,9 +237,79 @@ impl Repl {
                     svc.morsels_fast_pathed,
                     svc.morsels_scanned,
                     morsels,
+                    svc.fragments_reused,
+                    svc.fragments_scanned,
                 )
             }
         }
+    }
+
+    /// `.samples`: list stored samples grouped by descriptor family
+    /// (query input + QCS + QVS + k), showing each family's coverage
+    /// fragments, and report the store's fragmentation ratio — the share
+    /// of stored samples that are extra fragments of an already-covered
+    /// family. 0.00 means one sample per family; values near 1.00 mean
+    /// the store has shattered into many small fragments that coverage
+    /// plans must stitch back together.
+    fn samples(&self) -> String {
+        let Some(s) = &self.session else {
+            return "no session".into();
+        };
+        let store = s.store();
+        if store.is_empty() {
+            return "sample store is empty".into();
+        }
+        // Group by descriptor family, preserving first-seen order.
+        let mut families: Vec<(String, Vec<String>)> = Vec::new();
+        for (id, stored) in store.iter() {
+            let fp = stored.descriptor.fingerprint();
+            let coverage = stored
+                .descriptor
+                .predicates
+                .columns()
+                .map(|c| {
+                    let set = stored.descriptor.predicates.get(c).expect("listed column");
+                    let parts = set
+                        .intervals()
+                        .iter()
+                        .map(|iv| format!("[{}, {}]", iv.lo, iv.hi))
+                        .collect::<Vec<_>>()
+                        .join(" ∪ ");
+                    format!("{c} ∈ {parts}")
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            let line = format!(
+                "  sample {:?}: {} ({} strata, {} bytes)",
+                id,
+                if coverage.is_empty() {
+                    "unconstrained".to_string()
+                } else {
+                    coverage
+                },
+                stored.sample.num_strata(),
+                stored.bytes(),
+            );
+            match families.iter_mut().find(|(f, _)| *f == fp) {
+                Some((_, lines)) => lines.push(line),
+                None => families.push((fp, vec![line])),
+            }
+        }
+        let total = store.len();
+        let fragmentation = (total - families.len()) as f64 / total as f64;
+        let mut out = String::new();
+        for (fp, lines) in &families {
+            let _ = writeln!(out, "{fp} — {} fragment(s)", lines.len());
+            for line in lines {
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{total} sample(s) in {} family(ies), fragmentation ratio {fragmentation:.2}",
+            families.len(),
+        );
+        out
     }
 
     /// `.concurrent <threads> <sql>`: run the same approximate query from
@@ -534,6 +606,7 @@ laqy-cli — approximate SQL shell
   .mode lazy|strict|online|exact     execution mode
   .error <rel>|off                   bounded-error execution (escalates k)
   .stats                             sample-store statistics
+  .samples                           stored coverage fragments per descriptor family
   .concurrent <n> <sql>              run <sql> from n threads sharing the store
   .save <path> / .restore <path>     persist / restore materialized samples
   .quit                              exit
@@ -594,6 +667,39 @@ mod tests {
             .unwrap();
         assert!(out.contains("reuse full"), "{out}");
         assert!(r.handle(".stats").unwrap().contains("1 samples"));
+    }
+
+    #[test]
+    fn samples_command_lists_coverage_fragments() {
+        let mut r = loaded_repl();
+        assert!(r.handle(".samples").unwrap().contains("empty"));
+        r.handle(
+            "SELECT lo_orderdate, SUM(lo_revenue) FROM lineorder \
+             WHERE lo_intkey BETWEEN 0 AND 1999 GROUP BY lo_orderdate",
+        )
+        .unwrap();
+        let out = r.handle(".samples").unwrap();
+        assert!(out.contains("lo_intkey ∈ [0, 1999]"), "{out}");
+        assert!(out.contains("1 fragment(s)"), "{out}");
+        assert!(out.contains("fragmentation ratio 0.00"), "{out}");
+        // A second family (different group-by ⇒ different QCS) is listed
+        // separately and leaves the ratio at zero.
+        r.handle(
+            "SELECT lo_quantity, SUM(lo_revenue) FROM lineorder \
+             WHERE lo_intkey BETWEEN 0 AND 999 GROUP BY lo_quantity",
+        )
+        .unwrap();
+        let out = r.handle(".samples").unwrap();
+        assert!(out.contains("2 sample(s) in 2 family(ies)"), "{out}");
+        // Coverage counters surface in .stats once a partial runs.
+        r.handle(
+            "SELECT lo_orderdate, SUM(lo_revenue) FROM lineorder \
+             WHERE lo_intkey BETWEEN 0 AND 2999 GROUP BY lo_orderdate",
+        )
+        .unwrap();
+        let out = r.handle(".stats").unwrap();
+        assert!(out.contains("1 stored fragments merged"), "{out}");
+        assert!(out.contains("1 residual fragments Δ-scanned"), "{out}");
     }
 
     #[test]

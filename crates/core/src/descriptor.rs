@@ -87,6 +87,90 @@ impl Predicates {
         })
     }
 
+    /// Conjunction (intersection) of two predicate boxes: each column
+    /// takes the intersection of its constraints; columns constrained by
+    /// only one side carry over unchanged. `None` if the result is empty
+    /// (some shared column has no common point, or a side is already
+    /// unsatisfiable).
+    pub fn intersect(&self, other: &Predicates) -> Option<Predicates> {
+        if self.is_unsatisfiable() || other.is_unsatisfiable() {
+            return None;
+        }
+        let mut map = self.map.clone();
+        for (col, theirs) in &other.map {
+            let merged = match map.get(col) {
+                Some(mine) => {
+                    let m = mine.intersect(theirs);
+                    if m.is_empty() {
+                        return None;
+                    }
+                    m
+                }
+                None => theirs.clone(),
+            };
+            map.insert(col.clone(), merged);
+        }
+        Some(Predicates { map })
+    }
+
+    /// Measure of the conjunction box: the product of per-column
+    /// interval-set measures over the constrained columns (`u128` so that
+    /// multi-column products cannot overflow). The empty conjunction has
+    /// measure 1 — callers compare boxes constrained on the same column
+    /// set relative to a common query universe, where the ratio of
+    /// measures is the uncovered fraction regardless of the unconstrained
+    /// dimensions' extents.
+    pub fn box_measure(&self) -> u128 {
+        self.map.values().map(|s| s.measure() as u128).product()
+    }
+
+    /// Subtract the box `other` from the box `self`, returning
+    /// pairwise-disjoint boxes that cover exactly `self \ other` — the
+    /// generalization of [`Predicates::delta_against`] to several varying
+    /// columns. The classic sequential-splitting decomposition: the piece
+    /// for column `i` constrains earlier columns to `self ∩ other`, column
+    /// `i` to `self − other`, and later columns to `self`'s extent.
+    ///
+    /// Columns `other` leaves unconstrained cover their full extent, so
+    /// they never yield a remainder slice. Columns `other` constrains but
+    /// `self` does not would make the remainder unbounded — callers must
+    /// restrict both boxes to a common universe first (debug-asserted).
+    pub fn subtract(&self, other: &Predicates) -> Vec<Predicates> {
+        debug_assert!(
+            other.map.keys().all(|c| self.map.contains_key(c)),
+            "subtract requires other's columns ⊆ self's columns"
+        );
+        let Some(common) = self.intersect(other) else {
+            // Disjoint boxes: nothing is removed.
+            return vec![self.clone()];
+        };
+        let mut out = Vec::new();
+        for col in self.map.keys() {
+            let Some(theirs) = other.get(col) else {
+                continue;
+            };
+            let diff = self.map[col].difference(theirs);
+            if diff.is_empty() {
+                continue;
+            }
+            let mut piece = BTreeMap::new();
+            let mut before = true;
+            for (c, s) in &self.map {
+                if c == col {
+                    piece.insert(c.clone(), diff.clone());
+                    before = false;
+                } else if before {
+                    let both = common.get(c).expect("intersection has self's columns");
+                    piece.insert(c.clone(), both.clone());
+                } else {
+                    piece.insert(c.clone(), s.clone());
+                }
+            }
+            out.push(Predicates { map: piece });
+        }
+        out
+    }
+
     /// Compute the **Δ predicate** of `self` (the query) against `other`
     /// (the stored sample) — paper §5.2.2.
     ///
@@ -315,6 +399,78 @@ mod tests {
         assert_eq!(varying, "x");
         assert_eq!(delta.get("x").unwrap(), &iv(11, 30));
         assert_eq!(delta.get("region").unwrap(), &iv(3, 3));
+    }
+
+    #[test]
+    fn intersect_takes_per_column_meets() {
+        let a = Predicates::on("x", iv(0, 10)).with("y", iv(0, 5));
+        let b = Predicates::on("x", iv(5, 20)).with("z", iv(1, 2));
+        let m = a.intersect(&b).unwrap();
+        assert_eq!(m.get("x").unwrap(), &iv(5, 10));
+        assert_eq!(m.get("y").unwrap(), &iv(0, 5));
+        assert_eq!(m.get("z").unwrap(), &iv(1, 2));
+        // Empty meet on a shared column ⇒ None.
+        let c = Predicates::on("x", iv(50, 60));
+        assert!(a.intersect(&c).is_none());
+        assert!(a
+            .intersect(&Predicates::on("x", IntervalSet::empty()))
+            .is_none());
+    }
+
+    #[test]
+    fn box_measure_is_product_of_widths() {
+        let b = Predicates::on("x", iv(0, 9)).with("y", iv(0, 4));
+        assert_eq!(b.box_measure(), 50);
+        assert_eq!(Predicates::none().box_measure(), 1);
+        // Large single-column sets do not overflow the product.
+        let wide = Predicates::on("x", iv(0, i64::MAX - 1)).with("y", iv(0, i64::MAX - 1));
+        assert!(wide.box_measure() > u64::MAX as u128);
+    }
+
+    #[test]
+    fn subtract_splits_into_disjoint_boxes() {
+        // [0,9]×[0,9] minus its centre [3,6]×[3,6]: an L-shaped frame of
+        // two slices (x-split first since columns iterate in order).
+        let a = Predicates::on("x", iv(0, 9)).with("y", iv(0, 9));
+        let b = Predicates::on("x", iv(3, 6)).with("y", iv(3, 6));
+        let pieces = a.subtract(&b);
+        assert_eq!(pieces.len(), 2);
+        // Measures add up: 100 − 16 = 84.
+        let total: u128 = pieces.iter().map(|p| p.box_measure()).sum();
+        assert_eq!(total, 84);
+        // Pieces are pairwise disjoint and disjoint from `b`.
+        for (i, p) in pieces.iter().enumerate() {
+            assert!(p.intersect(&b).is_none(), "piece {i} overlaps subtrahend");
+            for q in pieces.iter().skip(i + 1) {
+                assert!(p.intersect(q).is_none(), "pieces overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn subtract_disjoint_returns_self() {
+        let a = Predicates::on("x", iv(0, 9));
+        let b = Predicates::on("x", iv(20, 30));
+        assert_eq!(a.subtract(&b), vec![a.clone()]);
+    }
+
+    #[test]
+    fn subtract_subsumed_returns_empty() {
+        let a = Predicates::on("x", iv(2, 5)).with("y", iv(1, 3));
+        let b = Predicates::on("x", iv(0, 10)).with("y", iv(0, 5));
+        assert!(a.subtract(&b).is_empty());
+        // A column `other` leaves unconstrained covers its full extent.
+        let c = Predicates::on("x", iv(0, 10));
+        assert!(a.subtract(&c).is_empty());
+    }
+
+    #[test]
+    fn subtract_matches_single_column_difference() {
+        let a = Predicates::on("x", iv(0, 99));
+        let b = Predicates::on("x", iv(0, 49));
+        let pieces = a.subtract(&b);
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(pieces[0].get("x").unwrap(), &iv(50, 99));
     }
 
     #[test]

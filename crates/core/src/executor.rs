@@ -28,13 +28,14 @@ use laqy_sampling::Lehmer64;
 use crate::descriptor::{Predicates, SampleDescriptor};
 use crate::estimate::{estimate, EstimateError, EstimateOptions, GroupEstimate};
 use crate::interval::{Interval, IntervalSet};
-use crate::lazy::{plan_lazy, LazyPlan};
+use crate::lazy::{plan_lazy, plan_lazy_capped, LazyPlan};
 use crate::sampler_ops::{
     group_table_into_sample, ReservoirAgg, ReservoirAggFactory, SampleSchema, SlotKind,
 };
 use crate::stats::{ExecStats, ReuseClass};
-use crate::store::SampleStore;
+use crate::store::{union_single_column, SampleStore};
 use crate::support::{check_support, SupportPolicy, SupportReport};
+use laqy_sampling::merge_stratified_k;
 
 /// Errors from the LAQy execution layer.
 #[derive(Debug)]
@@ -106,9 +107,14 @@ pub struct ApproxResult {
 /// contribution moves along (Figure 2's design space).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ReuseMode {
-    /// LAQy: full reuse, partial (Δ + merge) reuse, or online.
+    /// LAQy with coverage planning: full reuse, multi-sample coverage
+    /// (k-way Δ + merge) reuse, or online.
     #[default]
     Lazy,
+    /// The paper's original single-sample Algorithm 1: at most one stored
+    /// sample per query (coverage planning capped at one). Ablation
+    /// baseline for the fragmentation experiment.
+    SingleSample,
     /// Taster-style all-or-none caching: a stored sample is used only when
     /// it fully subsumes the query; otherwise full online sampling (the
     /// "strict sample matching" baseline of §2, Issue #1).
@@ -240,10 +246,13 @@ impl LaqyExecutor {
     ) -> Result<ApproxResult> {
         let t_start = Instant::now();
         let descriptor = self.descriptor(catalog, query)?;
-        let mut lazy = plan_lazy(store, &descriptor);
+        let mut lazy = match self.mode {
+            ReuseMode::SingleSample => plan_lazy_capped(store, &descriptor, 1),
+            _ => plan_lazy(store, &descriptor),
+        };
         if self.mode == ReuseMode::FullMatchOnly {
             // All-or-none matching: partial overlap is not good enough.
-            if let LazyPlan::PartialReuse { .. } = lazy {
+            if let LazyPlan::CoverageReuse { .. } = lazy {
                 lazy = LazyPlan::Online;
             }
         }
@@ -282,19 +291,70 @@ impl LaqyExecutor {
                     support,
                 }
             }
-            LazyPlan::PartialReuse { id, delta, varying } => {
-                let delta_set = delta
-                    .get(&varying)
-                    .cloned()
-                    .unwrap_or_else(IntervalSet::empty);
-                let (delta_sample, mut stats) =
-                    self.sample_pipeline(catalog, query, &delta_set, &Predicate::True)?;
+            LazyPlan::CoverageReuse { samples, fragments } => {
+                let (_, schema) = self.payload_schema(catalog, query)?;
+                // One zone-map-pruned Δ-scan per residual fragment, each
+                // internally fanned through the worker pool.
+                let mut stats = ExecStats::default();
+                let mut fragment_samples = Vec::with_capacity(fragments.len());
+                for frag in &fragments {
+                    let ranges = frag
+                        .get(&query.range_column)
+                        .cloned()
+                        .unwrap_or_else(|| IntervalSet::of(query.range));
+                    let extra = fragment_extra_predicate(frag, &query.range_column);
+                    let (s, fstats) = self.sample_pipeline(catalog, query, &ranges, &extra)?;
+                    stats.accumulate(&fstats);
+                    fragment_samples.push(s);
+                }
+                stats.fragments_scanned = fragments.len() as u64;
+                stats.fragments_reused = samples.len() as u64;
+                // Clone the selected stored samples BEFORE mutating the
+                // store: absorption below may merge a fragment into one of
+                // them.
+                let mut inputs = Vec::with_capacity(samples.len() + fragments.len());
+                let mut parts: Vec<Predicates> = Vec::with_capacity(samples.len());
+                for &id in &samples {
+                    let stored = store
+                        .get(id)
+                        .ok_or_else(|| LaqyError::Unsupported("stored sample vanished".into()))?;
+                    inputs.push(stored.sample.clone());
+                    parts.push(stored.descriptor.predicates.clone());
+                }
+                inputs.extend(fragment_samples.iter().cloned());
                 let t_merge = Instant::now();
-                store.merge_delta(id, delta_sample, &delta, &varying, &mut self.rng);
+                let merged = merge_stratified_k(inputs, &mut self.rng);
                 stats.merge = t_merge.elapsed();
-                let (mut groups, mut support, est_time) =
-                    self.estimate_stored(store, id, query, &tighten)?;
-                stats.estimate = est_time;
+                // Sample-as-you-query absorption. If the merged region is
+                // itself a predicate box (all constituents vary along one
+                // column), consolidate: the merged sample replaces its
+                // parts, exactly the old single-sample Δ-merge end state.
+                // Otherwise absorb each fragment box individually and keep
+                // the stored samples untouched (the union region is not
+                // expressible as one descriptor).
+                let constituents: Vec<&Predicates> = parts.iter().chain(fragments.iter()).collect();
+                if let Some(union_preds) = union_single_column(&constituents) {
+                    for &id in &samples {
+                        store.remove(id);
+                    }
+                    let mut union_desc = descriptor.clone();
+                    union_desc.predicates = union_preds;
+                    store.absorb(union_desc, schema.clone(), merged.clone(), &mut self.rng);
+                } else {
+                    for (frag, s) in fragments.iter().zip(fragment_samples) {
+                        let mut frag_desc = descriptor.clone();
+                        frag_desc.predicates = frag.clone();
+                        store.absorb(frag_desc, schema.clone(), s, &mut self.rng);
+                    }
+                }
+                let t_est = Instant::now();
+                let opts = EstimateOptions {
+                    tighten: Some(&tighten),
+                    ..Default::default()
+                };
+                let mut groups = estimate(&merged, &schema, &query.plan.aggs, &opts)?;
+                let mut support = support_from_groups(&groups, &self.policy);
+                stats.estimate = t_est.elapsed();
                 stats.effective_selectivity = effective;
                 stats.reuse = Some(ReuseClass::Partial);
                 if self.policy.conservative
@@ -775,6 +835,22 @@ pub fn input_identity(plan: &QueryPlan) -> String {
         ));
     }
     id
+}
+
+/// Engine predicate for a coverage fragment's constraints on every column
+/// *except* the range column (which is pushed down separately as the scan
+/// range). `True` for single-column fragments.
+pub(crate) fn fragment_extra_predicate(frag: &Predicates, range_column: &str) -> Predicate {
+    let parts: Vec<Predicate> = frag
+        .columns()
+        .filter(|c| *c != range_column)
+        .map(|c| range_predicate(c, frag.get(c).expect("column is constrained")))
+        .collect();
+    match parts.len() {
+        0 => Predicate::True,
+        1 => parts.into_iter().next().expect("one part"),
+        _ => Predicate::And(parts),
+    }
 }
 
 /// Engine predicate matching an [`IntervalSet`] on one column.

@@ -1,21 +1,35 @@
-//! The lazy sampling planner — paper **Algorithm 1** and Figure 7.
+//! The lazy sampling planner — paper **Algorithm 1**, generalized from
+//! one stored sample to a coverage plan over several (Figure 7).
 //!
 //! Given a query's logical sampler `S` (expressed as a
 //! [`SampleDescriptor`]) and the sample store, produce the lazy sampler
-//! plan:
+//! plan. The original algorithm dispatches on a single stored sample;
+//! because reservoir merging (§5.1) is associative, the same dispatch
+//! extends to a *set* of pairwise-disjoint stored samples plus the
+//! residual region of the query box:
 //!
 //! ```text
-//! S' ← get existing sample with QCS and QVS of S
-//! if exists(S'):
-//!     if S' subsumes the predicates of S:    S_lazy ← S'            (full reuse: offline)
-//!     else if S' overlaps the predicates:    S_Δ ← DeltaSample(...)
-//!                                            S_lazy ← SampleMerge(S_Δ, S')
-//!     else:                                  S_lazy ← S             (no reuse: online)
-//! else:                                      S_lazy ← S             (no reuse: online)
+//! {S'_1..S'_m}, Δ ← plan_coverage(store, S)      (greedy set cover; the
+//!                                                 Δ residual is a union of
+//!                                                 per-column interval boxes)
+//! if m = 1 and Δ = ∅:      S_lazy ← S'_1                  (full reuse: offline)
+//! else if m ≥ 1:           S_Δi   ← DeltaSample(Δ_i)  ∀ fragments Δ_i
+//!                          S_lazy ← SampleMerge_k(S'_1..S'_m, S_Δ1..S_Δn)
+//!                                                         (coverage reuse: lazy)
+//! else:                    S_lazy ← S                     (no reuse: online)
 //! ```
+//!
+//! With `m` capped at 1 this degenerates to the paper's single-sample
+//! Algorithm 1 (the `SingleSample` reuse mode keeps that behavior
+//! available as an ablation baseline).
 
 use crate::descriptor::{Predicates, SampleDescriptor};
-use crate::store::{ReuseDecision, SampleId, SampleStore};
+use crate::store::{SampleId, SampleStore};
+
+/// Default cap on how many stored samples one coverage plan may merge.
+/// Beyond a handful the per-sample clone + merge cost outweighs the
+/// residual-measure reduction.
+pub const MAX_COVERAGE_SAMPLES: usize = 4;
 
 /// The execution plan for one logical sampler.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,58 +40,70 @@ pub enum LazyPlan {
         /// The stored sample.
         id: SampleId,
     },
-    /// Sample only the Δ predicate (pushed down the plan) and merge with
-    /// the stored sample.
-    PartialReuse {
-        /// The stored sample to merge into.
-        id: SampleId,
-        /// Predicates for the Δ sampler.
-        delta: Predicates,
-        /// The predicate column whose coverage is being extended.
-        varying: String,
+    /// Merge a set of stored samples with Δ samples of the residual
+    /// fragments — the coverage-planning generalization of the paper's
+    /// partial reuse (one sample, one Δ interval is the `samples.len() ==
+    /// 1`, `fragments.len() <= 1` special case).
+    CoverageReuse {
+        /// Stored samples to merge, pairwise disjoint in population.
+        samples: Vec<SampleId>,
+        /// Residual uncovered boxes, each Δ-scanned once. Pairwise
+        /// disjoint and disjoint from every selected sample's population.
+        fragments: Vec<Predicates>,
     },
     /// Full online sampling over the query predicate.
     Online,
 }
 
 impl LazyPlan {
-    /// Fraction of the query's predicate range that must actually be
-    /// scanned and sampled, relative to the full query range — 0.0 for full
+    /// Fraction of the query's predicate region that must actually be
+    /// scanned and sampled, relative to the full query box — 0.0 for full
     /// reuse, 1.0 for online (Figure 9's "effective selectivity").
+    ///
+    /// Computed from the total measure of *all* Δ fragment boxes over the
+    /// query's box measure, so it is correct for multi-column predicates
+    /// (the old formula divided along the single varying column only).
     pub fn uncovered_fraction(&self, query: &SampleDescriptor) -> f64 {
         match self {
             LazyPlan::FullReuse { .. } => 0.0,
             LazyPlan::Online => 1.0,
-            LazyPlan::PartialReuse { delta, varying, .. } => {
-                let delta_m = delta.get(varying).map(|s| s.measure()).unwrap_or(0) as f64;
-                let query_m = query
-                    .predicates
-                    .get(varying)
-                    .map(|s| s.measure())
-                    .unwrap_or(0) as f64;
-                if query_m == 0.0 {
-                    0.0
-                } else {
-                    delta_m / query_m
+            LazyPlan::CoverageReuse { fragments, .. } => {
+                let query_m = query.predicates.box_measure();
+                if query_m == 0 {
+                    return 0.0;
                 }
+                let delta_m: u128 = fragments.iter().map(|f| f.box_measure()).sum();
+                delta_m as f64 / query_m as f64
             }
         }
     }
 }
 
-/// Plan the lazy sampler for a query (Algorithm 1).
+/// Plan the lazy sampler for a query (generalized Algorithm 1) with the
+/// default sample cap.
 pub fn plan_lazy(store: &SampleStore, query: &SampleDescriptor) -> LazyPlan {
-    match store.classify(query) {
-        ReuseDecision::Full { id } => LazyPlan::FullReuse { id },
-        ReuseDecision::Partial { id, delta, varying } => {
-            if delta.is_unsatisfiable() {
-                // The uncovered remainder is empty — treat as full reuse.
-                LazyPlan::FullReuse { id }
-            } else {
-                LazyPlan::PartialReuse { id, delta, varying }
-            }
-        }
-        ReuseDecision::None => LazyPlan::Online,
+    plan_lazy_capped(store, query, MAX_COVERAGE_SAMPLES)
+}
+
+/// Plan the lazy sampler with an explicit cap on merged stored samples.
+/// `max_samples == 1` reproduces the paper's single-sample dispatch.
+pub fn plan_lazy_capped(
+    store: &SampleStore,
+    query: &SampleDescriptor,
+    max_samples: usize,
+) -> LazyPlan {
+    let plan = store.plan_coverage(query, max_samples);
+    if plan.samples.is_empty() {
+        return LazyPlan::Online;
+    }
+    if plan.samples.len() == 1 && plan.fragments.is_empty() {
+        return LazyPlan::FullReuse {
+            id: plan.samples[0],
+        };
+    }
+    LazyPlan::CoverageReuse {
+        samples: plan.samples,
+        fragments: plan.fragments,
     }
 }
 
@@ -99,19 +125,23 @@ mod tests {
         )
     }
 
-    fn store_with(lo: i64, hi: i64) -> SampleStore {
-        let mut store = SampleStore::new();
+    fn sample_over(lo: i64, hi: i64) -> StratifiedSampler<GroupKey, SampleTuple> {
         let mut rng = Lehmer64::new(1);
         let mut s = StratifiedSampler::new(4);
         for i in lo..=hi {
             s.offer(GroupKey::new(&[0]), SampleTuple::from_slice(&[i]), &mut rng);
         }
-        store.absorb(
-            desc(lo, hi),
-            SampleSchema::new(vec![("x".into(), SlotKind::Int)]),
-            s,
-            &mut rng,
-        );
+        s
+    }
+
+    fn schema() -> SampleSchema {
+        SampleSchema::new(vec![("x".into(), SlotKind::Int)])
+    }
+
+    fn store_with(lo: i64, hi: i64) -> SampleStore {
+        let mut store = SampleStore::new();
+        let mut rng = Lehmer64::new(1);
+        store.absorb(desc(lo, hi), schema(), sample_over(lo, hi), &mut rng);
         store
     }
 
@@ -132,19 +162,20 @@ mod tests {
     }
 
     #[test]
-    fn overlapping_sample_plans_partial() {
+    fn overlapping_sample_plans_coverage() {
         let store = store_with(0, 99);
         let q = desc(50, 149);
         let plan = plan_lazy(&store, &q);
         match &plan {
-            LazyPlan::PartialReuse { delta, varying, .. } => {
-                assert_eq!(varying, "x");
+            LazyPlan::CoverageReuse { samples, fragments } => {
+                assert_eq!(samples.len(), 1);
+                assert_eq!(fragments.len(), 1);
                 assert_eq!(
-                    delta.get("x").unwrap(),
+                    fragments[0].get("x").unwrap(),
                     &IntervalSet::of(Interval::new(100, 149))
                 );
             }
-            other => panic!("expected partial, got {other:?}"),
+            other => panic!("expected coverage reuse, got {other:?}"),
         }
         // Uncovered fraction: 50 of 100 points.
         assert!((plan.uncovered_fraction(&q) - 0.5).abs() < 1e-12);
@@ -154,5 +185,48 @@ mod tests {
     fn disjoint_sample_plans_online() {
         let store = store_with(0, 99);
         assert_eq!(plan_lazy(&store, &desc(500, 599)), LazyPlan::Online);
+    }
+
+    #[test]
+    fn fragmented_store_plans_multi_sample_coverage() {
+        // Two disjoint stored samples, 40% each: coverage planning reports
+        // ≤ 0.2 uncovered where the single-sample cap reports 0.6.
+        let mut store = SampleStore::new();
+        store.insert_raw(desc(0, 399), schema(), sample_over(0, 399));
+        store.insert_raw(desc(600, 999), schema(), sample_over(600, 999));
+        let q = desc(0, 999);
+
+        let plan = plan_lazy(&store, &q);
+        match &plan {
+            LazyPlan::CoverageReuse { samples, fragments } => {
+                assert_eq!(samples.len(), 2);
+                assert_eq!(fragments.len(), 1);
+            }
+            other => panic!("expected coverage reuse, got {other:?}"),
+        }
+        assert!(plan.uncovered_fraction(&q) <= 0.2 + 1e-12);
+
+        let single = plan_lazy_capped(&store, &q, 1);
+        assert!((single.uncovered_fraction(&q) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncovered_fraction_uses_all_delta_dimensions() {
+        // Multi-column residual: query box 100×10 = 1000 points, fragments
+        // covering 460 of them ⇒ 0.46 — the old single-varying-column
+        // formula cannot express this.
+        let mut q = desc(0, 99);
+        q.predicates = Predicates::on("x", IntervalSet::of(Interval::new(0, 99)))
+            .with("y", IntervalSet::of(Interval::new(0, 9)));
+        let plan = LazyPlan::CoverageReuse {
+            samples: vec![],
+            fragments: vec![
+                Predicates::on("x", IntervalSet::of(Interval::new(0, 39)))
+                    .with("y", IntervalSet::of(Interval::new(0, 9))),
+                Predicates::on("x", IntervalSet::of(Interval::new(40, 99)))
+                    .with("y", IntervalSet::of(Interval::new(0, 0))),
+            ],
+        };
+        assert!((plan.uncovered_fraction(&q) - 0.46).abs() < 1e-12);
     }
 }

@@ -14,9 +14,11 @@
 //! - [`interval`] / [`descriptor`] — predicate algebra and the sample
 //!   metadata (Query Input, QCS, QVS, Query Predicate, k) that makes
 //!   samples malleable;
-//! - [`store`] — sample lifetime management, reuse classification, and
+//! - [`store`] — sample lifetime management, reuse classification,
+//!   coverage planning (greedy set cover over stored samples), and
 //!   Δ-merging (with optional byte-budgeted LRU eviction);
-//! - [`lazy`] — Algorithm 1, the lazy sampling planner;
+//! - [`lazy`] — Algorithm 1, the lazy sampling planner, generalized to
+//!   multi-sample, multi-fragment coverage reuse;
 //! - [`sampler_ops`] — reservoir sampling as an engine aggregation
 //!   function (stratified sampling = group-by with reservoir aggregation);
 //! - [`executor`] / [`session`] — the end-to-end flow of Figure 7 for both
@@ -119,7 +121,7 @@ pub use executor::{
     ReuseMode,
 };
 pub use interval::{Interval, IntervalSet};
-pub use lazy::{plan_lazy, LazyPlan};
+pub use lazy::{plan_lazy, plan_lazy_capped, LazyPlan, MAX_COVERAGE_SAMPLES};
 pub use persist::{load_from_file, load_store, save_store, save_to_file, PersistError};
 pub use sampler_ops::{
     group_table_into_sample, ReservoirAgg, ReservoirAggFactory, SampleSchema, SampleTuple,
@@ -129,6 +131,6 @@ pub use service::LaqyService;
 pub use session::{LaqySession, SessionConfig};
 pub use sql::{approx_query, approx_query_on};
 pub use stats::{ExecStats, ReuseClass, ServiceStats};
-pub use store::{ReuseDecision, SampleId, SampleStore, StoredSample};
+pub use store::{CoveragePlan, ReuseDecision, SampleId, SampleStore, StoredSample};
 pub use support::{check_support, SupportPolicy, SupportReport};
 pub use window::SlidingSampler;

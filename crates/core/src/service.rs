@@ -16,17 +16,22 @@
 //! - **Write path** (absorb / Δ-merge / eviction) takes the write lock
 //!   only around the in-memory merge — never around the sampling scan,
 //!   which is the expensive part and runs lock-free.
-//! - **In-flight dedup registry**: when two clients concurrently miss on
-//!   the same uncovered interval of the same sample (or the same fully
-//!   uncovered query), only the first performs the Δ/online sampling
-//!   scan; the rest wait on a condvar and then re-classify, typically
-//!   upgrading to full reuse. This bounds the sampling work per uncovered
-//!   region at one scan regardless of client count.
-//! - **Optimistic revalidation**: a Δ-merge is validated under the write
-//!   lock (sample still present, coverage still disjoint from the Δ).
-//!   If another client's merge or an eviction invalidated it, the Δ
-//!   sample is discarded — never double-counted — and the query retries,
-//!   degrading to online sampling after a bounded number of attempts.
+//! - **Per-fragment in-flight dedup registry**: coverage plans claim one
+//!   registry slot *per residual fragment* with non-blocking try-claims.
+//!   When two clients' plans share fragments, each fragment is scanned by
+//!   exactly one of them: a client that could not claim every fragment
+//!   scans and absorbs the fragments it did claim, releases its claims,
+//!   waits guard-free for the others, and re-plans (typically upgrading
+//!   to full or pure-merge reuse). Claims are never held while waiting,
+//!   so overlapping claim sets cannot deadlock. Online misses dedup the
+//!   same way on a whole-query key.
+//! - **Optimistic revalidation**: a coverage merge is validated under the
+//!   write lock (every selected sample still present with the exact
+//!   coverage it was planned against). If another client's merge or an
+//!   eviction invalidated the plan, the fragment samples are absorbed
+//!   individually — the scan work is kept, never double-counted — and
+//!   the query retries, degrading to online sampling after a bounded
+//!   number of attempts.
 //!
 //! Lock ordering: the registry mutex, the store lock, and the catalog
 //! lock are never held while waiting on an in-flight entry, and the
@@ -42,13 +47,17 @@ use std::time::{Duration, Instant};
 use laqy_engine::{Catalog, Predicate, QueryResult, Table, Value};
 use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard};
 
-use crate::descriptor::Predicates;
-use crate::executor::{ApproxQuery, ApproxResult, LaqyError, LaqyExecutor, Result, ReuseMode};
+use crate::descriptor::{Predicates, SampleDescriptor};
+use crate::executor::{
+    fragment_extra_predicate, support_from_groups, ApproxQuery, ApproxResult, LaqyError,
+    LaqyExecutor, Result, ReuseMode,
+};
 use crate::interval::IntervalSet;
-use crate::lazy::{plan_lazy, LazyPlan};
+use crate::lazy::{plan_lazy, plan_lazy_capped, LazyPlan};
 use crate::session::SessionConfig;
 use crate::stats::{ExecStats, ReuseClass, ServiceStats};
-use crate::store::{SampleId, SampleStore};
+use crate::store::{union_single_column, SampleId, SampleStore};
+use laqy_sampling::merge_stratified_k;
 
 /// Attempts before a query stops chasing invalidated reuse plans and
 /// forces online sampling. Each retry means another client changed the
@@ -89,6 +98,9 @@ struct Counters {
     morsels_skipped: AtomicU64,
     morsels_fast_pathed: AtomicU64,
     morsels_scanned: AtomicU64,
+    fragments_reused: AtomicU64,
+    fragments_scanned: AtomicU64,
+    fragments_deduped: AtomicU64,
 }
 
 struct ServiceInner {
@@ -194,6 +206,9 @@ impl LaqyService {
             morsels_skipped: c.morsels_skipped.load(Ordering::Relaxed),
             morsels_fast_pathed: c.morsels_fast_pathed.load(Ordering::Relaxed),
             morsels_scanned: c.morsels_scanned.load(Ordering::Relaxed),
+            fragments_reused: c.fragments_reused.load(Ordering::Relaxed),
+            fragments_scanned: c.fragments_scanned.load(Ordering::Relaxed),
+            fragments_deduped: c.fragments_deduped.load(Ordering::Relaxed),
         }
     }
 
@@ -338,14 +353,34 @@ impl LaqyService {
         };
         let tighten = Predicates::on(query.range_column.clone(), IntervalSet::of(query.range));
 
-        let mut plan = if force_online {
-            LazyPlan::Online
+        let (mut plan, snapshot) = if force_online {
+            (LazyPlan::Online, Vec::new())
         } else {
             let store = self.store();
-            plan_lazy(&store, &descriptor)
+            let plan = match self.inner.mode {
+                ReuseMode::SingleSample => plan_lazy_capped(&store, &descriptor, 1),
+                _ => plan_lazy(&store, &descriptor),
+            };
+            // Snapshot the selected samples' coverage under the same read
+            // guard the plan was made under: run_coverage revalidates the
+            // store against this exact snapshot before merging.
+            let snapshot = if let LazyPlan::CoverageReuse { samples, .. } = &plan {
+                samples
+                    .iter()
+                    .map(|id| {
+                        store
+                            .peek(*id)
+                            .map(|s| s.descriptor.predicates.clone())
+                            .expect("planned sample present under the same lock")
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            (plan, snapshot)
         };
         if self.inner.mode == ReuseMode::FullMatchOnly {
-            if let LazyPlan::PartialReuse { .. } = plan {
+            if let LazyPlan::CoverageReuse { .. } = plan {
                 plan = LazyPlan::Online;
             }
         }
@@ -369,12 +404,13 @@ impl LaqyService {
                     None => Ok(Attempt::Retry),
                 }
             }
-            LazyPlan::PartialReuse { id, delta, varying } => self.run_partial(
+            LazyPlan::CoverageReuse { samples, fragments } => self.run_coverage(
                 &mut executor,
                 query,
-                id,
-                delta,
-                varying,
+                &descriptor,
+                samples,
+                snapshot,
+                fragments,
                 effective,
                 &tighten,
                 t_start,
@@ -385,87 +421,184 @@ impl LaqyService {
         }
     }
 
-    /// Δ-sample, merge, estimate — with in-flight dedup and optimistic
+    /// Coverage execution: one Δ-scan per residual fragment (deduplicated
+    /// per fragment against concurrent clients), a k-way merge with the
+    /// selected stored samples, then estimation — with optimistic
     /// revalidation under the write lock.
     #[allow(clippy::too_many_arguments)]
-    fn run_partial(
+    fn run_coverage(
         &self,
         executor: &mut LaqyExecutor,
         query: &ApproxQuery,
-        id: SampleId,
-        delta: Predicates,
-        varying: String,
+        descriptor: &SampleDescriptor,
+        samples: Vec<SampleId>,
+        snapshot: Vec<Predicates>,
+        fragments: Vec<Predicates>,
         effective: f64,
         tighten: &Predicates,
         t_start: Instant,
     ) -> Result<Attempt> {
-        let delta_set = delta
-            .get(&varying)
-            .cloned()
-            .unwrap_or_else(IntervalSet::empty);
-        let key = format!("Δ|{:?}|{varying}|{delta_set:?}", id);
-        let Some(_guard) = self.begin_inflight(&key) else {
-            // Another client is sampling this exact uncovered interval:
-            // we waited for it, so re-plan (normally upgrading to full
-            // reuse) instead of scanning the same Δ again.
-            self.inner
-                .counters
-                .merges_deduped
-                .fetch_add(1, Ordering::Relaxed);
-            return Ok(Attempt::Retry);
-        };
-        self.hold_for_test();
+        let c = &self.inner.counters;
+        // Non-blocking try-claim of every fragment. Claims are never held
+        // while waiting, so two clients with overlapping fragment sets
+        // cannot deadlock on each other.
+        let mut owned: Vec<(usize, InflightGuard<'_>)> = Vec::new();
+        let mut busy: Vec<Arc<Inflight>> = Vec::new();
+        for (i, frag) in fragments.iter().enumerate() {
+            let key = format!("F|{}|{:?}", descriptor.fingerprint(), frag);
+            match self.try_begin_inflight(&key) {
+                Claim::Owner(guard) => owned.push((i, guard)),
+                Claim::Busy(entry) => busy.push(entry),
+            }
+        }
+        if !owned.is_empty() {
+            self.hold_for_test();
+        }
 
-        let (delta_sample, mut stats) = {
+        // Scan the fragments we own — lock-free, the expensive part.
+        let mut stats = ExecStats::default();
+        let mut scanned: Vec<(usize, _)> = Vec::with_capacity(owned.len());
+        let schema = {
             let catalog = self.catalog();
-            executor.sample_pipeline(&catalog, query, &delta_set, &Predicate::True)?
+            let (_, schema) = executor.payload_schema(&catalog, query)?;
+            for (i, _) in &owned {
+                let frag = &fragments[*i];
+                let ranges = frag
+                    .get(&query.range_column)
+                    .cloned()
+                    .unwrap_or_else(|| IntervalSet::of(query.range));
+                let extra = fragment_extra_predicate(frag, &query.range_column);
+                let (s, fstats) = executor.sample_pipeline(&catalog, query, &ranges, &extra)?;
+                stats.accumulate(&fstats);
+                scanned.push((*i, s));
+            }
+            schema
         };
-        self.inner
-            .counters
-            .delta_scans
-            .fetch_add(1, Ordering::Relaxed);
+        c.delta_scans
+            .fetch_add(scanned.len() as u64, Ordering::Relaxed);
+        c.fragments_scanned
+            .fetch_add(scanned.len() as u64, Ordering::Relaxed);
+        stats.fragments_scanned = scanned.len() as u64;
 
+        if !busy.is_empty() {
+            // Concurrent clients are scanning the rest of our fragments.
+            // Keep our own scan work — each fragment sample is a valid
+            // sample of its box — then release our claims, wait
+            // guard-free for the others, and re-plan (normally upgrading
+            // to full or pure-merge reuse).
+            if !scanned.is_empty() {
+                let mut store = self.timed(|i| i.store.write());
+                for (i, s) in scanned {
+                    let mut frag_desc = descriptor.clone();
+                    frag_desc.predicates = fragments[i].clone();
+                    store.absorb(frag_desc, schema.clone(), s, executor.rng_mut());
+                }
+            }
+            c.fragments_deduped
+                .fetch_add(busy.len() as u64, Ordering::Relaxed);
+            c.merges_deduped.fetch_add(1, Ordering::Relaxed);
+            drop(owned);
+            for entry in busy {
+                Self::wait_inflight(&entry);
+            }
+            return Ok(Attempt::Retry);
+        }
+
+        // All fragments are ours: merge under the write lock, after
+        // revalidating that every selected sample still has exactly the
+        // coverage the fragments were planned against (a competing merge
+        // or eviction would otherwise double-count rows or lose the
+        // sample entirely).
         let t_merge = Instant::now();
         let merged = {
             let mut store = self.timed(|i| i.store.write());
-            // Revalidate before merging: the sample may have been evicted,
-            // or a competing merge may have grown its coverage into our Δ
-            // (merging then would double-count those rows).
-            let still_valid = store.peek(id).is_some_and(|stored| {
-                stored
-                    .descriptor
-                    .predicates
-                    .get(&varying)
-                    .map(|coverage| !coverage.overlaps(&delta_set))
-                    .unwrap_or(true)
-            });
-            if still_valid {
-                store.merge_delta(id, delta_sample, &delta, &varying, executor.rng_mut())
+            let valid = samples.len() == snapshot.len()
+                && samples.iter().zip(&snapshot).all(|(id, snap)| {
+                    store
+                        .peek(*id)
+                        .is_some_and(|s| &s.descriptor.predicates == snap)
+                });
+            if valid {
+                let mut inputs = Vec::with_capacity(samples.len() + scanned.len());
+                for &id in &samples {
+                    let stored = store.peek(id).expect("revalidated above");
+                    inputs.push(stored.sample.clone());
+                }
+                inputs.extend(scanned.iter().map(|(_, s)| s.clone()));
+                let merged = merge_stratified_k(inputs, executor.rng_mut());
+                // Sample-as-you-query absorption: consolidate when the
+                // union region is itself a predicate box, else absorb the
+                // fragments individually (mirrors the single-owner
+                // executor's coverage arm).
+                let constituents: Vec<&Predicates> =
+                    snapshot.iter().chain(fragments.iter()).collect();
+                if let Some(union_preds) = union_single_column(&constituents) {
+                    for &id in &samples {
+                        store.remove(id);
+                    }
+                    let mut union_desc = descriptor.clone();
+                    union_desc.predicates = union_preds;
+                    store.absorb(
+                        union_desc,
+                        schema.clone(),
+                        merged.clone(),
+                        executor.rng_mut(),
+                    );
+                } else {
+                    for (i, s) in scanned {
+                        let mut frag_desc = descriptor.clone();
+                        frag_desc.predicates = fragments[i].clone();
+                        store.absorb(frag_desc, schema.clone(), s, executor.rng_mut());
+                    }
+                }
+                Some(merged)
             } else {
-                false
+                // Stale plan: keep the scan work anyway, then re-plan.
+                for (i, s) in scanned {
+                    let mut frag_desc = descriptor.clone();
+                    frag_desc.predicates = fragments[i].clone();
+                    store.absorb(frag_desc, schema.clone(), s, executor.rng_mut());
+                }
+                None
             }
         };
         stats.merge = t_merge.elapsed();
-        if !merged {
-            self.inner
-                .counters
-                .merge_retries
-                .fetch_add(1, Ordering::Relaxed);
+        let Some(merged) = merged else {
+            c.merge_retries.fetch_add(1, Ordering::Relaxed);
             return Ok(Attempt::Retry);
-        }
+        };
 
+        let t_est = Instant::now();
+        let opts = crate::estimate::EstimateOptions {
+            tighten: Some(tighten),
+            ..Default::default()
+        };
+        let mut groups = crate::estimate::estimate(&merged, &schema, &query.plan.aggs, &opts)?;
+        let mut support = support_from_groups(&groups, &self.inner.policy);
+        stats.estimate += t_est.elapsed();
         stats.effective_selectivity = effective;
+        stats.fragments_reused = samples.len() as u64;
         stats.reuse = Some(ReuseClass::Partial);
-        match self.estimate_reused(executor, id, query, tighten, stats, t_start)? {
-            Some(result) => {
-                self.inner
-                    .counters
-                    .partial_merges
-                    .fetch_add(1, Ordering::Relaxed);
-                Ok(Attempt::Done(Box::new(result)))
+        c.fragments_reused
+            .fetch_add(samples.len() as u64, Ordering::Relaxed);
+
+        if self.inner.policy.conservative && !support.fully_supported() {
+            let refined = {
+                let catalog = self.catalog();
+                executor.refine_support(&catalog, query, &mut groups, &mut support, &mut stats)?
+            };
+            if !refined {
+                c.support_fallbacks.fetch_add(1, Ordering::Relaxed);
+                return self.run_online_absorbing(executor, query, descriptor, t_start);
             }
-            None => Ok(Attempt::Retry),
         }
+        stats.total = t_start.elapsed();
+        c.partial_merges.fetch_add(1, Ordering::Relaxed);
+        Ok(Attempt::Done(Box::new(ApproxResult {
+            groups,
+            stats,
+            support,
+        })))
     }
 
     /// Estimate a query from stored sample `id` (full or freshly merged
@@ -585,37 +718,61 @@ impl LaqyService {
         })))
     }
 
+    /// Claim the in-flight sampling slot for `key` without blocking.
+    ///
+    /// Returns [`Claim::Owner`] with a guard (releases waiters on drop,
+    /// including on error paths) if this thread now owns the slot, or
+    /// [`Claim::Busy`] with the entry to wait on later — after dropping
+    /// any claims of our own, so overlapping claim sets never deadlock.
+    fn try_begin_inflight(&self, key: &str) -> Claim<'_> {
+        let mut registry = self.inner.inflight.lock();
+        match registry.get(key) {
+            Some(entry) => Claim::Busy(Arc::clone(entry)),
+            None => {
+                registry.insert(key.to_string(), Arc::new(Inflight::new()));
+                Claim::Owner(InflightGuard {
+                    inner: &self.inner,
+                    key: key.to_string(),
+                })
+            }
+        }
+    }
+
+    /// Block until a concurrent owner's in-flight operation completes.
+    /// Must be called guard-free: no registry, store, or catalog lock and
+    /// no in-flight claims held.
+    fn wait_inflight(entry: &Inflight) {
+        let mut done = entry.done.lock();
+        while !*done {
+            entry.cv.wait(&mut done);
+        }
+    }
+
     /// Claim or wait on the in-flight sampling slot for `key`.
     ///
-    /// Returns `Some(guard)` if this thread is now the owner (the guard
-    /// releases waiters on drop, including on error paths), or `None`
+    /// Returns `Some(guard)` if this thread is now the owner, or `None`
     /// after having waited for a concurrent owner to finish. No store,
     /// catalog, or registry lock is held while waiting.
     fn begin_inflight(&self, key: &str) -> Option<InflightGuard<'_>> {
-        let entry = {
-            let mut registry = self.inner.inflight.lock();
-            match registry.get(key) {
-                Some(entry) => Some(Arc::clone(entry)),
-                None => {
-                    registry.insert(key.to_string(), Arc::new(Inflight::new()));
-                    None
-                }
-            }
-        };
-        match entry {
-            Some(entry) => {
-                let mut done = entry.done.lock();
-                while !*done {
-                    entry.cv.wait(&mut done);
-                }
+        match self.try_begin_inflight(key) {
+            Claim::Owner(guard) => Some(guard),
+            Claim::Busy(entry) => {
+                Self::wait_inflight(&entry);
                 None
             }
-            None => Some(InflightGuard {
-                inner: &self.inner,
-                key: key.to_string(),
-            }),
         }
     }
+}
+
+/// Outcome of a non-blocking in-flight claim
+/// ([`LaqyService::try_begin_inflight`]).
+enum Claim<'a> {
+    /// This thread owns the slot; the guard releases waiters on drop.
+    Owner(InflightGuard<'a>),
+    /// Another client owns the slot. Wait on the entry with
+    /// [`LaqyService::wait_inflight`] — only after releasing claims of
+    /// your own.
+    Busy(Arc<Inflight>),
 }
 
 /// Releases an in-flight slot on drop, waking all waiters — also on

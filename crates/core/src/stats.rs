@@ -60,6 +60,11 @@ pub struct ExecStats {
     pub morsels_fast_pathed: u64,
     /// Morsels that needed per-row predicate evaluation.
     pub morsels_scanned: u64,
+    /// Stored samples this query's coverage plan merged (0 when the query
+    /// ran online or hit a single subsuming sample).
+    pub fragments_reused: u64,
+    /// Residual coverage fragments Δ-scanned for this query.
+    pub fragments_scanned: u64,
     /// Which reuse arm ran.
     pub reuse: Option<ReuseClass>,
 }
@@ -83,6 +88,8 @@ impl ExecStats {
         self.morsels_skipped += other.morsels_skipped;
         self.morsels_fast_pathed += other.morsels_fast_pathed;
         self.morsels_scanned += other.morsels_scanned;
+        self.fragments_reused += other.fragments_reused;
+        self.fragments_scanned += other.fragments_scanned;
     }
 }
 
@@ -123,6 +130,13 @@ pub struct ServiceStats {
     pub morsels_fast_pathed: u64,
     /// Morsels that needed per-row evaluation across all served scans.
     pub morsels_scanned: u64,
+    /// Stored samples merged by coverage plans across all queries.
+    pub fragments_reused: u64,
+    /// Residual coverage fragments Δ-scanned across all queries.
+    pub fragments_scanned: u64,
+    /// Fragment Δ-scans avoided because a concurrent client was already
+    /// scanning the identical fragment (per-fragment piggyback).
+    pub fragments_deduped: u64,
 }
 
 impl ServiceStats {
@@ -156,6 +170,8 @@ mod tests {
             morsels_skipped: 7,
             morsels_fast_pathed: 2,
             morsels_scanned: 3,
+            fragments_reused: 2,
+            fragments_scanned: 1,
             reuse: Some(ReuseClass::Partial),
         };
         let b = a.clone();
@@ -167,6 +183,8 @@ mod tests {
         assert_eq!(a.morsels_skipped, 14);
         assert_eq!(a.morsels_fast_pathed, 4);
         assert_eq!(a.morsels_scanned, 6);
+        assert_eq!(a.fragments_reused, 4);
+        assert_eq!(a.fragments_scanned, 2);
     }
 
     #[test]

@@ -6,8 +6,12 @@
 //! [`SampleDescriptor`]s. For an incoming logical sampler it classifies the
 //! best reuse opportunity (full / partial / none — the dispatch of
 //! Algorithm 1) and merges Δ samples into stored ones, extending their
-//! predicate coverage. An optional byte budget with LRU eviction hooks this
-//! store into Taster-style storage management (paper §8).
+//! predicate coverage. The generalized [`SampleStore::plan_coverage`]
+//! extends single-sample classification to a greedy set cover: several
+//! pairwise-disjoint stored samples plus the residual uncovered region as
+//! interval boxes, feeding the k-way reservoir merge. An optional byte
+//! budget with LRU eviction hooks this store into Taster-style storage
+//! management (paper §8).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -41,6 +45,11 @@ impl StoredSample {
     fn measure_bytes(&mut self) {
         self.bytes = self.sample.heap_bytes();
     }
+
+    /// Estimated payload heap bytes (the unit of budget accounting).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
 }
 
 /// How a query's sampler requirement relates to the store's contents.
@@ -65,6 +74,35 @@ pub enum ReuseDecision {
     /// Nothing usable: full online sampling.
     None,
 }
+
+/// A multi-sample reuse plan — the coverage-planning generalization of
+/// [`ReuseDecision`]: instead of one stored sample and one Δ interval, a
+/// *set* of stored samples (pairwise disjoint in population, §5.1's
+/// merge precondition) plus the residual uncovered region of the query
+/// box as a union of pairwise-disjoint per-column interval boxes. Each
+/// fragment is Δ-scanned once; the lazy sample is the k-way reservoir
+/// merge of the selected samples and the fragment samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoveragePlan {
+    /// Selected stored samples, pairwise disjoint in population.
+    pub samples: Vec<SampleId>,
+    /// Residual uncovered region: pairwise-disjoint predicate boxes, each
+    /// disjoint from every selected sample's population. Every box
+    /// constrains exactly the query's constrained columns.
+    pub fragments: Vec<Predicates>,
+}
+
+impl CoveragePlan {
+    /// Total residual measure (sum of fragment box measures).
+    pub fn residual_measure(&self) -> u128 {
+        self.fragments.iter().map(|f| f.box_measure()).sum()
+    }
+}
+
+/// Fragment-count guard: greedy selection stops before a candidate whose
+/// subtraction would shatter the residual into more boxes than separate
+/// Δ-scans are worth.
+const MAX_COVERAGE_FRAGMENTS: usize = 16;
 
 /// The sample store.
 pub struct SampleStore {
@@ -117,13 +155,20 @@ impl SampleStore {
         self.evictions
     }
 
+    /// Iterate over stored samples (insertion order). Unlike
+    /// [`SampleStore::get`], this does not touch LRU recency — it is for
+    /// inspection (REPL `.samples`, tests), not for reuse.
+    pub fn iter(&self) -> impl Iterator<Item = (SampleId, &StoredSample)> {
+        self.samples.iter().map(|(id, s)| (*id, s))
+    }
+
     /// Classify the best reuse opportunity for a query's logical sampler —
     /// the store-side decision of **Algorithm 1**.
     pub fn classify(&self, query: &SampleDescriptor) -> ReuseDecision {
         if query.predicates.is_unsatisfiable() {
             return ReuseDecision::None;
         }
-        let mut best_partial: Option<(SampleId, Predicates, String, u64)> = None;
+        let mut best_partial: Option<(SampleId, Predicates, String, u64, u64)> = None;
         for (id, stored) in &self.samples {
             if !stored.descriptor.matches_characteristics(query) {
                 continue;
@@ -136,27 +181,136 @@ impl SampleStore {
                 .delta_against(&stored.descriptor.predicates)
             {
                 let delta_measure = delta.get(&varying).map(|s| s.measure()).unwrap_or(0);
-                let query_measure = query
-                    .predicates
-                    .get(&varying)
-                    .map(|s| s.measure())
-                    .unwrap_or(u64::MAX);
+                // Normalize unbounded predicates explicitly: a query column
+                // without a constraint has no finite measure, so such a
+                // candidate cannot be ranked (and `delta_against` never
+                // names one as varying) — skip it rather than rank with a
+                // `u64::MAX` sentinel, which mis-ordered candidates.
+                let Some(query_set) = query.predicates.get(&varying) else {
+                    continue;
+                };
+                let query_measure = query_set.measure();
                 // Partial reuse only pays off if some of the query range is
                 // already covered.
                 if delta_measure < query_measure {
+                    // Candidates may vary along *different* columns, so raw
+                    // Δ measures are not comparable — rank by fractional
+                    // residual Δ/query via cross-multiplication.
                     let better = match &best_partial {
-                        Some((_, _, _, best)) => delta_measure < *best,
+                        Some((_, _, _, best_d, best_q)) => {
+                            (delta_measure as u128) * (*best_q as u128)
+                                < (*best_d as u128) * (query_measure as u128)
+                        }
                         None => true,
                     };
                     if better {
-                        best_partial = Some((*id, delta, varying, delta_measure));
+                        best_partial = Some((*id, delta, varying, delta_measure, query_measure));
                     }
                 }
             }
         }
         match best_partial {
-            Some((id, delta, varying, _)) => ReuseDecision::Partial { id, delta, varying },
+            Some((id, delta, varying, _, _)) => ReuseDecision::Partial { id, delta, varying },
             None => ReuseDecision::None,
+        }
+    }
+
+    /// Plan multi-sample coverage for a query — the coverage-planning
+    /// generalization of [`SampleStore::classify`].
+    ///
+    /// Greedy weighted set cover over the query box: repeatedly select the
+    /// candidate sample removing the largest residual measure, keeping the
+    /// selected set pairwise disjoint in population (§5.1's merge
+    /// precondition), until `max_samples` are chosen or no candidate still
+    /// covers any residual. Returns the selection plus the residual as
+    /// pairwise-disjoint boxes, each disjoint from every selected sample's
+    /// population — so one Δ-scan per fragment followed by a k-way merge
+    /// never double-samples a row.
+    ///
+    /// Candidates must match the query's characteristics; merge candidates
+    /// additionally need QVS equality (a superset-QVS sample has a
+    /// different tuple layout, so it can serve full reuse but cannot be
+    /// merged with fragment samples) and must not constrain columns the
+    /// query leaves free (their residual would be unbounded).
+    pub fn plan_coverage(&self, query: &SampleDescriptor, max_samples: usize) -> CoveragePlan {
+        if query.predicates.is_unsatisfiable() || max_samples == 0 {
+            return CoveragePlan {
+                samples: Vec::new(),
+                fragments: Vec::new(),
+            };
+        }
+        // Full subsumption short-circuits: no merge happens, so a
+        // superset-QVS sample qualifies.
+        for (id, stored) in &self.samples {
+            if stored.descriptor.matches_characteristics(query)
+                && stored.descriptor.predicates.subsumes(&query.predicates)
+            {
+                return CoveragePlan {
+                    samples: vec![*id],
+                    fragments: Vec::new(),
+                };
+            }
+        }
+        // (id, raw population predicates, coverage box within the query).
+        let mut candidates: Vec<(SampleId, &Predicates, Predicates)> = Vec::new();
+        for (id, stored) in &self.samples {
+            let d = &stored.descriptor;
+            if !d.matches_characteristics(query) || d.qvs != query.qvs {
+                continue;
+            }
+            if !d
+                .predicates
+                .columns()
+                .all(|c| query.predicates.get(c).is_some())
+            {
+                continue;
+            }
+            let Some(cov) = query.predicates.intersect(&d.predicates) else {
+                continue;
+            };
+            candidates.push((*id, &d.predicates, cov));
+        }
+        let mut fragments = vec![query.predicates.clone()];
+        let mut selected: Vec<(SampleId, &Predicates)> = Vec::new();
+        while selected.len() < max_samples && !fragments.is_empty() {
+            let mut best: Option<(usize, u128)> = None;
+            for (i, (id, raw, cov)) in candidates.iter().enumerate() {
+                if selected.iter().any(|(sid, _)| sid == id) {
+                    continue;
+                }
+                // Populations of merged samples must be pairwise disjoint.
+                if selected
+                    .iter()
+                    .any(|(_, sel_raw)| raw.intersect(sel_raw).is_some())
+                {
+                    continue;
+                }
+                let gain: u128 = fragments
+                    .iter()
+                    .filter_map(|f| f.intersect(cov))
+                    .map(|x| x.box_measure())
+                    .sum();
+                if gain == 0 {
+                    continue;
+                }
+                if best.map(|(_, g)| gain > g).unwrap_or(true) {
+                    best = Some((i, gain));
+                }
+            }
+            let Some((i, _)) = best else {
+                break;
+            };
+            let (id, raw, cov) = &candidates[i];
+            let next: Vec<Predicates> = fragments.iter().flat_map(|f| f.subtract(cov)).collect();
+            if next.len() > MAX_COVERAGE_FRAGMENTS {
+                break;
+            }
+            selected.push((*id, raw));
+            fragments = next;
+        }
+        CoveragePlan {
+            samples: selected.into_iter().map(|(id, _)| id).collect(),
+            fragments,
         }
     }
 
@@ -345,6 +499,39 @@ impl Default for SampleStore {
     }
 }
 
+/// If all predicate boxes constrain the same columns and differ along at
+/// most one of them, return the union predicates (that column's sets
+/// unioned, everything else shared). This is when a coverage plan's
+/// merged region is itself expressible as a predicate box, so the merged
+/// sample can be absorbed back into the store (a multi-column union of
+/// boxes is generally not a box and must stay ephemeral).
+pub(crate) fn union_single_column(preds: &[&Predicates]) -> Option<Predicates> {
+    let first = *preds.first()?;
+    let cols: Vec<&str> = first.columns().collect();
+    for p in &preds[1..] {
+        if p.columns().collect::<Vec<&str>>() != cols {
+            return None;
+        }
+    }
+    let mut varying: Option<&str> = None;
+    for &c in &cols {
+        if preds.iter().any(|p| p.get(c) != first.get(c)) {
+            match varying {
+                None => varying = Some(c),
+                Some(_) => return None,
+            }
+        }
+    }
+    let Some(c) = varying else {
+        return Some(first.clone());
+    };
+    let merged = preds
+        .iter()
+        .filter_map(|p| p.get(c))
+        .fold(crate::interval::IntervalSet::empty(), |acc, s| acc.union(s));
+    Some(first.clone().with(c, merged))
+}
+
 /// If `a` and `b` are identical except for one column whose coverage sets
 /// are disjoint, return that column.
 fn disjoint_single_column(a: &Predicates, b: &Predicates) -> Option<String> {
@@ -466,6 +653,37 @@ mod tests {
     }
 
     #[test]
+    fn classify_ranks_by_fractional_residual() {
+        // Query: x∈[0,999] ∧ y∈[0,9]. Candidate A covers 90% along x
+        // (raw Δ = 100); candidate B covers 50% along y (raw Δ = 5).
+        // Raw-measure ranking would pick B; fractional ranking picks A.
+        let mut store = SampleStore::new();
+        let with_preds = |p: Predicates| {
+            let mut d = desc(0, 0);
+            d.predicates = p;
+            d
+        };
+        let query = with_preds(Predicates::on("x", iv(0, 999)).with("y", iv(0, 9)));
+        let a = store.insert_raw(
+            with_preds(Predicates::on("x", iv(0, 899)).with("y", iv(0, 9))),
+            schema(),
+            toy_sample(2, 10, 0),
+        );
+        let _b = store.insert_raw(
+            with_preds(Predicates::on("x", iv(0, 999)).with("y", iv(0, 4))),
+            schema(),
+            toy_sample(2, 10, 0),
+        );
+        match store.classify(&query) {
+            ReuseDecision::Partial { id, varying, .. } => {
+                assert_eq!(id, a, "must rank by Δ/query fraction, not raw Δ");
+                assert_eq!(varying, "x");
+            }
+            other => panic!("expected partial reuse, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn characteristics_mismatch_prevents_reuse() {
         let mut store = SampleStore::new();
         let mut rng = Lehmer64::new(4);
@@ -560,6 +778,107 @@ mod tests {
         assert!(store.len() <= 2);
         assert!(store.peek(a).is_some(), "recently used sample must survive");
         assert!(store.evictions() >= 1);
+    }
+
+    #[test]
+    fn coverage_plan_combines_disjoint_fragments() {
+        // Acceptance scenario: two disjoint stored samples each covering
+        // 40% of the query range. Multi-sample planning leaves 20%
+        // uncovered; the single-sample cap (the pre-refactor behavior)
+        // leaves 60%.
+        let mut store = SampleStore::new();
+        // insert_raw keeps the samples separate (absorb would consolidate
+        // disjoint same-shape coverage into one sample).
+        let a = store.insert_raw(desc(0, 399), schema(), toy_sample(2, 10, 0));
+        let b = store.insert_raw(desc(600, 999), schema(), toy_sample(2, 10, 600));
+        let query = desc(0, 999);
+        let query_measure = query.predicates.box_measure();
+
+        let plan = store.plan_coverage(&query, 4);
+        assert_eq!(plan.samples.len(), 2);
+        assert!(plan.samples.contains(&a) && plan.samples.contains(&b));
+        let frac = plan.residual_measure() as f64 / query_measure as f64;
+        assert!(frac <= 0.2 + 1e-9, "multi-sample residual {frac} > 0.2");
+        // Residual is exactly the middle gap.
+        assert_eq!(plan.residual_measure(), 200);
+        for f in &plan.fragments {
+            assert_eq!(f.get("lo_intkey").unwrap(), &iv(400, 599));
+        }
+
+        let single = store.plan_coverage(&query, 1);
+        assert_eq!(single.samples.len(), 1);
+        let frac1 = single.residual_measure() as f64 / query_measure as f64;
+        assert!(
+            (frac1 - 0.6).abs() < 1e-9,
+            "single-sample residual should be 0.6, got {frac1}"
+        );
+    }
+
+    #[test]
+    fn coverage_plan_full_subsumption_has_no_fragments() {
+        let mut store = SampleStore::new();
+        let mut rng = Lehmer64::new(11);
+        let id = store.absorb(desc(0, 999), schema(), toy_sample(2, 10, 0), &mut rng);
+        let plan = store.plan_coverage(&desc(100, 200), 4);
+        assert_eq!(plan.samples, vec![id]);
+        assert!(plan.fragments.is_empty());
+        assert_eq!(plan.residual_measure(), 0);
+    }
+
+    #[test]
+    fn coverage_plan_keeps_selected_populations_disjoint() {
+        // Two overlapping stored samples: only one may be selected, and
+        // every fragment must avoid both selected populations.
+        let mut store = SampleStore::new();
+        store.insert_raw(desc(0, 599), schema(), toy_sample(2, 10, 0));
+        store.insert_raw(desc(400, 899), schema(), toy_sample(2, 10, 400));
+        let plan = store.plan_coverage(&desc(0, 999), 4);
+        assert_eq!(
+            plan.samples.len(),
+            1,
+            "overlapping populations must not be merged together"
+        );
+        let sel = plan.samples[0];
+        let sel_preds = store.peek(sel).unwrap().descriptor.predicates.clone();
+        for f in &plan.fragments {
+            assert!(f.intersect(&sel_preds).is_none());
+        }
+        // The larger-coverage candidate wins the greedy round.
+        assert_eq!(
+            sel_preds.get("lo_intkey").unwrap(),
+            &iv(0, 599),
+            "greedy picks the candidate with the larger residual gain"
+        );
+    }
+
+    #[test]
+    fn coverage_plan_excludes_superset_qvs_from_merges() {
+        let mut store = SampleStore::new();
+        // Superset-QVS sample: may serve full reuse, but has a different
+        // tuple layout so it cannot participate in a k-way merge.
+        let mut wide = desc(0, 399);
+        wide.qvs.push("lo_tax".into());
+        store.insert_raw(wide.clone(), schema(), toy_sample(2, 10, 0));
+        let plan = store.plan_coverage(&desc(0, 999), 4);
+        assert!(plan.samples.is_empty(), "superset QVS cannot merge");
+        assert_eq!(plan.fragments, vec![desc(0, 999).predicates]);
+        // Full subsumption still allowed.
+        let full = store.plan_coverage(&desc(100, 200), 4);
+        assert_eq!(full.samples.len(), 1);
+        assert!(full.fragments.is_empty());
+    }
+
+    #[test]
+    fn coverage_plan_ignores_samples_constraining_free_columns() {
+        let mut store = SampleStore::new();
+        let mut d = desc(0, 399);
+        d.predicates = Predicates::on("lo_intkey", iv(0, 399)).with("lo_extra", iv(0, 10));
+        store.insert_raw(d, schema(), toy_sample(2, 10, 0));
+        // Query leaves lo_extra free: the sample covers only a slice of
+        // that dimension, so it cannot contribute box coverage.
+        let plan = store.plan_coverage(&desc(0, 999), 4);
+        assert!(plan.samples.is_empty());
+        assert_eq!(plan.fragments, vec![desc(0, 999).predicates]);
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   primitive behind proportional reservoir merging.
 //! - [`merge`]: reservoir merging (paper Algorithm 2) — merging `{R1, w1}`
 //!   and `{R2, w2}` yields `{Rm, w1 + w2}`, statistically equivalent to a
-//!   full resample of the combined input.
+//!   full resample of the combined input. §5.1's argument is associative,
+//!   so the module also provides a k-way merge used by the coverage
+//!   planner to combine several stored samples and Δ fragments at once.
 //! - [`stratified`]: stratified reservoir sampling — a hash table of strata
 //!   keyed by the Query Column Set values, with admission state kept compact
 //!   and reservoir storage held behind a pointer (paper §4.1, §6.3).
@@ -33,10 +35,10 @@ pub mod stratified_merge;
 pub mod universe;
 pub mod weighted;
 
-pub use merge::{merge_reservoirs, merge_reservoirs_with_capacity};
+pub use merge::{merge_reservoirs, merge_reservoirs_k, merge_reservoirs_with_capacity};
 pub use reservoir::Reservoir;
 pub use rng::{Lehmer64, MinStd, SplitMix64};
 pub use stratified::{StratifiedSampler, StratumKey};
-pub use stratified_merge::merge_stratified;
+pub use stratified_merge::{merge_stratified, merge_stratified_k};
 pub use universe::UniverseSampler;
 pub use weighted::WeightedReservoir;

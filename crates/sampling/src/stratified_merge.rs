@@ -1,14 +1,21 @@
-//! Stratified sample merging — paper **Algorithm 3**.
+//! Stratified sample merging — paper **Algorithm 3**, generalized k-way.
 //!
-//! Merging two stratified samples is a group-by over the union of their
+//! Merging stratified samples is a group-by over the union of their
 //! strata keys whose aggregation function is reservoir merging
-//! (Algorithm 2): strata present in both inputs merge proportionally;
+//! (Algorithm 2): strata present in several inputs merge proportionally;
 //! strata present in only one input pass through via the
-//! `DefinedReservoir` case.
+//! `DefinedReservoir` case. §5.1's merge argument is associative, so the
+//! same construction extends from two inputs to `k` — the coverage
+//! planner leans on this to combine several stored samples plus several
+//! Δ fragments in one pass instead of a chain of pairwise merges.
 
-use crate::merge::merge_reservoirs_with_capacity;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use crate::merge::{merge_reservoirs_k, resize_owned};
+use crate::reservoir::Reservoir;
 use crate::rng::Lehmer64;
-use crate::stratified::{StratifiedSampler, StratumKey};
+use crate::stratified::{FxBuildHasher, StratifiedSampler, StratumKey};
 
 /// Merge two stratified samples into a new one whose per-stratum reservoirs
 /// are Algorithm-2 merges. The output capacity is the maximum of the two
@@ -18,46 +25,65 @@ pub fn merge_stratified<K: StratumKey, T: Clone>(
     b: StratifiedSampler<K, T>,
     rng: &mut Lehmer64,
 ) -> StratifiedSampler<K, T> {
-    let capacity = a.capacity().max(b.capacity());
-    let mut out = StratifiedSampler::with_strata_hint(capacity, a.num_strata() + b.num_strata());
+    merge_stratified_k(vec![a, b], rng)
+}
 
-    // Index B's strata by key so we can pair them with A's.
-    let mut b_strata: std::collections::HashMap<K, crate::reservoir::Reservoir<T>> =
-        b.into_strata().collect();
+/// Merge `k` stratified samples into one — the k-way Algorithm 3.
+///
+/// A group-by over the union of all inputs' strata keys; each key's
+/// reservoirs merge via [`merge_reservoirs_k`]. The output capacity is the
+/// maximum input capacity. Strata held by a single input pass through with
+/// their tuple storage moved, not copied (§6.3's zero-copy ownership
+/// transfer). Key order is first-seen across inputs in order, so the merge
+/// is deterministic given the inputs and the RNG seed.
+///
+/// Statistical validity requires the inputs' underlying populations to be
+/// pairwise disjoint (the §5.1 non-overlap requirement) — the coverage
+/// planner guarantees this by construction.
+///
+/// Panics if `inputs` is empty.
+pub fn merge_stratified_k<K: StratumKey, T: Clone>(
+    inputs: Vec<StratifiedSampler<K, T>>,
+    rng: &mut Lehmer64,
+) -> StratifiedSampler<K, T> {
+    assert!(!inputs.is_empty(), "merge of zero stratified samples");
+    let capacity = inputs
+        .iter()
+        .map(|s| s.capacity())
+        .max()
+        .expect("nonempty inputs");
+    let hint: usize = inputs.iter().map(|s| s.num_strata()).sum();
+    let mut out = StratifiedSampler::with_strata_hint(capacity, hint);
 
-    for (key, ra) in a.into_strata() {
-        let merged = match b_strata.remove(&key) {
-            Some(rb) => merge_reservoirs_with_capacity(Some(&ra), Some(&rb), capacity, rng),
+    // Gather each key's reservoirs across all inputs, preserving
+    // first-seen key order for a deterministic merge order.
+    let mut order: Vec<K> = Vec::with_capacity(hint);
+    let mut gathered: HashMap<K, Vec<Reservoir<T>>, FxBuildHasher> =
+        HashMap::with_capacity_and_hasher(hint, FxBuildHasher::default());
+    for s in inputs {
+        for (key, r) in s.into_strata() {
+            match gathered.entry(key.clone()) {
+                Entry::Occupied(mut e) => e.get_mut().push(r),
+                Entry::Vacant(e) => {
+                    e.insert(vec![r]);
+                    order.push(key);
+                }
+            }
+        }
+    }
+    for key in order {
+        let rs = gathered.remove(&key).expect("gathered above");
+        let merged = if rs.len() == 1 {
             // DefinedReservoir pass-through: move the stratum without
-            // copying its tuple storage (§6.3's zero-copy ownership
-            // transfer matters here — merges touch only sample data, and
-            // pass-through strata shouldn't even touch that).
-            None => move_into_capacity(ra, capacity, rng),
+            // copying its tuple storage.
+            let r = rs.into_iter().next().expect("one reservoir");
+            resize_owned(r, capacity, rng)
+        } else {
+            merge_reservoirs_k(rs, capacity, rng)
         };
         out.insert_stratum(key, merged);
     }
-    // Strata only present in B.
-    for (key, rb) in b_strata {
-        out.insert_stratum(key, move_into_capacity(rb, capacity, rng));
-    }
     out
-}
-
-/// Move a reservoir into the output capacity without cloning its items;
-/// downsample only if it holds more items than the target capacity allows.
-fn move_into_capacity<T: Clone>(
-    r: crate::reservoir::Reservoir<T>,
-    capacity: usize,
-    rng: &mut Lehmer64,
-) -> crate::reservoir::Reservoir<T> {
-    if r.capacity() == capacity {
-        return r;
-    }
-    if r.len() <= capacity {
-        let weight = r.weight();
-        return crate::reservoir::Reservoir::from_parts(capacity, r.into_items(), weight);
-    }
-    merge_reservoirs_with_capacity(Some(&r), None, capacity, rng)
 }
 
 #[cfg(test)]
@@ -155,6 +181,71 @@ mod tests {
         assert!(
             (frac - 0.9).abs() < 0.03,
             "stratum merge should track weights, got {frac}"
+        );
+    }
+
+    #[test]
+    fn k_way_strata_union_and_weights() {
+        let mut rng = Lehmer64::new(20);
+        let parts = vec![
+            build(2, 200, 4, 21, 0),       // strata 0,1
+            build(3, 300, 4, 22, 10_000),  // strata 0,1,2
+            build(4, 400, 4, 23, 100_000), // strata 0..4
+        ];
+        let m = merge_stratified_k(parts, &mut rng);
+        assert_eq!(m.num_strata(), 4);
+        assert_eq!(m.total_weight(), 900);
+        // Stratum 0 saw 100 + 100 + 100 considered elements.
+        let (_, w0) = m.stratum(&0).unwrap();
+        assert_eq!(w0, 300);
+        // Stratum 3 exists only in the third input.
+        let (_, w3) = m.stratum(&3).unwrap();
+        assert_eq!(w3, 100);
+    }
+
+    #[test]
+    fn k_way_matches_chained_pairwise_statistically() {
+        // A 3-way merge and a left-fold of pairwise merges are both valid
+        // samples of the same union; their per-source compositions must
+        // agree in distribution.
+        let trials = 600;
+        let mut kway_from_a = 0usize;
+        let mut chain_from_a = 0usize;
+        let mut kway_total = 0usize;
+        let mut chain_total = 0usize;
+        for t in 0..trials {
+            let mk = || {
+                vec![
+                    build(1, 6000, 10, 50 + t, 0),
+                    build(1, 3000, 10, 5000 + t, 100_000),
+                    build(1, 1000, 10, 9000 + t, 200_000),
+                ]
+            };
+            let mut rng1 = Lehmer64::new(70_000 + t);
+            let m1 = merge_stratified_k(mk(), &mut rng1);
+            let mut rng2 = Lehmer64::new(80_000 + t);
+            let mut parts = mk().into_iter();
+            let first = parts.next().unwrap();
+            let m2 = parts.fold(first, |acc, s| merge_stratified(acc, s, &mut rng2));
+            for (m, from_a, total) in [
+                (&m1, &mut kway_from_a, &mut kway_total),
+                (&m2, &mut chain_from_a, &mut chain_total),
+            ] {
+                let (items, w) = m.stratum(&0).unwrap();
+                assert_eq!(w, 10_000);
+                *from_a += items.iter().filter(|&&x| x < 100_000).count();
+                *total += items.len();
+            }
+        }
+        let kway = kway_from_a as f64 / kway_total as f64;
+        let chain = chain_from_a as f64 / chain_total as f64;
+        assert!(
+            (kway - 0.6).abs() < 0.04,
+            "k-way source-A share {kway} should be ~0.6"
+        );
+        assert!(
+            (kway - chain).abs() < 0.05,
+            "k-way ({kway}) and chained pairwise ({chain}) merges must agree in distribution"
         );
     }
 }

@@ -19,7 +19,8 @@ use std::sync::Barrier;
 use std::time::Duration;
 
 use laqy::{
-    ApproxResult, Interval, IntervalSet, LaqyService, LaqySession, ReuseClass, SessionConfig,
+    save_store, ApproxResult, Interval, IntervalSet, LaqyService, LaqySession, ReuseClass,
+    SampleStore, SessionConfig,
 };
 use laqy_engine::{Catalog, QueryResult, Value};
 use laqy_workload::{generate, q1, SsbConfig};
@@ -341,4 +342,103 @@ fn identical_partial_misses_scan_the_delta_exactly_once() {
         IntervalSet::of(Interval::new(0, 3 * n / 4))
     );
     assert_eq!(service.store().len(), 1);
+}
+
+/// Materialize a deliberately fragmented Q1-family snapshot: two disjoint
+/// stored samples covering `[0, 2n/5]` and `[n/2, 9n/10]`. Each fragment
+/// comes from a scratch service and is re-inserted raw, so absorption
+/// cannot consolidate them into one wide sample.
+fn fragmented_snapshot(cat: &Catalog, n: i64, k: usize) -> Vec<u8> {
+    let mut store = SampleStore::new();
+    for range in [
+        Interval::new(0, 2 * n / 5),
+        Interval::new(n / 2, 9 * n / 10),
+    ] {
+        let scratch = LaqyService::with_config(cat.clone(), config(None));
+        scratch.run(&q1(range, k)).expect("fragment query");
+        let guard = scratch.store();
+        let (_, stored) = guard.iter().next().expect("fragment materialized");
+        store.insert_raw(
+            stored.descriptor.clone(),
+            stored.schema.clone(),
+            stored.sample.clone(),
+        );
+    }
+    save_store(&store)
+}
+
+#[test]
+fn concurrent_coverage_misses_scan_each_fragment_exactly_once() {
+    let cat = catalog();
+    let n = cat.table("lineorder").unwrap().num_rows() as i64;
+    let k = 24;
+    let service = LaqyService::with_config(cat.clone(), config(None));
+    service
+        .import_samples(&fragmented_snapshot(&cat, n, k))
+        .expect("snapshot imports");
+    assert_eq!(service.store().len(), 2, "store must start fragmented");
+
+    // Both clients plan the same CoverageReuse: the two stored fragments
+    // plus one residual Δ-fragment (the gaps share the single varying
+    // column, so they collapse into one multi-interval scan). The sampling
+    // hold keeps the owner inside that scan long enough that the second
+    // client must hit the per-fragment in-flight registry.
+    service.set_sampling_hold(Some(Duration::from_millis(300)));
+    let target = q1(Interval::new(0, n - 1), k);
+    let before = service.stats();
+    let barrier = Barrier::new(2);
+    let reuse: Vec<ReuseClass> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let service = service.clone();
+                let (barrier, target) = (&barrier, &target);
+                scope.spawn(move || {
+                    barrier.wait();
+                    service.run(target).expect("query").stats.reuse.unwrap()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    service.set_sampling_hold(None);
+
+    let after = service.stats();
+    assert_eq!(
+        after.delta_scans - before.delta_scans,
+        1,
+        "the residual fragment must be Δ-scanned exactly once"
+    );
+    assert_eq!(after.fragments_scanned - before.fragments_scanned, 1);
+    assert_eq!(
+        after.fragments_deduped - before.fragments_deduped,
+        1,
+        "the waiter must dedup against the in-flight fragment scan"
+    );
+    assert_eq!(
+        after.merges_deduped - before.merges_deduped,
+        1,
+        "the waiting client piggybacks on the in-flight merge once"
+    );
+    assert_eq!(
+        after.fragments_reused - before.fragments_reused,
+        2,
+        "the winning merge must reuse both stored fragments"
+    );
+    assert_eq!(after.partial_merges - before.partial_merges, 1);
+    // The piggybacking client re-plans against the consolidated coverage.
+    assert_eq!(after.full_hits - before.full_hits, 1);
+    let mut reuse = reuse;
+    reuse.sort_by_key(|r| r.label());
+    assert_eq!(reuse, vec![ReuseClass::Full, ReuseClass::Partial]);
+
+    // Consolidation reproduces the single-sample end state: full coverage
+    // stored once.
+    assert_eq!(
+        stored_coverage(&service),
+        IntervalSet::of(Interval::new(0, n - 1))
+    );
+    assert_eq!(service.store().len(), 1, "fragments consolidated away");
 }

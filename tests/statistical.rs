@@ -3,7 +3,9 @@
 //! tests measure estimator bias and CI coverage over repeated seeds, for
 //! fresh online samples and for merged (partial-reuse) samples alike.
 
-use laqy::{Interval, LaqyService, LaqySession, ReuseClass, SessionConfig};
+use laqy::{
+    save_store, Interval, LaqyService, LaqySession, ReuseClass, SampleStore, SessionConfig,
+};
 use laqy_engine::{Catalog, Value};
 use laqy_workload::{generate, q1, SsbConfig};
 
@@ -170,6 +172,129 @@ fn concurrent_merge_matches_full_resample_error_distribution() {
     assert!(
         merged <= 2.5 * resample.max(floor) && resample <= 2.5 * merged.max(floor),
         "error distributions diverge: merged {merged} vs resample {resample}"
+    );
+}
+
+/// Serialize a store holding `m` disjoint Q1-family fragments, each an
+/// equal slice of `[0, covered_hi]` separated by uncovered gaps. Built
+/// through scratch services and re-inserted raw so absorption cannot
+/// consolidate adjacent fragments.
+fn fragmented_snapshot(cat: &Catalog, m: usize, covered_hi: i64, k: usize, seed: u64) -> Vec<u8> {
+    let mut store = SampleStore::new();
+    let stride = covered_hi / m as i64;
+    let width = (stride as f64 * 0.8).round() as i64;
+    for i in 0..m {
+        let lo = i as i64 * stride;
+        let scratch = LaqyService::with_config(
+            cat.clone(),
+            SessionConfig {
+                threads: 1,
+                seed: seed + i as u64,
+                ..Default::default()
+            },
+        );
+        scratch
+            .run(&q1(Interval::new(lo, lo + width - 1), k))
+            .unwrap();
+        let guard = scratch.store();
+        let (_, stored) = guard.iter().next().unwrap();
+        store.insert_raw(
+            stored.descriptor.clone(),
+            stored.schema.clone(),
+            stored.sample.clone(),
+        );
+    }
+    save_store(&store)
+}
+
+#[test]
+fn coverage_planned_merge_matches_full_resample_of_the_union() {
+    // The tentpole guarantee: a lazy sample assembled by the coverage
+    // planner from ≥3 disjoint stored fragments plus residual Δ-scans
+    // must be statistically equivalent to a full online resample of the
+    // whole query region — same groups, per-group reservoir cardinality
+    // within the budget, and an unbiased total whose mean across seeds
+    // lands inside a CLT interval.
+    let cat = catalog();
+    let n = cat.table("lineorder").unwrap().num_rows() as i64;
+    let k = 12;
+    let target = q1(Interval::new(0, (0.9 * n as f64) as i64), k);
+    let (exact, _) = session(&cat, 0).run_exact(&target).unwrap();
+    let truth: f64 = exact.rows.iter().map(|r| r.values[0]).sum();
+    let exact_groups = exact.rows.len();
+
+    let trials = 20;
+    let (mut planned_ests, mut resample_ests) = (Vec::new(), Vec::new());
+    for t in 0..trials {
+        // (a) Coverage-planned: 3 disjoint fragments merged k-way, plus
+        // Δ-scans of the gaps and tail.
+        let snapshot = fragmented_snapshot(&cat, 3, (0.75 * n as f64) as i64, k, 60_000 + 10 * t);
+        let service = LaqyService::with_config(
+            cat.clone(),
+            SessionConfig {
+                threads: 1,
+                seed: 70_000 + t,
+                ..Default::default()
+            },
+        );
+        service.import_samples(&snapshot).unwrap();
+        let r = service.run(&target).unwrap();
+        assert_eq!(r.stats.reuse, Some(ReuseClass::Partial));
+        assert_eq!(
+            r.stats.fragments_reused, 3,
+            "plan must merge all three stored fragments"
+        );
+        // All gaps share the one varying column, so the residual region
+        // collapses into a single multi-interval fragment — scanned once.
+        assert!(
+            r.stats.fragments_scanned >= 1,
+            "gaps between fragments must be Δ-scanned"
+        );
+        assert!(
+            r.stats.effective_selectivity < 0.45,
+            "coverage plan should scan only the residual, got {}",
+            r.stats.effective_selectivity
+        );
+        assert_eq!(r.groups.len(), exact_groups, "planned merge lost a group");
+        for g in &r.groups {
+            let support = g.values[0].support;
+            assert!(
+                support >= 1 && support <= k,
+                "per-group cardinality out of reservoir bounds: {support}"
+            );
+        }
+        planned_ests.push(r.groups.iter().map(|g| g.values[0].value).sum::<f64>());
+
+        // (b) Full online resample of the same union at a matched seed.
+        let mut s = session(&cat, 70_000 + t);
+        let r = s.run(&target).unwrap();
+        assert_eq!(r.stats.reuse, Some(ReuseClass::Online));
+        assert_eq!(r.groups.len(), exact_groups, "resample lost a group");
+        resample_ests.push(r.groups.iter().map(|g| g.values[0].value).sum::<f64>());
+    }
+
+    // Mean-within-CI: the across-seed mean of each estimator must sit
+    // inside a 3σ CLT interval around the exact total (σ estimated from
+    // the trials themselves).
+    for (label, ests) in [("planned", &planned_ests), ("resample", &resample_ests)] {
+        let mean = ests.iter().sum::<f64>() / ests.len() as f64;
+        let var = ests.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (ests.len() - 1) as f64;
+        let se = (var / ests.len() as f64).sqrt();
+        assert!(
+            (mean - truth).abs() <= 3.0 * se.max(0.002 * truth.abs()),
+            "{label} mean {mean} vs exact {truth} outside 3σ ({se})"
+        );
+    }
+    // Same error regime: the planner's merge must not inflate variance
+    // relative to a fresh resample of the union.
+    let spread = |v: &[f64]| {
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        (v.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (v.len() - 1) as f64).sqrt()
+    };
+    let (planned_sd, resample_sd) = (spread(&planned_ests), spread(&resample_ests));
+    assert!(
+        planned_sd <= 3.0 * resample_sd.max(0.002 * truth.abs()),
+        "planned-merge spread {planned_sd} far exceeds resample spread {resample_sd}"
     );
 }
 

@@ -141,6 +141,100 @@ proptest! {
     }
 }
 
+// Coverage-planner model: for arbitrary fragmented stores (raw-inserted,
+// possibly overlapping boxes on up to two columns) and arbitrary query
+// boxes, `plan_coverage` must produce a plan that exactly tiles the
+// query region:
+//
+// - at most `cap` selected samples, with pairwise-disjoint populations;
+// - residual fragments pairwise disjoint and disjoint from every
+//   selected sample's population;
+// - measures add up: |query| = Σ|selected ∩ query| + Σ|fragment| — the
+//   plan neither double-covers nor drops any part of the query region;
+// - an empty residual means the selection alone covers the query.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+    #[test]
+    fn coverage_plans_tile_the_query_region(
+        stored in prop::collection::vec((interval(), interval(), any::<bool>()), 1..10),
+        queries in prop::collection::vec((interval(), interval(), any::<bool>()), 1..8),
+        cap in 1usize..6,
+    ) {
+        fn boxed(x: &Interval, y: &Interval, constrain_y: bool) -> Predicates {
+            let p = Predicates::on("x", IntervalSet::of(*x));
+            if constrain_y {
+                p.with("y", IntervalSet::of(*y))
+            } else {
+                p
+            }
+        }
+        fn descriptor2(preds: Predicates) -> SampleDescriptor {
+            SampleDescriptor::new(
+                "t",
+                vec!["g".into()],
+                vec!["x".into(), "y".into()],
+                preds,
+                K,
+            )
+        }
+
+        let mut rng = Lehmer64::new(23);
+        let mut store = SampleStore::new();
+        for (x, y, cy) in &stored {
+            let p = boxed(x, y, *cy);
+            let s = sample_for(p.get("x").unwrap(), &mut rng);
+            store.insert_raw(descriptor2(p), schema(), s);
+        }
+
+        for (x, y, cy) in &queries {
+            let qp = boxed(x, y, *cy);
+            let plan = store.plan_coverage(&descriptor2(qp.clone()), cap);
+            prop_assert!(plan.samples.len() <= cap);
+
+            let selected: Vec<Predicates> = plan
+                .samples
+                .iter()
+                .map(|id| store.peek(*id).unwrap().descriptor.predicates.clone())
+                .collect();
+            // Selected populations pairwise disjoint (merging two
+            // overlapping samples would double-count their shared rows).
+            for i in 0..selected.len() {
+                for j in i + 1..selected.len() {
+                    prop_assert!(selected[i].intersect(&selected[j]).is_none());
+                }
+            }
+            // Fragments pairwise disjoint and disjoint from every
+            // selected population.
+            for i in 0..plan.fragments.len() {
+                for j in i + 1..plan.fragments.len() {
+                    prop_assert!(plan.fragments[i].intersect(&plan.fragments[j]).is_none());
+                }
+                for s in &selected {
+                    prop_assert!(plan.fragments[i].intersect(s).is_none());
+                }
+                // Fragments live inside the query box.
+                let inside = plan.fragments[i].intersect(&qp);
+                prop_assert_eq!(
+                    inside.map(|p| p.box_measure()),
+                    Some(plan.fragments[i].box_measure())
+                );
+            }
+            // Exact tiling: covered + residual measures sum to the query
+            // box measure.
+            let covered: u128 = selected
+                .iter()
+                .map(|s| s.intersect(&qp).map(|p| p.box_measure()).unwrap_or(0))
+                .sum();
+            let residual: u128 = plan.fragments.iter().map(|f| f.box_measure()).sum();
+            prop_assert_eq!(covered + residual, qp.box_measure());
+            prop_assert_eq!(plan.residual_measure(), residual);
+            if plan.fragments.is_empty() {
+                prop_assert_eq!(covered, qp.box_measure());
+            }
+        }
+    }
+}
+
 // Second model: arbitrary interleavings of query-driven absorb/merge,
 // raw insertion (snapshot restore), and explicit eviction, optionally
 // under a byte budget with LRU eviction. The reference model tracks,
