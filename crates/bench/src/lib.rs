@@ -9,6 +9,7 @@
 //! crossovers sit — are the reproduction targets, recorded in
 //! EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
 pub mod experiments;
 pub mod report;
 

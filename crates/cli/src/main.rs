@@ -7,6 +7,7 @@
 //!       WHERE lo_intkey BETWEEN 0 AND 100000 GROUP BY lo_orderdate
 //! ```
 
+#![forbid(unsafe_code)]
 use std::io::{BufRead, Write};
 
 mod repl;

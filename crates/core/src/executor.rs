@@ -643,7 +643,78 @@ impl LaqyExecutor {
             scanned: u64,
             sampled_input: u64,
             prune: PruneCounts,
+            /// First failure this worker hit; poisons its further
+            /// morsels and is re-raised after the fold.
+            error: Option<LaqyError>,
         }
+
+        // The plan was validated above, so per-morsel failures are
+        // next-to-impossible — but a pool worker must not panic, so any
+        // residual error folds into the partial and surfaces as a
+        // `Result` after the scan.
+        let process = |acc: &mut Partial, range: std::ops::Range<usize>| -> Result<()> {
+            let t0 = Instant::now();
+            let sel = laqy_engine::ops::scan_filter_pruned(
+                fact,
+                range.clone(),
+                &full_pred,
+                &mut acc.prune,
+            )?;
+            acc.scanned += range.len() as u64;
+            if query.plan.joins.is_empty() {
+                acc.scan_ns += t0.elapsed().as_nanos() as u64;
+                if sel.is_empty() {
+                    return Ok(());
+                }
+                let t1 = Instant::now();
+                let mut keys = Vec::with_capacity(query.plan.group_by.len());
+                for c in &query.plan.group_by {
+                    keys.push(BoundCol::new(fact.column(&c.column)?, Some(&sel)));
+                }
+                let inputs = Inputs::bind(&payload_inputs, |name| {
+                    Ok(BoundCol::new(fact.column(name)?, Some(&sel)))
+                })?;
+                let partial = group_by(&keys, &inputs, sel.len(), &factory);
+                acc.sampled_input += sel.len() as u64;
+                acc.table.merge(partial);
+                acc.sample_ns += t1.elapsed().as_nanos() as u64;
+            } else {
+                let out = laqy_engine::ops::star_probe(fact, &sel, &joins.probes())?;
+                acc.scan_ns += t0.elapsed().as_nanos() as u64;
+                if out.is_empty() {
+                    return Ok(());
+                }
+                let t1 = Instant::now();
+                let mut keys = Vec::with_capacity(query.plan.group_by.len());
+                for c in &query.plan.group_by {
+                    keys.push(match &c.table {
+                        None => BoundCol::new(fact.column(&c.column)?, Some(&out.fact_rows)),
+                        Some(t) => {
+                            let idx = joins.dim_index(t).ok_or_else(|| {
+                                LaqyError::Unsupported(format!(
+                                    "group-by table `{t}` is not part of the join plan"
+                                ))
+                            })?;
+                            let dim = catalog.table(t)?;
+                            BoundCol::new(dim.column(&c.column)?, Some(&out.dim_rows[idx]))
+                        }
+                    });
+                }
+                let inputs = Inputs::bind(&payload_inputs, |name| {
+                    let (dim_idx, table) = resolve_by_name(catalog, &query.plan, name)?;
+                    let rows = match dim_idx {
+                        None => &out.fact_rows,
+                        Some(i) => &out.dim_rows[i],
+                    };
+                    Ok(BoundCol::new(table.column(name)?, Some(rows)))
+                })?;
+                let partial = group_by(&keys, &inputs, out.len(), &factory);
+                acc.sampled_input += out.len() as u64;
+                acc.table.merge(partial);
+                acc.sample_ns += t1.elapsed().as_nanos() as u64;
+            }
+            Ok(())
+        };
 
         let t_pipeline = Instant::now();
         let partials = parallel_fold(
@@ -657,76 +728,14 @@ impl LaqyExecutor {
                 scanned: 0,
                 sampled_input: 0,
                 prune: PruneCounts::default(),
+                error: None,
             },
             |acc, range| {
-                let t0 = Instant::now();
-                let sel = laqy_engine::ops::scan_filter_pruned(
-                    fact,
-                    range.clone(),
-                    &full_pred,
-                    &mut acc.prune,
-                )
-                .expect("predicate validated");
-                acc.scanned += range.len() as u64;
-                if query.plan.joins.is_empty() {
-                    acc.scan_ns += t0.elapsed().as_nanos() as u64;
-                    if sel.is_empty() {
-                        return;
-                    }
-                    let t1 = Instant::now();
-                    let keys: Vec<BoundCol> = query
-                        .plan
-                        .group_by
-                        .iter()
-                        .map(|c| BoundCol::new(fact.column(&c.column).unwrap(), Some(&sel)))
-                        .collect();
-                    let inputs = Inputs::bind(&payload_inputs, |name| {
-                        Ok(BoundCol::new(fact.column(name)?, Some(&sel)))
-                    })
-                    .expect("payload validated");
-                    let partial = group_by(&keys, &inputs, sel.len(), &factory);
-                    acc.sampled_input += sel.len() as u64;
-                    acc.table.merge(partial);
-                    acc.sample_ns += t1.elapsed().as_nanos() as u64;
-                } else {
-                    let out = laqy_engine::ops::star_probe(fact, &sel, &joins.probes())
-                        .expect("joins validated");
-                    acc.scan_ns += t0.elapsed().as_nanos() as u64;
-                    if out.is_empty() {
-                        return;
-                    }
-                    let t1 = Instant::now();
-                    let keys: Vec<BoundCol> = query
-                        .plan
-                        .group_by
-                        .iter()
-                        .map(|c| match &c.table {
-                            None => {
-                                BoundCol::new(fact.column(&c.column).unwrap(), Some(&out.fact_rows))
-                            }
-                            Some(t) => {
-                                let idx = joins.dim_index(t).expect("dim joined");
-                                let dim = catalog.table(t).unwrap();
-                                BoundCol::new(
-                                    dim.column(&c.column).unwrap(),
-                                    Some(&out.dim_rows[idx]),
-                                )
-                            }
-                        })
-                        .collect();
-                    let inputs = Inputs::bind(&payload_inputs, |name| {
-                        let (dim_idx, table) = resolve_by_name(catalog, &query.plan, name)?;
-                        let rows = match dim_idx {
-                            None => &out.fact_rows,
-                            Some(i) => &out.dim_rows[i],
-                        };
-                        Ok(BoundCol::new(table.column(name)?, Some(rows)))
-                    })
-                    .expect("payload validated");
-                    let partial = group_by(&keys, &inputs, out.len(), &factory);
-                    acc.sampled_input += out.len() as u64;
-                    acc.table.merge(partial);
-                    acc.sample_ns += t1.elapsed().as_nanos() as u64;
+                if acc.error.is_some() {
+                    return;
+                }
+                if let Err(e) = process(acc, range) {
+                    acc.error = Some(e);
                 }
             },
         );
@@ -736,6 +745,9 @@ impl LaqyExecutor {
         let (mut scan_ns, mut sample_ns, mut scanned, mut sampled_input) = (0u64, 0u64, 0u64, 0u64);
         let mut prune = PruneCounts::default();
         for p in partials {
+            if let Some(e) = p.error {
+                return Err(e);
+            }
             merged.merge(p.table);
             scan_ns += p.scan_ns;
             sample_ns += p.sample_ns;
@@ -841,29 +853,35 @@ pub fn input_identity(plan: &QueryPlan) -> String {
 /// *except* the range column (which is pushed down separately as the scan
 /// range). `True` for single-column fragments.
 pub(crate) fn fragment_extra_predicate(frag: &Predicates, range_column: &str) -> Predicate {
-    let parts: Vec<Predicate> = frag
+    let mut parts: Vec<Predicate> = frag
         .columns()
         .filter(|c| *c != range_column)
-        .map(|c| range_predicate(c, frag.get(c).expect("column is constrained")))
+        .filter_map(|c| frag.get(c).map(|set| range_predicate(c, set)))
         .collect();
-    match parts.len() {
-        0 => Predicate::True,
-        1 => parts.into_iter().next().expect("one part"),
-        _ => Predicate::And(parts),
+    match parts.pop() {
+        None => Predicate::True,
+        Some(single) if parts.is_empty() => single,
+        Some(last) => {
+            parts.push(last);
+            Predicate::And(parts)
+        }
     }
 }
 
 /// Engine predicate matching an [`IntervalSet`] on one column.
 pub fn range_predicate(column: &str, ranges: &IntervalSet) -> Predicate {
-    let parts: Vec<Predicate> = ranges
+    let mut parts: Vec<Predicate> = ranges
         .intervals()
         .iter()
         .map(|iv| Predicate::between(column, iv.lo, iv.hi))
         .collect();
-    match parts.len() {
-        0 => Predicate::False,
-        1 => parts.into_iter().next().expect("one part"),
-        _ => Predicate::Or(parts),
+    match parts.pop() {
+        None => Predicate::False,
+        Some(single) if parts.is_empty() => single,
+        Some(last) => {
+            parts.push(last);
+            Predicate::Or(parts)
+        }
     }
 }
 

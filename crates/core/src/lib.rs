@@ -95,6 +95,7 @@
 //! assert_eq!(service.stats().full_hits, 4);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bounded;

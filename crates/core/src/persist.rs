@@ -176,7 +176,14 @@ fn write_sampler(
 ) {
     buf.put_u64_le(sampler.capacity() as u64);
     buf.put_u32_le(sampler.num_strata() as u32);
-    for (key, items, weight) in sampler.iter() {
+    // Canonical order: the in-memory stratum map iterates in hash-table
+    // order, which depends on construction history (offer-grown vs
+    // restored), so sort by key to make snapshots a pure function of
+    // store *contents* — byte-identical across round-trips and safe to
+    // compare or deduplicate by hash.
+    let mut strata: Vec<_> = sampler.iter().collect();
+    strata.sort_unstable_by_key(|(key, _, _)| **key);
+    for (key, items, weight) in strata {
         buf.put_u8(key.len() as u8);
         for &p in key.parts() {
             buf.put_i64_le(p);

@@ -12,7 +12,7 @@
 //! [`StratifiedSampler`] without copying tuple payloads (ownership
 //! transfer, §6.3).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use laqy_sync::atomic::{AtomicU64, Ordering};
 
 use laqy_engine::ops::{Aggregator, AggregatorFactory, GroupTable, Inputs};
 use laqy_engine::GroupKey;

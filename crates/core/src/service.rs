@@ -11,7 +11,7 @@
 //! Concurrency design:
 //!
 //! - **Read path** (classification + full-reuse estimation) runs under a
-//!   `parking_lot::RwLock` *read* guard. LRU touches are relaxed atomic
+//!   `laqy_sync::RwLock` *read* guard. LRU touches are relaxed atomic
 //!   stores ([`SampleStore::get`]), so readers never take the write lock.
 //! - **Write path** (absorb / Δ-merge / eviction) takes the write lock
 //!   only around the in-memory merge — never around the sampling scan,
@@ -40,12 +40,13 @@
 //! construction.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use laqy_sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use laqy_engine::{Catalog, Predicate, QueryResult, Table, Value};
-use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard};
+use laqy_sync::{Condvar, Mutex, RwLock, RwLockReadGuard};
 
 use crate::descriptor::{Predicates, SampleDescriptor};
 use crate::executor::{
@@ -74,8 +75,8 @@ struct Inflight {
 impl Inflight {
     fn new() -> Self {
         Self {
-            done: Mutex::new(false),
-            cv: Condvar::new(),
+            done: Mutex::named("laqy.inflight.done", false),
+            cv: Condvar::named("laqy.inflight.cv"),
         }
     }
 }
@@ -157,9 +158,9 @@ impl LaqyService {
         };
         Self {
             inner: Arc::new(ServiceInner {
-                catalog: RwLock::new(catalog),
-                store: RwLock::new(store),
-                inflight: Mutex::new(HashMap::new()),
+                catalog: RwLock::named("laqy.catalog", catalog),
+                store: RwLock::named("laqy.store", store),
+                inflight: Mutex::named("laqy.inflight.registry", HashMap::new()),
                 counters: Counters::default(),
                 threads: config.threads,
                 policy: config.policy,
@@ -365,14 +366,13 @@ impl LaqyService {
             // guard the plan was made under: run_coverage revalidates the
             // store against this exact snapshot before merging.
             let snapshot = if let LazyPlan::CoverageReuse { samples, .. } = &plan {
+                // Every planned sample is present under this same read
+                // guard; if one were somehow missing the snapshot comes
+                // up short, revalidation fails, and the attempt re-plans
+                // instead of panicking on a hot path.
                 samples
                     .iter()
-                    .map(|id| {
-                        store
-                            .peek(*id)
-                            .map(|s| s.descriptor.predicates.clone())
-                            .expect("planned sample present under the same lock")
-                    })
+                    .filter_map(|id| store.peek(*id).map(|s| s.descriptor.predicates.clone()))
                     .collect()
             } else {
                 Vec::new()
@@ -512,18 +512,24 @@ impl LaqyService {
         let t_merge = Instant::now();
         let merged = {
             let mut store = self.timed(|i| i.store.write());
-            let valid = samples.len() == snapshot.len()
-                && samples.iter().zip(&snapshot).all(|(id, snap)| {
-                    store
-                        .peek(*id)
-                        .is_some_and(|s| &s.descriptor.predicates == snap)
-                });
+            // Revalidate and collect inputs in one pass: any sample that
+            // vanished or changed coverage invalidates the whole plan.
+            let mut inputs = Vec::with_capacity(samples.len() + scanned.len());
+            let mut valid = samples.len() == snapshot.len();
             if valid {
-                let mut inputs = Vec::with_capacity(samples.len() + scanned.len());
-                for &id in &samples {
-                    let stored = store.peek(id).expect("revalidated above");
-                    inputs.push(stored.sample.clone());
+                for (id, snap) in samples.iter().zip(&snapshot) {
+                    match store.peek(*id) {
+                        Some(s) if &s.descriptor.predicates == snap => {
+                            inputs.push(s.sample.clone())
+                        }
+                        _ => {
+                            valid = false;
+                            break;
+                        }
+                    }
                 }
+            }
+            if valid {
                 inputs.extend(scanned.iter().map(|(_, s)| s.clone()));
                 let merged = merge_stratified_k(inputs, executor.rng_mut());
                 // Sample-as-you-query absorption: consolidate when the

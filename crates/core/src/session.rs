@@ -17,7 +17,7 @@
 //!   bandwidth floor).
 
 use laqy_engine::{Catalog, Table, Value};
-use parking_lot::RwLockReadGuard;
+use laqy_sync::RwLockReadGuard;
 
 use crate::executor::{ApproxQuery, ApproxResult, Result, ReuseMode};
 use crate::service::LaqyService;

@@ -13,7 +13,7 @@
 //! budget with LRU eviction hooks this store into Taster-style storage
 //! management (paper §8).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use laqy_sync::atomic::{AtomicU64, Ordering};
 
 use laqy_engine::GroupKey;
 use laqy_sampling::{merge_stratified, Lehmer64, StratifiedSampler};
@@ -381,18 +381,20 @@ impl SampleStore {
         rng: &mut Lehmer64,
     ) -> SampleId {
         let clock = self.tick();
-        // Try to merge with an existing disjoint sample of the same shape.
-        let target = self.samples.iter().position(|(_, s)| {
-            s.descriptor.matches_characteristics(&descriptor)
+        // Try to merge with an existing disjoint sample of the same
+        // shape; find the position and the varying column in one pass.
+        let target = self.samples.iter().enumerate().find_map(|(pos, (_, s))| {
+            if s.descriptor.matches_characteristics(&descriptor)
                 && descriptor.matches_characteristics(&s.descriptor)
-                && disjoint_single_column(&s.descriptor.predicates, &descriptor.predicates)
-                    .is_some()
+            {
+                disjoint_single_column(&s.descriptor.predicates, &descriptor.predicates)
+                    .map(|varying| (pos, varying))
+            } else {
+                None
+            }
         });
-        if let Some(pos) = target {
+        if let Some((pos, varying)) = target {
             let (id, stored) = &mut self.samples[pos];
-            let varying =
-                disjoint_single_column(&stored.descriptor.predicates, &descriptor.predicates)
-                    .expect("checked above");
             let old = std::mem::replace(
                 &mut stored.sample,
                 StratifiedSampler::new(descriptor.k.max(1)),
@@ -542,7 +544,11 @@ fn disjoint_single_column(a: &Predicates, b: &Predicates) -> Option<String> {
     }
     let mut varying: Option<&str> = None;
     for col in cols_a {
-        let (sa, sb) = (a.get(col).unwrap(), b.get(col).unwrap());
+        let (Some(sa), Some(sb)) = (a.get(col), b.get(col)) else {
+            // `col` came from `a.columns()` ∩ `b.columns()`; a miss here
+            // means the predicate sets disagree after all.
+            return None;
+        };
         if sa == sb {
             continue;
         }

@@ -170,6 +170,12 @@ impl Latch {
             remaining = self.cv.wait(remaining).unwrap_or_else(|e| e.into_inner());
         }
     }
+
+    /// Current count (diagnostics; the latch invariant is checked after
+    /// `wait` returns).
+    fn remaining(&self) -> usize {
+        *self.remaining.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 /// Submit a non-`'static` task to the pool.
@@ -182,6 +188,12 @@ impl Latch {
 /// returning — including on the panic path, because task bodies catch
 /// their own unwinds.
 unsafe fn submit_erased<'a>(task: Box<dyn FnOnce() + Send + 'a>) {
+    // SAFETY: only the lifetime is erased — the vtable and data pointer
+    // are unchanged. The caller upholds (per this function's contract)
+    // that everything the task borrows outlives its execution: every
+    // submitted unit counts down the caller's latch when it finishes,
+    // and the caller blocks on that latch reaching zero before its
+    // borrowed scope ends, so the 'static claim is never observable.
     let task: Task = unsafe {
         std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Box<dyn FnOnce() + Send + 'static>>(
             task,
@@ -269,6 +281,14 @@ where
     // The calling thread is worker 0.
     run_unit(0);
     latch.wait();
+    // The latch invariant is what makes the lifetime erasure in
+    // `submit_erased` sound: every submitted unit must have finished
+    // (count zero) before this scope's borrows end.
+    debug_assert_eq!(
+        latch.remaining(),
+        0,
+        "parallel_fold scope ending with submitted units still running"
+    );
 
     if let Some(payload) = panic_payload
         .into_inner()

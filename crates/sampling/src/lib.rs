@@ -27,6 +27,7 @@
 //! All sampling is deterministic given a seed, which the paper also relies on
 //! for repeatable experiments (§7, Workload).
 
+#![forbid(unsafe_code)]
 pub mod merge;
 pub mod reservoir;
 pub mod rng;

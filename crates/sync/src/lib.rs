@@ -1,0 +1,58 @@
+//! Instrumented synchronization primitives for the LAQy workspace.
+//!
+//! Every crate in the workspace that synchronizes goes through this crate
+//! instead of importing `std::sync` / `parking_lot` directly (enforced by
+//! `cargo run -p xtask -- lint`). The wrappers have three personalities,
+//! selected by build configuration:
+//!
+//! * **Release builds** — zero-cost pass-through to the `parking_lot`
+//!   shim and `std::sync::atomic`.
+//! * **Debug builds** (`debug_assertions`, without `laqy_check`) — same
+//!   pass-through, plus a [lock-order deadlock detector](order): each
+//!   acquisition records an edge `held → acquired` into a global
+//!   lock-order graph and the first cycle panics with both witness
+//!   backtraces, turning potential production deadlocks into
+//!   deterministic test failures.
+//! * **`--cfg laqy_check` builds** — the primitives route through a
+//!   vendored *loom-lite* deterministic scheduler ([`model`]): threads
+//!   spawned inside [`model::model`] run cooperatively, one at a time,
+//!   and the explorer replays the closure under every interleaving (DFS
+//!   over scheduling decisions with a preemption bound), checking for
+//!   deadlocks, lost updates, and assertion failures along each one.
+//!
+//! Outside a [`model::model`] closure the `laqy_check` build degrades
+//! gracefully to plain pass-through behaviour, so ordinary unit tests
+//! keep working under the cfg.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(all(debug_assertions, not(laqy_check)))]
+mod order;
+
+#[cfg(not(laqy_check))]
+mod real;
+#[cfg(not(laqy_check))]
+pub use real::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Atomic types. Pass-through to `std::sync::atomic` in normal builds;
+/// instrumented (every access is a visible scheduling point) under
+/// `--cfg laqy_check`.
+#[cfg(not(laqy_check))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+/// Thread spawning. Pass-through to `std::thread` in normal builds;
+/// model-scheduled cooperative threads under `--cfg laqy_check`.
+#[cfg(not(laqy_check))]
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+#[cfg(laqy_check)]
+mod model_rt;
+#[cfg(laqy_check)]
+pub use model_rt::{atomic, model, thread};
+#[cfg(laqy_check)]
+pub use model_rt::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};

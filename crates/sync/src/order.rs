@@ -1,0 +1,272 @@
+//! Lock-order deadlock detector (debug builds only).
+//!
+//! Each thread keeps a stack of the locks it currently holds. Whenever a
+//! lock `B` is acquired while `A` is held, the edge `A → B` is recorded
+//! into a process-global lock-order graph together with a witness
+//! backtrace. If inserting an edge closes a cycle, we panic immediately
+//! with the witness stacks of every edge on the cycle: a deterministic
+//! failure in whatever test first exercises the inconsistent order,
+//! instead of a once-a-month production deadlock.
+//!
+//! Nodes are keyed by the lock's static *name* when one was given via
+//! `Mutex::named` / `RwLock::named` (so every instance of
+//! `"laqy.store"` is one node and ordering is enforced across service
+//! instances), falling back to the instance identity for anonymous
+//! locks. Edges between two anonymous instances of the *same* named
+//! class are skipped — e.g. hand-over-hand traversal of sibling
+//! fragments is not an inversion.
+
+use std::backtrace::Backtrace;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex as StdMutex, PoisonError};
+
+/// Identity of a node in the lock-order graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Key {
+    Named(&'static str),
+    Anon(u64),
+}
+
+impl std::fmt::Display for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Key::Named(n) => write!(f, "{n}"),
+            Key::Anon(id) => write!(f, "<anonymous lock #{id}>"),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Node {
+    key: Key,
+    /// Unique per lock instance; used to catch same-instance re-entry.
+    instance: u64,
+    /// Mutexes are exclusive, so re-entry on the same instance is a
+    /// guaranteed deadlock. RwLock read re-entry is merely suspicious
+    /// and not flagged.
+    exclusive: bool,
+}
+
+/// Per-lock metadata embedded in the wrapper types.
+pub(crate) struct LockMeta {
+    name: Option<&'static str>,
+    id: AtomicU64,
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static HELD: RefCell<Vec<Node>> = const { RefCell::new(Vec::new()) };
+}
+
+struct Edge {
+    /// Human-readable witness: thread name plus captured backtrace.
+    witness: String,
+}
+
+static GRAPH: StdMutex<Option<HashMap<Key, HashMap<Key, Edge>>>> = StdMutex::new(None);
+
+fn with_graph<R>(f: impl FnOnce(&mut HashMap<Key, HashMap<Key, Edge>>) -> R) -> R {
+    let mut g = GRAPH.lock().unwrap_or_else(PoisonError::into_inner);
+    f(g.get_or_insert_with(HashMap::new))
+}
+
+impl LockMeta {
+    pub(crate) const fn new(name: Option<&'static str>) -> Self {
+        Self {
+            name,
+            id: AtomicU64::new(0),
+        }
+    }
+
+    fn instance(&self) -> u64 {
+        let cur = self.id.load(Ordering::Relaxed);
+        if cur != 0 {
+            return cur;
+        }
+        let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        match self
+            .id
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(winner) => winner,
+        }
+    }
+
+    fn node(&self, exclusive: bool) -> Node {
+        let instance = self.instance();
+        Node {
+            key: match self.name {
+                Some(n) => Key::Named(n),
+                None => Key::Anon(instance),
+            },
+            instance,
+            exclusive,
+        }
+    }
+
+    /// Record an acquisition: checks re-entry, records ordering edges,
+    /// pushes onto the per-thread held stack. Returns a token whose drop
+    /// (or explicit `pause`) pops the record.
+    pub(crate) fn acquire(&self, exclusive: bool) -> HeldToken {
+        let node = self.node(exclusive);
+        record_acquire(node);
+        HeldToken { node, active: true }
+    }
+}
+
+fn thread_label() -> String {
+    let t = std::thread::current();
+    match t.name() {
+        Some(n) => format!("thread '{n}'"),
+        None => format!("thread {:?}", t.id()),
+    }
+}
+
+fn record_acquire(node: Node) {
+    // Never run detector bookkeeping while unwinding: a panic inside a
+    // Drop impl that takes a lock would escalate to an abort.
+    if std::thread::panicking() {
+        return;
+    }
+    let prior: Vec<Key> = HELD.with(|h| {
+        let held = h.borrow();
+        if node.exclusive
+            && held
+                .iter()
+                .any(|p| p.instance == node.instance && p.exclusive)
+        {
+            drop(held);
+            panic!(
+                "laqy-sync: recursive acquisition of exclusive lock {} on the same {}",
+                node.key,
+                thread_label()
+            );
+        }
+        let mut prior: Vec<Key> = held
+            .iter()
+            .map(|p| p.key)
+            .filter(|k| *k != node.key)
+            .collect();
+        prior.dedup();
+        prior
+    });
+    for from in prior {
+        record_edge(from, node.key);
+    }
+    HELD.with(|h| h.borrow_mut().push(node));
+}
+
+fn record_release(node: &Node) {
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        // Guards may be dropped out of LIFO order; remove the most
+        // recent matching entry rather than blindly popping.
+        if let Some(pos) = held
+            .iter()
+            .rposition(|p| p.instance == node.instance && p.exclusive == node.exclusive)
+        {
+            held.remove(pos);
+        }
+    });
+}
+
+/// Is `needle` reachable from `from` in the edge graph?
+fn reachable(
+    graph: &HashMap<Key, HashMap<Key, Edge>>,
+    from: Key,
+    needle: Key,
+    path: &mut Vec<Key>,
+) -> bool {
+    if from == needle {
+        path.push(from);
+        return true;
+    }
+    if path.contains(&from) {
+        return false;
+    }
+    path.push(from);
+    if let Some(out) = graph.get(&from) {
+        for next in out.keys() {
+            if reachable(graph, *next, needle, path) {
+                return true;
+            }
+        }
+    }
+    path.pop();
+    false
+}
+
+fn record_edge(from: Key, to: Key) {
+    let cycle: Option<String> = with_graph(|graph| {
+        if graph.get(&from).is_some_and(|out| out.contains_key(&to)) {
+            return None; // known-good edge, already checked
+        }
+        // Would `from → to` close a cycle? i.e. is `from` reachable
+        // from `to` using existing edges?
+        let mut path = Vec::new();
+        if reachable(graph, to, from, &mut path) {
+            let mut msg = format!(
+                "laqy-sync: lock-order cycle detected while {} acquires {} holding {}\n\
+                 new edge: {from} -> {to} (acquired here)\n\
+                 conflicting path:\n",
+                thread_label(),
+                to,
+                from,
+            );
+            for pair in path.windows(2) {
+                let witness = graph
+                    .get(&pair[0])
+                    .and_then(|out| out.get(&pair[1]))
+                    .map(|e| e.witness.as_str())
+                    .unwrap_or("<no witness>");
+                msg.push_str(&format!(
+                    "  {} -> {} first seen at:\n{}\n",
+                    pair[0], pair[1], witness
+                ));
+            }
+            return Some(msg);
+        }
+        let witness = format!("{} at:\n{}", thread_label(), Backtrace::force_capture());
+        graph.entry(from).or_default().insert(to, Edge { witness });
+        None
+    });
+    if let Some(msg) = cycle {
+        panic!("{msg}");
+    }
+}
+
+/// RAII record of a held lock; embedded in the guard types.
+pub(crate) struct HeldToken {
+    node: Node,
+    active: bool,
+}
+
+impl HeldToken {
+    /// Temporarily drop the record (used by `Condvar::wait`, which
+    /// releases the mutex while blocked).
+    pub(crate) fn pause(&mut self) {
+        if self.active {
+            record_release(&self.node);
+            self.active = false;
+        }
+    }
+
+    /// Re-record after `pause` — re-runs edge checks, since reacquiring
+    /// after a wait is an acquisition like any other.
+    pub(crate) fn resume(&mut self) {
+        if !self.active {
+            record_acquire(self.node);
+            self.active = true;
+        }
+    }
+}
+
+impl Drop for HeldToken {
+    fn drop(&mut self) {
+        self.pause();
+    }
+}

@@ -1,0 +1,268 @@
+//! Normal-build primitives: thin wrappers over the `parking_lot` shim.
+//!
+//! In release builds these are zero-cost pass-throughs. In debug builds
+//! every acquisition additionally feeds the [`crate::order`] lock-order
+//! graph so inconsistent lock orderings panic deterministically.
+
+use parking_lot as pl;
+
+#[cfg(debug_assertions)]
+use crate::order::{HeldToken, LockMeta};
+
+/// Zero-sized stand-ins when the order detector is compiled out.
+#[cfg(not(debug_assertions))]
+mod noop {
+    pub(crate) struct LockMeta;
+    impl LockMeta {
+        pub(crate) const fn new(_name: Option<&'static str>) -> Self {
+            Self
+        }
+        pub(crate) fn acquire(&self, _exclusive: bool) -> HeldToken {
+            HeldToken
+        }
+    }
+    pub(crate) struct HeldToken;
+    impl HeldToken {
+        pub(crate) fn pause(&mut self) {}
+        pub(crate) fn resume(&mut self) {}
+    }
+    // The guards store a token purely for its drop effect; a Drop impl
+    // keeps the otherwise-unread field from tripping dead_code here.
+    impl Drop for HeldToken {
+        fn drop(&mut self) {}
+    }
+}
+#[cfg(not(debug_assertions))]
+use noop::{HeldToken, LockMeta};
+
+/// A mutual-exclusion lock (non-poisoning, `parking_lot` semantics).
+pub struct Mutex<T> {
+    meta: LockMeta,
+    inner: pl::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create an anonymous mutex.
+    pub const fn new(value: T) -> Self {
+        Self {
+            meta: LockMeta::new(None),
+            inner: pl::Mutex::new(value),
+        }
+    }
+
+    /// Create a mutex with a static name. All instances sharing a name
+    /// form one node in the lock-order graph, so ordering is enforced
+    /// per *class* of lock rather than per instance.
+    pub const fn named(name: &'static str, value: T) -> Self {
+        Self {
+            meta: LockMeta::new(Some(name)),
+            inner: pl::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T> Mutex<T> {
+    /// Acquire the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let token = self.meta.acquire(true);
+        MutexGuard {
+            token,
+            inner: self.inner.lock(),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T> {
+    // Declared before `inner` so the order record is popped first; both
+    // effects are thread-local so relative order is inconsequential.
+    token: HeldToken,
+    inner: pl::MutexGuard<'a, T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A reader-writer lock (non-poisoning, `parking_lot` semantics).
+pub struct RwLock<T> {
+    meta: LockMeta,
+    inner: pl::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create an anonymous rwlock.
+    pub const fn new(value: T) -> Self {
+        Self {
+            meta: LockMeta::new(None),
+            inner: pl::RwLock::new(value),
+        }
+    }
+
+    /// Create a named rwlock; see [`Mutex::named`].
+    pub const fn named(name: &'static str, value: T) -> Self {
+        Self {
+            meta: LockMeta::new(Some(name)),
+            inner: pl::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T> RwLock<T> {
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let token = self.meta.acquire(false);
+        RwLockReadGuard {
+            _token: token,
+            inner: self.inner.read(),
+        }
+    }
+
+    /// Acquire an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let token = self.meta.acquire(true);
+        RwLockWriteGuard {
+            _token: token,
+            inner: self.inner.write(),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+/// Shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    _token: HeldToken,
+    inner: pl::RwLockReadGuard<'a, T>,
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// Exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    _token: HeldToken,
+    inner: pl::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A condition variable paired with [`Mutex`].
+pub struct Condvar {
+    inner: pl::Condvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: pl::Condvar::new(),
+        }
+    }
+
+    /// Create a named condition variable (the name only matters in
+    /// model builds; kept for API parity).
+    pub const fn named(_name: &'static str) -> Self {
+        Self::new()
+    }
+
+    /// Atomically release the mutex and block until notified; the mutex
+    /// is reacquired before returning. The lock-order record is paused
+    /// across the wait and re-checked on reacquisition.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        guard.token.pause();
+        self.inner.wait(&mut guard.inner);
+        guard.token.resume();
+    }
+
+    /// Like [`Condvar::wait`] but with a timeout. Returns `true` if the
+    /// wait timed out.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        guard.token.pause();
+        let timed_out = self.inner.wait_for(&mut guard.inner, timeout);
+        guard.token.resume();
+        timed_out
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,181 @@
+//! Model checks for the worker-pool protocol used by
+//! `crates/engine/src/parallel.rs`: a queue mutex + condvar, a shutdown
+//! flag, and a countdown latch. The engine's pool cannot run inside the
+//! model directly (it spawns OS threads lazily at first use, outside
+//! the scheduler), so the protocol is mirrored here shape-for-shape and
+//! checked exhaustively. Only built under `--cfg laqy_check`.
+#![cfg(laqy_check)]
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use laqy_sync::atomic::{AtomicU64, Ordering};
+use laqy_sync::model::model;
+use laqy_sync::{thread, Condvar, Mutex};
+
+/// Mirror of the engine pool's shared state: a task queue and a
+/// shutdown flag under one mutex (the engine uses an mpsc channel; the
+/// protocol — "shutdown drains the queue before exiting" — is the same).
+struct MiniPool {
+    queue: Mutex<(VecDeque<u64>, bool)>,
+    cv: Condvar,
+}
+
+impl MiniPool {
+    fn new() -> Self {
+        Self {
+            queue: Mutex::named("pool.queue", (VecDeque::new(), false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn submit(&self, task: u64) {
+        self.queue.lock().0.push_back(task);
+        self.cv.notify_all();
+    }
+
+    fn shutdown(&self) {
+        self.queue.lock().1 = true;
+        self.cv.notify_all();
+    }
+
+    /// Worker loop: run tasks until shutdown *and* the queue is empty —
+    /// the drain-before-exit rule that makes submit-then-shutdown safe.
+    /// Counts the latch down once per task, like `parallel_fold`'s
+    /// wrapped tasks do.
+    fn worker(&self, ran: &AtomicU64, latch: &MiniLatch) {
+        loop {
+            let task = {
+                let mut g = self.queue.lock();
+                loop {
+                    if let Some(t) = g.0.pop_front() {
+                        break Some(t);
+                    }
+                    if g.1 {
+                        break None;
+                    }
+                    self.cv.wait(&mut g);
+                }
+            };
+            match task {
+                Some(t) => {
+                    ran.fetch_add(t, Ordering::Relaxed);
+                    latch.count_down();
+                }
+                None => return,
+            }
+        }
+    }
+}
+
+/// Mirror of the engine's `Latch`.
+struct MiniLatch {
+    remaining: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl MiniLatch {
+    fn new(n: usize) -> Self {
+        Self {
+            remaining: Mutex::named("pool.latch", n),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut g = self.remaining.lock();
+        *g -= 1;
+        if *g == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut g = self.remaining.lock();
+        while *g != 0 {
+            self.cv.wait(&mut g);
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        *self.remaining.lock()
+    }
+}
+
+/// A task submitted concurrently with the worker draining must run
+/// exactly once, under every interleaving of submit, wait, notify, and
+/// shutdown. (The engine only shuts the pool down once submitters are
+/// done, so shutdown is ordered after the submitter here too.)
+#[test]
+fn shutdown_never_loses_a_submitted_task() {
+    let r = model(|| {
+        let pool = Arc::new(MiniPool::new());
+        let ran = Arc::new(AtomicU64::new(0));
+        let latch = Arc::new(MiniLatch::new(1));
+
+        let (p2, r2, l2) = (pool.clone(), ran.clone(), latch.clone());
+        let worker = thread::spawn(move || p2.worker(&r2, &l2));
+
+        let p3 = pool.clone();
+        let submitter = thread::spawn(move || {
+            p3.submit(1);
+        });
+
+        submitter.join().unwrap();
+        pool.shutdown();
+        worker.join().unwrap();
+
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "lost or duplicated task");
+        assert_eq!(latch.remaining(), 0);
+    });
+    assert!(
+        r.interleavings >= 100,
+        "expected a real search space, got {}",
+        r.interleavings
+    );
+}
+
+/// Two submitters fan in through the latch: `latch.wait()` returning
+/// means both tasks actually ran — the `parallel_fold` completion
+/// invariant ("the scope's borrows end only after every task finished").
+#[test]
+fn latch_reaches_zero_exactly_when_all_tasks_ran() {
+    let r = model(|| {
+        let pool = Arc::new(MiniPool::new());
+        let ran = Arc::new(AtomicU64::new(0));
+        let latch = Arc::new(MiniLatch::new(2));
+
+        let (p2, r2, l2) = (pool.clone(), ran.clone(), latch.clone());
+        let worker = thread::spawn(move || p2.worker(&r2, &l2));
+
+        let hs: Vec<_> = (0..2)
+            .map(|i| {
+                let p = pool.clone();
+                thread::spawn(move || {
+                    p.submit(1 + i);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        latch.wait();
+        // Both tasks have run by the time the latch opens: their side
+        // effects are visible and the count is settled at zero.
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            3,
+            "latch opened before both tasks ran"
+        );
+        assert_eq!(latch.remaining(), 0, "latch must be settled after wait");
+
+        pool.shutdown();
+        worker.join().unwrap();
+        assert_eq!(ran.load(Ordering::Relaxed), 3, "task ran twice");
+    });
+    assert!(
+        r.interleavings >= 100,
+        "expected a real search space, got {}",
+        r.interleavings
+    );
+}

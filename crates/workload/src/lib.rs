@@ -6,6 +6,7 @@
 //! reuse evaluation ([`sequences`]), and the paper's query templates Strat,
 //! Q1, and Q2 ([`queries`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod queries;

@@ -1,0 +1,591 @@
+//! Source-level static analysis for the LAQy workspace.
+//!
+//! `cargo run -p xtask -- lint` walks the workspace source tree and enforces
+//! invariants that `clippy` cannot express because they are *repo policy*,
+//! not language policy:
+//!
+//! 1. **sync-imports** — no direct `std::sync` lock/channel/atomic or
+//!    `parking_lot` usage outside the `laqy-sync` wrapper crate (and the one
+//!    sanctioned worker-pool file). Everything else must go through
+//!    `laqy_sync::{Mutex, RwLock, Condvar, atomic}` so the `laqy_check`
+//!    model-checking cfg and the debug lock-order detector see every
+//!    acquisition. `Arc`/`OnceLock`/`Weak` are fine: they are not blocking
+//!    primitives and carry no ordering obligations.
+//! 2. **unsafe-scope** — `unsafe` appears nowhere except
+//!    `crates/engine/src/parallel.rs` (the lifetime-erased task submission).
+//! 3. **safety-comments** — inside that one file, every `unsafe` token is
+//!    preceded by a `// SAFETY:` comment (or a `# Safety` doc section for
+//!    `unsafe fn`) within a few lines.
+//! 4. **hot-path-unwrap** — no `.unwrap()` / `.expect(...)` in non-test code
+//!    of the service/executor/store hot paths; errors must be hoisted into
+//!    `LaqyError` so a malformed query cannot poison a shared lock.
+//! 5. **sampling-determinism** — `crates/sampling` must stay a pure function
+//!    of (input, seed): no wall clocks, no OS entropy, no `RandomState`
+//!    hash maps whose iteration order varies per process.
+//!
+//! The pass is deliberately AST-light: a character-level state machine strips
+//! comments and string literals (preserving line structure), `#[cfg(test)]`
+//! modules are blanked by brace matching, and rules are token scans over the
+//! stripped text. That is exact enough for these rules and keeps `xtask`
+//! dependency-free.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Path relative to the lint root, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule identifier (e.g. `sync-imports`).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Files allowed to use `std::sync`/`unsafe` directly: the wrapper crate is
+/// exempt wholesale (rule 1 only), plus this single engine file (rules 1-2).
+const PARALLEL_ALLOWLIST: &str = "crates/engine/src/parallel.rs";
+
+/// Hot-path files for the unwrap/expect ban (rule 4).
+const HOT_PATHS: [&str; 3] = [
+    "crates/core/src/service.rs",
+    "crates/core/src/executor.rs",
+    "crates/core/src/store.rs",
+];
+
+/// Tokens banned from `crates/sampling/src` (rule 5): wall clocks, OS
+/// entropy, and per-process-randomized hashing.
+const NONDETERMINISM_TOKENS: [&str; 9] = [
+    "std::time",
+    "SystemTime",
+    "Instant",
+    "thread_rng",
+    "from_entropy",
+    "getrandom",
+    "RandomState",
+    "HashMap::new",
+    "HashSet::new",
+];
+
+/// `std::sync::` heads that must be routed through `laqy-sync`.
+const SYNC_DENY: [&str; 9] = [
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "Barrier",
+    "Once",
+    "mpsc",
+    "atomic",
+    "LazyLock",
+    "PoisonError",
+];
+
+/// Run every rule over the workspace rooted at `root`.
+///
+/// Returns all findings, ordered by file then line. An empty vector means
+/// the tree is clean.
+pub fn lint_tree(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut files = collect_sources(root)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for rel in &files {
+        let text = fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("read {}: {e}", rel.display()))?;
+        let rel = rel
+            .to_str()
+            .ok_or_else(|| format!("non-UTF-8 path {}", rel.display()))?
+            .replace('\\', "/");
+        lint_file(&rel, &text, &mut findings);
+    }
+    Ok(findings)
+}
+
+fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) {
+    let stripped = strip_comments_and_strings(text);
+    let app = blank_test_modules(&stripped);
+
+    let in_sync_crate = rel.starts_with("crates/sync/");
+    let is_parallel = rel == PARALLEL_ALLOWLIST;
+
+    if !in_sync_crate && !is_parallel {
+        check_sync_imports(rel, &app, findings);
+    }
+    if is_parallel {
+        check_safety_comments(rel, text, &stripped, findings);
+    } else {
+        for (line, _) in token_occurrences(&app, "unsafe") {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line,
+                rule: "unsafe-scope",
+                message: format!("`unsafe` is only permitted in {PARALLEL_ALLOWLIST}"),
+            });
+        }
+    }
+    if HOT_PATHS.contains(&rel) {
+        check_hot_path_unwraps(rel, &app, findings);
+    }
+    if rel.starts_with("crates/sampling/src/") {
+        for tok in NONDETERMINISM_TOKENS {
+            for (line, _) in substring_occurrences(&app, tok) {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line,
+                    rule: "sampling-determinism",
+                    message: format!(
+                        "`{tok}` in crates/sampling breaks (input, seed) determinism; \
+                         use the seeded RNG / FxBuildHasher instead"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source collection
+// ---------------------------------------------------------------------------
+
+/// Collect every `.rs` file under `crates/*/src` and the root `src/`,
+/// as paths relative to `root`. Test directories, fixtures, and `target`
+/// are never visited because they live outside those subtrees.
+fn collect_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in read_dir_sorted(&crates)? {
+            let src = entry.join("src");
+            if src.is_dir() {
+                walk_rs(&src, root, &mut out)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        walk_rs(&root_src, root, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut entries = Vec::new();
+    let iter = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in iter {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        entries.push(entry.path());
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+fn walk_rs(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for path in read_dir_sorted(dir)? {
+        if path.is_dir() {
+            walk_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("strip_prefix {}: {e}", path.display()))?;
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Stripping: comments, strings, and #[cfg(test)] modules
+// ---------------------------------------------------------------------------
+
+/// Replace comments and string/char-literal contents with spaces, keeping
+/// every newline, so downstream token scans cannot be fooled by prose and
+/// line numbers survive.
+pub fn strip_comments_and_strings(text: &str) -> String {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Line,
+        Block(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let b = text.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match st {
+            St::Code => {
+                if c == b'/' && b.get(i + 1) == Some(&b'/') {
+                    st = St::Line;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    st = St::Block(1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'"' {
+                    st = St::Str;
+                    out.push(b'"');
+                    i += 1;
+                } else if c == b'r' && matches!(b.get(i + 1), Some(b'"') | Some(b'#')) {
+                    // r"..." or r#"..."# (also covers the tail of br"...").
+                    let mut hashes = 0u32;
+                    let mut j = i + 1;
+                    while b.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&b'"') {
+                        st = St::RawStr(hashes);
+                        out.resize(out.len() + (j + 1 - i), b' ');
+                        i = j + 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                } else if c == b'\'' {
+                    // Char literal vs lifetime: 'x' / '\n' are literals,
+                    // 'static is a lifetime (no closing quote right after).
+                    let is_char = match b.get(i + 1) {
+                        Some(b'\\') => true,
+                        Some(_) => b.get(i + 2) == Some(&b'\''),
+                        None => false,
+                    };
+                    if is_char {
+                        st = St::Char;
+                        out.push(b'\'');
+                    } else {
+                        out.push(b'\'');
+                    }
+                    i += 1;
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            St::Line => {
+                if c == b'\n' {
+                    st = St::Code;
+                    out.push(b'\n');
+                } else {
+                    out.push(b' ');
+                }
+                i += 1;
+            }
+            St::Block(depth) => {
+                if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    st = St::Block(depth + 1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'*' && b.get(i + 1) == Some(&b'/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::Block(depth - 1)
+                    };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    out.push(if c == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == b'\\' && i + 1 < b.len() {
+                    out.push(b' ');
+                    out.push(if b[i + 1] == b'\n' { b'\n' } else { b' ' });
+                    i += 2;
+                } else if c == b'"' {
+                    st = St::Code;
+                    out.push(b'"');
+                    i += 1;
+                } else {
+                    out.push(if c == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == b'"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && b.get(j) == Some(&b'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        st = St::Code;
+                        out.resize(out.len() + (j - i), b' ');
+                        i = j;
+                        continue;
+                    }
+                }
+                out.push(if c == b'\n' { b'\n' } else { b' ' });
+                i += 1;
+            }
+            St::Char => {
+                if c == b'\\' && i + 1 < b.len() {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'\'' {
+                    st = St::Code;
+                    out.push(b'\'');
+                    i += 1;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Strings/comments only ever shrink to same-length space runs.
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// Blank out the bodies of `#[cfg(test)]`-gated items (and `#[test]` fns)
+/// in already-stripped text so test-only code is exempt from the hot-path
+/// rules. Brace-matching is exact because strings are already gone.
+pub fn blank_test_modules(stripped: &str) -> String {
+    let mut out = stripped.as_bytes().to_vec();
+    for marker in ["#[cfg(test)]", "#[test]"] {
+        let mut from = 0;
+        while let Some(pos) = stripped[from..].find(marker) {
+            let attr_end = from + pos + marker.len();
+            if let Some(open) = stripped[attr_end..].find('{') {
+                let open = attr_end + open;
+                let mut depth = 0usize;
+                for (off, ch) in stripped[open..].char_indices() {
+                    match ch {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                for slot in &mut out[open + 1..open + off] {
+                                    if *slot != b'\n' {
+                                        *slot = b' ';
+                                    }
+                                }
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            from = attr_end;
+        }
+    }
+    String::from_utf8(out).unwrap_or_default()
+}
+
+// ---------------------------------------------------------------------------
+// Token scanning helpers
+// ---------------------------------------------------------------------------
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+fn line_of(text: &str, offset: usize) -> usize {
+    text[..offset].bytes().filter(|&c| c == b'\n').count() + 1
+}
+
+/// Occurrences of `needle` as a standalone identifier (word boundaries on
+/// both sides). Returns `(line, byte_offset)` pairs.
+fn token_occurrences(text: &str, needle: &str) -> Vec<(usize, usize)> {
+    let mut hits = Vec::new();
+    let b = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let left_ok = start == 0 || !is_ident_char(b[start - 1]);
+        let right_ok = end >= b.len() || !is_ident_char(b[end]);
+        if left_ok && right_ok {
+            hits.push((line_of(text, start), start));
+        }
+        from = start + needle.len();
+    }
+    hits
+}
+
+/// Plain substring occurrences (for multi-segment tokens like `std::time`),
+/// still requiring an identifier boundary on each flank.
+fn substring_occurrences(text: &str, needle: &str) -> Vec<(usize, usize)> {
+    let first = needle.as_bytes()[0];
+    let last = needle.as_bytes()[needle.len() - 1];
+    let mut hits = Vec::new();
+    let b = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let left_ok = start == 0 || !is_ident_char(b[start - 1]) || !is_ident_char(first);
+        let right_ok = end >= b.len() || !is_ident_char(b[end]) || !is_ident_char(last);
+        if left_ok && right_ok {
+            hits.push((line_of(text, start), start));
+        }
+        from = start + needle.len();
+    }
+    hits
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: sync imports
+// ---------------------------------------------------------------------------
+
+fn check_sync_imports(rel: &str, text: &str, findings: &mut Vec<Finding>) {
+    for (line, _) in token_occurrences(text, "parking_lot") {
+        findings.push(Finding {
+            file: rel.to_string(),
+            line,
+            rule: "sync-imports",
+            message: "direct `parking_lot` usage; route through `laqy_sync`".into(),
+        });
+    }
+    let b = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find("std::sync::") {
+        let start = from + pos;
+        from = start + "std::sync::".len();
+        if start > 0 && is_ident_char(b[start - 1]) {
+            continue;
+        }
+        for head in path_heads(&text[from..]) {
+            if SYNC_DENY.contains(&head.as_str()) {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: line_of(text, start),
+                    rule: "sync-imports",
+                    message: format!(
+                        "direct `std::sync::{head}` usage; route through `laqy_sync` so the \
+                         model checker and lock-order detector see it"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The first path segment(s) referenced after `std::sync::` — either one
+/// identifier, or for a brace group every top-level item's first identifier
+/// (so `use std::sync::{atomic::AtomicU64, Arc}` yields `atomic` and `Arc`).
+fn path_heads(after: &str) -> Vec<String> {
+    let b = after.as_bytes();
+    if b.first() == Some(&b'{') {
+        let mut heads = Vec::new();
+        let mut depth = 0usize;
+        let mut item_start = true;
+        for (i, &c) in b.iter().enumerate() {
+            match c {
+                b'{' => {
+                    depth += 1;
+                    item_start = depth == 1;
+                }
+                b'}' => {
+                    if depth <= 1 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                b',' if depth == 1 => item_start = true,
+                c if c.is_ascii_whitespace() => {}
+                _ => {
+                    if depth == 1 && item_start && is_ident_char(c) {
+                        let mut end = i;
+                        while end < b.len() && is_ident_char(b[end]) {
+                            end += 1;
+                        }
+                        heads.push(after[i..end].to_string());
+                    }
+                    item_start = false;
+                }
+            }
+        }
+        heads
+    } else {
+        let end = b.iter().position(|&c| !is_ident_char(c)).unwrap_or(b.len());
+        if end == 0 {
+            Vec::new()
+        } else {
+            vec![after[..end].to_string()]
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: SAFETY comments in the sanctioned unsafe file
+// ---------------------------------------------------------------------------
+
+/// Lines of provenance we accept between an `unsafe` token and its
+/// justifying comment (attributes, the fn signature, blank lines).
+const SAFETY_WINDOW: usize = 12;
+
+fn check_safety_comments(rel: &str, raw: &str, stripped: &str, findings: &mut Vec<Finding>) {
+    let raw_lines: Vec<&str> = raw.lines().collect();
+    for (line, _) in token_occurrences(stripped, "unsafe") {
+        let lo = line.saturating_sub(SAFETY_WINDOW);
+        let justified = raw_lines[lo..line.min(raw_lines.len())]
+            .iter()
+            .any(|l| l.contains("SAFETY:") || l.contains("# Safety"));
+        if !justified {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line,
+                rule: "safety-comments",
+                message: format!(
+                    "`unsafe` without a `// SAFETY:` comment within {SAFETY_WINDOW} lines"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: hot-path unwrap/expect
+// ---------------------------------------------------------------------------
+
+fn check_hot_path_unwraps(rel: &str, text: &str, findings: &mut Vec<Finding>) {
+    let b = text.as_bytes();
+    for method in ["unwrap", "expect"] {
+        for (line, off) in token_occurrences(text, method) {
+            // Only flag method *calls*: `.unwrap()` / `.expect(`.
+            // `unwrap_or`, `expect_err`, etc. fail the word-boundary test
+            // already; a definition like `fn unwrap` fails the `.` test.
+            let preceded_by_dot = off > 0 && b[off - 1] == b'.';
+            let mut end = off + method.len();
+            while end < b.len() && b[end].is_ascii_whitespace() {
+                end += 1;
+            }
+            let called = b.get(end) == Some(&b'(');
+            if preceded_by_dot && called {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line,
+                    rule: "hot-path-unwrap",
+                    message: format!(
+                        "`.{method}(...)` on a service hot path; hoist into `LaqyError` \
+                         so one bad query cannot panic while holding a shared lock"
+                    ),
+                });
+            }
+        }
+    }
+}

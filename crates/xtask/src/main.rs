@@ -1,0 +1,53 @@
+//! Workspace task runner. Currently one task:
+//!
+//! ```text
+//! cargo run -p xtask -- lint [ROOT]
+//! ```
+//!
+//! runs the repo-policy lint over the workspace (default: the workspace this
+//! xtask binary was built from) and exits non-zero on any finding.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let root = args.next().map(PathBuf::from).unwrap_or_else(|| {
+                // crates/xtask -> crates -> workspace root
+                PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                    .parent()
+                    .and_then(|p| p.parent())
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from("."))
+            });
+            match xtask::lint_tree(&root) {
+                Ok(findings) if findings.is_empty() => {
+                    eprintln!("xtask lint: clean ({})", root.display());
+                    ExitCode::SUCCESS
+                }
+                Ok(findings) => {
+                    for f in &findings {
+                        eprintln!("{f}");
+                    }
+                    eprintln!("xtask lint: {} finding(s)", findings.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("xtask lint: error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        other => {
+            eprintln!(
+                "usage: cargo run -p xtask -- lint [ROOT]\n\
+                 unknown task: {other:?}"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: rule `hot-path-unwrap` — `.unwrap()`/`.expect(...)` in non-test
+// code of a hot-path file fires; the same calls inside `#[cfg(test)]` and
+// `unwrap_or_else`-style neighbours do not.
+pub fn hot(v: Option<u64>, r: Result<u64, String>) -> u64 {
+    let a = v.unwrap();
+    let b = r.expect("fixture");
+    let c = v.unwrap_or_else(|| 7);
+    a + b + c
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let v: Option<u64> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let r: Result<u64, ()> = Ok(2);
+        assert_eq!(r.expect("fine in tests"), 2);
+    }
+}

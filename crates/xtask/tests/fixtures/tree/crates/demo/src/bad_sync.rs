@@ -1,0 +1,16 @@
+// Fixture: rule `sync-imports` must fire on each denied head, and not on
+// `Arc`/`OnceLock`, which carry no lock-ordering or scheduling obligations.
+use std::sync::Mutex;
+use std::sync::{atomic::AtomicU64, Arc, OnceLock};
+use parking_lot::RwLock;
+
+// Mentions in prose or strings must NOT fire: std::sync::Mutex, parking_lot.
+pub const DOC: &str = "std::sync::Condvar and parking_lot are fine in strings";
+
+pub struct Holder {
+    pub m: Mutex<u64>,
+    pub c: AtomicU64,
+    pub a: Arc<u64>,
+    pub o: OnceLock<u64>,
+    pub r: RwLock<u64>,
+}

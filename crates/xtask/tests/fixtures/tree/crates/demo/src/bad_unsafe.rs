@@ -1,0 +1,5 @@
+// Fixture: rule `unsafe-scope` — `unsafe` outside the sanctioned file.
+pub fn peek(v: &[u8]) -> u8 {
+    // SAFETY: a comment does not make this file part of the allowlist.
+    unsafe { *v.get_unchecked(0) }
+}

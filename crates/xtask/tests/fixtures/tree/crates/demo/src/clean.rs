@@ -1,0 +1,13 @@
+// Fixture: a clean file — nothing here may produce a finding.
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+pub fn fine(v: Option<u64>) -> u64 {
+    // `unwrap` outside the hot-path file set is allowed (this is crates/demo).
+    v.unwrap_or(3)
+}
+
+pub fn share(x: u64) -> Arc<u64> {
+    static CACHE: OnceLock<u64> = OnceLock::new();
+    Arc::new(x + CACHE.get_or_init(|| 1))
+}

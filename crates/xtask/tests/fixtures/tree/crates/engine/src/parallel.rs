@@ -1,0 +1,27 @@
+// Fixture: rule `safety-comments` inside the allowlisted file. The first
+// block is justified and must pass; the last has no SAFETY comment within
+// the lookback window and must be flagged (and must NOT trip `unsafe-scope`).
+pub fn justified(v: &[u8]) -> u8 {
+    // SAFETY: caller guarantees v is non-empty (checked by the latch).
+    unsafe { *v.get_unchecked(0) }
+}
+
+pub fn spacer_a(x: u64) -> u64 {
+    x + 1
+}
+
+pub fn spacer_b(x: u64) -> u64 {
+    x + 2
+}
+
+pub fn spacer_c(x: u64) -> u64 {
+    x + 3
+}
+
+pub fn spacer_d(x: u64) -> u64 {
+    x + 4
+}
+
+pub fn unjustified(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

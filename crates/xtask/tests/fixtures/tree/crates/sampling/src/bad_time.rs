@@ -1,0 +1,9 @@
+//! Fixture: rule `sampling-determinism`. Doc prose mentioning Instant or
+//! RandomState must NOT fire; real uses below must.
+use std::collections::HashMap;
+
+pub fn stamped() -> u64 {
+    let t = std::time::Instant::now();
+    let m: HashMap<u64, u64> = HashMap::new();
+    t.elapsed().as_nanos() as u64 + m.len() as u64
+}

@@ -1,0 +1,156 @@
+//! The lint pass, tested two ways: against a fixture tree where every rule
+//! has a seeded violation plus a decoy that must NOT fire, and against the
+//! real workspace, which must be clean (this is the same check CI runs via
+//! `cargo run -p xtask -- lint`, kept inside `cargo test` so a violation
+//! fails the tier-1 suite even without the CI job).
+
+use std::path::{Path, PathBuf};
+
+use xtask::{blank_test_modules, lint_tree, strip_comments_and_strings, Finding};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/tree")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives at <root>/crates/xtask")
+        .to_path_buf()
+}
+
+fn fixture_findings() -> Vec<Finding> {
+    lint_tree(&fixture_root()).expect("fixture tree lints")
+}
+
+fn matching<'a>(findings: &'a [Finding], rule: &str, file: &str) -> Vec<&'a Finding> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && f.file == file)
+        .collect()
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let findings = lint_tree(&workspace_root()).expect("workspace lints");
+    assert!(
+        findings.is_empty(),
+        "xtask lint found violations in the real tree:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn sync_imports_fire_on_denied_heads_only() {
+    let findings = fixture_findings();
+    let hits = matching(&findings, "sync-imports", "crates/demo/src/bad_sync.rs");
+    // Mutex (line 3), atomic (line 4), parking_lot (line 5) — and nothing
+    // for Arc/OnceLock on line 4 or the prose/string mentions.
+    let lines: Vec<usize> = hits.iter().map(|f| f.line).collect();
+    assert_eq!(
+        lines,
+        vec![5, 3, 4],
+        "parking_lot first, then paths: {hits:?}"
+    );
+    assert!(
+        !hits
+            .iter()
+            .any(|f| f.message.contains("Arc") || f.message.contains("OnceLock")),
+        "Arc/OnceLock must be allowed: {hits:?}"
+    );
+    // The clean file is silent across all rules.
+    assert!(
+        !findings.iter().any(|f| f.file.ends_with("clean.rs")),
+        "clean.rs produced findings: {findings:?}"
+    );
+}
+
+#[test]
+fn unsafe_outside_allowlist_is_flagged() {
+    let findings = fixture_findings();
+    let hits = matching(&findings, "unsafe-scope", "crates/demo/src/bad_unsafe.rs");
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].line, 4);
+    // The allowlisted file never produces unsafe-scope findings.
+    assert!(matching(&findings, "unsafe-scope", "crates/engine/src/parallel.rs").is_empty());
+}
+
+#[test]
+fn safety_comments_required_in_sanctioned_file() {
+    let findings = fixture_findings();
+    let hits = matching(
+        &findings,
+        "safety-comments",
+        "crates/engine/src/parallel.rs",
+    );
+    assert_eq!(hits.len(), 1, "only the unjustified block fires: {hits:?}");
+    assert_eq!(hits[0].line, 26);
+}
+
+#[test]
+fn hot_path_unwraps_fire_outside_tests_only() {
+    let findings = fixture_findings();
+    let hits = matching(&findings, "hot-path-unwrap", "crates/core/src/service.rs");
+    let lines: Vec<usize> = hits.iter().map(|f| f.line).collect();
+    // unwrap() line 5 and expect(...) line 6; the cfg(test) module and
+    // unwrap_or_else are exempt.
+    assert_eq!(lines, vec![5, 6], "{hits:?}");
+}
+
+#[test]
+fn sampling_determinism_tokens_fire() {
+    let findings = fixture_findings();
+    let hits = matching(
+        &findings,
+        "sampling-determinism",
+        "crates/sampling/src/bad_time.rs",
+    );
+    let mut tokens: Vec<&str> = hits
+        .iter()
+        .map(|f| {
+            ["std::time", "Instant", "HashMap::new"]
+                .into_iter()
+                .find(|t| f.message.contains(&format!("`{t}`")))
+                .expect("finding names its token")
+        })
+        .collect();
+    tokens.sort_unstable();
+    assert_eq!(
+        tokens,
+        vec!["HashMap::new", "Instant", "std::time"],
+        "{hits:?}"
+    );
+}
+
+#[test]
+fn stripper_preserves_lines_and_blanks_prose() {
+    let src = "fn f() {\n    // unsafe in a comment\n    let s = \"std::sync::Mutex\";\n    let c = 'x';\n    let l: &'static str = s;\n}\n";
+    let stripped = strip_comments_and_strings(src);
+    assert_eq!(
+        stripped.matches('\n').count(),
+        src.matches('\n').count(),
+        "line structure must survive stripping"
+    );
+    assert!(
+        !stripped.contains("unsafe"),
+        "comment not blanked: {stripped}"
+    );
+    assert!(
+        !stripped.contains("Mutex"),
+        "string not blanked: {stripped}"
+    );
+    assert!(stripped.contains("'static"), "lifetime mangled: {stripped}");
+}
+
+#[test]
+fn test_module_blanking_is_brace_exact() {
+    let src = "fn hot() { x.unwrap() }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap() }\n}\nfn also_hot() { z.unwrap() }\n";
+    let blanked = blank_test_modules(&strip_comments_and_strings(src));
+    assert_eq!(blanked.matches("unwrap").count(), 2, "{blanked}");
+    assert!(blanked.contains("also_hot"), "code after the mod survives");
+}

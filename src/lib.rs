@@ -1,4 +1,7 @@
 //! Integration-test and example host for the LAQy workspace; see the README.
+
+#![forbid(unsafe_code)]
+
 pub use laqy;
 pub use laqy_engine;
 pub use laqy_sampling;
