@@ -1,0 +1,201 @@
+//! Deadline-bounded degraded answers: budget vs. fidelity trade-off.
+//!
+//! The robustness layer lets a query carry a [`QueryBudget`]; on expiry
+//! the executor finalizes the partial reservoirs into a *degraded*
+//! estimate — extensive aggregates extrapolated by the scanned coverage,
+//! confidence intervals widened by `1/(c·√c)` — instead of running past
+//! its deadline. This experiment quantifies the trade: sweep the budget
+//! and record, per point, the achieved latency, the scanned coverage,
+//! and the mean relative error of the SUM estimates against exact
+//! execution.
+//!
+//! Two sweeps share the figure (their x axes differ; see the series
+//! labels): a *deadline* sweep in fractions of the unbudgeted scan's
+//! wall time, and a deterministic *row-cap* sweep in fractions of the
+//! fact-table rows. The budgeted runs use one worker thread so morsel
+//! admission is sequential — with a wide pool every morsel is admitted
+//! before the deadline can be observed, and nothing degrades.
+
+use laqy::{Interval, LaqyService, QueryBudget, SessionConfig};
+use laqy_engine::{Catalog, Value};
+use laqy_workload::q1;
+
+use crate::report::{Figure, Series};
+use crate::{time, time_best};
+
+use super::BenchConfig;
+
+/// Deadline sweep points, as fractions of the unbudgeted scan time.
+const DEADLINE_FRACTIONS: &[f64] = &[0.125, 0.25, 0.5, 1.0, 2.0];
+
+/// Row-cap sweep points, as fractions of the fact-table rows.
+const ROW_CAP_FRACTIONS: &[f64] = &[0.125, 0.25, 0.5, 0.75, 1.0];
+
+/// Mean absolute relative error (%) of the first aggregate across groups
+/// whose exact value is nonzero.
+fn mean_rel_err(exact: &laqy_engine::QueryResult, result: &laqy::ApproxResult) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for g in &result.groups {
+        let key: Vec<Value> = g.key.iter().map(|&v| Value::Int(v)).collect();
+        if let Some(row) = exact.row_by_key(&key) {
+            if row.values[0].abs() > f64::EPSILON {
+                sum += ((g.values[0].value - row.values[0]) / row.values[0]).abs();
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        100.0 * sum / n as f64
+    }
+}
+
+/// A fresh single-threaded service over the shared catalog: every sweep
+/// point starts from a cold store so budgets cut a real scan, and serial
+/// morsel admission makes the deadline observable mid-scan.
+fn fresh_service(cfg: &BenchConfig, catalog: &Catalog) -> LaqyService {
+    LaqyService::with_config(
+        catalog.clone(),
+        SessionConfig {
+            threads: 1,
+            seed: cfg.seed,
+            ..Default::default()
+        },
+    )
+}
+
+/// The `deadline` experiment: budget sweep vs. latency, coverage, and
+/// achieved relative error.
+pub fn deadline(cfg: &BenchConfig, catalog: &Catalog) -> Figure {
+    let n = catalog
+        .table("lineorder")
+        .expect("lineorder generated")
+        .num_rows() as i64;
+    let query = q1(Interval::new(0, n - 1), cfg.k);
+    let (exact, _) = fresh_service(cfg, catalog)
+        .run_exact(&query)
+        .expect("exact baseline");
+
+    // Unbudgeted reference: the full online scan this budget is cutting.
+    let (_, t_full) = time_best(|| {
+        fresh_service(cfg, catalog)
+            .run_online_oblivious(&query)
+            .expect("unbudgeted scan")
+    });
+
+    let mut latency_ms = Vec::new();
+    let mut coverage_deadline = Vec::new();
+    let mut err_deadline = Vec::new();
+    let mut notes = vec![format!(
+        "{} fact rows; unbudgeted single-thread scan {:.2} ms; budgets in fractions of it",
+        n,
+        t_full.as_secs_f64() * 1e3
+    )];
+
+    for &frac in DEADLINE_FRACTIONS {
+        let budget = t_full.mul_f64(frac);
+        let service = fresh_service(cfg, catalog);
+        let (result, elapsed) =
+            time(|| service.run_with_budget(&query, QueryBudget::with_deadline(budget)));
+        let result = result.expect("budgeted run answers");
+        let coverage = result.stats.degraded.as_ref().map_or(1.0, |d| d.coverage);
+        latency_ms.push((frac, elapsed.as_secs_f64() * 1e3));
+        coverage_deadline.push((frac, coverage));
+        err_deadline.push((frac, mean_rel_err(&exact, &result)));
+        if frac == DEADLINE_FRACTIONS[0] {
+            notes.push(format!(
+                "acceptance @ budget {:.2} ms ({frac}× full scan): answered in {:.2} ms, \
+                 coverage {:.2}, degraded: {}",
+                budget.as_secs_f64() * 1e3,
+                elapsed.as_secs_f64() * 1e3,
+                coverage,
+                result.stats.degraded.is_some(),
+            ));
+        }
+    }
+
+    let mut coverage_cap = Vec::new();
+    let mut err_cap = Vec::new();
+    for &frac in ROW_CAP_FRACTIONS {
+        let cap = (frac * n as f64) as u64;
+        let service = fresh_service(cfg, catalog);
+        let result = service
+            .run_with_budget(&query, QueryBudget::with_row_cap(cap))
+            .expect("row-capped run answers");
+        let coverage = result.stats.degraded.as_ref().map_or(1.0, |d| d.coverage);
+        coverage_cap.push((frac, coverage));
+        err_cap.push((frac, mean_rel_err(&exact, &result)));
+    }
+
+    let mut fig = Figure::new(
+        "deadline",
+        "Deadline-bounded degraded answers: budget vs. latency, coverage, and relative error",
+        "budget (deadline series: fraction of full-scan time; row-cap series: fraction of rows)",
+        "latency (ms) / scanned coverage (0-1) / mean |rel err| (%) — per series",
+    )
+    .with_series(Series::new("latency ms (deadline sweep)", latency_ms))
+    .with_series(Series::new("coverage (deadline sweep)", coverage_deadline))
+    .with_series(Series::new(
+        "mean |rel err| % (deadline sweep)",
+        err_deadline,
+    ))
+    .with_series(Series::new("coverage (row-cap sweep)", coverage_cap))
+    .with_series(Series::new("mean |rel err| % (row-cap sweep)", err_cap));
+    for note in notes {
+        fig = fig.with_note(note);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_experiment_runs_small() {
+        let cfg = BenchConfig {
+            sf: 0.005,
+            threads: 2,
+            ..Default::default()
+        };
+        let catalog = cfg.catalog();
+        let fig = deadline(&cfg, &catalog);
+        assert_eq!(fig.series.len(), 5);
+        assert_eq!(fig.series[0].points.len(), DEADLINE_FRACTIONS.len());
+        assert_eq!(fig.series[3].points.len(), ROW_CAP_FRACTIONS.len());
+        // Coverage is a valid fraction everywhere, and an uncapped row
+        // budget (fraction 1.0) must not degrade at all.
+        for s in &fig.series[1..] {
+            if s.label.starts_with("coverage") {
+                for &(_, c) in &s.points {
+                    assert!((0.0..=1.0).contains(&c), "{}: coverage {c}", s.label);
+                }
+            }
+        }
+        let (_, full_cap_coverage) = fig.series[3].points[ROW_CAP_FRACTIONS.len() - 1];
+        assert_eq!(full_cap_coverage, 1.0);
+    }
+
+    #[test]
+    fn row_caps_trade_coverage_monotonically() {
+        // Several morsels of data so caps actually split the scan.
+        let cfg = BenchConfig {
+            sf: 0.05,
+            threads: 2,
+            ..Default::default()
+        };
+        let catalog = cfg.catalog();
+        let fig = deadline(&cfg, &catalog);
+        let caps = &fig.series[3].points;
+        for pair in caps.windows(2) {
+            assert!(
+                pair[0].1 <= pair[1].1 + 1e-9,
+                "coverage must grow with the row cap: {caps:?}"
+            );
+        }
+        // The tightest cap leaves a strictly partial scan.
+        assert!(caps[0].1 < 1.0, "{caps:?}");
+    }
+}

@@ -1,6 +1,7 @@
 //! Experiment implementations, one per paper table/figure.
 
 pub mod concurrent;
+pub mod deadline;
 pub mod fragmentation;
 pub mod micro;
 pub mod pruning;
@@ -8,6 +9,7 @@ pub mod sequence;
 pub mod strategy;
 
 pub use concurrent::concurrent;
+pub use deadline::deadline;
 pub use fragmentation::fragmentation;
 pub use micro::{fig3, fig4};
 pub use pruning::pruning;
@@ -88,6 +90,7 @@ pub const ALL: &[&str] = &[
     "seeds",
     "rates",
     "concurrent",
+    "deadline",
     "pruning",
     "fragmentation",
 ];
@@ -119,6 +122,7 @@ pub fn run_experiment(name: &str, cfg: &BenchConfig, catalog: &Catalog) -> Optio
         "seeds" => seed_sensitivity(cfg, catalog),
         "rates" => rate_sensitivity(cfg, catalog),
         "concurrent" => concurrent(cfg, catalog),
+        "deadline" => deadline(cfg, catalog),
         "pruning" => pruning::pruning(cfg, catalog),
         "fragmentation" => fragmentation(cfg, catalog),
         _ => return None,

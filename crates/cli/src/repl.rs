@@ -3,8 +3,12 @@
 //! so the whole command surface is unit-testable.
 
 use std::fmt::Write as _;
+use std::time::Duration;
 
-use laqy::{approx_query, run_bounded, ErrorTarget, LaqySession, ReuseMode, SessionConfig};
+use laqy::{
+    approx_query, run_bounded, save_to_file, ErrorTarget, LaqySession, QueryBudget, ReuseMode,
+    SessionConfig,
+};
 use laqy_engine::{load_csv_file, Catalog, DataType, Value};
 use laqy_workload::{generate, SsbConfig};
 
@@ -27,6 +31,7 @@ pub struct Repl {
     mode: ExecMode,
     k: usize,
     error_target: Option<f64>,
+    budget_ms: Option<u64>,
     seed: u64,
 }
 
@@ -44,6 +49,7 @@ impl Repl {
             mode: ExecMode::Lazy,
             k: 128,
             error_target: None,
+            budget_ms: None,
             seed: 0xC11,
         }
     }
@@ -110,6 +116,21 @@ impl Repl {
                 },
                 None => "usage: .error <positive float>|off".into(),
             }),
+            Some("budget") => Some(match parts.get(1) {
+                Some(&"off") => {
+                    self.budget_ms = None;
+                    "query budget off".into()
+                }
+                Some(v) => match v.parse::<u64>() {
+                    Ok(ms) if ms > 0 => {
+                        self.budget_ms = Some(ms);
+                        format!("query budget = {ms} ms (degraded answers past the deadline)")
+                    }
+                    _ => "usage: .budget <positive ms>|off".into(),
+                },
+                None => "usage: .budget <positive ms>|off".into(),
+            }),
+            Some("faults") => Some(self.faults()),
             Some("stats") => Some(self.stats()),
             Some("samples") => Some(self.samples()),
             Some("concurrent") => {
@@ -216,6 +237,23 @@ impl Repl {
         }
     }
 
+    /// `.faults`: report fault-injection status. Injection is compiled
+    /// in only under `--cfg laqy_faults`; release binaries report it as
+    /// absent, with zero overhead on the hot paths.
+    fn faults(&self) -> String {
+        #[cfg(laqy_faults)]
+        {
+            format!(
+                "fault injection compiled in (laqy_faults); {} fault(s) injected so far",
+                laqy_faults::injected_count()
+            )
+        }
+        #[cfg(not(laqy_faults))]
+        {
+            "fault injection compiled out (build with RUSTFLAGS=\"--cfg laqy_faults\")".into()
+        }
+    }
+
     fn stats(&self) -> String {
         match &self.session {
             None => "no session".into(),
@@ -223,9 +261,10 @@ impl Repl {
                 let svc = s.service().stats();
                 let morsels = svc.morsels_skipped + svc.morsels_fast_pathed + svc.morsels_scanned;
                 format!(
-                    "sample store: {} samples, {:.2} MiB; mode {:?}, k {}{}\n\
+                    "sample store: {} samples, {:.2} MiB; mode {:?}, k {}{}{}\n\
                      scan pruning: {} morsels skipped, {} fast-pathed, {} scanned ({} total)\n\
-                     coverage: {} stored fragments merged, {} residual fragments Δ-scanned",
+                     coverage: {} stored fragments merged, {} residual fragments Δ-scanned\n\
+                     robustness: {} degraded answers, {} faults injected, {} snapshot recoveries",
                     s.store().len(),
                     s.store().total_bytes() as f64 / (1024.0 * 1024.0),
                     self.mode,
@@ -233,12 +272,18 @@ impl Repl {
                     self.error_target
                         .map(|e| format!(", error target {e}"))
                         .unwrap_or_default(),
+                    self.budget_ms
+                        .map(|ms| format!(", budget {ms} ms"))
+                        .unwrap_or_default(),
                     svc.morsels_skipped,
                     svc.morsels_fast_pathed,
                     svc.morsels_scanned,
                     morsels,
                     svc.fragments_reused,
                     svc.fragments_scanned,
+                    svc.degraded_answers,
+                    svc.faults_injected,
+                    svc.snapshots_recovered,
                 )
             }
         }
@@ -384,13 +429,11 @@ impl Repl {
         match &self.session {
             None => "no session".into(),
             Some(s) => {
-                let bytes = s.export_samples();
-                match std::fs::write(path, &bytes) {
-                    Ok(()) => format!(
-                        "saved {} samples ({} bytes) to {path}",
-                        s.store().len(),
-                        bytes.len()
-                    ),
+                // Crash-safe write: tmp file + fsync + rename via the
+                // persistence layer, never an in-place overwrite.
+                let store = s.store();
+                match save_to_file(&store, path) {
+                    Ok(()) => format!("saved {} samples to {path} (atomic)", store.len()),
                     Err(e) => format!("save failed: {e}"),
                 }
             }
@@ -465,7 +508,13 @@ impl Repl {
                     Err(e) => format!("error: {e}"),
                 };
             }
-            _ => session.run(&query),
+            _ => match self.budget_ms {
+                Some(ms) => session.run_with_budget(
+                    &query,
+                    QueryBudget::with_deadline(Duration::from_millis(ms)),
+                ),
+                None => session.run(&query),
+            },
         };
         match outcome {
             Ok(result) => {
@@ -477,6 +526,15 @@ impl Repl {
                     result.stats.reuse.map(|r| r.label()).unwrap_or("?"),
                     result.stats.total
                 );
+                if let Some(deg) = &result.stats.degraded {
+                    let _ = writeln!(
+                        out,
+                        "DEGRADED ({}): coverage {:.2}, CIs widened ×{:.2}",
+                        deg.reason.label(),
+                        deg.coverage,
+                        deg.ci_inflation
+                    );
+                }
                 out
             }
             Err(e) => format!("error: {e}"),
@@ -605,6 +663,8 @@ laqy-cli — approximate SQL shell
   .k <n>                             reservoir capacity per stratum (default 128)
   .mode lazy|strict|online|exact     execution mode
   .error <rel>|off                   bounded-error execution (escalates k)
+  .budget <ms>|off                   deadline per query (degraded answer on expiry)
+  .faults                            fault-injection status (laqy_faults builds)
   .stats                             sample-store statistics
   .samples                           stored coverage fragments per descriptor family
   .concurrent <n> <sql>              run <sql> from n threads sharing the store
@@ -736,6 +796,45 @@ mod tests {
             .unwrap();
         assert!(out.contains("worst rel err"), "{out}");
         assert!(r.handle(".error off").unwrap().contains("off"));
+    }
+
+    #[test]
+    fn budget_setting_and_degraded_annotation() {
+        let mut r = loaded_repl();
+        assert!(r.handle(".budget potato").unwrap().contains("usage"));
+        assert!(r.handle(".budget 0").unwrap().contains("usage"));
+        assert!(r.handle(".budget 250").unwrap().contains("250 ms"));
+        assert!(r.handle(".stats").unwrap().contains("budget 250 ms"));
+        // A generous budget on tiny data: the query completes cleanly,
+        // no degraded marker.
+        let out = r
+            .handle(
+                "SELECT lo_orderdate, SUM(lo_revenue) FROM lineorder \
+                 WHERE lo_intkey BETWEEN 0 AND 2999 GROUP BY lo_orderdate",
+            )
+            .unwrap();
+        assert!(!out.contains("DEGRADED"), "{out}");
+        assert!(r.handle(".budget off").unwrap().contains("off"));
+        assert!(!r.handle(".stats").unwrap().contains("budget"));
+    }
+
+    #[test]
+    fn faults_command_reports_build_status() {
+        let mut r = Repl::new();
+        let out = r.handle(".faults").unwrap();
+        #[cfg(laqy_faults)]
+        assert!(out.contains("compiled in"), "{out}");
+        #[cfg(not(laqy_faults))]
+        assert!(out.contains("compiled out"), "{out}");
+    }
+
+    #[test]
+    fn stats_reports_robustness_counters() {
+        let mut r = loaded_repl();
+        let out = r.handle(".stats").unwrap();
+        assert!(out.contains("0 degraded answers"), "{out}");
+        assert!(out.contains("0 faults injected"), "{out}");
+        assert!(out.contains("0 snapshot recoveries"), "{out}");
     }
 
     #[test]

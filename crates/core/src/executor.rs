@@ -25,6 +25,9 @@ use laqy_engine::{
 };
 use laqy_sampling::Lehmer64;
 
+use crate::budget::{
+    apply_degradation, blended_degradation, CancelToken, Degradation, DegradeReason,
+};
 use crate::descriptor::{Predicates, SampleDescriptor};
 use crate::estimate::{estimate, EstimateError, EstimateOptions, GroupEstimate};
 use crate::interval::{Interval, IntervalSet};
@@ -46,6 +49,13 @@ pub enum LaqyError {
     Estimate(EstimateError),
     /// Query shape not supported by the approximation layer.
     Unsupported(String),
+    /// A worker panicked inside one morsel of this query's scan; the
+    /// panic was isolated (pool and concurrent queries unaffected) and
+    /// the query failed with the captured payload.
+    WorkerPanic(String),
+    /// A `laqy_faults` point injected a failure into this query
+    /// (`--cfg laqy_faults` chaos builds only).
+    Injected(String),
 }
 
 impl std::fmt::Display for LaqyError {
@@ -54,6 +64,8 @@ impl std::fmt::Display for LaqyError {
             LaqyError::Engine(e) => write!(f, "engine error: {e}"),
             LaqyError::Estimate(e) => write!(f, "estimate error: {e}"),
             LaqyError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+            LaqyError::WorkerPanic(m) => write!(f, "worker panic (isolated): {m}"),
+            LaqyError::Injected(m) => write!(f, "injected fault: {m}"),
         }
     }
 }
@@ -129,6 +141,7 @@ pub struct LaqyExecutor {
     mode: ReuseMode,
     rng: Lehmer64,
     seed_counter: u64,
+    budget: CancelToken,
 }
 
 impl LaqyExecutor {
@@ -140,6 +153,7 @@ impl LaqyExecutor {
             mode: ReuseMode::Lazy,
             rng: Lehmer64::new(seed),
             seed_counter: seed,
+            budget: CancelToken::unbounded(),
         }
     }
 
@@ -147,6 +161,18 @@ impl LaqyExecutor {
     pub fn with_mode(mut self, mode: ReuseMode) -> Self {
         self.mode = mode;
         self
+    }
+
+    /// Attach a started budget token: every sampling pipeline this
+    /// executor runs checks it per morsel and finalizes a degraded
+    /// answer on expiry (see [`crate::budget`]).
+    pub fn set_budget_token(&mut self, token: CancelToken) {
+        self.budget = token;
+    }
+
+    /// The budget token currently attached to this executor.
+    pub(crate) fn budget(&self) -> &CancelToken {
+        &self.budget
     }
 
     /// The active reuse mode.
@@ -297,17 +323,35 @@ impl LaqyExecutor {
                 // internally fanned through the worker pool.
                 let mut stats = ExecStats::default();
                 let mut fragment_samples = Vec::with_capacity(fragments.len());
+                let mut fragment_coverage = 0.0f64;
+                let mut fragments_skipped = 0u64;
                 for frag in &fragments {
+                    // An expired budget skips remaining fragments outright
+                    // (their regions contribute nothing; the CI widening
+                    // below accounts for the hole).
+                    if self.budget.expired() {
+                        fragments_skipped += 1;
+                        continue;
+                    }
                     let ranges = frag
                         .get(&query.range_column)
                         .cloned()
                         .unwrap_or_else(|| IntervalSet::of(query.range));
                     let extra = fragment_extra_predicate(frag, &query.range_column);
                     let (s, fstats) = self.sample_pipeline(catalog, query, &ranges, &extra)?;
+                    fragment_coverage += fstats.degraded.map_or(1.0, |d| d.coverage);
                     stats.accumulate(&fstats);
                     fragment_samples.push(s);
                 }
-                stats.fragments_scanned = fragments.len() as u64;
+                let degradation = blended_degradation(
+                    stats.degraded.take(),
+                    fragment_coverage,
+                    fragments.len(),
+                    fragments_skipped,
+                    effective,
+                );
+                stats.degraded = degradation;
+                stats.fragments_scanned = (fragments.len() as u64) - fragments_skipped;
                 stats.fragments_reused = samples.len() as u64;
                 // Clone the selected stored samples BEFORE mutating the
                 // store: absorption below may merge a fragment into one of
@@ -331,20 +375,25 @@ impl LaqyExecutor {
                 // parts, exactly the old single-sample Δ-merge end state.
                 // Otherwise absorb each fragment box individually and keep
                 // the stored samples untouched (the union region is not
-                // expressible as one descriptor).
-                let constituents: Vec<&Predicates> = parts.iter().chain(fragments.iter()).collect();
-                if let Some(union_preds) = union_single_column(&constituents) {
-                    for &id in &samples {
-                        store.remove(id);
-                    }
-                    let mut union_desc = descriptor.clone();
-                    union_desc.predicates = union_preds;
-                    store.absorb(union_desc, schema.clone(), merged.clone(), &mut self.rng);
-                } else {
-                    for (frag, s) in fragments.iter().zip(fragment_samples) {
-                        let mut frag_desc = descriptor.clone();
-                        frag_desc.predicates = frag.clone();
-                        store.absorb(frag_desc, schema.clone(), s, &mut self.rng);
+                // expressible as one descriptor). Degraded fragments are
+                // never absorbed: their descriptors would overclaim
+                // coverage for regions the scan never reached.
+                if stats.degraded.is_none() {
+                    let constituents: Vec<&Predicates> =
+                        parts.iter().chain(fragments.iter()).collect();
+                    if let Some(union_preds) = union_single_column(&constituents) {
+                        for &id in &samples {
+                            store.remove(id);
+                        }
+                        let mut union_desc = descriptor.clone();
+                        union_desc.predicates = union_preds;
+                        store.absorb(union_desc, schema.clone(), merged.clone(), &mut self.rng);
+                    } else {
+                        for (frag, s) in fragments.iter().zip(fragment_samples) {
+                            let mut frag_desc = descriptor.clone();
+                            frag_desc.predicates = frag.clone();
+                            store.absorb(frag_desc, schema.clone(), s, &mut self.rng);
+                        }
                     }
                 }
                 let t_est = Instant::now();
@@ -353,11 +402,15 @@ impl LaqyExecutor {
                     ..Default::default()
                 };
                 let mut groups = estimate(&merged, &schema, &query.plan.aggs, &opts)?;
+                if let Some(deg) = &stats.degraded {
+                    apply_degradation(&mut groups, &query.plan.aggs, deg);
+                }
                 let mut support = support_from_groups(&groups, &self.policy);
                 stats.estimate = t_est.elapsed();
                 stats.effective_selectivity = effective;
                 stats.reuse = Some(ReuseClass::Partial);
                 if self.policy.conservative
+                    && stats.degraded.is_none()
                     && !support.fully_supported()
                     && !self.refine_support(
                         catalog,
@@ -392,12 +445,15 @@ impl LaqyExecutor {
             self.sample_pipeline(catalog, query, &ranges, &Predicate::True)?;
         let (_, schema) = self.payload_schema(catalog, query)?;
         let t_est = Instant::now();
-        let groups = estimate(
+        let mut groups = estimate(
             &sample,
             &schema,
             &query.plan.aggs,
             &EstimateOptions::default(),
         )?;
+        if let Some(deg) = &stats.degraded {
+            apply_degradation(&mut groups, &query.plan.aggs, deg);
+        }
         let support = check_support(&sample, &schema, None, &self.policy)?;
         stats.estimate = t_est.elapsed();
         stats.effective_selectivity = 1.0;
@@ -423,17 +479,24 @@ impl LaqyExecutor {
         let (sample, mut stats) =
             self.sample_pipeline(catalog, query, &ranges, &Predicate::True)?;
         let t_est = Instant::now();
-        let groups = estimate(
+        let mut groups = estimate(
             &sample,
             &schema,
             &query.plan.aggs,
             &EstimateOptions::default(),
         )?;
+        if let Some(deg) = &stats.degraded {
+            apply_degradation(&mut groups, &query.plan.aggs, deg);
+        }
         let support = check_support(&sample, &schema, None, &self.policy)?;
         stats.estimate = t_est.elapsed();
         // Capture the sample for future reuse (sample-as-you-query: the
-        // sample was needed anyway, so storing it costs only space).
-        store.absorb(descriptor, schema, sample, &mut self.rng);
+        // sample was needed anyway, so storing it costs only space) —
+        // unless the budget cut the scan short: a degraded sample's
+        // descriptor would claim coverage the scan never delivered.
+        if stats.degraded.is_none() {
+            store.absorb(descriptor, schema, sample, &mut self.rng);
+        }
         stats.effective_selectivity = 1.0;
         stats.reuse = Some(ReuseClass::Online);
         stats.total = t_start.elapsed();
@@ -545,6 +608,11 @@ impl LaqyExecutor {
         );
         let ranges = IntervalSet::of(query.range);
         let (fresh, fresh_stats) = self.sample_pipeline(catalog, query, &ranges, &stratum_pred)?;
+        if fresh_stats.degraded.is_some() {
+            // The probe itself was cut short by the budget: an empty or
+            // partial probe must not be read as "stratum confirmed empty".
+            return Ok(false);
+        }
         stats.scan += fresh_stats.scan;
         stats.processing += fresh_stats.processing;
         stats.scanned_rows += fresh_stats.scanned_rows;
@@ -642,7 +710,13 @@ impl LaqyExecutor {
             sample_ns: u64,
             scanned: u64,
             sampled_input: u64,
+            /// Rows of morsels this worker fully processed (the numerator
+            /// of the degraded answer's coverage fraction).
+            covered: u64,
             prune: PruneCounts,
+            /// Set when the budget expired and this worker stopped
+            /// admitting morsels; the fold finalizes a degraded answer.
+            degraded: Option<DegradeReason>,
             /// First failure this worker hit; poisons its further
             /// morsels and is re-raised after the fold.
             error: Option<LaqyError>,
@@ -716,9 +790,11 @@ impl LaqyExecutor {
             Ok(())
         };
 
+        let token = &self.budget;
         let t_pipeline = Instant::now();
+        let n_rows = fact.num_rows();
         let partials = parallel_fold(
-            fact.num_rows(),
+            n_rows,
             DEFAULT_MORSEL_ROWS,
             self.threads,
             || Partial {
@@ -727,15 +803,36 @@ impl LaqyExecutor {
                 sample_ns: 0,
                 scanned: 0,
                 sampled_input: 0,
+                covered: 0,
                 prune: PruneCounts::default(),
+                degraded: None,
                 error: None,
             },
             |acc, range| {
-                if acc.error.is_some() {
+                if acc.error.is_some() || acc.degraded.is_some() {
                     return;
                 }
-                if let Err(e) = process(acc, range) {
-                    acc.error = Some(e);
+                // Cooperative cancellation, once per morsel: on budget
+                // expiry this worker stops scanning and the fold
+                // finalizes whatever the reservoirs hold.
+                if let Some(reason) = token.admit(range.len() as u64) {
+                    acc.degraded = Some(reason);
+                    return;
+                }
+                let rows = range.len() as u64;
+                // Per-morsel panic isolation: the fault point and the
+                // scan both run inside it, so an injected (or genuine)
+                // worker panic fails this one query as a typed error —
+                // never the pool or a concurrent query.
+                let outcome = laqy_engine::parallel::isolate_unwind(|| {
+                    laqy_faults::point("pool.morsel")
+                        .map_err(|e| LaqyError::Injected(e.to_string()))?;
+                    process(acc, range)
+                });
+                match outcome {
+                    Ok(Ok(())) => acc.covered += rows,
+                    Ok(Err(e)) => acc.error = Some(e),
+                    Err(panic_msg) => acc.error = Some(LaqyError::WorkerPanic(panic_msg)),
                 }
             },
         );
@@ -743,6 +840,8 @@ impl LaqyExecutor {
 
         let mut merged = GroupTable::new();
         let (mut scan_ns, mut sample_ns, mut scanned, mut sampled_input) = (0u64, 0u64, 0u64, 0u64);
+        let mut covered = 0u64;
+        let mut degraded: Option<DegradeReason> = None;
         let mut prune = PruneCounts::default();
         for p in partials {
             if let Some(e) = p.error {
@@ -753,6 +852,8 @@ impl LaqyExecutor {
             sample_ns += p.sample_ns;
             scanned += p.scanned;
             sampled_input += p.sampled_input;
+            covered += p.covered;
+            degraded = degraded.or(p.degraded);
             prune.accumulate(&p.prune);
         }
         let sample = group_table_into_sample(merged, k);
@@ -770,6 +871,9 @@ impl LaqyExecutor {
             morsels_skipped: prune.skipped,
             morsels_fast_pathed: prune.fast_pathed,
             morsels_scanned: prune.scanned,
+            degraded: degraded.map(|reason| {
+                Degradation::at_coverage(reason, covered as f64 / n_rows.max(1) as f64)
+            }),
             ..Default::default()
         };
         Ok((sample, stats))

@@ -99,6 +99,7 @@
 #![warn(missing_docs)]
 
 pub mod bounded;
+pub mod budget;
 pub mod descriptor;
 pub mod estimate;
 pub mod executor;
@@ -115,6 +116,7 @@ pub mod support;
 pub mod window;
 
 pub use bounded::{run_bounded, BoundedResult, ErrorTarget};
+pub use budget::{CancelToken, Degradation, DegradeReason, QueryBudget};
 pub use descriptor::{Predicates, SampleDescriptor};
 pub use estimate::{estimate, AggEstimate, EstimateError, EstimateOptions, GroupEstimate};
 pub use executor::{
@@ -123,7 +125,10 @@ pub use executor::{
 };
 pub use interval::{Interval, IntervalSet};
 pub use lazy::{plan_lazy, plan_lazy_capped, LazyPlan, MAX_COVERAGE_SAMPLES};
-pub use persist::{load_from_file, load_store, save_store, save_to_file, PersistError};
+pub use persist::{
+    load_from_file, load_store, recover_snapshot, save_snapshot, save_store, save_to_file,
+    PersistError, RecoveryReport, KEEP_GENERATIONS, MAX_SNAPSHOT_BYTES,
+};
 pub use sampler_ops::{
     group_table_into_sample, ReservoirAgg, ReservoirAggFactory, SampleSchema, SampleTuple,
     SlotKind, MAX_SAMPLE_COLS,

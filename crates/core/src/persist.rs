@@ -19,6 +19,22 @@
 //!   sampler: u32 capacity | u32 strata
 //!     per stratum: key parts | u64 weight | items (schema-width i64 slots)
 //! ```
+//!
+//! # Durability
+//!
+//! On-disk writes are *crash-safe*: [`save_to_file`] never touches the
+//! destination directly. It writes a sibling `<name>.tmp`, `sync_all`s
+//! it, renames it over the destination, then fsyncs the directory, so a
+//! crash at any step leaves either the old snapshot or the new one —
+//! never a torn file. [`save_snapshot`]/[`recover_snapshot`] layer
+//! *generations* on top (`store.snap.1`, `store.snap.2`, …): each save
+//! writes a fresh generation and keeps the previous one as a fallback;
+//! recovery scans generations newest-first, skips corrupt or truncated
+//! tails, and reports what it discarded in a [`RecoveryReport`]. Every
+//! step is wired through `laqy_faults` points (`persist.create`,
+//! `persist.write_all`, `persist.sync_file`, `persist.rename`,
+//! `persist.sync_dir`) so chaos builds can kill the write at each stage
+//! and assert the last-good generation still loads.
 
 use std::io::{Read, Write};
 use std::path::Path;
@@ -34,6 +50,23 @@ use crate::store::SampleStore;
 
 const MAGIC: &[u8; 4] = b"LAQY";
 const VERSION: u32 = 1;
+
+/// Hard cap on the snapshot size [`load_from_file`] will read into
+/// memory, so a corrupt or adversarial file cannot drive a multi-GB
+/// allocation before format validation even starts.
+pub const MAX_SNAPSHOT_BYTES: u64 = 256 * 1024 * 1024;
+
+/// File-name prefix for generation-paired snapshots in a snapshot
+/// directory: `store.snap.<generation>`.
+pub const SNAPSHOT_PREFIX: &str = "store.snap.";
+
+/// How many trailing generations [`save_snapshot`] retains. The newest
+/// is the live snapshot; the rest are recovery fallbacks.
+pub const KEEP_GENERATIONS: usize = 2;
+
+/// Smallest possible wire footprint of one sample (empty strings, zero
+/// columns, zero strata); bounds pre-validation of the sample count.
+const MIN_SAMPLE_WIRE_BYTES: usize = 40;
 
 /// Persistence errors.
 #[derive(Debug)]
@@ -94,6 +127,14 @@ pub fn load_store(mut data: &[u8]) -> Result<SampleStore, PersistError> {
         return Err(PersistError::Version(version));
     }
     let count = read_u32(buf)? as usize;
+    // Validate the sample count against the bytes actually present
+    // before any per-sample allocation: a corrupt length prefix must be
+    // a `PersistError`, not an attempted multi-GB reservation.
+    if count > buf.remaining() / MIN_SAMPLE_WIRE_BYTES {
+        return Err(PersistError::Corrupt(format!(
+            "sample count {count} exceeds snapshot size"
+        )));
+    }
     let mut store = SampleStore::new();
     for _ in 0..count {
         let descriptor = read_descriptor(buf)?;
@@ -110,20 +151,170 @@ pub fn load_store(mut data: &[u8]) -> Result<SampleStore, PersistError> {
     Ok(store)
 }
 
-/// Save a store snapshot to a file.
+/// Save a store snapshot to a file, atomically.
+///
+/// The destination is never written in place: the bytes go to a
+/// sibling `<name>.tmp` which is fsynced and renamed over the target,
+/// and the directory is fsynced afterwards. A crash (or injected
+/// fault) at any step leaves the previous snapshot intact.
 pub fn save_to_file(store: &SampleStore, path: impl AsRef<Path>) -> Result<(), PersistError> {
     let bytes = save_store(store);
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(&bytes)?;
-    Ok(())
+    write_atomic(path.as_ref(), &bytes)
 }
 
-/// Load a store snapshot from a file.
+/// Load a store snapshot from a file. Files larger than
+/// [`MAX_SNAPSHOT_BYTES`] are rejected before any read.
 pub fn load_from_file(path: impl AsRef<Path>) -> Result<SampleStore, PersistError> {
+    let path = path.as_ref();
+    let len = std::fs::metadata(path)?.len();
+    if len > MAX_SNAPSHOT_BYTES {
+        return Err(PersistError::Corrupt(format!(
+            "snapshot is {len} bytes, over the {MAX_SNAPSHOT_BYTES}-byte cap"
+        )));
+    }
     let mut f = std::fs::File::open(path)?;
     let mut bytes = Vec::new();
     f.read_to_end(&mut bytes)?;
     load_store(&bytes)
+}
+
+/// Write `bytes` to `path` via tmp-file + fsync + rename + dir-fsync.
+/// Each stage hits a `laqy_faults` point first; an injected fault at
+/// `persist.write_all` additionally tears the tmp file (half the bytes
+/// land) to mimic a mid-write crash.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| PersistError::Corrupt("snapshot path has no file name".into()))?;
+    let tmp = dir.join(format!("{name}.tmp"));
+
+    laqy_faults::io_point("persist.create")?;
+    let mut f = std::fs::File::create(&tmp)?;
+    if let Err(e) = laqy_faults::point("persist.write_all") {
+        // Simulate a torn write: half the payload reaches the tmp file
+        // before the "crash". The tmp name means recovery ignores it.
+        let _ = f.write_all(&bytes[..bytes.len() / 2]);
+        return Err(PersistError::Io(e.into()));
+    }
+    f.write_all(bytes)?;
+    laqy_faults::io_point("persist.sync_file")?;
+    f.sync_all()?;
+    drop(f);
+    laqy_faults::io_point("persist.rename")?;
+    std::fs::rename(&tmp, path)?;
+    laqy_faults::io_point("persist.sync_dir")?;
+    let d = std::fs::File::open(&dir)?;
+    d.sync_all()?;
+    Ok(())
+}
+
+/// What [`recover_snapshot`] found while scanning a snapshot directory.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Generation number of the snapshot that loaded, if any.
+    pub loaded: Option<u64>,
+    /// Generations that were skipped as corrupt/truncated, newest
+    /// first, with the load error that disqualified each.
+    pub discarded: Vec<(u64, String)>,
+    /// Leftover `*.tmp` files (torn writes) removed from the directory.
+    pub tmp_removed: usize,
+}
+
+impl RecoveryReport {
+    /// True when recovery had to fall back past at least one bad
+    /// generation (the signal behind the `snapshots_recovered` counter).
+    pub fn fell_back(&self) -> bool {
+        !self.discarded.is_empty()
+    }
+}
+
+/// Parse `store.snap.<N>` file names into generation numbers.
+fn generation_of(name: &str) -> Option<u64> {
+    name.strip_prefix(SNAPSHOT_PREFIX)?.parse().ok()
+}
+
+/// All snapshot generations present in `dir`, unsorted.
+fn list_generations(dir: &Path) -> Result<Vec<u64>, PersistError> {
+    let mut gens = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(gen) = entry.file_name().to_str().and_then(generation_of) {
+            gens.push(gen);
+        }
+    }
+    Ok(gens)
+}
+
+/// Write the next snapshot generation of `store` into `dir`
+/// (`store.snap.<N>`, atomically), then prune generations beyond
+/// [`KEEP_GENERATIONS`]. Returns the generation written. The directory
+/// is created if missing.
+pub fn save_snapshot(store: &SampleStore, dir: impl AsRef<Path>) -> Result<u64, PersistError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let mut gens = list_generations(dir)?;
+    let next = gens.iter().max().map_or(1, |g| g + 1);
+    write_atomic(
+        &dir.join(format!("{SNAPSHOT_PREFIX}{next}")),
+        &save_store(store),
+    )?;
+    // Only prune after the new generation is durably in place; removal
+    // is best-effort (a stale fallback is harmless, a missing one not).
+    gens.push(next);
+    gens.sort_unstable_by(|a, b| b.cmp(a));
+    for old in gens.iter().skip(KEEP_GENERATIONS) {
+        let _ = std::fs::remove_file(dir.join(format!("{SNAPSHOT_PREFIX}{old}")));
+    }
+    Ok(next)
+}
+
+/// Recover the newest loadable snapshot generation from `dir`.
+///
+/// Generations are tried newest-first; corrupt or truncated ones are
+/// skipped (and reported), torn `*.tmp` files are removed. An empty or
+/// absent directory recovers to an empty store. Only when generations
+/// exist and *none* loads is this an error.
+pub fn recover_snapshot(
+    dir: impl AsRef<Path>,
+) -> Result<(SampleStore, RecoveryReport), PersistError> {
+    let dir = dir.as_ref();
+    let mut report = RecoveryReport::default();
+    if !dir.exists() {
+        return Ok((SampleStore::new(), report));
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if name.to_str().is_some_and(|n| n.ends_with(".tmp"))
+            && std::fs::remove_file(entry.path()).is_ok()
+        {
+            report.tmp_removed += 1;
+        }
+    }
+    let mut gens = list_generations(dir)?;
+    gens.sort_unstable_by(|a, b| b.cmp(a));
+    let had_any = !gens.is_empty();
+    for gen in gens {
+        match load_from_file(dir.join(format!("{SNAPSHOT_PREFIX}{gen}"))) {
+            Ok(store) => {
+                report.loaded = Some(gen);
+                return Ok((store, report));
+            }
+            Err(e) => report.discarded.push((gen, e.to_string())),
+        }
+    }
+    if had_any {
+        return Err(PersistError::Corrupt(format!(
+            "no loadable snapshot generation (discarded {:?})",
+            report.discarded
+        )));
+    }
+    Ok((SampleStore::new(), report))
 }
 
 // ---- writers ----
@@ -497,6 +688,122 @@ mod tests {
         let restored = load_from_file(&path).unwrap();
         assert_eq!(restored.len(), store.len());
         std::fs::remove_file(&path).ok();
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("laqy_snap_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn atomic_save_leaves_no_tmp_file() {
+        let dir = scratch_dir("atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.bin");
+        save_to_file(&populated_store(), &path).unwrap();
+        assert!(path.exists());
+        assert!(!dir.join("store.bin.tmp").exists());
+        let names: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(names.len(), 1, "stray files: {names:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generations_advance_and_prune() {
+        let dir = scratch_dir("gens");
+        let store = populated_store();
+        assert_eq!(save_snapshot(&store, &dir).unwrap(), 1);
+        assert_eq!(save_snapshot(&store, &dir).unwrap(), 2);
+        assert_eq!(save_snapshot(&store, &dir).unwrap(), 3);
+        let mut gens = list_generations(&dir).unwrap();
+        gens.sort_unstable();
+        assert_eq!(gens.len(), KEEP_GENERATIONS, "old generations pruned");
+        assert_eq!(gens.last(), Some(&3));
+        let (restored, report) = recover_snapshot(&dir).unwrap();
+        assert_eq!(report.loaded, Some(3));
+        assert!(!report.fell_back());
+        assert_eq!(restored.len(), store.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_falls_back_past_corrupt_newest_generation() {
+        let dir = scratch_dir("fallback");
+        let store = populated_store();
+        save_snapshot(&store, &dir).unwrap();
+        let gen2 = save_snapshot(&store, &dir).unwrap();
+        // Truncate the newest generation mid-file: a torn tail.
+        let newest = dir.join(format!("{SNAPSHOT_PREFIX}{gen2}"));
+        let bytes = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+        // Plus a leftover tmp from a hypothetical crashed writer.
+        std::fs::write(dir.join("store.snap.3.tmp"), b"torn").unwrap();
+
+        let (restored, report) = recover_snapshot(&dir).unwrap();
+        assert_eq!(report.loaded, Some(gen2 - 1));
+        assert_eq!(report.discarded.len(), 1);
+        assert_eq!(report.discarded[0].0, gen2);
+        assert!(report.fell_back());
+        assert_eq!(report.tmp_removed, 1);
+        assert_eq!(restored.len(), store.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_of_missing_or_empty_dir_is_an_empty_store() {
+        let dir = scratch_dir("absent");
+        let (store, report) = recover_snapshot(&dir).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(report.loaded, None);
+        std::fs::create_dir_all(&dir).unwrap();
+        let (store, report) = recover_snapshot(&dir).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(report.loaded, None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_errors_when_every_generation_is_corrupt() {
+        let dir = scratch_dir("allbad");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("store.snap.1"), b"XXXXgarbage").unwrap();
+        std::fs::write(dir.join("store.snap.2"), b"").unwrap();
+        assert!(matches!(
+            recover_snapshot(&dir),
+            Err(PersistError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_snapshot_file_rejected_before_read() {
+        let dir = scratch_dir("big");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.snap.1");
+        // A sparse file over the cap: cheap to create, must be rejected
+        // on metadata alone.
+        let f = std::fs::File::create(&path).unwrap();
+        f.set_len(MAX_SNAPSHOT_BYTES + 1).unwrap();
+        drop(f);
+        assert!(matches!(
+            load_from_file(&path),
+            Err(PersistError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_sample_count_rejected_without_allocation() {
+        // Forge a header claiming u32::MAX samples over an empty body.
+        let mut bytes = Vec::new();
+        bytes.put_slice(MAGIC);
+        bytes.put_u32_le(VERSION);
+        bytes.put_u32_le(u32::MAX);
+        assert!(matches!(load_store(&bytes), Err(PersistError::Corrupt(_))));
     }
 
     #[test]

@@ -48,6 +48,7 @@ use std::time::{Duration, Instant};
 use laqy_engine::{Catalog, Predicate, QueryResult, Table, Value};
 use laqy_sync::{Condvar, Mutex, RwLock, RwLockReadGuard};
 
+use crate::budget::{apply_degradation, blended_degradation, CancelToken, QueryBudget};
 use crate::descriptor::{Predicates, SampleDescriptor};
 use crate::executor::{
     fragment_extra_predicate, support_from_groups, ApproxQuery, ApproxResult, LaqyError,
@@ -102,6 +103,9 @@ struct Counters {
     fragments_reused: AtomicU64,
     fragments_scanned: AtomicU64,
     fragments_deduped: AtomicU64,
+    degraded_answers: AtomicU64,
+    faults_injected: AtomicU64,
+    snapshots_recovered: AtomicU64,
 }
 
 struct ServiceInner {
@@ -210,6 +214,9 @@ impl LaqyService {
             fragments_reused: c.fragments_reused.load(Ordering::Relaxed),
             fragments_scanned: c.fragments_scanned.load(Ordering::Relaxed),
             fragments_deduped: c.fragments_deduped.load(Ordering::Relaxed),
+            degraded_answers: c.degraded_answers.load(Ordering::Relaxed),
+            faults_injected: c.faults_injected.load(Ordering::Relaxed),
+            snapshots_recovered: c.snapshots_recovered.load(Ordering::Relaxed),
         }
     }
 
@@ -232,6 +239,38 @@ impl LaqyService {
         Ok(())
     }
 
+    /// Write an atomic, generation-numbered snapshot of the sample store
+    /// into `dir` (crash-safe: tmp + fsync + rename + directory fsync;
+    /// see [`crate::persist::save_snapshot`]). Returns the generation
+    /// written.
+    pub fn save_snapshot(
+        &self,
+        dir: &std::path::Path,
+    ) -> std::result::Result<u64, crate::persist::PersistError> {
+        let store = self.store();
+        crate::persist::save_snapshot(&store, dir)
+    }
+
+    /// Replace the sample store from the newest loadable snapshot
+    /// generation in `dir`, falling back past corrupt or truncated tails
+    /// (see [`crate::persist::recover_snapshot`]). Advances the
+    /// `snapshots_recovered` counter when recovery had to discard a
+    /// newer, damaged generation.
+    pub fn recover_from_dir(
+        &self,
+        dir: &std::path::Path,
+    ) -> std::result::Result<crate::persist::RecoveryReport, crate::persist::PersistError> {
+        let (loaded, report) = crate::persist::recover_snapshot(dir)?;
+        *self.timed(|i| i.store.write()) = loaded;
+        if report.fell_back() {
+            self.inner
+                .counters
+                .snapshots_recovered
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(report)
+    }
+
     /// Fault-injection hook: make in-flight sampling owners pause before
     /// the scan, widening the window in which concurrent identical
     /// queries dedup against them. `None` disables. Intended for stress
@@ -244,21 +283,49 @@ impl LaqyService {
     }
 
     /// Run a query through the lazy sampling flow against the shared
-    /// store.
+    /// store, with no resource limits.
     pub fn run(&self, query: &ApproxQuery) -> Result<ApproxResult> {
+        self.run_with_budget(query, QueryBudget::unbounded())
+    }
+
+    /// Run a query under a [`QueryBudget`]. When the budget expires
+    /// mid-scan, the answer is finalized from the partial sample with
+    /// extrapolated values and widened confidence intervals — the
+    /// degradation record rides in `result.stats.degraded` and the
+    /// service's `degraded_answers` counter advances.
+    pub fn run_with_budget(
+        &self,
+        query: &ApproxQuery,
+        budget: QueryBudget,
+    ) -> Result<ApproxResult> {
         let t_start = Instant::now();
         self.inner.counters.queries.fetch_add(1, Ordering::Relaxed);
+        let token = budget.start();
         let mut attempts = 0u32;
-        loop {
+        let result = loop {
             attempts += 1;
-            match self.try_run(query, t_start, attempts > MAX_PLAN_RETRIES)? {
-                Attempt::Done(result) => {
-                    self.note_prune(&result.stats);
-                    return Ok(*result);
+            match self.try_run(query, &token, t_start, attempts > MAX_PLAN_RETRIES) {
+                Ok(Attempt::Done(result)) => break result,
+                Ok(Attempt::Retry) => continue,
+                Err(e) => {
+                    if matches!(e, LaqyError::Injected(_) | LaqyError::WorkerPanic(_)) {
+                        self.inner
+                            .counters
+                            .faults_injected
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Err(e);
                 }
-                Attempt::Retry => continue,
             }
+        };
+        self.note_prune(&result.stats);
+        if result.stats.degraded.is_some() {
+            self.inner
+                .counters
+                .degraded_answers
+                .fetch_add(1, Ordering::Relaxed);
         }
+        Ok(*result)
     }
 
     /// Run with workload-oblivious online sampling (baseline): samples
@@ -344,10 +411,12 @@ impl LaqyService {
     fn try_run(
         &self,
         query: &ApproxQuery,
+        token: &CancelToken,
         t_start: Instant,
         force_online: bool,
     ) -> Result<Attempt> {
         let mut executor = self.executor();
+        executor.set_budget_token(token.clone());
         let descriptor = {
             let catalog = self.catalog();
             executor.descriptor(&catalog, query)?
@@ -456,12 +525,23 @@ impl LaqyService {
         }
 
         // Scan the fragments we own — lock-free, the expensive part.
+        // The bool marks a *clean* (full-coverage) fragment sample: only
+        // those may be absorbed into the shared store, since a degraded
+        // fragment's descriptor would overclaim coverage.
         let mut stats = ExecStats::default();
-        let mut scanned: Vec<(usize, _)> = Vec::with_capacity(owned.len());
+        let mut scanned: Vec<(usize, _, bool)> = Vec::with_capacity(owned.len());
+        let mut fragment_coverage = 0.0f64;
+        let mut fragments_skipped = 0u64;
         let schema = {
             let catalog = self.catalog();
             let (_, schema) = executor.payload_schema(&catalog, query)?;
             for (i, _) in &owned {
+                if executor.budget().expired() {
+                    // Budget already gone: skip the fragment outright; the
+                    // blended degradation below accounts for the hole.
+                    fragments_skipped += 1;
+                    continue;
+                }
                 let frag = &fragments[*i];
                 let ranges = frag
                     .get(&query.range_column)
@@ -469,8 +549,10 @@ impl LaqyService {
                     .unwrap_or_else(|| IntervalSet::of(query.range));
                 let extra = fragment_extra_predicate(frag, &query.range_column);
                 let (s, fstats) = executor.sample_pipeline(&catalog, query, &ranges, &extra)?;
+                fragment_coverage += fstats.degraded.map_or(1.0, |d| d.coverage);
+                let clean = fstats.degraded.is_none();
                 stats.accumulate(&fstats);
-                scanned.push((*i, s));
+                scanned.push((*i, s, clean));
             }
             schema
         };
@@ -486,9 +568,12 @@ impl LaqyService {
             // sample of its box — then release our claims, wait
             // guard-free for the others, and re-plan (normally upgrading
             // to full or pure-merge reuse).
-            if !scanned.is_empty() {
+            if scanned.iter().any(|(_, _, clean)| *clean) {
                 let mut store = self.timed(|i| i.store.write());
-                for (i, s) in scanned {
+                for (i, s, clean) in scanned {
+                    if !clean {
+                        continue;
+                    }
                     let mut frag_desc = descriptor.clone();
                     frag_desc.predicates = fragments[i].clone();
                     store.absorb(frag_desc, schema.clone(), s, executor.rng_mut());
@@ -504,11 +589,22 @@ impl LaqyService {
             return Ok(Attempt::Retry);
         }
 
-        // All fragments are ours: merge under the write lock, after
-        // revalidating that every selected sample still has exactly the
-        // coverage the fragments were planned against (a competing merge
-        // or eviction would otherwise double-count rows or lose the
-        // sample entirely).
+        // All fragments are ours: fold the per-fragment scan coverage
+        // into one query-level degradation record (None when every
+        // fragment ran to completion).
+        let degradation = blended_degradation(
+            stats.degraded.take(),
+            fragment_coverage,
+            fragments.len(),
+            fragments_skipped,
+            effective,
+        );
+        stats.degraded = degradation;
+
+        // Merge under the write lock, after revalidating that every
+        // selected sample still has exactly the coverage the fragments
+        // were planned against (a competing merge or eviction would
+        // otherwise double-count rows or lose the sample entirely).
         let t_merge = Instant::now();
         let merged = {
             let mut store = self.timed(|i| i.store.write());
@@ -530,28 +626,45 @@ impl LaqyService {
                 }
             }
             if valid {
-                inputs.extend(scanned.iter().map(|(_, s)| s.clone()));
+                inputs.extend(scanned.iter().map(|(_, s, _)| s.clone()));
                 let merged = merge_stratified_k(inputs, executor.rng_mut());
-                // Sample-as-you-query absorption: consolidate when the
-                // union region is itself a predicate box, else absorb the
-                // fragments individually (mirrors the single-owner
-                // executor's coverage arm).
-                let constituents: Vec<&Predicates> =
-                    snapshot.iter().chain(fragments.iter()).collect();
-                if let Some(union_preds) = union_single_column(&constituents) {
-                    for &id in &samples {
-                        store.remove(id);
+                if stats.degraded.is_none() {
+                    // Sample-as-you-query absorption: consolidate when the
+                    // union region is itself a predicate box, else absorb
+                    // the fragments individually (mirrors the single-owner
+                    // executor's coverage arm). Every scanned fragment is
+                    // clean here — a degraded one would have set
+                    // `stats.degraded`.
+                    let constituents: Vec<&Predicates> =
+                        snapshot.iter().chain(fragments.iter()).collect();
+                    if let Some(union_preds) = union_single_column(&constituents) {
+                        for &id in &samples {
+                            store.remove(id);
+                        }
+                        let mut union_desc = descriptor.clone();
+                        union_desc.predicates = union_preds;
+                        store.absorb(
+                            union_desc,
+                            schema.clone(),
+                            merged.clone(),
+                            executor.rng_mut(),
+                        );
+                    } else {
+                        for (i, s, _) in scanned {
+                            let mut frag_desc = descriptor.clone();
+                            frag_desc.predicates = fragments[i].clone();
+                            store.absorb(frag_desc, schema.clone(), s, executor.rng_mut());
+                        }
                     }
-                    let mut union_desc = descriptor.clone();
-                    union_desc.predicates = union_preds;
-                    store.absorb(
-                        union_desc,
-                        schema.clone(),
-                        merged.clone(),
-                        executor.rng_mut(),
-                    );
                 } else {
-                    for (i, s) in scanned {
+                    // Degraded query: the merged sample answers it, but
+                    // only clean fragment samples may enter the store —
+                    // and never a consolidated union, which would claim
+                    // coverage the budget cut short.
+                    for (i, s, clean) in scanned {
+                        if !clean {
+                            continue;
+                        }
                         let mut frag_desc = descriptor.clone();
                         frag_desc.predicates = fragments[i].clone();
                         store.absorb(frag_desc, schema.clone(), s, executor.rng_mut());
@@ -559,8 +672,12 @@ impl LaqyService {
                 }
                 Some(merged)
             } else {
-                // Stale plan: keep the scan work anyway, then re-plan.
-                for (i, s) in scanned {
+                // Stale plan: keep the (clean) scan work anyway, then
+                // re-plan.
+                for (i, s, clean) in scanned {
+                    if !clean {
+                        continue;
+                    }
                     let mut frag_desc = descriptor.clone();
                     frag_desc.predicates = fragments[i].clone();
                     store.absorb(frag_desc, schema.clone(), s, executor.rng_mut());
@@ -580,6 +697,9 @@ impl LaqyService {
             ..Default::default()
         };
         let mut groups = crate::estimate::estimate(&merged, &schema, &query.plan.aggs, &opts)?;
+        if let Some(deg) = &stats.degraded {
+            apply_degradation(&mut groups, &query.plan.aggs, deg);
+        }
         let mut support = support_from_groups(&groups, &self.inner.policy);
         stats.estimate += t_est.elapsed();
         stats.effective_selectivity = effective;
@@ -588,7 +708,8 @@ impl LaqyService {
         c.fragments_reused
             .fetch_add(samples.len() as u64, Ordering::Relaxed);
 
-        if self.inner.policy.conservative && !support.fully_supported() {
+        if self.inner.policy.conservative && stats.degraded.is_none() && !support.fully_supported()
+        {
             let refined = {
                 let catalog = self.catalog();
                 executor.refine_support(&catalog, query, &mut groups, &mut support, &mut stats)?
@@ -688,12 +809,15 @@ impl LaqyService {
                 executor.sample_pipeline(&catalog, query, &ranges, &Predicate::True)?;
             let (_, schema) = executor.payload_schema(&catalog, query)?;
             let t_est = Instant::now();
-            let groups = crate::estimate::estimate(
+            let mut groups = crate::estimate::estimate(
                 &sample,
                 &schema,
                 &query.plan.aggs,
                 &crate::estimate::EstimateOptions::default(),
             )?;
+            if let Some(deg) = &stats.degraded {
+                apply_degradation(&mut groups, &query.plan.aggs, deg);
+            }
             let support =
                 crate::support::check_support(&sample, &schema, None, &self.inner.policy)?;
             let mut stats = stats;
@@ -705,7 +829,10 @@ impl LaqyService {
             .online_scans
             .fetch_add(1, Ordering::Relaxed);
 
-        {
+        // A degraded sample never enters the shared store: its descriptor
+        // would claim coverage the budget cut short, poisoning every
+        // future reuse decision.
+        if stats.degraded.is_none() {
             let mut store = self.timed(|i| i.store.write());
             store.absorb(descriptor.clone(), schema, sample, executor.rng_mut());
         }

@@ -114,6 +114,18 @@ impl LaqySession {
         self.service.run(query)
     }
 
+    /// Run a query under a [`QueryBudget`](crate::budget::QueryBudget):
+    /// on expiry mid-scan the answer
+    /// is finalized from the partial sample with widened confidence
+    /// intervals (`result.stats.degraded` carries the record).
+    pub fn run_with_budget(
+        &mut self,
+        query: &ApproxQuery,
+        budget: crate::budget::QueryBudget,
+    ) -> Result<ApproxResult> {
+        self.service.run_with_budget(query, budget)
+    }
+
     /// Run with workload-oblivious online sampling (baseline).
     pub fn run_online_oblivious(&mut self, query: &ApproxQuery) -> Result<ApproxResult> {
         self.service.run_online_oblivious(query)

@@ -6,6 +6,8 @@
 
 use std::time::Duration;
 
+use crate::budget::Degradation;
+
 /// Which reuse path a query took (Algorithm 1's three arms).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReuseClass {
@@ -65,6 +67,9 @@ pub struct ExecStats {
     pub fragments_reused: u64,
     /// Residual coverage fragments Δ-scanned for this query.
     pub fragments_scanned: u64,
+    /// Present when the budget expired mid-scan and the answer was
+    /// finalized from a partial sample (CI widened accordingly).
+    pub degraded: Option<Degradation>,
     /// Which reuse arm ran.
     pub reuse: Option<ReuseClass>,
 }
@@ -90,6 +95,11 @@ impl ExecStats {
         self.morsels_scanned += other.morsels_scanned;
         self.fragments_reused += other.fragments_reused;
         self.fragments_scanned += other.fragments_scanned;
+        // Keep the most severe degradation across accumulated pipelines.
+        self.degraded = match (self.degraded.take(), other.degraded) {
+            (Some(a), Some(b)) => Some(a.merge(b)),
+            (a, b) => a.or(b),
+        };
     }
 }
 
@@ -137,6 +147,15 @@ pub struct ServiceStats {
     /// Fragment Δ-scans avoided because a concurrent client was already
     /// scanning the identical fragment (per-fragment piggyback).
     pub fragments_deduped: u64,
+    /// Queries answered from a partial sample after their budget expired
+    /// (degraded answers with widened CIs).
+    pub degraded_answers: u64,
+    /// Faults the `laqy_faults` registry injected into this service's
+    /// queries (always 0 outside `--cfg laqy_faults` builds).
+    pub faults_injected: u64,
+    /// Snapshot recoveries that had to fall back past a corrupt or
+    /// truncated generation.
+    pub snapshots_recovered: u64,
 }
 
 impl ServiceStats {
@@ -172,6 +191,7 @@ mod tests {
             morsels_scanned: 3,
             fragments_reused: 2,
             fragments_scanned: 1,
+            degraded: None,
             reuse: Some(ReuseClass::Partial),
         };
         let b = a.clone();

@@ -204,6 +204,28 @@ unsafe fn submit_erased<'a>(task: Box<dyn FnOnce() + Send + 'a>) {
     let _ = pool().tx.send(task);
 }
 
+/// Run one morsel's worth of work with panic isolation: a panic inside
+/// `f` is caught and returned as its payload message instead of
+/// unwinding into the fold. Callers convert the message into their own
+/// typed error (`LaqyError::WorkerPanic` in the executor), so one
+/// poisoned morsel fails one query — the pool and every other in-flight
+/// query are untouched.
+///
+/// The accumulator `f` mutates may be left mid-update by the panic;
+/// isolation is only sound because callers discard the whole partial on
+/// the error path.
+pub fn isolate_unwind<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
+
 /// Run `work` over every morsel of `0..n` on `threads` workers, returning
 /// one partial result per worker (workers that received no morsels still
 /// return their identity partial).
@@ -383,6 +405,40 @@ mod tests {
         assert!(default_threads() >= 1);
         // Cached: repeated calls agree.
         assert_eq!(default_threads(), default_threads());
+    }
+
+    #[test]
+    fn isolate_unwind_catches_and_preserves_payload() {
+        assert_eq!(isolate_unwind(|| 41 + 1), Ok(42));
+        let msg = isolate_unwind(|| -> u32 { panic!("poisoned morsel {}", 7) }).unwrap_err();
+        assert!(msg.contains("poisoned morsel 7"), "payload lost: {msg}");
+        let msg = isolate_unwind(|| -> u32 { std::panic::panic_any(13u64) }).unwrap_err();
+        assert_eq!(msg, "non-string panic payload");
+        // Isolation composes with the pool: a fold whose work closure
+        // isolates its own panics completes normally.
+        let partials = parallel_fold(
+            10_000,
+            64,
+            4,
+            || (0usize, 0usize),
+            |acc, r| {
+                let poisoned = r.start == 640;
+                match isolate_unwind(|| {
+                    if poisoned {
+                        panic!("boom");
+                    }
+                    r.len()
+                }) {
+                    Ok(rows) => acc.0 += rows,
+                    Err(_) => acc.1 += 1,
+                }
+            },
+        );
+        let (rows, failures): (usize, usize) = partials
+            .into_iter()
+            .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        assert_eq!(failures, 1);
+        assert_eq!(rows, 10_000 - 64);
     }
 
     #[test]

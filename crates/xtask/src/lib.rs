@@ -22,6 +22,17 @@
 //! 5. **sampling-determinism** — `crates/sampling` must stay a pure function
 //!    of (input, seed): no wall clocks, no OS entropy, no `RandomState`
 //!    hash maps whose iteration order varies per process.
+//! 6. **snapshot-io** — no raw destructive filesystem calls
+//!    (`File::create`, `fs::rename`, `fs::write`) in `crates/core/src` or
+//!    `crates/cli/src` outside `persist.rs`. Snapshot writes must go
+//!    through the atomic tmp + fsync + rename sequence so a crash can
+//!    never tear a file under its real name; an ad-hoc `fs::write`
+//!    silently forfeits that guarantee (reads are unrestricted).
+//! 7. **deadline-checks** — no line pairing `Instant::now` with a
+//!    deadline outside `crates/core/src/budget.rs`. Deadline arithmetic
+//!    is centralized in the `QueryBudget`/`CancelToken` machinery so
+//!    expiry is checked at sanctioned cooperative points with one clock,
+//!    not re-derived ad hoc (plain section timing stays fine).
 //!
 //! The pass is deliberately AST-light: a character-level state machine strips
 //! comments and string literals (preserving line structure), `#[cfg(test)]`
@@ -83,6 +94,18 @@ const NONDETERMINISM_TOKENS: [&str; 9] = [
     "HashSet::new",
 ];
 
+/// The one file sanctioned to mutate snapshot files directly (rule 6):
+/// the atomic tmp + fsync + rename persistence layer.
+const PERSIST_ALLOWLIST: &str = "crates/core/src/persist.rs";
+
+/// Destructive filesystem tokens banned outside [`PERSIST_ALLOWLIST`]
+/// within the snapshot-handling crates (rule 6).
+const SNAPSHOT_IO_TOKENS: [&str; 3] = ["File::create", "fs::rename", "fs::write"];
+
+/// The one module sanctioned to compare `Instant::now` against a
+/// deadline (rule 7): the query-budget machinery.
+const BUDGET_ALLOWLIST: &str = "crates/core/src/budget.rs";
+
 /// `std::sync::` heads that must be routed through `laqy-sync`.
 const SYNC_DENY: [&str; 9] = [
     "Mutex",
@@ -140,6 +163,27 @@ fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) {
     }
     if HOT_PATHS.contains(&rel) {
         check_hot_path_unwraps(rel, &app, findings);
+    }
+    let snapshot_scope = (rel.starts_with("crates/core/src/")
+        || rel.starts_with("crates/cli/src/"))
+        && rel != PERSIST_ALLOWLIST;
+    if snapshot_scope {
+        for tok in SNAPSHOT_IO_TOKENS {
+            for (line, _) in substring_occurrences(&app, tok) {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line,
+                    rule: "snapshot-io",
+                    message: format!(
+                        "`{tok}` outside {PERSIST_ALLOWLIST}; snapshot writes must go \
+                         through the atomic persistence layer (tmp + fsync + rename)"
+                    ),
+                });
+            }
+        }
+    }
+    if rel != BUDGET_ALLOWLIST {
+        check_deadline_checks(rel, &app, findings);
     }
     if rel.starts_with("crates/sampling/src/") {
         for tok in NONDETERMINISM_TOKENS {
@@ -552,6 +596,26 @@ fn check_safety_comments(rel: &str, raw: &str, stripped: &str, findings: &mut Ve
                 rule: "safety-comments",
                 message: format!(
                     "`unsafe` without a `// SAFETY:` comment within {SAFETY_WINDOW} lines"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 7: naked deadline checks
+// ---------------------------------------------------------------------------
+
+fn check_deadline_checks(rel: &str, text: &str, findings: &mut Vec<Finding>) {
+    for (i, line) in text.lines().enumerate() {
+        if line.contains("Instant::now") && line.to_ascii_lowercase().contains("deadline") {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: i + 1,
+                rule: "deadline-checks",
+                message: format!(
+                    "naked `Instant::now` deadline check outside {BUDGET_ALLOWLIST}; \
+                     thread a `QueryBudget`/`CancelToken` instead"
                 ),
             });
         }

@@ -1,0 +1,6 @@
+//! Decoy for the deadline-checks rule: this path is the sanctioned
+//! budget module, so wall-clock deadline comparisons are allowed here.
+
+pub fn expired(deadline: std::time::Instant) -> bool {
+    std::time::Instant::now() >= deadline
+}

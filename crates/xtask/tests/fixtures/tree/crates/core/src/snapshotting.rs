@@ -1,0 +1,18 @@
+//! Seeded snapshot-io violations: destructive filesystem calls outside
+//! the sanctioned persistence layer.
+
+pub fn bad_save(path: &std::path::Path, bytes: &[u8]) {
+    let _ = std::fs::File::create(path);
+    let _ = std::fs::write(path, bytes);
+    let _ = std::fs::rename(path, path);
+    // Decoy: reads carry no durability obligations.
+    let _ = std::fs::read(path);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_files_in_tests_are_exempt() {
+        let _ = std::fs::write("scratch", b"x");
+    }
+}

@@ -1,0 +1,12 @@
+//! Seeded deadline-checks violation: a naked wall-clock deadline test
+//! outside the budget module.
+
+pub fn naked(deadline: std::time::Instant) -> bool {
+    std::time::Instant::now() >= deadline
+}
+
+pub fn fine() -> std::time::Instant {
+    // Decoy: timing a section is fine; only pairing the clock with a
+    // deadline on one line is policy.
+    std::time::Instant::now()
+}

@@ -128,6 +128,48 @@ fn sampling_determinism_tokens_fire() {
 }
 
 #[test]
+fn snapshot_io_fires_outside_persist_only() {
+    let findings = fixture_findings();
+    let hits = matching(&findings, "snapshot-io", "crates/core/src/snapshotting.rs");
+    // File::create (line 5), fs::write (line 6), fs::rename (line 7);
+    // the fs::read decoy and the cfg(test) fs::write are exempt.
+    let lines: Vec<usize> = hits.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![5, 7, 6], "per-token order: {hits:?}");
+    // The sanctioned persistence layer never fires despite using every
+    // banned token.
+    assert!(
+        matching(&findings, "snapshot-io", "crates/core/src/persist.rs").is_empty(),
+        "{findings:?}"
+    );
+    // Crates outside core/cli (the demo tree) are out of scope entirely.
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.rule == "snapshot-io" && f.file.starts_with("crates/demo/")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn deadline_checks_fire_outside_budget_only() {
+    let findings = fixture_findings();
+    let hits = matching(
+        &findings,
+        "deadline-checks",
+        "crates/demo/src/bad_deadline.rs",
+    );
+    // Only the line pairing Instant::now with a deadline; the plain
+    // section-timing decoy is exempt.
+    let lines: Vec<usize> = hits.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![5], "{hits:?}");
+    // The sanctioned budget module never fires.
+    assert!(
+        matching(&findings, "deadline-checks", "crates/core/src/budget.rs").is_empty(),
+        "{findings:?}"
+    );
+}
+
+#[test]
 fn stripper_preserves_lines_and_blanks_prose() {
     let src = "fn f() {\n    // unsafe in a comment\n    let s = \"std::sync::Mutex\";\n    let c = 'x';\n    let l: &'static str = s;\n}\n";
     let stripped = strip_comments_and_strings(src);
