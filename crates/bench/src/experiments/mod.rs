@@ -6,6 +6,7 @@ pub mod fragmentation;
 pub mod micro;
 pub mod pruning;
 pub mod sequence;
+pub mod sharding;
 pub mod strategy;
 
 pub use concurrent::concurrent;
@@ -17,6 +18,7 @@ pub use sequence::{
     ablation, fig10, fig11, fig12_13, fig14_15, fig9, headline, rate_sensitivity, seed_sensitivity,
     table1, SequenceKind,
 };
+pub use sharding::sharding;
 pub use strategy::{fig6, fig8};
 
 use laqy_engine::Catalog;
@@ -93,6 +95,7 @@ pub const ALL: &[&str] = &[
     "deadline",
     "pruning",
     "fragmentation",
+    "sharding",
 ];
 
 /// Run one experiment by name against a pre-generated catalog.
@@ -125,6 +128,7 @@ pub fn run_experiment(name: &str, cfg: &BenchConfig, catalog: &Catalog) -> Optio
         "deadline" => deadline(cfg, catalog),
         "pruning" => pruning::pruning(cfg, catalog),
         "fragmentation" => fragmentation(cfg, catalog),
+        "sharding" => sharding(cfg, catalog),
         _ => return None,
     })
 }

@@ -26,6 +26,10 @@ pub enum EstimateError {
     NonIntegerPredicate(String),
     /// A grouping position exceeds the stratification key width.
     BadGroupPosition(usize),
+    /// Exact lane mass cannot blend into a product-input aggregate (the
+    /// lanes hold per-column sums, not per-row products); callers must not
+    /// enable hybrid estimation for `SUM(a*b)` plans.
+    ExactProductInput,
 }
 
 impl std::fmt::Display for EstimateError {
@@ -36,6 +40,12 @@ impl std::fmt::Display for EstimateError {
                 write!(f, "tightening predicate on non-integer column `{c}`")
             }
             EstimateError::BadGroupPosition(p) => write!(f, "group position {p} out of range"),
+            EstimateError::ExactProductInput => {
+                write!(
+                    f,
+                    "exact lane mass cannot blend into a product-input aggregate"
+                )
+            }
         }
     }
 }
@@ -73,6 +83,11 @@ pub struct EstimateOptions<'a> {
     pub group_positions: Option<&'a [usize]>,
     /// Normal quantile for the confidence interval (1.96 ≈ 95 %).
     pub z: f64,
+    /// Exact aggregate mass from lane-covered spans, blended in with zero
+    /// variance (hybrid estimation). The sample must *exclude* the covered
+    /// rows, or they would be double counted. Already predicate-restricted
+    /// by construction, so tightening does not apply to it.
+    pub exact: Option<&'a ExactMass>,
 }
 
 impl Default for EstimateOptions<'_> {
@@ -81,7 +96,85 @@ impl Default for EstimateOptions<'_> {
             tighten: None,
             group_positions: None,
             z: 1.96,
+            exact: None,
         }
+    }
+}
+
+/// Per-payload-slot exact aggregates of one group's covered rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExactSlot {
+    /// Sum of the slot's column over the covered rows.
+    pub sum: f64,
+    /// Minimum over the covered rows.
+    pub min: f64,
+    /// Maximum over the covered rows.
+    pub max: f64,
+}
+
+/// One group's exact covered mass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactGroup {
+    /// Covered row count (exact COUNT contribution).
+    pub rows: u64,
+    /// One aggregate triple per sample payload slot, in slot order.
+    pub slots: Vec<ExactSlot>,
+}
+
+/// Exact, scan-free aggregate mass read from pre-aggregate lanes over
+/// predicate-covered, group-constant block spans. Keys live in the same
+/// raw-`i64` space as [`GroupEstimate::key`] (the stratification key).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExactMass {
+    groups: Vec<(Vec<i64>, ExactGroup)>,
+}
+
+impl ExactMass {
+    /// Empty mass (contributes nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any covered rows were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.groups.iter().all(|(_, g)| g.rows == 0)
+    }
+
+    /// Total covered rows across all groups.
+    pub fn rows(&self) -> u64 {
+        self.groups.iter().map(|(_, g)| g.rows).sum()
+    }
+
+    /// Fold one covered span's aggregates into the group keyed by `key`.
+    /// Slot vectors must agree in length across calls for the same key.
+    pub fn add(&mut self, key: &[i64], rows: u64, slots: Vec<ExactSlot>) {
+        if rows == 0 {
+            return;
+        }
+        match self.groups.iter_mut().find(|(k, _)| k == key) {
+            Some((_, g)) => {
+                debug_assert_eq!(g.slots.len(), slots.len());
+                g.rows += rows;
+                for (acc, s) in g.slots.iter_mut().zip(&slots) {
+                    acc.sum += s.sum;
+                    acc.min = acc.min.min(s.min);
+                    acc.max = acc.max.max(s.max);
+                }
+            }
+            None => self.groups.push((key.to_vec(), ExactGroup { rows, slots })),
+        }
+    }
+
+    /// Fold another mass into this one (fragments accumulate).
+    pub fn merge(&mut self, other: &ExactMass) {
+        for (key, g) in &other.groups {
+            self.add(key, g.rows, g.slots.clone());
+        }
+    }
+
+    /// Iterate over `(key, group)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[i64], &ExactGroup)> {
+        self.groups.iter().map(|(k, g)| (k.as_slice(), g))
     }
 }
 
@@ -379,6 +472,76 @@ pub fn estimate(
         }
     }
 
+    // Hybrid blending: covered spans contribute exact partial aggregates
+    // with zero variance. COUNT mass is the covered row count; SUM/AVG/
+    // MIN/MAX mass is read from the per-slot lane aggregates. Groups that
+    // exist only in the covered region are created here (their estimates
+    // are fully exact).
+    if let Some(exact) = opts.exact {
+        for (key, mass) in exact.iter() {
+            if mass.rows == 0 {
+                continue;
+            }
+            let group_key: Vec<i64> = match opts.group_positions {
+                None => key.to_vec(),
+                Some(positions) => positions
+                    .iter()
+                    .map(|&p| {
+                        key.get(p)
+                            .copied()
+                            .ok_or(EstimateError::BadGroupPosition(p))
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            let accs = groups
+                .entry(group_key)
+                .or_insert_with(|| aggs.iter().map(|a| EstAcc::new(a.kind)).collect());
+            for (agg_idx, acc) in accs.iter_mut().enumerate() {
+                let (x_sum, x_min, x_max) = match &inputs[agg_idx] {
+                    ResolvedInput::Col(s, _) => {
+                        let slot = mass
+                            .slots
+                            .get(*s)
+                            .copied()
+                            .ok_or(EstimateError::BadGroupPosition(*s))?;
+                        (slot.sum, slot.min, slot.max)
+                    }
+                    ResolvedInput::One => (mass.rows as f64, 1.0, 1.0),
+                    ResolvedInput::Mul(..) => return Err(EstimateError::ExactProductInput),
+                };
+                let rows = mass.rows as usize;
+                match acc {
+                    EstAcc::Sum { est, support, .. } => {
+                        *est += x_sum;
+                        *support += rows;
+                    }
+                    EstAcc::Count { est, support, .. } => {
+                        *est += mass.rows as f64;
+                        *support += rows;
+                    }
+                    EstAcc::Avg {
+                        sum,
+                        n_est,
+                        support,
+                        ..
+                    } => {
+                        *sum += x_sum;
+                        *n_est += mass.rows as f64;
+                        *support += rows;
+                    }
+                    EstAcc::Min { val, support } => {
+                        *val = val.min(x_min);
+                        *support += rows;
+                    }
+                    EstAcc::Max { val, support } => {
+                        *val = val.max(x_max);
+                        *support += rows;
+                    }
+                }
+            }
+        }
+    }
+
     let mut out: Vec<GroupEstimate> = groups
         .into_iter()
         .map(|(key, accs)| GroupEstimate {
@@ -593,6 +756,152 @@ mod tests {
         };
         let err = estimate(&s, &schema(), &[AggSpec::count()], &opts).unwrap_err();
         assert_eq!(err, EstimateError::NonIntegerPredicate("v".into()));
+    }
+
+    #[test]
+    fn exact_mass_blends_with_zero_variance() {
+        // Sampled stratum: group 0, population sample (exact, CI 0).
+        let s = full_sample(1, 100);
+        // Covered mass: 200 more rows of group 0 with known sums, and a
+        // group 1 that exists only in the covered region.
+        let mut exact = ExactMass::new();
+        exact.add(
+            &[0],
+            200,
+            vec![
+                ExactSlot {
+                    sum: 1_000.0,
+                    min: 1.0,
+                    max: 9.0,
+                },
+                ExactSlot {
+                    sum: 500.0,
+                    min: 0.5,
+                    max: 4.5,
+                },
+            ],
+        );
+        exact.add(
+            &[1],
+            50,
+            vec![
+                ExactSlot {
+                    sum: 100.0,
+                    min: 2.0,
+                    max: 2.0,
+                },
+                ExactSlot {
+                    sum: 75.0,
+                    min: 1.5,
+                    max: 1.5,
+                },
+            ],
+        );
+        let opts = EstimateOptions {
+            exact: Some(&exact),
+            ..Default::default()
+        };
+        let ests = estimate(
+            &s,
+            &schema(),
+            &[
+                AggSpec::sum("v"),
+                AggSpec::count(),
+                AggSpec::avg("v"),
+                AggSpec {
+                    kind: AggKind::Min,
+                    input: AggInput::Col("x".into()),
+                },
+                AggSpec {
+                    kind: AggKind::Max,
+                    input: AggInput::Col("x".into()),
+                },
+            ],
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(ests.len(), 2);
+        let sampled_sum: f64 = (0..100).map(|i| i as f64 * 0.5).sum();
+        let g0 = &ests[0];
+        assert_eq!(g0.key, vec![0]);
+        assert!((g0.values[0].value - (sampled_sum + 500.0)).abs() < 1e-9);
+        assert_eq!(g0.values[0].ci_half_width, 0.0, "exact mass adds no CI");
+        assert_eq!(g0.values[1].value, 300.0, "count blends covered rows");
+        assert!((g0.values[2].value - (sampled_sum + 500.0) / 300.0).abs() < 1e-9);
+        assert_eq!(g0.values[3].value, 0.0, "sampled min 0 < covered min 1");
+        assert_eq!(g0.values[4].value, 99.0);
+        // Covered-only group: fully exact estimates.
+        let g1 = &ests[1];
+        assert_eq!(g1.key, vec![1]);
+        assert_eq!(g1.values[0].value, 75.0);
+        assert_eq!(g1.values[1].value, 50.0);
+        assert_eq!(g1.values[0].ci_half_width, 0.0);
+        assert_eq!(g1.values[1].support, 50);
+    }
+
+    #[test]
+    fn exact_mass_merges_and_rejects_products() {
+        let mut a = ExactMass::new();
+        a.add(
+            &[3],
+            10,
+            vec![ExactSlot {
+                sum: 5.0,
+                min: 0.0,
+                max: 1.0,
+            }],
+        );
+        let mut b = ExactMass::new();
+        b.add(
+            &[3],
+            2,
+            vec![ExactSlot {
+                sum: 7.0,
+                min: -1.0,
+                max: 3.0,
+            }],
+        );
+        b.add(
+            &[4],
+            0,
+            vec![ExactSlot {
+                sum: 9.0,
+                min: 9.0,
+                max: 9.0,
+            }],
+        );
+        a.merge(&b);
+        assert_eq!(a.rows(), 12, "zero-row spans contribute nothing");
+        let (_, g) = a.iter().next().unwrap();
+        assert_eq!(g.slots[0].sum, 12.0);
+        assert_eq!(g.slots[0].min, -1.0);
+        assert_eq!(g.slots[0].max, 3.0);
+
+        // A product-input aggregate cannot take exact mass.
+        let s = full_sample(1, 10);
+        let mut exact = ExactMass::new();
+        exact.add(
+            &[0],
+            1,
+            vec![
+                ExactSlot {
+                    sum: 1.0,
+                    min: 1.0,
+                    max: 1.0,
+                },
+                ExactSlot {
+                    sum: 1.0,
+                    min: 1.0,
+                    max: 1.0,
+                },
+            ],
+        );
+        let opts = EstimateOptions {
+            exact: Some(&exact),
+            ..Default::default()
+        };
+        let err = estimate(&s, &schema(), &[AggSpec::sum_product("x", "v")], &opts).unwrap_err();
+        assert_eq!(err, EstimateError::ExactProductInput);
     }
 
     #[test]

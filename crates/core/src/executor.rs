@@ -29,16 +29,18 @@ use crate::budget::{
     apply_degradation, blended_degradation, CancelToken, Degradation, DegradeReason,
 };
 use crate::descriptor::{Predicates, SampleDescriptor};
-use crate::estimate::{estimate, EstimateError, EstimateOptions, GroupEstimate};
+use crate::estimate::{
+    estimate, EstimateError, EstimateOptions, ExactMass, ExactSlot, GroupEstimate,
+};
 use crate::interval::{Interval, IntervalSet};
 use crate::lazy::{plan_lazy, plan_lazy_capped, LazyPlan};
 use crate::sampler_ops::{
-    group_table_into_sample, ReservoirAgg, ReservoirAggFactory, SampleSchema, SlotKind,
+    group_table_into_sample, ReservoirAgg, ReservoirAggFactory, SampleSchema, SampleTuple, SlotKind,
 };
 use crate::stats::{ExecStats, ReuseClass};
 use crate::store::{union_single_column, SampleStore};
 use crate::support::{check_support, SupportPolicy, SupportReport};
-use laqy_sampling::merge_stratified_k;
+use laqy_sampling::{merge_stratified, merge_stratified_k, Reservoir, StratifiedSampler};
 
 /// Errors from the LAQy execution layer.
 #[derive(Debug)]
@@ -323,6 +325,8 @@ impl LaqyExecutor {
                 // internally fanned through the worker pool.
                 let mut stats = ExecStats::default();
                 let mut fragment_samples = Vec::with_capacity(fragments.len());
+                let mut fragment_boundaries = Vec::with_capacity(fragments.len());
+                let mut exact_mass = ExactMass::new();
                 let mut fragment_coverage = 0.0f64;
                 let mut fragments_skipped = 0u64;
                 for frag in &fragments {
@@ -338,10 +342,12 @@ impl LaqyExecutor {
                         .cloned()
                         .unwrap_or_else(|| IntervalSet::of(query.range));
                     let extra = fragment_extra_predicate(frag, &query.range_column);
-                    let (s, fstats) = self.sample_pipeline(catalog, query, &ranges, &extra)?;
-                    fragment_coverage += fstats.degraded.map_or(1.0, |d| d.coverage);
-                    stats.accumulate(&fstats);
-                    fragment_samples.push(s);
+                    let run = self.sample_pipeline_hybrid(catalog, query, &ranges, &extra, true)?;
+                    fragment_coverage += run.stats.degraded.map_or(1.0, |d| d.coverage);
+                    stats.accumulate(&run.stats);
+                    exact_mass.merge(&run.exact);
+                    fragment_boundaries.push(run.boundary);
+                    fragment_samples.push(run.sample);
                 }
                 let degradation = blended_degradation(
                     stats.degraded.take(),
@@ -365,9 +371,20 @@ impl LaqyExecutor {
                     inputs.push(stored.sample.clone());
                     parts.push(stored.descriptor.predicates.clone());
                 }
+                // When lane mass was harvested, estimation uses a second
+                // merge over the *boundary* fragment samples (covered rows
+                // excluded), so the exact mass can be blended in without
+                // double counting; absorption always uses the full merge.
+                let mut est_inputs = (!exact_mass.is_empty()).then(|| inputs.clone());
                 inputs.extend(fragment_samples.iter().cloned());
+                if let Some(ei) = est_inputs.as_mut() {
+                    for (b, full) in fragment_boundaries.iter().zip(&fragment_samples) {
+                        ei.push(b.clone().unwrap_or_else(|| full.clone()));
+                    }
+                }
                 let t_merge = Instant::now();
                 let merged = merge_stratified_k(inputs, &mut self.rng);
+                let merged_est = est_inputs.map(|ei| merge_stratified_k(ei, &mut self.rng));
                 stats.merge = t_merge.elapsed();
                 // Sample-as-you-query absorption. If the merged region is
                 // itself a predicate box (all constituents vary along one
@@ -399,9 +416,15 @@ impl LaqyExecutor {
                 let t_est = Instant::now();
                 let opts = EstimateOptions {
                     tighten: Some(&tighten),
+                    exact: (!exact_mass.is_empty()).then_some(&exact_mass),
                     ..Default::default()
                 };
-                let mut groups = estimate(&merged, &schema, &query.plan.aggs, &opts)?;
+                let mut groups = estimate(
+                    merged_est.as_ref().unwrap_or(&merged),
+                    &schema,
+                    &query.plan.aggs,
+                    &opts,
+                )?;
                 if let Some(deg) = &stats.degraded {
                     apply_degradation(&mut groups, &query.plan.aggs, deg);
                 }
@@ -476,26 +499,29 @@ impl LaqyExecutor {
         let descriptor = self.descriptor(catalog, query)?;
         let (_, schema) = self.payload_schema(catalog, query)?;
         let ranges = IntervalSet::of(query.range);
-        let (sample, mut stats) =
-            self.sample_pipeline(catalog, query, &ranges, &Predicate::True)?;
+        let run = self.sample_pipeline_hybrid(catalog, query, &ranges, &Predicate::True, true)?;
+        let mut stats = run.stats;
         let t_est = Instant::now();
-        let mut groups = estimate(
-            &sample,
-            &schema,
-            &query.plan.aggs,
-            &EstimateOptions::default(),
-        )?;
+        // Hybrid estimation: sampled boundary mass plus exact lane mass
+        // (when harvested); the stored sample always covers the full
+        // region.
+        let opts = EstimateOptions {
+            exact: (!run.exact.is_empty()).then_some(&run.exact),
+            ..Default::default()
+        };
+        let est_sample = run.boundary.as_ref().unwrap_or(&run.sample);
+        let mut groups = estimate(est_sample, &schema, &query.plan.aggs, &opts)?;
         if let Some(deg) = &stats.degraded {
             apply_degradation(&mut groups, &query.plan.aggs, deg);
         }
-        let support = check_support(&sample, &schema, None, &self.policy)?;
+        let support = check_support(&run.sample, &schema, None, &self.policy)?;
         stats.estimate = t_est.elapsed();
         // Capture the sample for future reuse (sample-as-you-query: the
         // sample was needed anyway, so storing it costs only space) —
         // unless the budget cut the scan short: a degraded sample's
         // descriptor would claim coverage the scan never delivered.
         if stats.degraded.is_none() {
-            store.absorb(descriptor, schema, sample, &mut self.rng);
+            store.absorb(descriptor, schema, run.sample, &mut self.rng);
         }
         stats.effective_selectivity = 1.0;
         stats.reuse = Some(ReuseClass::Online);
@@ -675,17 +701,34 @@ impl LaqyExecutor {
 
     /// Build a stratified sample of the query's pipeline restricted to
     /// `ranges` on the range column — the Δ (or full online) sampler with
-    /// the predicate pushed down (Figure 7 step 3).
+    /// the predicate pushed down (Figure 7 step 3). Plain (non-hybrid)
+    /// entry point: lane coverage is not harvested.
     pub(crate) fn sample_pipeline(
         &mut self,
         catalog: &Catalog,
         query: &ApproxQuery,
         ranges: &IntervalSet,
         extra: &Predicate,
-    ) -> Result<(
-        laqy_sampling::StratifiedSampler<GroupKey, crate::sampler_ops::SampleTuple>,
-        ExecStats,
-    )> {
+    ) -> Result<(StratifiedSampler<GroupKey, SampleTuple>, ExecStats)> {
+        let run = self.sample_pipeline_hybrid(catalog, query, ranges, extra, false)?;
+        Ok((run.sample, run.stats))
+    }
+
+    /// [`Self::sample_pipeline`] with optional hybrid lane harvesting: when
+    /// `hybrid` is set and the plan is eligible, predicate-covered,
+    /// group-constant block spans are excluded from the scan; their
+    /// aggregates are read exactly from the table's pre-aggregate lanes and
+    /// their sample strata are drawn directly (a uniform k-subset with the
+    /// span's row count as weight — exactly reservoir sampling's end state,
+    /// so the merged full-region sample stays valid for absorption).
+    pub(crate) fn sample_pipeline_hybrid(
+        &mut self,
+        catalog: &Catalog,
+        query: &ApproxQuery,
+        ranges: &IntervalSet,
+        extra: &Predicate,
+        hybrid: bool,
+    ) -> Result<PipelineRun> {
         let k = self.policy.effective_k(query.k);
         let (payload_cols, schema) = self.payload_schema(catalog, query)?;
         let fact = catalog.table(&query.plan.fact)?;
@@ -698,6 +741,66 @@ impl LaqyExecutor {
         // Validate before entering workers.
         full_pred.compile(fact)?;
         let joins = PreparedJoins::build(catalog, &query.plan)?;
+
+        // Hybrid lane pre-pass: find maximal block spans where the
+        // predicate provably holds everywhere and every group column is
+        // lane-constant. Their mass is exact (zero variance) and their
+        // rows never reach the scan or the sampler.
+        let mut covered_blocks: Vec<bool> = Vec::new();
+        let mut exact = ExactMass::new();
+        // Per-group covered row ranges, for the direct stratum draw.
+        let mut covered_rows: Vec<(Vec<i64>, Vec<std::ops::Range<usize>>, u64)> = Vec::new();
+        let mut lane_spans = 0u64;
+        if hybrid && hybrid_eligible(query) {
+            if let Some(syn) = fact.synopsis() {
+                let compiled = full_pred.compile(fact)?;
+                let group_cols: Vec<&str> = query
+                    .plan
+                    .group_by
+                    .iter()
+                    .map(|c| c.column.as_str())
+                    .collect();
+                for span in syn.covered_spans(&compiled, &group_cols) {
+                    if span.rows.is_empty() {
+                        continue;
+                    }
+                    let mut slots = Vec::with_capacity(payload_cols.len());
+                    for c in &payload_cols {
+                        match syn.lane_sum(c, span.blocks.clone()) {
+                            Some(a) => slots.push(ExactSlot {
+                                sum: a.sum,
+                                min: a.min,
+                                max: a.max,
+                            }),
+                            None => break,
+                        }
+                    }
+                    if slots.len() != payload_cols.len() {
+                        continue;
+                    }
+                    if covered_blocks.is_empty() {
+                        covered_blocks = vec![false; syn.num_blocks()];
+                    }
+                    for b in span.blocks.clone() {
+                        covered_blocks[b] = true;
+                    }
+                    let rows = span.rows.len() as u64;
+                    exact.add(&span.key, rows, slots);
+                    match covered_rows.iter_mut().find(|(key, _, _)| *key == span.key) {
+                        Some((_, spans, total)) => {
+                            spans.push(span.rows.clone());
+                            *total += rows;
+                        }
+                        None => {
+                            covered_rows.push((span.key.clone(), vec![span.rows.clone()], rows))
+                        }
+                    }
+                    lane_spans += 1;
+                }
+            }
+        }
+        let covered_mask: &[bool] = &covered_blocks;
+        let covered_seed = self.next_seed();
         let factory = ReservoirAggFactory::new(k, &schema, self.next_seed());
         let payload_inputs: Vec<AggInput> = payload_cols
             .iter()
@@ -709,6 +812,9 @@ impl LaqyExecutor {
             scan_ns: u64,
             sample_ns: u64,
             scanned: u64,
+            /// Rows this worker's scan excluded because their blocks are
+            /// lane-covered (answered exactly, never read).
+            lane_rows: u64,
             sampled_input: u64,
             /// Rows of morsels this worker fully processed (the numerator
             /// of the degraded answer's coverage fraction).
@@ -728,13 +834,16 @@ impl LaqyExecutor {
         // `Result` after the scan.
         let process = |acc: &mut Partial, range: std::ops::Range<usize>| -> Result<()> {
             let t0 = Instant::now();
-            let sel = laqy_engine::ops::scan_filter_pruned(
+            let lane_before = acc.lane_rows;
+            let sel = laqy_engine::ops::scan_filter_pruned_masked(
                 fact,
                 range.clone(),
                 &full_pred,
                 &mut acc.prune,
+                covered_mask,
+                &mut acc.lane_rows,
             )?;
-            acc.scanned += range.len() as u64;
+            acc.scanned += range.len() as u64 - (acc.lane_rows - lane_before);
             if query.plan.joins.is_empty() {
                 acc.scan_ns += t0.elapsed().as_nanos() as u64;
                 if sel.is_empty() {
@@ -802,6 +911,7 @@ impl LaqyExecutor {
                 scan_ns: 0,
                 sample_ns: 0,
                 scanned: 0,
+                lane_rows: 0,
                 sampled_input: 0,
                 covered: 0,
                 prune: PruneCounts::default(),
@@ -841,6 +951,7 @@ impl LaqyExecutor {
         let mut merged = GroupTable::new();
         let (mut scan_ns, mut sample_ns, mut scanned, mut sampled_input) = (0u64, 0u64, 0u64, 0u64);
         let mut covered = 0u64;
+        let mut lane_rows = 0u64;
         let mut degraded: Option<DegradeReason> = None;
         let mut prune = PruneCounts::default();
         for p in partials {
@@ -851,12 +962,61 @@ impl LaqyExecutor {
             scan_ns += p.scan_ns;
             sample_ns += p.sample_ns;
             scanned += p.scanned;
+            lane_rows += p.lane_rows;
             sampled_input += p.sampled_input;
             covered += p.covered;
             degraded = degraded.or(p.degraded);
             prune.accumulate(&p.prune);
         }
-        let sample = group_table_into_sample(merged, k);
+        let boundary_sample = group_table_into_sample(merged, k);
+
+        // Fold the covered strata back into the stored sample: a uniform
+        // k-subset of the span's rows with the span's row count as weight
+        // is distributed exactly like a reservoir pass over those rows, so
+        // `merge(boundary, covered)` is statistically a full-region sample.
+        let (sample, boundary) = if exact.is_empty() {
+            (boundary_sample, None)
+        } else {
+            let mut bound_cols = Vec::with_capacity(payload_cols.len());
+            for (slot, c) in payload_cols.iter().enumerate() {
+                bound_cols.push((fact.column(c)?, schema.kind(slot)));
+            }
+            let mut covered_sampler: StratifiedSampler<GroupKey, SampleTuple> =
+                StratifiedSampler::with_strata_hint(k, covered_rows.len());
+            let mut draw_rng = Lehmer64::new(covered_seed);
+            for (key, spans, total) in &covered_rows {
+                let take = k.min(*total as usize);
+                let mut items = Vec::with_capacity(take);
+                for idx in floyd_k_subset(*total, take, &mut draw_rng) {
+                    let row = row_at(spans, idx);
+                    let mut vals = Vec::with_capacity(bound_cols.len());
+                    for (col, kind) in &bound_cols {
+                        vals.push(match kind {
+                            SlotKind::Int => col.i64_at(row),
+                            SlotKind::Float => col.f64_at(row).to_bits() as i64,
+                        });
+                    }
+                    items.push(SampleTuple::from_slice(&vals));
+                }
+                covered_sampler
+                    .insert_stratum(GroupKey::new(key), Reservoir::from_parts(k, items, *total));
+            }
+            if degraded.is_some() {
+                // A cut-short scan cannot blend cleanly: estimate from the
+                // full merged sample instead (covered strata are proper
+                // weighted strata, so the degraded-answer path stays
+                // valid) and drop the exact mass.
+                exact = ExactMass::new();
+                (
+                    merge_stratified(boundary_sample, covered_sampler, &mut self.rng),
+                    None,
+                )
+            } else {
+                let full =
+                    merge_stratified(boundary_sample.clone(), covered_sampler, &mut self.rng);
+                (full, Some(boundary_sample))
+            }
+        };
 
         // The per-thread phase timers measure CPU time; scale them onto the
         // wall-clock pipeline time so the breakdown sums to what a user
@@ -871,12 +1031,19 @@ impl LaqyExecutor {
             morsels_skipped: prune.skipped,
             morsels_fast_pathed: prune.fast_pathed,
             morsels_scanned: prune.scanned,
+            lane_covered_rows: lane_rows,
+            lane_spans,
             degraded: degraded.map(|reason| {
                 Degradation::at_coverage(reason, covered as f64 / n_rows.max(1) as f64)
             }),
             ..Default::default()
         };
-        Ok((sample, stats))
+        Ok(PipelineRun {
+            sample,
+            boundary,
+            exact,
+            stats,
+        })
     }
 
     /// Decode raw group-key parts into display values using the plan's key
@@ -910,6 +1077,63 @@ impl LaqyExecutor {
             })
             .collect())
     }
+}
+
+/// Outcome of one sampling pipeline run.
+pub(crate) struct PipelineRun {
+    /// Stratified sample over the whole scanned region, lane-covered
+    /// strata included — statistically equivalent to a plain reservoir
+    /// pass, so it is what the store absorbs.
+    pub sample: StratifiedSampler<GroupKey, SampleTuple>,
+    /// Boundary-only sample (covered rows excluded) for estimation;
+    /// `None` when no lane mass was harvested (estimate from `sample`).
+    pub boundary: Option<StratifiedSampler<GroupKey, SampleTuple>>,
+    /// Exact covered mass to blend into estimation alongside `boundary`.
+    pub exact: ExactMass,
+    /// Timing/cardinality breakdown.
+    pub stats: ExecStats,
+}
+
+/// Whether a plan can take the hybrid lane path: lanes live on the fact
+/// table only and hold per-column sums, so joins, dimension-side group
+/// keys, and product-input aggregates are out.
+fn hybrid_eligible(query: &ApproxQuery) -> bool {
+    query.plan.joins.is_empty()
+        && query.plan.group_by.iter().all(|c| c.table.is_none())
+        && query
+            .plan
+            .aggs
+            .iter()
+            .all(|a| !matches!(a.input, AggInput::Mul(..)))
+}
+
+/// Floyd's algorithm: `take` distinct indices drawn uniformly from
+/// `0..n`. O(take²) membership checks — `take` is a reservoir capacity,
+/// so small.
+fn floyd_k_subset(n: u64, take: usize, rng: &mut Lehmer64) -> Vec<u64> {
+    let mut chosen: Vec<u64> = Vec::with_capacity(take);
+    for j in n.saturating_sub(take as u64)..n {
+        let t = rng.next_below(j + 1);
+        if chosen.contains(&t) {
+            chosen.push(j);
+        } else {
+            chosen.push(t);
+        }
+    }
+    chosen
+}
+
+/// Map a flat index into a list of disjoint row ranges.
+fn row_at(spans: &[std::ops::Range<usize>], idx: u64) -> usize {
+    let mut rem = idx as usize;
+    for r in spans {
+        if rem < r.len() {
+            return r.start + rem;
+        }
+        rem -= r.len();
+    }
+    // Unreachable when idx < total rows; clamp defensively.
+    spans.last().map(|r| r.end.saturating_sub(1)).unwrap_or(0)
 }
 
 /// Build a [`SupportReport`] from per-group estimates whose `support`

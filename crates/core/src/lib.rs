@@ -118,7 +118,10 @@ pub mod window;
 pub use bounded::{run_bounded, BoundedResult, ErrorTarget};
 pub use budget::{CancelToken, Degradation, DegradeReason, QueryBudget};
 pub use descriptor::{Predicates, SampleDescriptor};
-pub use estimate::{estimate, AggEstimate, EstimateError, EstimateOptions, GroupEstimate};
+pub use estimate::{
+    estimate, AggEstimate, EstimateError, EstimateOptions, ExactGroup, ExactMass, ExactSlot,
+    GroupEstimate,
+};
 pub use executor::{
     input_identity, range_predicate, ApproxQuery, ApproxResult, LaqyError, LaqyExecutor, Result,
     ReuseMode,
@@ -137,6 +140,9 @@ pub use service::LaqyService;
 pub use session::{LaqySession, SessionConfig};
 pub use sql::{approx_query, approx_query_on};
 pub use stats::{ExecStats, ReuseClass, ServiceStats};
-pub use store::{CoveragePlan, ReuseDecision, SampleId, SampleStore, StoredSample};
+pub use store::{
+    CoveragePlan, ReuseDecision, SampleId, SampleStore, ShardWriteGuard, ShardedStore,
+    StoredSample, STORE_SHARDS,
+};
 pub use support::{check_support, SupportPolicy, SupportReport};
 pub use window::SlidingSampler;

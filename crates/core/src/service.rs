@@ -10,12 +10,18 @@
 //!
 //! Concurrency design:
 //!
-//! - **Read path** (classification + full-reuse estimation) runs under a
-//!   `laqy_sync::RwLock` *read* guard. LRU touches are relaxed atomic
+//! - **Sharded store**: the sample store is a [`ShardedStore`] — N
+//!   independent `SampleStore`s, each behind its own named
+//!   `laqy_sync::RwLock`, routed by descriptor fingerprint. Queries with
+//!   different fingerprints never contend; all reuse/merge candidates
+//!   for one query share its fingerprint and therefore its shard, so the
+//!   whole plan→scan→merge→absorb flow is single-shard.
+//! - **Read path** (classification + full-reuse estimation) runs under
+//!   the home shard's *read* guard. LRU touches are relaxed atomic
 //!   stores ([`SampleStore::get`]), so readers never take the write lock.
-//! - **Write path** (absorb / Δ-merge / eviction) takes the write lock
-//!   only around the in-memory merge — never around the sampling scan,
-//!   which is the expensive part and runs lock-free.
+//! - **Write path** (absorb / Δ-merge / eviction) takes the home shard's
+//!   write lock only around the in-memory merge — never around the
+//!   sampling scan, which is the expensive part and runs lock-free.
 //! - **Per-fragment in-flight dedup registry**: coverage plans claim one
 //!   registry slot *per residual fragment* with non-blocking try-claims.
 //!   When two clients' plans share fragments, each fragment is scanned by
@@ -33,11 +39,13 @@
 //!   the query retries, degrading to online sampling after a bounded
 //!   number of attempts.
 //!
-//! Lock ordering: the registry mutex, the store lock, and the catalog
-//! lock are never held while waiting on an in-flight entry, and the
-//! store write lock never nests inside a catalog or registry acquisition
-//! made by the same operation, so the service is deadlock-free by
-//! construction.
+//! Lock ordering: registry mutexes, shard locks, and the catalog lock
+//! are never held while waiting on an in-flight entry; a query path
+//! holds at most one shard lock and one registry mutex at a time, never
+//! nested; and whole-store operations (snapshot, clear, restore) lock
+//! shards in ascending index order. Each shard lock carries its own
+//! static class name, so the `laqy_sync` lock-order detector enforces
+//! the canonical order instead of skipping same-name edges.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -58,8 +66,22 @@ use crate::interval::IntervalSet;
 use crate::lazy::{plan_lazy, plan_lazy_capped, LazyPlan};
 use crate::session::SessionConfig;
 use crate::stats::{ExecStats, ReuseClass, ServiceStats};
-use crate::store::{union_single_column, SampleId, SampleStore};
+use crate::store::{union_single_column, SampleId, SampleStore, ShardedStore, STORE_SHARDS};
 use laqy_sampling::merge_stratified_k;
+
+// One static lock-class name per in-flight registry shard, mirroring the
+// store's per-shard lock names (see `store::SHARD_LOCK_NAMES`): distinct
+// names keep the lock-order detector's edges meaningful.
+const INFLIGHT_LOCK_NAMES: [&str; STORE_SHARDS] = [
+    "laqy.inflight.registry0",
+    "laqy.inflight.registry1",
+    "laqy.inflight.registry2",
+    "laqy.inflight.registry3",
+    "laqy.inflight.registry4",
+    "laqy.inflight.registry5",
+    "laqy.inflight.registry6",
+    "laqy.inflight.registry7",
+];
 
 /// Attempts before a query stops chasing invalidated reuse plans and
 /// forces online sampling. Each retry means another client changed the
@@ -100,6 +122,7 @@ struct Counters {
     morsels_skipped: AtomicU64,
     morsels_fast_pathed: AtomicU64,
     morsels_scanned: AtomicU64,
+    lane_covered_rows: AtomicU64,
     fragments_reused: AtomicU64,
     fragments_scanned: AtomicU64,
     fragments_deduped: AtomicU64,
@@ -110,8 +133,13 @@ struct Counters {
 
 struct ServiceInner {
     catalog: RwLock<Catalog>,
-    store: RwLock<SampleStore>,
-    inflight: Mutex<HashMap<String, Arc<Inflight>>>,
+    store: ShardedStore,
+    /// In-flight dedup registry, sharded like the store (one mutex per
+    /// registry shard, keys routed by [`ShardedStore::registry_shard`]).
+    /// A query's fragment keys embed the fragment predicates, so one
+    /// coverage plan's claims spread across registry shards instead of
+    /// serializing on one mutex.
+    inflight: Vec<Mutex<HashMap<String, Arc<Inflight>>>>,
     counters: Counters,
     threads: usize,
     policy: crate::support::SupportPolicy,
@@ -156,15 +184,15 @@ impl LaqyService {
 
     /// Create a service with explicit configuration.
     pub fn with_config(catalog: Catalog, config: SessionConfig) -> Self {
-        let store = match config.store_budget_bytes {
-            Some(b) => SampleStore::with_budget(b),
-            None => SampleStore::new(),
-        };
+        let store = ShardedStore::new(config.store_shards, config.store_budget_bytes);
+        let registry_shards = store.num_shards();
         Self {
             inner: Arc::new(ServiceInner {
                 catalog: RwLock::named("laqy.catalog", catalog),
-                store: RwLock::named("laqy.store", store),
-                inflight: Mutex::named("laqy.inflight.registry", HashMap::new()),
+                store,
+                inflight: (0..registry_shards)
+                    .map(|i| Mutex::named(INFLIGHT_LOCK_NAMES[i], HashMap::new()))
+                    .collect(),
                 counters: Counters::default(),
                 threads: config.threads,
                 policy: config.policy,
@@ -188,9 +216,11 @@ impl LaqyService {
         self.timed(|i| i.catalog.read())
     }
 
-    /// Shared read access to the sample store (inspection / tests).
-    pub fn store(&self) -> RwLockReadGuard<'_, SampleStore> {
-        self.timed(|i| i.store.read())
+    /// A coherent owned snapshot of the sample store (inspection / tests
+    /// / persistence). Sample ids are preserved; shards are locked in
+    /// canonical ascending order while the snapshot is cut.
+    pub fn store(&self) -> SampleStore {
+        self.timed(|i| i.store.snapshot())
     }
 
     /// Snapshot of the per-service counters.
@@ -211,6 +241,7 @@ impl LaqyService {
             morsels_skipped: c.morsels_skipped.load(Ordering::Relaxed),
             morsels_fast_pathed: c.morsels_fast_pathed.load(Ordering::Relaxed),
             morsels_scanned: c.morsels_scanned.load(Ordering::Relaxed),
+            lane_covered_rows: c.lane_covered_rows.load(Ordering::Relaxed),
             fragments_reused: c.fragments_reused.load(Ordering::Relaxed),
             fragments_scanned: c.fragments_scanned.load(Ordering::Relaxed),
             fragments_deduped: c.fragments_deduped.load(Ordering::Relaxed),
@@ -222,7 +253,7 @@ impl LaqyService {
 
     /// Clear all materialized samples (cold-start experiments).
     pub fn clear_samples(&self) {
-        self.timed(|i| i.store.write()).clear();
+        self.timed(|i| i.store.clear());
     }
 
     /// Serialize the sample store (offline-sample persistence).
@@ -235,7 +266,7 @@ impl LaqyService {
     pub fn import_samples(&self, bytes: &[u8]) -> Result<()> {
         let loaded =
             crate::persist::load_store(bytes).map_err(|e| LaqyError::Unsupported(e.to_string()))?;
-        *self.timed(|i| i.store.write()) = loaded;
+        self.timed(|i| i.store.replace_from(loaded));
         Ok(())
     }
 
@@ -261,7 +292,7 @@ impl LaqyService {
         dir: &std::path::Path,
     ) -> std::result::Result<crate::persist::RecoveryReport, crate::persist::PersistError> {
         let (loaded, report) = crate::persist::recover_snapshot(dir)?;
-        *self.timed(|i| i.store.write()) = loaded;
+        self.timed(|i| i.store.replace_from(loaded));
         if report.fell_back() {
             self.inner
                 .counters
@@ -388,6 +419,8 @@ impl LaqyService {
             .fetch_add(stats.morsels_fast_pathed, Ordering::Relaxed);
         c.morsels_scanned
             .fetch_add(stats.morsels_scanned, Ordering::Relaxed);
+        c.lane_covered_rows
+            .fetch_add(stats.lane_covered_rows, Ordering::Relaxed);
     }
 
     /// A fresh per-query executor. Seeds advance through a service-wide
@@ -426,7 +459,10 @@ impl LaqyService {
         let (mut plan, snapshot) = if force_online {
             (LazyPlan::Online, Vec::new())
         } else {
-            let store = self.store();
+            // Every reuse candidate shares the descriptor's fingerprint,
+            // so planning only ever needs the home shard's read guard.
+            let home = self.inner.store.shard_for(&descriptor);
+            let store = self.timed(|i| i.store.read_shard(home));
             let plan = match self.inner.mode {
                 ReuseMode::SingleSample => plan_lazy_capped(&store, &descriptor, 1),
                 _ => plan_lazy(&store, &descriptor),
@@ -508,9 +544,12 @@ impl LaqyService {
         t_start: Instant,
     ) -> Result<Attempt> {
         let c = &self.inner.counters;
+        let home = self.inner.store.shard_for(descriptor);
         // Non-blocking try-claim of every fragment. Claims are never held
         // while waiting, so two clients with overlapping fragment sets
-        // cannot deadlock on each other.
+        // cannot deadlock on each other. Fragment keys hash to different
+        // registry shards, so concurrent plans spanning many fragments
+        // spread their claims instead of serializing on one mutex.
         let mut owned: Vec<(usize, InflightGuard<'_>)> = Vec::new();
         let mut busy: Vec<Arc<Inflight>> = Vec::new();
         for (i, frag) in fragments.iter().enumerate() {
@@ -529,7 +568,10 @@ impl LaqyService {
         // those may be absorbed into the shared store, since a degraded
         // fragment's descriptor would overclaim coverage.
         let mut stats = ExecStats::default();
-        let mut scanned: Vec<(usize, _, bool)> = Vec::with_capacity(owned.len());
+        // Per owned fragment: index, full-region sample (absorbable),
+        // clean flag, and the boundary sample for hybrid estimation.
+        let mut scanned: Vec<(usize, _, bool, Option<_>)> = Vec::with_capacity(owned.len());
+        let mut exact_mass = crate::estimate::ExactMass::new();
         let mut fragment_coverage = 0.0f64;
         let mut fragments_skipped = 0u64;
         let schema = {
@@ -548,11 +590,13 @@ impl LaqyService {
                     .cloned()
                     .unwrap_or_else(|| IntervalSet::of(query.range));
                 let extra = fragment_extra_predicate(frag, &query.range_column);
-                let (s, fstats) = executor.sample_pipeline(&catalog, query, &ranges, &extra)?;
-                fragment_coverage += fstats.degraded.map_or(1.0, |d| d.coverage);
-                let clean = fstats.degraded.is_none();
-                stats.accumulate(&fstats);
-                scanned.push((*i, s, clean));
+                let run =
+                    executor.sample_pipeline_hybrid(&catalog, query, &ranges, &extra, true)?;
+                fragment_coverage += run.stats.degraded.map_or(1.0, |d| d.coverage);
+                let clean = run.stats.degraded.is_none();
+                stats.accumulate(&run.stats);
+                exact_mass.merge(&run.exact);
+                scanned.push((*i, run.sample, clean, run.boundary));
             }
             schema
         };
@@ -568,9 +612,9 @@ impl LaqyService {
             // sample of its box — then release our claims, wait
             // guard-free for the others, and re-plan (normally upgrading
             // to full or pure-merge reuse).
-            if scanned.iter().any(|(_, _, clean)| *clean) {
-                let mut store = self.timed(|i| i.store.write());
-                for (i, s, clean) in scanned {
+            if scanned.iter().any(|(_, _, clean, _)| *clean) {
+                let mut store = self.timed(|i| i.store.write_shard(home));
+                for (i, s, clean, _) in scanned {
                     if !clean {
                         continue;
                     }
@@ -607,7 +651,7 @@ impl LaqyService {
         // otherwise double-count rows or lose the sample entirely).
         let t_merge = Instant::now();
         let merged = {
-            let mut store = self.timed(|i| i.store.write());
+            let mut store = self.timed(|i| i.store.write_shard(home));
             // Revalidate and collect inputs in one pass: any sample that
             // vanished or changed coverage invalidates the whole plan.
             let mut inputs = Vec::with_capacity(samples.len() + scanned.len());
@@ -626,8 +670,19 @@ impl LaqyService {
                 }
             }
             if valid {
-                inputs.extend(scanned.iter().map(|(_, s, _)| s.clone()));
+                // Hybrid estimation needs a second merge over boundary
+                // samples (covered rows excluded) so the exact lane mass
+                // is not double counted; the full merge is what answers
+                // degraded queries and feeds absorption.
+                let mut est_inputs = (!exact_mass.is_empty()).then(|| inputs.clone());
+                inputs.extend(scanned.iter().map(|(_, s, _, _)| s.clone()));
+                if let Some(ei) = est_inputs.as_mut() {
+                    for (_, s, _, boundary) in &scanned {
+                        ei.push(boundary.clone().unwrap_or_else(|| s.clone()));
+                    }
+                }
                 let merged = merge_stratified_k(inputs, executor.rng_mut());
+                let merged_est = est_inputs.map(|ei| merge_stratified_k(ei, executor.rng_mut()));
                 if stats.degraded.is_none() {
                     // Sample-as-you-query absorption: consolidate when the
                     // union region is itself a predicate box, else absorb
@@ -650,7 +705,7 @@ impl LaqyService {
                             executor.rng_mut(),
                         );
                     } else {
-                        for (i, s, _) in scanned {
+                        for (i, s, _, _) in scanned {
                             let mut frag_desc = descriptor.clone();
                             frag_desc.predicates = fragments[i].clone();
                             store.absorb(frag_desc, schema.clone(), s, executor.rng_mut());
@@ -661,7 +716,7 @@ impl LaqyService {
                     // only clean fragment samples may enter the store —
                     // and never a consolidated union, which would claim
                     // coverage the budget cut short.
-                    for (i, s, clean) in scanned {
+                    for (i, s, clean, _) in scanned {
                         if !clean {
                             continue;
                         }
@@ -670,11 +725,11 @@ impl LaqyService {
                         store.absorb(frag_desc, schema.clone(), s, executor.rng_mut());
                     }
                 }
-                Some(merged)
+                Some((merged, merged_est))
             } else {
                 // Stale plan: keep the (clean) scan work anyway, then
                 // re-plan.
-                for (i, s, clean) in scanned {
+                for (i, s, clean, _) in scanned {
                     if !clean {
                         continue;
                     }
@@ -686,7 +741,7 @@ impl LaqyService {
             }
         };
         stats.merge = t_merge.elapsed();
-        let Some(merged) = merged else {
+        let Some((merged, merged_est)) = merged else {
             c.merge_retries.fetch_add(1, Ordering::Relaxed);
             return Ok(Attempt::Retry);
         };
@@ -694,9 +749,15 @@ impl LaqyService {
         let t_est = Instant::now();
         let opts = crate::estimate::EstimateOptions {
             tighten: Some(tighten),
+            exact: (!exact_mass.is_empty()).then_some(&exact_mass),
             ..Default::default()
         };
-        let mut groups = crate::estimate::estimate(&merged, &schema, &query.plan.aggs, &opts)?;
+        let mut groups = crate::estimate::estimate(
+            merged_est.as_ref().unwrap_or(&merged),
+            &schema,
+            &query.plan.aggs,
+            &opts,
+        )?;
         if let Some(deg) = &stats.degraded {
             apply_degradation(&mut groups, &query.plan.aggs, deg);
         }
@@ -742,7 +803,7 @@ impl LaqyService {
         t_start: Instant,
     ) -> Result<Option<ApproxResult>> {
         let estimated = {
-            let store = self.store();
+            let store = self.timed(|i| i.store.read_shard(i.store.shard_for_id(id)));
             if store.peek(id).is_none() {
                 None
             } else {
@@ -805,24 +866,33 @@ impl LaqyService {
         let ranges = IntervalSet::of(query.range);
         let (sample, mut stats, schema, groups, support) = {
             let catalog = self.catalog();
-            let (sample, stats) =
-                executor.sample_pipeline(&catalog, query, &ranges, &Predicate::True)?;
+            let run = executor.sample_pipeline_hybrid(
+                &catalog,
+                query,
+                &ranges,
+                &Predicate::True,
+                true,
+            )?;
             let (_, schema) = executor.payload_schema(&catalog, query)?;
             let t_est = Instant::now();
-            let mut groups = crate::estimate::estimate(
-                &sample,
-                &schema,
-                &query.plan.aggs,
-                &crate::estimate::EstimateOptions::default(),
-            )?;
-            if let Some(deg) = &stats.degraded {
+            // Hybrid estimation: boundary sample plus exact lane mass
+            // when harvested; the full-region sample is what the store
+            // absorbs and what the support check inspects.
+            let opts = crate::estimate::EstimateOptions {
+                exact: (!run.exact.is_empty()).then_some(&run.exact),
+                ..Default::default()
+            };
+            let est_sample = run.boundary.as_ref().unwrap_or(&run.sample);
+            let mut groups =
+                crate::estimate::estimate(est_sample, &schema, &query.plan.aggs, &opts)?;
+            if let Some(deg) = &run.stats.degraded {
                 apply_degradation(&mut groups, &query.plan.aggs, deg);
             }
             let support =
-                crate::support::check_support(&sample, &schema, None, &self.inner.policy)?;
-            let mut stats = stats;
+                crate::support::check_support(&run.sample, &schema, None, &self.inner.policy)?;
+            let mut stats = run.stats;
             stats.estimate = t_est.elapsed();
-            (sample, stats, schema, groups, support)
+            (run.sample, stats, schema, groups, support)
         };
         self.inner
             .counters
@@ -833,7 +903,8 @@ impl LaqyService {
         // would claim coverage the budget cut short, poisoning every
         // future reuse decision.
         if stats.degraded.is_none() {
-            let mut store = self.timed(|i| i.store.write());
+            let home = self.inner.store.shard_for(descriptor);
+            let mut store = self.timed(|i| i.store.write_shard(home));
             store.absorb(descriptor.clone(), schema, sample, executor.rng_mut());
         }
         self.inner
@@ -858,13 +929,15 @@ impl LaqyService {
     /// [`Claim::Busy`] with the entry to wait on later — after dropping
     /// any claims of our own, so overlapping claim sets never deadlock.
     fn try_begin_inflight(&self, key: &str) -> Claim<'_> {
-        let mut registry = self.inner.inflight.lock();
+        let shard = self.inner.store.registry_shard(key);
+        let mut registry = self.inner.inflight[shard].lock();
         match registry.get(key) {
             Some(entry) => Claim::Busy(Arc::clone(entry)),
             None => {
                 registry.insert(key.to_string(), Arc::new(Inflight::new()));
                 Claim::Owner(InflightGuard {
                     inner: &self.inner,
+                    shard,
                     key: key.to_string(),
                 })
             }
@@ -912,12 +985,13 @@ enum Claim<'a> {
 /// panic or error unwinding, so waiters can never hang on a dead owner.
 struct InflightGuard<'a> {
     inner: &'a ServiceInner,
+    shard: usize,
     key: String,
 }
 
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
-        let entry = self.inner.inflight.lock().remove(&self.key);
+        let entry = self.inner.inflight[self.shard].lock().remove(&self.key);
         if let Some(entry) = entry {
             *entry.done.lock() = true;
             entry.cv.notify_all();

@@ -34,10 +34,15 @@ pub struct SessionConfig {
     pub policy: SupportPolicy,
     /// Base RNG seed (determinism across runs).
     pub seed: u64,
-    /// Optional sample-store byte budget (LRU-evicted).
+    /// Optional sample-store byte budget (LRU-evicted, global across
+    /// shards).
     pub store_budget_bytes: Option<usize>,
     /// Reuse aggressiveness (ablation switch; default lazy/partial reuse).
     pub reuse_mode: ReuseMode,
+    /// Sample-store shard count, clamped to
+    /// `1..=`[`STORE_SHARDS`](crate::store::STORE_SHARDS). One shard
+    /// reproduces the single-lock layout (the bench baseline).
+    pub store_shards: usize,
 }
 
 impl Default for SessionConfig {
@@ -48,6 +53,7 @@ impl Default for SessionConfig {
             seed: 0xACE1,
             store_budget_bytes: None,
             reuse_mode: ReuseMode::default(),
+            store_shards: crate::store::STORE_SHARDS,
         }
     }
 }
@@ -88,8 +94,8 @@ impl LaqySession {
         self.service.catalog()
     }
 
-    /// The sample store (inspection / tests).
-    pub fn store(&self) -> RwLockReadGuard<'_, SampleStore> {
+    /// An owned snapshot of the sample store (inspection / tests).
+    pub fn store(&self) -> SampleStore {
         self.service.store()
     }
 

@@ -62,6 +62,13 @@ pub struct ExecStats {
     pub morsels_fast_pathed: u64,
     /// Morsels that needed per-row predicate evaluation.
     pub morsels_scanned: u64,
+    /// Rows whose aggregate contribution came exactly from pre-aggregate
+    /// lanes — excluded from the scan *and* from the sampler's input
+    /// (hybrid estimation; "rows made free").
+    pub lane_covered_rows: u64,
+    /// Lane-covered spans (contiguous TakeAll, group-constant block runs)
+    /// this query's scans turned into exact mass.
+    pub lane_spans: u64,
     /// Stored samples this query's coverage plan merged (0 when the query
     /// ran online or hit a single subsuming sample).
     pub fragments_reused: u64,
@@ -93,6 +100,8 @@ impl ExecStats {
         self.morsels_skipped += other.morsels_skipped;
         self.morsels_fast_pathed += other.morsels_fast_pathed;
         self.morsels_scanned += other.morsels_scanned;
+        self.lane_covered_rows += other.lane_covered_rows;
+        self.lane_spans += other.lane_spans;
         self.fragments_reused += other.fragments_reused;
         self.fragments_scanned += other.fragments_scanned;
         // Keep the most severe degradation across accumulated pipelines.
@@ -140,6 +149,9 @@ pub struct ServiceStats {
     pub morsels_fast_pathed: u64,
     /// Morsels that needed per-row evaluation across all served scans.
     pub morsels_scanned: u64,
+    /// Rows answered exactly from pre-aggregate lanes (never scanned or
+    /// sampled) across all served queries.
+    pub lane_covered_rows: u64,
     /// Stored samples merged by coverage plans across all queries.
     pub fragments_reused: u64,
     /// Residual coverage fragments Δ-scanned across all queries.
@@ -189,6 +201,8 @@ mod tests {
             morsels_skipped: 7,
             morsels_fast_pathed: 2,
             morsels_scanned: 3,
+            lane_covered_rows: 30,
+            lane_spans: 4,
             fragments_reused: 2,
             fragments_scanned: 1,
             degraded: None,
@@ -203,6 +217,8 @@ mod tests {
         assert_eq!(a.morsels_skipped, 14);
         assert_eq!(a.morsels_fast_pathed, 4);
         assert_eq!(a.morsels_scanned, 6);
+        assert_eq!(a.lane_covered_rows, 60);
+        assert_eq!(a.lane_spans, 8);
         assert_eq!(a.fragments_reused, 4);
         assert_eq!(a.fragments_scanned, 2);
     }

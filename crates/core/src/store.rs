@@ -13,7 +13,8 @@
 //! budget with LRU eviction hooks this store into Taster-style storage
 //! management (paper §8).
 
-use laqy_sync::atomic::{AtomicU64, Ordering};
+use laqy_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use laqy_sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use laqy_engine::GroupKey;
 use laqy_sampling::{merge_stratified, Lehmer64, StratifiedSampler};
@@ -108,6 +109,11 @@ const MAX_COVERAGE_FRAGMENTS: usize = 16;
 pub struct SampleStore {
     samples: Vec<(SampleId, StoredSample)>,
     next_id: u64,
+    // Shard-aware id allocation: shard `i` of an N-way [`ShardedStore`]
+    // starts at `i` and strides by `N`, so ids are globally unique and
+    // `id mod N` recovers the owning shard. A standalone store strides
+    // by 1.
+    id_stride: u64,
     // Atomic for the same reason as `StoredSample::last_used`: shared
     // readers advance the logical clock without exclusive access.
     clock: AtomicU64,
@@ -121,6 +127,7 @@ impl SampleStore {
         Self {
             samples: Vec::new(),
             next_id: 0,
+            id_stride: 1,
             clock: AtomicU64::new(0),
             budget_bytes: None,
             evictions: 0,
@@ -133,6 +140,23 @@ impl SampleStore {
             budget_bytes: Some(budget_bytes),
             ..Self::new()
         }
+    }
+
+    /// Store allocating ids `start, start + stride, start + 2·stride, …` —
+    /// the per-shard constructor used by [`ShardedStore`].
+    pub(crate) fn with_id_stride(start: u64, stride: u64) -> Self {
+        Self {
+            next_id: start,
+            id_stride: stride.max(1),
+            ..Self::new()
+        }
+    }
+
+    /// Allocate the next id in this store's stride class.
+    fn alloc_id(&mut self) -> SampleId {
+        let id = SampleId(self.next_id);
+        self.next_id += self.id_stride;
+        id
     }
 
     /// Number of stored samples.
@@ -354,8 +378,7 @@ impl SampleStore {
         sample: StratifiedSampler<GroupKey, SampleTuple>,
     ) -> SampleId {
         let clock = self.tick();
-        let id = SampleId(self.next_id);
-        self.next_id += 1;
+        let id = self.alloc_id();
         let mut stored = StoredSample {
             descriptor,
             schema,
@@ -367,6 +390,56 @@ impl SampleStore {
         self.samples.push((id, stored));
         self.enforce_budget(id);
         id
+    }
+
+    /// Insert a sample under a caller-chosen id (snapshot reconstruction:
+    /// a [`ShardedStore::snapshot`] must present stored samples under the
+    /// ids the shards assigned, so `SampleId`s remain meaningful across
+    /// the snapshot boundary).
+    pub(crate) fn insert_with_id(
+        &mut self,
+        id: SampleId,
+        descriptor: SampleDescriptor,
+        schema: SampleSchema,
+        sample: StratifiedSampler<GroupKey, SampleTuple>,
+        last_used: u64,
+    ) {
+        let mut stored = StoredSample {
+            descriptor,
+            schema,
+            sample,
+            last_used: AtomicU64::new(last_used),
+            bytes: 0,
+        };
+        stored.measure_bytes();
+        self.samples.push((id, stored));
+        if id.0 >= self.next_id {
+            self.next_id = id.0 + self.id_stride;
+        }
+        self.clock.fetch_max(last_used, Ordering::Relaxed);
+    }
+
+    /// Evict the least-recently-used sample, if more than one is held.
+    /// Returns whether a sample was dropped. This is the single-step
+    /// primitive behind both the standalone byte budget and the
+    /// [`ShardedStore`]'s global-budget enforcement.
+    pub(crate) fn evict_one_lru(&mut self) -> bool {
+        if self.samples.len() <= 1 {
+            return false;
+        }
+        let victim = self
+            .samples
+            .iter()
+            .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
+            .map(|(i, _)| *i);
+        match victim {
+            Some(v) => {
+                self.remove(v);
+                self.evictions += 1;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Insert a freshly built sample, combining it with a stored
@@ -416,8 +489,7 @@ impl SampleStore {
                 && descriptor.matches_characteristics(&s.descriptor)
                 && descriptor.predicates.subsumes(&s.descriptor.predicates))
         });
-        let id = SampleId(self.next_id);
-        self.next_id += 1;
+        let id = self.alloc_id();
         let mut stored = StoredSample {
             descriptor,
             schema,
@@ -498,6 +570,250 @@ impl SampleStore {
 impl Default for SampleStore {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Maximum (and default) shard count of a [`ShardedStore`].
+pub const STORE_SHARDS: usize = 8;
+
+// One static lock-class name per shard index. Distinct names make each
+// shard its own node in the lock-order graph, so the detector *enforces*
+// the canonical ascending acquisition order used by whole-store
+// operations (a same-name pool would have its edges skipped — see
+// `laqy_sync::order`).
+const SHARD_LOCK_NAMES: [&str; STORE_SHARDS] = [
+    "laqy.store.shard0",
+    "laqy.store.shard1",
+    "laqy.store.shard2",
+    "laqy.store.shard3",
+    "laqy.store.shard4",
+    "laqy.store.shard5",
+    "laqy.store.shard6",
+    "laqy.store.shard7",
+];
+
+/// FNV-1a over `bytes`. The *only* descriptor→shard hashing primitive in
+/// the workspace; an xtask lint rule keeps it (and any other shard
+/// hashing) from leaking out of this file, so rehashing policy stays a
+/// one-file change.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A descriptor-hash-sharded [`SampleStore`]: N independent stores, each
+/// behind its own named `laqy_sync::RwLock`, so concurrent queries with
+/// different sample fingerprints never contend on one global lock.
+///
+/// Routing hashes the descriptor *fingerprint* (table + QCS + QVS + k —
+/// everything except predicates). All reuse, coverage-planning, and merge
+/// candidates for a query share its fingerprint by construction, so
+/// classification, planning, absorption, and consolidation are all
+/// single-shard operations; no cross-shard transaction is ever needed on
+/// the query path. Whole-store operations (snapshot, clear, restore) lock
+/// shards in ascending index order — the canonical order the lock-order
+/// detector enforces via the per-shard lock-class names.
+///
+/// The byte budget is global: each shard tracks its payload bytes in a
+/// `laqy_sync::atomic` counter, and [`ShardWriteGuard`] re-checks the
+/// global total on drop, evicting LRU entries from the shard it just
+/// mutated until the total fits (or the shard is down to one sample).
+pub struct ShardedStore {
+    shards: Vec<RwLock<SampleStore>>,
+    shard_bytes: Vec<AtomicUsize>,
+    budget_bytes: Option<usize>,
+}
+
+impl ShardedStore {
+    /// Build a store with `shards` shards (clamped to `1..=STORE_SHARDS`)
+    /// and an optional global byte budget. One shard degenerates to the
+    /// single-lock layout — the bench baseline.
+    pub fn new(shards: usize, budget_bytes: Option<usize>) -> Self {
+        let n = shards.clamp(1, STORE_SHARDS);
+        Self {
+            shards: (0..n)
+                .map(|i| {
+                    RwLock::named(
+                        SHARD_LOCK_NAMES[i],
+                        SampleStore::with_id_stride(i as u64, n as u64),
+                    )
+                })
+                .collect(),
+            shard_bytes: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            budget_bytes,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Global byte budget, if any.
+    pub fn budget_bytes(&self) -> Option<usize> {
+        self.budget_bytes
+    }
+
+    /// Home shard of a descriptor (and of everything that could ever be
+    /// reused, planned against, or merged with it).
+    pub fn shard_for(&self, descriptor: &SampleDescriptor) -> usize {
+        (fnv1a(descriptor.fingerprint().as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// Home shard of a stored sample id (ids are strided by shard).
+    pub fn shard_for_id(&self, id: SampleId) -> usize {
+        (id.0 % self.shards.len() as u64) as usize
+    }
+
+    /// Hash an in-flight registry key to a registry shard. Lives here so
+    /// the service never hashes anything itself (one hashing site, one
+    /// lint rule).
+    pub fn registry_shard(&self, key: &str) -> usize {
+        (fnv1a(key.as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// Shared access to one shard.
+    pub fn read_shard(&self, idx: usize) -> RwLockReadGuard<'_, SampleStore> {
+        self.shards[idx].read()
+    }
+
+    /// Exclusive access to one shard; budget is re-enforced when the
+    /// returned guard drops.
+    pub fn write_shard(&self, idx: usize) -> ShardWriteGuard<'_> {
+        ShardWriteGuard {
+            guard: self.shards[idx].write(),
+            owner: self,
+            idx,
+        }
+    }
+
+    /// Total stored samples across shards (ascending lock order).
+    pub fn len(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.shards[i].read().len())
+            .sum()
+    }
+
+    /// True when no shard holds a sample.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total payload bytes across shards (ascending lock order).
+    pub fn total_bytes(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.shards[i].read().total_bytes())
+            .sum()
+    }
+
+    /// Total budget-driven evictions across shards.
+    pub fn evictions(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|i| self.shards[i].read().evictions())
+            .sum()
+    }
+
+    /// A coherent owned copy of the whole store, sample ids preserved.
+    /// Locks every shard in ascending canonical order and holds all the
+    /// read guards simultaneously so the snapshot is a consistent cut.
+    pub fn snapshot(&self) -> SampleStore {
+        let guards: Vec<RwLockReadGuard<'_, SampleStore>> = (0..self.shards.len())
+            .map(|i| self.shards[i].read())
+            .collect();
+        let mut out = SampleStore::new();
+        for g in &guards {
+            for (id, s) in g.iter() {
+                out.insert_with_id(
+                    id,
+                    s.descriptor.clone(),
+                    s.schema.clone(),
+                    s.sample.clone(),
+                    s.last_used.load(Ordering::Relaxed),
+                );
+            }
+            out.evictions += g.evictions();
+        }
+        out
+    }
+
+    /// Drop everything (ascending lock order, all writes held at once so
+    /// no concurrent insert survives in a lower shard).
+    pub fn clear(&self) {
+        let mut guards: Vec<ShardWriteGuard<'_>> = (0..self.shards.len())
+            .map(|i| self.write_shard(i))
+            .collect();
+        for g in &mut guards {
+            g.clear();
+        }
+    }
+
+    /// Replace all contents from a flat store (snapshot restore / sample
+    /// import): clears every shard, then routes each sample to its home
+    /// shard. Ids are re-allocated in the shards' stride classes.
+    pub fn replace_from(&self, loaded: SampleStore) {
+        let mut guards: Vec<ShardWriteGuard<'_>> = (0..self.shards.len())
+            .map(|i| self.write_shard(i))
+            .collect();
+        for g in &mut guards {
+            g.clear();
+        }
+        for (_, s) in loaded.samples {
+            let idx =
+                (fnv1a(s.descriptor.fingerprint().as_bytes()) % self.shards.len() as u64) as usize;
+            guards[idx].insert_raw(s.descriptor, s.schema, s.sample);
+        }
+    }
+}
+
+/// Write guard over one shard of a [`ShardedStore`]. Dereferences to the
+/// shard's [`SampleStore`]; on drop it refreshes the shard's byte counter
+/// and enforces the store's *global* budget by LRU-evicting from this
+/// shard while the global total overflows.
+pub struct ShardWriteGuard<'a> {
+    guard: RwLockWriteGuard<'a, SampleStore>,
+    owner: &'a ShardedStore,
+    idx: usize,
+}
+
+impl std::ops::Deref for ShardWriteGuard<'_> {
+    type Target = SampleStore;
+    fn deref(&self) -> &SampleStore {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for ShardWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut SampleStore {
+        &mut self.guard
+    }
+}
+
+impl Drop for ShardWriteGuard<'_> {
+    fn drop(&mut self) {
+        let bytes = self.guard.total_bytes();
+        self.owner.shard_bytes[self.idx].store(bytes, Ordering::Relaxed);
+        let Some(budget) = self.owner.budget_bytes else {
+            return;
+        };
+        let global = |owner: &ShardedStore| -> usize {
+            owner
+                .shard_bytes
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .sum()
+        };
+        // Evict locally while the global total overflows. Other shards
+        // shrink themselves the next time they are written; keeping at
+        // least one sample per shard mirrors `enforce_budget`, so a
+        // single oversized sample is held rather than thrashed.
+        while global(self.owner) > budget && self.guard.evict_one_lru() {
+            let bytes = self.guard.total_bytes();
+            self.owner.shard_bytes[self.idx].store(bytes, Ordering::Relaxed);
+        }
     }
 }
 
@@ -895,5 +1211,141 @@ mod tests {
         let mut q = desc(0, 0);
         q.predicates = Predicates::on("lo_intkey", IntervalSet::empty());
         assert_eq!(store.classify(&q), ReuseDecision::None);
+    }
+
+    /// A descriptor with a distinct fingerprint (different QCS).
+    fn desc_shaped(shape: usize, lo: i64, hi: i64) -> SampleDescriptor {
+        let mut d = desc(lo, hi);
+        d.qcs = vec![format!("qcs_{shape}")];
+        d
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_fingerprint_based() {
+        let store = ShardedStore::new(STORE_SHARDS, None);
+        // Same fingerprint, different predicates ⇒ same shard: every
+        // reuse/merge candidate for a query lives on its home shard.
+        assert_eq!(
+            store.shard_for(&desc(0, 99)),
+            store.shard_for(&desc(500, 999))
+        );
+        // Shapes spread: with 64 distinct fingerprints and 8 shards, at
+        // least two shards must be hit (a constant hash would pin one).
+        let hit: std::collections::HashSet<usize> = (0..64)
+            .map(|s| store.shard_for(&desc_shaped(s, 0, 99)))
+            .collect();
+        assert!(hit.len() > 1, "hashing pinned every shape to one shard");
+    }
+
+    #[test]
+    fn sharded_ids_are_globally_unique_and_route_back() {
+        let store = ShardedStore::new(STORE_SHARDS, None);
+        let mut ids = Vec::new();
+        for s in 0..16 {
+            let d = desc_shaped(s, 0, 99);
+            let idx = store.shard_for(&d);
+            let id = store
+                .write_shard(idx)
+                .insert_raw(d, schema(), toy_sample(2, 10, 0));
+            assert_eq!(store.shard_for_id(id), idx, "id must encode its shard");
+            ids.push(id);
+        }
+        let uniq: std::collections::HashSet<SampleId> = ids.iter().copied().collect();
+        assert_eq!(uniq.len(), ids.len(), "strided ids must never collide");
+        assert_eq!(store.len(), 16);
+    }
+
+    #[test]
+    fn snapshot_preserves_ids_and_contents() {
+        let store = ShardedStore::new(STORE_SHARDS, None);
+        let mut ids = Vec::new();
+        for s in 0..6 {
+            let d = desc_shaped(s, 0, 99);
+            let idx = store.shard_for(&d);
+            ids.push(
+                store
+                    .write_shard(idx)
+                    .insert_raw(d, schema(), toy_sample(2, 10, 0)),
+            );
+        }
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 6);
+        for id in ids {
+            let s = snap
+                .peek(id)
+                .expect("snapshot must keep shard-assigned ids");
+            assert_eq!(s.sample.total_weight(), 20);
+        }
+    }
+
+    #[test]
+    fn replace_from_reroutes_to_home_shards() {
+        let store = ShardedStore::new(STORE_SHARDS, None);
+        let mut flat = SampleStore::new();
+        for s in 0..8 {
+            flat.insert_raw(desc_shaped(s, 0, 99), schema(), toy_sample(2, 10, 0));
+        }
+        store.replace_from(flat);
+        assert_eq!(store.len(), 8);
+        for s in 0..8 {
+            let d = desc_shaped(s, 0, 99);
+            let idx = store.shard_for(&d);
+            let g = store.read_shard(idx);
+            assert!(
+                matches!(g.classify(&d), ReuseDecision::Full { .. }),
+                "restored sample must live on its home shard"
+            );
+        }
+    }
+
+    #[test]
+    fn global_budget_enforced_across_guard_drops() {
+        // Samples sharing a fingerprint land on one shard, so overflow
+        // there is evictable; insert_raw keeps them as separate entries.
+        let one = toy_sample(2, 10, 0).heap_bytes();
+        let store = ShardedStore::new(STORE_SHARDS, Some(one * 2));
+        let home = store.shard_for(&desc(0, 99));
+        for s in 0..4 {
+            store.write_shard(home).insert_raw(
+                desc(s * 100, s * 100 + 99),
+                schema(),
+                toy_sample(2, 10, 0),
+            );
+        }
+        assert!(
+            store.total_bytes() <= one * 2,
+            "global budget must hold once guards drop"
+        );
+        assert!(store.evictions() >= 1, "overflow must evict");
+
+        // Spread across shards, each shard keeps its last sample even if
+        // the global total overflows (the per-shard `len > 1` floor) —
+        // but no shard may hold *two* samples while over budget.
+        let spread = ShardedStore::new(STORE_SHARDS, Some(one * 2));
+        for s in 0..6 {
+            let d = desc_shaped(s, 0, 99);
+            let idx = spread.shard_for(&d);
+            spread
+                .write_shard(idx)
+                .insert_raw(d, schema(), toy_sample(2, 10, 0));
+        }
+        for i in 0..spread.num_shards() {
+            let g = spread.read_shard(i);
+            assert!(g.len() <= 1 || spread.total_bytes() <= one * 2);
+        }
+    }
+
+    #[test]
+    fn single_shard_store_degenerates_to_one_lock() {
+        let store = ShardedStore::new(1, None);
+        assert_eq!(store.num_shards(), 1);
+        for s in 0..4 {
+            let d = desc_shaped(s, 0, 99);
+            assert_eq!(store.shard_for(&d), 0);
+            assert_eq!(store.registry_shard("any-key"), 0);
+        }
+        // Clamp: zero and oversized requests stay in range.
+        assert_eq!(ShardedStore::new(0, None).num_shards(), 1);
+        assert_eq!(ShardedStore::new(64, None).num_shards(), STORE_SHARDS);
     }
 }

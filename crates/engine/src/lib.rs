@@ -43,6 +43,8 @@ pub use plan::{
     scan_count, scan_count_pruned, validate_plan, ColRef, GroupedRow, JoinSpec, PreparedJoins,
     QueryPlan, QueryResult,
 };
-pub use synopsis::{PruneCounts, TableSynopsis, Verdict};
+pub use synopsis::{
+    ColumnLanes, CoveredSpan, LaneAgg, LaneValues, PruneCounts, TableSynopsis, Verdict,
+};
 pub use table::{Catalog, Table};
 pub use types::{DataType, Value};

@@ -59,6 +59,48 @@ pub fn scan_filter_pruned(
     Ok(out)
 }
 
+/// [`scan_filter_pruned`] with a per-block exclusion mask: blocks whose
+/// `covered` bit is set are lane-covered — their aggregate contribution
+/// is taken exactly from the table's pre-aggregate lanes — so the scan
+/// must *not* emit their rows. `lane_rows` accumulates how many rows the
+/// mask excluded (the "rows made free" metric). Covered blocks are
+/// always full-match blocks by construction, so exclusion is the only
+/// difference from [`scan_filter_pruned`]; a mask shorter than the block
+/// count treats missing entries as uncovered.
+pub fn scan_filter_pruned_masked(
+    table: &Table,
+    range: Range<usize>,
+    predicate: &Predicate,
+    counts: &mut PruneCounts,
+    covered: &[bool],
+    lane_rows: &mut u64,
+) -> Result<Vec<u32>> {
+    let compiled = predicate.compile(table)?;
+    let Some(syn) = table.synopsis() else {
+        counts.scanned += 1;
+        return Ok(eval_range(&compiled, range));
+    };
+    let mut out = Vec::new();
+    for (block, sub) in syn.blocks_of(range) {
+        if covered.get(block).copied().unwrap_or(false) {
+            *lane_rows += sub.len() as u64;
+            continue;
+        }
+        match syn.verdict(&compiled, block) {
+            Verdict::Skip => counts.skipped += 1,
+            Verdict::TakeAll => {
+                counts.fast_pathed += 1;
+                out.extend(sub.map(|r| r as u32));
+            }
+            Verdict::Scan => {
+                counts.scanned += 1;
+                out.extend(eval_range(&compiled, sub));
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Narrow an existing selection with an additional predicate.
 pub fn refine_selection(
     table: &Table,
@@ -250,6 +292,37 @@ mod tests {
             let pruned = scan_filter_pruned(&t, lo..hi, &p, &mut counts).unwrap();
             assert_eq!(pruned, scan_filter(&t, lo..hi, &p).unwrap(), "{lo}..{hi}");
         }
+    }
+
+    #[test]
+    fn masked_scan_excludes_covered_blocks_and_counts_rows() {
+        let t = blocked_table();
+        let p = Predicate::between("x", 10, 59);
+        // Blocks 1..6 fully match; mark 2 and 3 as lane-covered.
+        let mut covered = vec![false; 10];
+        covered[2] = true;
+        covered[3] = true;
+        let mut counts = PruneCounts::default();
+        let mut lane_rows = 0u64;
+        let sel = scan_filter_pruned_masked(&t, 0..100, &p, &mut counts, &covered, &mut lane_rows)
+            .unwrap();
+        assert_eq!(lane_rows, 20);
+        let expected: Vec<u32> = (10..60).filter(|r| !(20..40).contains(r)).collect();
+        assert_eq!(sel, expected);
+        // Covered blocks are neither scanned nor fast-pathed.
+        assert_eq!(counts.fast_pathed, 3);
+
+        // An all-false (or short) mask degenerates to the plain pruned scan.
+        let mut counts2 = PruneCounts::default();
+        let mut lane_rows2 = 0u64;
+        let plain =
+            scan_filter_pruned_masked(&t, 0..100, &p, &mut counts2, &[], &mut lane_rows2).unwrap();
+        let mut counts3 = PruneCounts::default();
+        assert_eq!(
+            plain,
+            scan_filter_pruned(&t, 0..100, &p, &mut counts3).unwrap()
+        );
+        assert_eq!(lane_rows2, 0);
     }
 
     #[test]

@@ -10,6 +10,6 @@ pub use aggregate::{
     group_by, Aggregator, AggregatorFactory, BoundCol, ExactAgg, ExactAggFactory, GroupTable,
     Inputs, ResolvedCol,
 };
-pub use filter::{refine_selection, scan_filter, scan_filter_pruned};
+pub use filter::{refine_selection, scan_filter, scan_filter_pruned, scan_filter_pruned_masked};
 pub use join::{build_join_map, star_probe, JoinMap, StarJoinOutput};
 pub use project::{gather, materialize, materialize_view};

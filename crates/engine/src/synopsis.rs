@@ -16,6 +16,16 @@
 //! claim, realized at the storage layer): on a clustered key column, a Δ
 //! covering 10% of the value domain touches ~10% of the blocks.
 //!
+//! On top of the zone maps sit **pre-aggregate lanes** ([`ColumnLanes`]):
+//! per-block sum/min/max for every numeric column, hierarchically
+//! coarsened by pairwise halving (level `l` aggregates `2^l` blocks —
+//! the FastLane/SlowLane coarsening shape). A `TakeAll` verdict at *any*
+//! level whose group columns are constant there yields a
+//! [`CoveredSpan`]: an exact partial aggregate over the span with zero
+//! scan, leaving per-row work (and sampling variance) only at predicate
+//! boundaries — the exact-plus-boundary-sampling hybrid of Liang et
+//! al.'s "Combining Aggregation and Sampling (Nearly) Optimally".
+//!
 //! Invariants (see DESIGN.md, "Scan pruning and the worker pool"):
 //!
 //! - Bounds are over [`Column::i64_at`]'s integer view, the same view
@@ -98,13 +108,115 @@ impl PruneCounts {
     }
 }
 
+/// Per-level pre-aggregates for one column. Vectors are indexed by node:
+/// node `i` of level `l` aggregates blocks `i·2^l .. (i+1)·2^l` (the last
+/// node may be truncated at the table end).
+#[derive(Debug, Clone)]
+pub enum LaneValues {
+    /// Integer-view column (`Int32`/`Int64`/`Dict` codes): exact sums.
+    Int {
+        /// Per-node sum of the integer view (exact in `i128`).
+        sums: Vec<i128>,
+        /// Per-node minimum.
+        mins: Vec<i64>,
+        /// Per-node maximum.
+        maxs: Vec<i64>,
+    },
+    /// Float column: `f64` aggregates.
+    Float {
+        /// Per-node sum.
+        sums: Vec<f64>,
+        /// Per-node minimum.
+        mins: Vec<f64>,
+        /// Per-node maximum.
+        maxs: Vec<f64>,
+    },
+}
+
+impl LaneValues {
+    /// Number of nodes at this level.
+    pub fn len(&self) -> usize {
+        match self {
+            LaneValues::Int { sums, .. } => sums.len(),
+            LaneValues::Float { sums, .. } => sums.len(),
+        }
+    }
+
+    /// Whether the level holds no nodes (empty table).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            LaneValues::Int { sums, mins, maxs } => {
+                sums.capacity() * 16 + mins.capacity() * 8 + maxs.capacity() * 8
+            }
+            LaneValues::Float { sums, mins, maxs } => {
+                (sums.capacity() + mins.capacity() + maxs.capacity()) * 8
+            }
+        }
+    }
+}
+
+/// The pre-aggregate lane hierarchy for one column: `levels[0]` is block
+/// granularity, `levels[l]` coarsens `2^l` blocks per node.
+#[derive(Debug, Clone)]
+pub struct ColumnLanes {
+    levels: Vec<LaneValues>,
+}
+
+impl ColumnLanes {
+    /// Number of coarsening levels (≥ 1 for a non-empty table).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The per-node aggregates at `level`.
+    pub fn level(&self, level: usize) -> Option<&LaneValues> {
+        self.levels.get(level)
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.levels.iter().map(|l| l.heap_bytes()).sum()
+    }
+}
+
+/// A maximal lane-covered region: every row in `rows` provably satisfies
+/// the predicate *and* every group column is constant across it, so its
+/// aggregate contribution is exact and scan-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoveredSpan {
+    /// Zone-map blocks covered (contiguous).
+    pub blocks: Range<usize>,
+    /// Row range covered (clamped to the table's row count).
+    pub rows: Range<usize>,
+    /// The constant value of each requested group column over the span.
+    pub key: Vec<i64>,
+}
+
+/// Aggregates of one column over a block range, read from the lanes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneAgg {
+    /// Sum of the column over the range.
+    pub sum: f64,
+    /// Minimum over the range.
+    pub min: f64,
+    /// Maximum over the range.
+    pub max: f64,
+}
+
 /// Zone maps over every integer-comparable column of one table, built
-/// once at table construction and immutable thereafter.
+/// once at table construction and immutable thereafter, plus hierarchical
+/// pre-aggregate lanes over every column.
 #[derive(Debug, Clone)]
 pub struct TableSynopsis {
     block_rows: usize,
     rows: usize,
     columns: Vec<(String, ColumnZoneMap)>,
+    lanes: Vec<(String, ColumnLanes)>,
+    /// Lane hierarchy depth (0 for an empty table).
+    levels: usize,
 }
 
 impl TableSynopsis {
@@ -114,8 +226,20 @@ impl TableSynopsis {
         assert!(block_rows > 0, "zone-map block size must be nonzero");
         let rows = columns.first().map(|(_, c)| c.len()).unwrap_or(0);
         let blocks = rows.div_ceil(block_rows);
+        let levels = if blocks == 0 {
+            0
+        } else {
+            // Enough halvings for the coarsest level to be one node.
+            let mut l = 1;
+            while (1usize << (l - 1)) < blocks {
+                l += 1;
+            }
+            l
+        };
         let mut maps = Vec::new();
+        let mut lanes = Vec::new();
         for (name, col) in columns {
+            lanes.push((name.clone(), build_lanes(col, block_rows, blocks, levels)));
             let Some(zone) = build_column(col, block_rows, blocks) else {
                 continue;
             };
@@ -125,6 +249,8 @@ impl TableSynopsis {
             block_rows,
             rows,
             columns: maps,
+            lanes,
+            levels,
         }
     }
 
@@ -173,10 +299,18 @@ impl TableSynopsis {
 
     /// Classify `compiled` against block `block`'s bounds.
     pub fn verdict(&self, compiled: &Compiled<'_>, block: usize) -> Verdict {
+        self.verdict_at(compiled, 0, block)
+    }
+
+    /// Classify `compiled` against lane node `idx` of `level` (level 0 is
+    /// block granularity — [`TableSynopsis::verdict`]). Coarser levels
+    /// use the lanes' coarsened bounds, so one verdict can cover `2^l`
+    /// blocks at once.
+    pub fn verdict_at(&self, compiled: &Compiled<'_>, level: usize, idx: usize) -> Verdict {
         match compiled {
             Compiled::True => Verdict::TakeAll,
             Compiled::False => Verdict::Skip,
-            Compiled::Between { column, lo, hi, .. } => match self.bounds(column, block) {
+            Compiled::Between { column, lo, hi, .. } => match self.bounds_at(column, level, idx) {
                 Some((min, max)) => {
                     if max < *lo || min > *hi {
                         Verdict::Skip
@@ -188,7 +322,7 @@ impl TableSynopsis {
                 }
                 None => Verdict::Scan,
             },
-            Compiled::In { column, values, .. } => match self.bounds(column, block) {
+            Compiled::In { column, values, .. } => match self.bounds_at(column, level, idx) {
                 Some((min, max)) => {
                     if !values.iter().any(|&v| v >= min && v <= max) {
                         Verdict::Skip
@@ -203,7 +337,7 @@ impl TableSynopsis {
             Compiled::And(parts) => {
                 let mut all_take = true;
                 for p in parts {
-                    match self.verdict(p, block) {
+                    match self.verdict_at(p, level, idx) {
                         Verdict::Skip => return Verdict::Skip,
                         Verdict::Scan => all_take = false,
                         Verdict::TakeAll => {}
@@ -218,7 +352,7 @@ impl TableSynopsis {
             Compiled::Or(parts) => {
                 let mut all_skip = !parts.is_empty();
                 for p in parts {
-                    match self.verdict(p, block) {
+                    match self.verdict_at(p, level, idx) {
                         Verdict::TakeAll => return Verdict::TakeAll,
                         Verdict::Scan => all_skip = false,
                         Verdict::Skip => {}
@@ -230,13 +364,148 @@ impl TableSynopsis {
                     Verdict::Scan
                 }
             }
-            Compiled::Not(p) => self.verdict(p, block).not(),
+            Compiled::Not(p) => self.verdict_at(p, level, idx).not(),
         }
     }
 
-    /// Heap footprint in bytes.
+    /// The lane hierarchy for `column`, if one was built.
+    pub fn lane(&self, column: &str) -> Option<&ColumnLanes> {
+        self.lanes.iter().find(|(n, _)| n == column).map(|(_, l)| l)
+    }
+
+    /// Lane hierarchy depth (0 for an empty table).
+    pub fn lane_levels(&self) -> usize {
+        self.levels
+    }
+
+    /// If `column`'s integer view is constant over lane node `idx` of
+    /// `level`, its value — the group-key constancy test behind
+    /// [`TableSynopsis::covered_spans`]. Float columns always return
+    /// `None` (their integer cast can collapse distinct values).
+    pub fn lane_const_i64(&self, column: &str, level: usize, idx: usize) -> Option<i64> {
+        match self.lane(column)?.level(level)? {
+            LaneValues::Int { mins, maxs, .. } => {
+                let (min, max) = (*mins.get(idx)?, *maxs.get(idx)?);
+                (min == max).then_some(min)
+            }
+            LaneValues::Float { .. } => None,
+        }
+    }
+
+    /// Exact sum/min/max of `column` over a range of blocks, read from
+    /// the lanes without touching a row. The walk is segment-tree style:
+    /// maximal aligned nodes at the coarsest applicable level, so a span
+    /// of `B` blocks costs `O(log B)` lane reads.
+    pub fn lane_sum(&self, column: &str, blocks: Range<usize>) -> Option<LaneAgg> {
+        let lanes = self.lane(column)?;
+        let end = blocks.end.min(self.num_blocks());
+        let mut at = blocks.start;
+        if at >= end {
+            return None;
+        }
+        let mut sum_i: i128 = 0;
+        let mut sum_f: f64 = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut is_int = true;
+        while at < end {
+            // Largest level whose node is aligned at `at` and fits in the
+            // remaining range.
+            let mut level = 0usize;
+            while level + 1 < lanes.num_levels()
+                && at.is_multiple_of(1usize << (level + 1))
+                && at + (1usize << (level + 1)) <= end
+            {
+                level += 1;
+            }
+            let idx = at >> level;
+            match lanes.level(level)? {
+                LaneValues::Int { sums, mins, maxs } => {
+                    sum_i += sums.get(idx)?;
+                    min = min.min(*mins.get(idx)? as f64);
+                    max = max.max(*maxs.get(idx)? as f64);
+                }
+                LaneValues::Float { sums, mins, maxs } => {
+                    is_int = false;
+                    sum_f += sums.get(idx)?;
+                    min = min.min(*mins.get(idx)?);
+                    max = max.max(*maxs.get(idx)?);
+                }
+            }
+            at += 1usize << level;
+        }
+        Some(LaneAgg {
+            sum: if is_int { sum_i as f64 } else { sum_f },
+            min,
+            max,
+        })
+    }
+
+    /// Find every maximal region where `compiled` provably matches all
+    /// rows *and* each of `group_cols` is constant, descending the lane
+    /// hierarchy from the coarsest level: a clustered predicate over half
+    /// the table resolves in a handful of coarse verdicts instead of one
+    /// per block. Spans are emitted in block order and never overlap.
+    pub fn covered_spans(&self, compiled: &Compiled<'_>, group_cols: &[&str]) -> Vec<CoveredSpan> {
+        let mut out = Vec::new();
+        if self.levels == 0 {
+            return out;
+        }
+        let top = self.levels - 1;
+        let top_nodes = self.num_blocks().div_ceil(1usize << top);
+        for idx in 0..top_nodes {
+            self.descend_covered(compiled, group_cols, top, idx, &mut out);
+        }
+        out
+    }
+
+    fn descend_covered(
+        &self,
+        compiled: &Compiled<'_>,
+        group_cols: &[&str],
+        level: usize,
+        idx: usize,
+        out: &mut Vec<CoveredSpan>,
+    ) {
+        let first_block = idx << level;
+        if first_block >= self.num_blocks() {
+            return;
+        }
+        match self.verdict_at(compiled, level, idx) {
+            Verdict::Skip => {}
+            Verdict::TakeAll => {
+                let key: Option<Vec<i64>> = group_cols
+                    .iter()
+                    .map(|c| self.lane_const_i64(c, level, idx))
+                    .collect();
+                if let Some(key) = key {
+                    let last_block = ((idx + 1) << level).min(self.num_blocks());
+                    let row_end = (last_block * self.block_rows).min(self.rows);
+                    out.push(CoveredSpan {
+                        blocks: first_block..last_block,
+                        rows: first_block * self.block_rows..row_end,
+                        key,
+                    });
+                } else if level > 0 {
+                    // Fully matching but group-varying: a finer node may
+                    // still be group-constant.
+                    self.descend_covered(compiled, group_cols, level - 1, idx * 2, out);
+                    self.descend_covered(compiled, group_cols, level - 1, idx * 2 + 1, out);
+                }
+            }
+            Verdict::Scan => {
+                if level > 0 {
+                    self.descend_covered(compiled, group_cols, level - 1, idx * 2, out);
+                    self.descend_covered(compiled, group_cols, level - 1, idx * 2 + 1, out);
+                }
+            }
+        }
+    }
+
+    /// Heap footprint in bytes (zone maps plus lanes).
     pub fn heap_bytes(&self) -> usize {
-        self.columns
+        let zones: usize = self
+            .columns
             .iter()
             .map(|(n, z)| {
                 n.capacity()
@@ -244,12 +513,32 @@ impl TableSynopsis {
                     + z.maxs.capacity() * 8
                     + z.nulls.capacity() * 4
             })
-            .sum()
+            .sum();
+        let lanes: usize = self
+            .lanes
+            .iter()
+            .map(|(n, l)| n.capacity() + l.heap_bytes())
+            .sum();
+        zones + lanes
     }
 
     fn bounds(&self, column: &str, block: usize) -> Option<(i64, i64)> {
         let zone = self.column(column)?;
         Some((*zone.mins.get(block)?, *zone.maxs.get(block)?))
+    }
+
+    /// Integer-view bounds of lane node `idx` at `level`; level 0 falls
+    /// back to the zone map (identical values, but present even for
+    /// columns whose lanes are float-typed — there are none today, the
+    /// two are built from the same views).
+    fn bounds_at(&self, column: &str, level: usize, idx: usize) -> Option<(i64, i64)> {
+        if level == 0 {
+            return self.bounds(column, idx);
+        }
+        match self.lane(column)?.level(level)? {
+            LaneValues::Int { mins, maxs, .. } => Some((*mins.get(idx)?, *maxs.get(idx)?)),
+            LaneValues::Float { .. } => None,
+        }
     }
 }
 
@@ -278,6 +567,113 @@ fn build_column(col: &Column, block_rows: usize, blocks: usize) -> Option<Column
         maxs,
         nulls: vec![0; blocks],
     })
+}
+
+/// Build the pre-aggregate lane hierarchy for one column: level 0 scans
+/// the rows once, each coarser level folds pairs of the previous one.
+fn build_lanes(col: &Column, block_rows: usize, blocks: usize, levels: usize) -> ColumnLanes {
+    let rows = col.len();
+    let mut lane_levels = Vec::with_capacity(levels);
+    if levels == 0 {
+        return ColumnLanes {
+            levels: lane_levels,
+        };
+    }
+    let base = if matches!(col, Column::Float64(_)) {
+        let mut sums = Vec::with_capacity(blocks);
+        let mut mins = Vec::with_capacity(blocks);
+        let mut maxs = Vec::with_capacity(blocks);
+        for b in 0..blocks {
+            let start = b * block_rows;
+            let end = ((b + 1) * block_rows).min(rows);
+            let (mut sum, mut min, mut max) = (0.0f64, f64::INFINITY, f64::NEG_INFINITY);
+            for r in start..end {
+                let v = col.f64_at(r);
+                sum += v;
+                min = min.min(v);
+                max = max.max(v);
+            }
+            sums.push(sum);
+            mins.push(min);
+            maxs.push(max);
+        }
+        LaneValues::Float { sums, mins, maxs }
+    } else {
+        let mut sums = Vec::with_capacity(blocks);
+        let mut mins = Vec::with_capacity(blocks);
+        let mut maxs = Vec::with_capacity(blocks);
+        for b in 0..blocks {
+            let start = b * block_rows;
+            let end = ((b + 1) * block_rows).min(rows);
+            let (mut sum, mut min, mut max) = (0i128, i64::MAX, i64::MIN);
+            for r in start..end {
+                let v = col.i64_at(r);
+                sum += v as i128;
+                min = min.min(v);
+                max = max.max(v);
+            }
+            sums.push(sum);
+            mins.push(min);
+            maxs.push(max);
+        }
+        LaneValues::Int { sums, mins, maxs }
+    };
+    lane_levels.push(base);
+    for _ in 1..levels {
+        let prev = lane_levels.last().expect("level 0 pushed above");
+        let next = match prev {
+            LaneValues::Int { sums, mins, maxs } => {
+                let n = sums.len().div_ceil(2);
+                let mut s2 = Vec::with_capacity(n);
+                let mut mn2 = Vec::with_capacity(n);
+                let mut mx2 = Vec::with_capacity(n);
+                for i in 0..n {
+                    let (a, b) = (2 * i, 2 * i + 1);
+                    if b < sums.len() {
+                        s2.push(sums[a] + sums[b]);
+                        mn2.push(mins[a].min(mins[b]));
+                        mx2.push(maxs[a].max(maxs[b]));
+                    } else {
+                        s2.push(sums[a]);
+                        mn2.push(mins[a]);
+                        mx2.push(maxs[a]);
+                    }
+                }
+                LaneValues::Int {
+                    sums: s2,
+                    mins: mn2,
+                    maxs: mx2,
+                }
+            }
+            LaneValues::Float { sums, mins, maxs } => {
+                let n = sums.len().div_ceil(2);
+                let mut s2 = Vec::with_capacity(n);
+                let mut mn2 = Vec::with_capacity(n);
+                let mut mx2 = Vec::with_capacity(n);
+                for i in 0..n {
+                    let (a, b) = (2 * i, 2 * i + 1);
+                    if b < sums.len() {
+                        s2.push(sums[a] + sums[b]);
+                        mn2.push(mins[a].min(mins[b]));
+                        mx2.push(maxs[a].max(maxs[b]));
+                    } else {
+                        s2.push(sums[a]);
+                        mn2.push(mins[a]);
+                        mx2.push(maxs[a]);
+                    }
+                }
+                LaneValues::Float {
+                    sums: s2,
+                    mins: mn2,
+                    maxs: mx2,
+                }
+            }
+        };
+        lane_levels.push(next);
+    }
+    ColumnLanes {
+        levels: lane_levels,
+    }
 }
 
 #[cfg(test)]
@@ -404,6 +800,84 @@ mod tests {
             vec![(0, 7..10), (1, 10..20), (2, 20..30), (3, 30..33)]
         );
         assert!(syn.blocks_of(5..5).next().is_none());
+    }
+
+    #[test]
+    fn lane_sums_are_exact_at_every_level() {
+        let (_, syn) = synopsis();
+        let lanes = syn.lane("key").unwrap();
+        // 10 blocks ⇒ levels 0..=4 (coarsest level is one node).
+        assert_eq!(syn.lane_levels(), 5);
+        assert_eq!(lanes.num_levels(), 5);
+        // Level 0, block 3: sum of 30..=39.
+        let LaneValues::Int { sums, mins, maxs } = lanes.level(0).unwrap() else {
+            panic!("int column must build int lanes");
+        };
+        assert_eq!(sums[3], (30..40).sum::<i128>());
+        assert_eq!((mins[3], maxs[3]), (30, 39));
+        // Coarsest level: one node summing the whole column.
+        let LaneValues::Int { sums, .. } = lanes.level(4).unwrap() else {
+            panic!("int lanes at every level");
+        };
+        assert_eq!(sums, &vec![(0..100).sum::<i128>()]);
+        // Float columns get float lanes.
+        let LaneValues::Float { sums, .. } = syn.lane("f").unwrap().level(0).unwrap() else {
+            panic!("float column must build float lanes");
+        };
+        assert!((sums[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lane_sum_walks_aligned_nodes() {
+        let (_, syn) = synopsis();
+        // Misaligned span 1..8 (blocks 1,2,3 then 4..8): exact sum of
+        // rows 10..80.
+        let agg = syn.lane_sum("key", 1..8).unwrap();
+        assert_eq!(agg.sum, (10..80).sum::<i64>() as f64);
+        assert_eq!((agg.min, agg.max), (10.0, 79.0));
+        // Degenerate ranges.
+        assert!(syn.lane_sum("key", 3..3).is_none());
+        assert!(syn.lane_sum("missing", 0..2).is_none());
+        // Range clamped past the table end still sums what exists.
+        let all = syn.lane_sum("key", 0..64).unwrap();
+        assert_eq!(all.sum, (0..100).sum::<i64>() as f64);
+    }
+
+    #[test]
+    fn covered_spans_require_predicate_and_group_constancy() {
+        let (table, syn) = synopsis();
+        // Predicate fully covers rows 0..50 where `half` is constant 1.
+        let p = Predicate::between("key", 0, 49);
+        let c = p.compile(&table).unwrap();
+        let spans = syn.covered_spans(&c, &["half"]);
+        let rows: usize = spans.iter().map(|s| s.rows.len()).sum();
+        assert_eq!(rows, 50, "all 5 matching blocks are group-constant");
+        for s in &spans {
+            assert_eq!(s.key, vec![1]);
+        }
+        // Hierarchical coalescing: blocks 0..4 must arrive as one
+        // level-2 span, not five level-0 spans.
+        assert!(
+            spans.iter().any(|s| s.blocks.len() >= 4),
+            "coarse TakeAll nodes must be emitted whole, got {spans:?}"
+        );
+
+        // A group column varying inside every block yields no spans.
+        let spans = syn.covered_spans(&c, &["key"]);
+        assert!(spans.is_empty());
+
+        // No group columns: every fully-matching block is covered.
+        let spans = syn.covered_spans(&c, &[]);
+        assert_eq!(spans.iter().map(|s| s.rows.len()).sum::<usize>(), 50);
+
+        // Boundary-straddling predicate: the straddled block is NOT
+        // covered (it needs a real scan), interior blocks are.
+        let p = Predicate::between("key", 5, 49);
+        let c = p.compile(&table).unwrap();
+        let spans = syn.covered_spans(&c, &["half"]);
+        let rows: usize = spans.iter().map(|s| s.rows.len()).sum();
+        assert_eq!(rows, 40, "block 0 straddles the predicate boundary");
+        assert!(spans.iter().all(|s| s.blocks.start >= 1));
     }
 
     #[test]

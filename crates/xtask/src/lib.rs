@@ -33,6 +33,13 @@
 //!    is centralized in the `QueryBudget`/`CancelToken` machinery so
 //!    expiry is checked at sanctioned cooperative points with one clock,
 //!    not re-derived ad hoc (plain section timing stays fine).
+//! 8. **shard-hashing** — the descriptor→shard hash (`fnv1a`) exists only
+//!    in `crates/core/src/store.rs`. Every consumer must route through
+//!    `ShardedStore::{shard_for, shard_for_id, registry_shard}`; a second
+//!    hashing site could silently disagree with the store's routing and
+//!    split one sample family across shards, breaking the single-shard
+//!    query-path invariant. Keeping one site also makes rehashing policy
+//!    a one-file change.
 //!
 //! The pass is deliberately AST-light: a character-level state machine strips
 //! comments and string literals (preserving line structure), `#[cfg(test)]`
@@ -105,6 +112,10 @@ const SNAPSHOT_IO_TOKENS: [&str; 3] = ["File::create", "fs::rename", "fs::write"
 /// The one module sanctioned to compare `Instant::now` against a
 /// deadline (rule 7): the query-budget machinery.
 const BUDGET_ALLOWLIST: &str = "crates/core/src/budget.rs";
+
+/// The one module sanctioned to hash descriptors to shard indices
+/// (rule 8): the sharded store itself.
+const SHARD_HASH_ALLOWLIST: &str = "crates/core/src/store.rs";
 
 /// `std::sync::` heads that must be routed through `laqy-sync`.
 const SYNC_DENY: [&str; 9] = [
@@ -184,6 +195,9 @@ fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) {
     }
     if rel != BUDGET_ALLOWLIST {
         check_deadline_checks(rel, &app, findings);
+    }
+    if rel != SHARD_HASH_ALLOWLIST {
+        check_shard_hashing(rel, &app, findings);
     }
     if rel.starts_with("crates/sampling/src/") {
         for tok in NONDETERMINISM_TOKENS {
@@ -619,6 +633,24 @@ fn check_deadline_checks(rel: &str, text: &str, findings: &mut Vec<Finding>) {
                 ),
             });
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 8: shard hashing stays in the store
+// ---------------------------------------------------------------------------
+
+fn check_shard_hashing(rel: &str, text: &str, findings: &mut Vec<Finding>) {
+    for (line, _) in token_occurrences(text, "fnv1a") {
+        findings.push(Finding {
+            file: rel.to_string(),
+            line,
+            rule: "shard-hashing",
+            message: format!(
+                "`fnv1a` outside {SHARD_HASH_ALLOWLIST}; descriptor→shard routing must \
+                 go through `ShardedStore` so one hashing site owns the policy"
+            ),
+        });
     }
 }
 

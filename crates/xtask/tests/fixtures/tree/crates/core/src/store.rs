@@ -1,0 +1,15 @@
+//! Decoy for the shard-hashing rule: this is the one file allowed to
+//! define and use `fnv1a`, so nothing here may fire.
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+pub fn shard_for(fingerprint: &str, shards: usize) -> usize {
+    (fnv1a(fingerprint.as_bytes()) % shards.max(1) as u64) as usize
+}

@@ -1,0 +1,17 @@
+//! Seeded shard-hashing violation: a second descriptor→shard hashing
+//! site outside the store. The comment mention of fnv1a and the string
+//! below are decoys that must NOT fire.
+
+pub fn rogue_shard(fingerprint: &str, shards: usize) -> usize {
+    (fnv1a(fingerprint.as_bytes()) % shards as u64) as usize
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+pub fn describe() -> &'static str {
+    "routing uses fnv1a over the fingerprint"
+}

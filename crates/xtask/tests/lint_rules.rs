@@ -170,6 +170,21 @@ fn deadline_checks_fire_outside_budget_only() {
 }
 
 #[test]
+fn shard_hashing_fires_outside_store_only() {
+    let findings = fixture_findings();
+    let hits = matching(&findings, "shard-hashing", "crates/demo/src/bad_hash.rs");
+    // The rogue call site and the rogue definition; the comment and
+    // string mentions of fnv1a are stripped before the scan.
+    let lines: Vec<usize> = hits.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![6, 9], "{hits:?}");
+    // The sanctioned store module never fires.
+    assert!(
+        matching(&findings, "shard-hashing", "crates/core/src/store.rs").is_empty(),
+        "{findings:?}"
+    );
+}
+
+#[test]
 fn stripper_preserves_lines_and_blanks_prose() {
     let src = "fn f() {\n    // unsafe in a comment\n    let s = \"std::sync::Mutex\";\n    let c = 'x';\n    let l: &'static str = s;\n}\n";
     let stripped = strip_comments_and_strings(src);
