@@ -3,6 +3,7 @@
 pub mod concurrent;
 pub mod deadline;
 pub mod fragmentation;
+pub mod kernels;
 pub mod micro;
 pub mod pruning;
 pub mod sequence;
@@ -12,6 +13,7 @@ pub mod strategy;
 pub use concurrent::concurrent;
 pub use deadline::deadline;
 pub use fragmentation::fragmentation;
+pub use kernels::kernels;
 pub use micro::{fig3, fig4};
 pub use pruning::pruning;
 pub use sequence::{
@@ -96,6 +98,7 @@ pub const ALL: &[&str] = &[
     "pruning",
     "fragmentation",
     "sharding",
+    "kernels",
 ];
 
 /// Run one experiment by name against a pre-generated catalog.
@@ -129,6 +132,7 @@ pub fn run_experiment(name: &str, cfg: &BenchConfig, catalog: &Catalog) -> Optio
         "pruning" => pruning::pruning(cfg, catalog),
         "fragmentation" => fragmentation(cfg, catalog),
         "sharding" => sharding(cfg, catalog),
+        "kernels" => kernels(cfg, catalog),
         _ => return None,
     })
 }

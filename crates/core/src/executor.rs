@@ -738,8 +738,10 @@ impl LaqyExecutor {
             .clone()
             .and(range_predicate(&query.range_column, ranges))
             .and(extra.clone());
-        // Validate before entering workers.
-        full_pred.compile(fact)?;
+        // Compile the predicate and flatten it into batch kernels once;
+        // every morsel and residual fragment reuses this (validation
+        // happens here too — the scans themselves are infallible).
+        let prepared = laqy_engine::ops::PreparedScan::new(fact, &full_pred)?;
         let joins = PreparedJoins::build(catalog, &query.plan)?;
 
         // Hybrid lane pre-pass: find maximal block spans where the
@@ -753,14 +755,14 @@ impl LaqyExecutor {
         let mut lane_spans = 0u64;
         if hybrid && hybrid_eligible(query) {
             if let Some(syn) = fact.synopsis() {
-                let compiled = full_pred.compile(fact)?;
+                let compiled = prepared.compiled();
                 let group_cols: Vec<&str> = query
                     .plan
                     .group_by
                     .iter()
                     .map(|c| c.column.as_str())
                     .collect();
-                for span in syn.covered_spans(&compiled, &group_cols) {
+                for span in syn.covered_spans(compiled, &group_cols) {
                     if span.rows.is_empty() {
                         continue;
                     }
@@ -835,14 +837,15 @@ impl LaqyExecutor {
         let process = |acc: &mut Partial, range: std::ops::Range<usize>| -> Result<()> {
             let t0 = Instant::now();
             let lane_before = acc.lane_rows;
-            let sel = laqy_engine::ops::scan_filter_pruned_masked(
-                fact,
+            // Vectorized pruned scan through the pre-built kernels; the
+            // selection vector is kept because reservoir insertion needs
+            // row ids (the sanctioned mask→selection decode).
+            let sel = prepared.scan_pruned_masked(
                 range.clone(),
-                &full_pred,
                 &mut acc.prune,
                 covered_mask,
                 &mut acc.lane_rows,
-            )?;
+            );
             acc.scanned += range.len() as u64 - (acc.lane_rows - lane_before);
             if query.plan.joins.is_empty() {
                 acc.scan_ns += t0.elapsed().as_nanos() as u64;

@@ -161,10 +161,15 @@ impl Predicate {
             Predicate::InInt { column, values } => {
                 let col = table.column(column)?;
                 col.check_int(column)?;
+                // Sort + dedup once at compile time so membership checks
+                // are O(log k) binary searches rather than O(k) scans.
+                let mut values = values.clone();
+                values.sort_unstable();
+                values.dedup();
                 Compiled::In {
                     column,
                     col,
-                    values: values.clone(),
+                    values,
                 }
             }
             Predicate::And(ps) => Compiled::And(
@@ -205,7 +210,9 @@ pub enum Compiled<'a> {
         column: &'a str,
         /// Resolved column.
         col: &'a Column,
-        /// Accepted values.
+        /// Accepted values, sorted ascending and deduplicated
+        /// ([`Predicate::compile`] normalizes them) so evaluation can
+        /// binary-search.
         values: Vec<i64>,
     },
     /// Conjunction.
@@ -227,7 +234,7 @@ impl Compiled<'_> {
                 let v = col.i64_at(row);
                 v >= *lo && v <= *hi
             }
-            Compiled::In { col, values, .. } => values.contains(&col.i64_at(row)),
+            Compiled::In { col, values, .. } => values.binary_search(&col.i64_at(row)).is_ok(),
             Compiled::And(ps) => ps.iter().all(|p| p.matches(row)),
             Compiled::Or(ps) => ps.iter().any(|p| p.matches(row)),
             Compiled::Not(p) => !p.matches(row),

@@ -22,6 +22,7 @@ pub mod error;
 pub mod expr;
 pub mod hash;
 pub mod io;
+pub mod kernel;
 pub mod ops;
 // The worker pool's lifetime-erased task submission is the single
 // sanctioned `unsafe` site in the workspace (enforced by `xtask lint`).
@@ -38,6 +39,7 @@ pub use error::{EngineError, Result};
 pub use expr::{AggInput, AggKind, AggSpec, Predicate};
 pub use hash::{FxBuildHasher, FxHashMap, GroupKey, MAX_KEY_COLS};
 pub use io::{load_csv, load_csv_file, CsvSchema};
+pub use kernel::{BatchKernel, Mask, CHUNK_ROWS, MASK_WORDS};
 pub use plan::{
     execute_exact, execute_exact_counted, execute_exact_counted_prepared, execute_exact_prepared,
     scan_count, scan_count_pruned, validate_plan, ColRef, GroupedRow, JoinSpec, PreparedJoins,

@@ -6,10 +6,13 @@
 //! group-by returns its hash table by value so a sample manager can take
 //! ownership of it without copying (§6.3).
 
+use std::ops::Range;
+
 use crate::column::Column;
 use crate::error::Result;
 use crate::expr::{AggInput, AggKind, AggSpec};
 use crate::hash::{FxHashMap, GroupKey};
+use crate::kernel::for_each_masked;
 use crate::table::Table;
 
 /// A column resolved to its typed storage.
@@ -161,9 +164,32 @@ impl<'a> Inputs<'a> {
 }
 
 /// Per-group aggregation state.
+///
+/// The masked/dense entry points exist for the fused filter+aggregate
+/// path: rows selected by a chunk bitmask (or a whole `TakeAll` range)
+/// fold straight into the state without a selection vector in between.
+/// Both defaults delegate to [`Aggregator::update`] in strictly ascending
+/// row order, so implementations that don't override them (e.g. reservoir
+/// samplers) stay exactly equivalent to filter-then-update.
 pub trait Aggregator: Send {
     /// Fold logical row `i` of `inputs` into the state.
     fn update(&mut self, inputs: &Inputs<'_>, i: usize);
+
+    /// Fold every physical row selected by `mask` over `base .. base +
+    /// len` (bit `i` of the mask words is row `base + i`; bits at and
+    /// beyond `len` must be clear). Rows are visited ascending.
+    fn update_masked(&mut self, inputs: &Inputs<'_>, base: usize, len: usize, mask: &[u64]) {
+        for_each_masked(base, len, mask, |i| self.update(inputs, i));
+    }
+
+    /// Fold every physical row of a dense range (a zone-map `TakeAll`
+    /// block) in ascending order.
+    fn update_dense(&mut self, inputs: &Inputs<'_>, rows: Range<usize>) {
+        for i in rows {
+            self.update(inputs, i);
+        }
+    }
+
     /// Merge another partial state (parallel execution / exchange).
     fn merge(&mut self, other: Self)
     where
@@ -244,6 +270,82 @@ pub fn group_by<F: AggregatorFactory>(
     table
 }
 
+/// Fused filter+aggregate over one chunk: fold every row selected by
+/// `mask` (bit `i` ↔ physical row `base + i`; bits at and beyond `len`
+/// clear) into `table` without materializing a selection vector. `keys`
+/// and `inputs` must be bound with an identity row mapping (`rows: None`)
+/// since the mask addresses physical rows. The keyless group is created
+/// lazily — a chunk with no matching rows adds nothing, exactly like
+/// [`group_by`] over an empty selection.
+pub fn group_by_masked<F: AggregatorFactory>(
+    keys: &[BoundCol<'_>],
+    inputs: &Inputs<'_>,
+    base: usize,
+    len: usize,
+    mask: &[u64],
+    table: &mut GroupTable<F::Agg>,
+    factory: &F,
+) {
+    if keys.is_empty() {
+        let any = mask[..len.div_ceil(64)].iter().any(|&w| w != 0);
+        if any {
+            table
+                .map
+                .entry(GroupKey::new(&[]))
+                .or_insert_with(|| factory.create())
+                .update_masked(inputs, base, len, mask);
+        }
+        return;
+    }
+    let mut key_buf = [0i64; crate::hash::MAX_KEY_COLS];
+    for_each_masked(base, len, mask, |i| {
+        for (j, k) in keys.iter().enumerate() {
+            key_buf[j] = k.i64(i);
+        }
+        let key = GroupKey::new(&key_buf[..keys.len()]);
+        table
+            .map
+            .entry(key)
+            .or_insert_with(|| factory.create())
+            .update(inputs, i);
+    });
+}
+
+/// Fused aggregate over a dense physical row range (a zone-map `TakeAll`
+/// block): no mask, no selection vector. Binding contract as in
+/// [`group_by_masked`].
+pub fn group_by_range<F: AggregatorFactory>(
+    keys: &[BoundCol<'_>],
+    inputs: &Inputs<'_>,
+    rows: Range<usize>,
+    table: &mut GroupTable<F::Agg>,
+    factory: &F,
+) {
+    if rows.is_empty() {
+        return;
+    }
+    if keys.is_empty() {
+        table
+            .map
+            .entry(GroupKey::new(&[]))
+            .or_insert_with(|| factory.create())
+            .update_dense(inputs, rows);
+        return;
+    }
+    let mut key_buf = [0i64; crate::hash::MAX_KEY_COLS];
+    for i in rows {
+        for (j, k) in keys.iter().enumerate() {
+            key_buf[j] = k.i64(i);
+        }
+        let key = GroupKey::new(&key_buf[..keys.len()]);
+        table
+            .map
+            .entry(key)
+            .or_insert_with(|| factory.create())
+            .update(inputs, i);
+    }
+}
+
 /// Built-in exact aggregation state covering SUM / COUNT / MIN / MAX / AVG.
 #[derive(Debug, Clone)]
 pub struct ExactAgg {
@@ -293,6 +395,57 @@ impl Aggregator for ExactAgg {
                 Acc::Avg { sum, n } => {
                     *sum += inputs.f64(pos, i);
                     *n += 1;
+                }
+            }
+        }
+    }
+
+    fn update_masked(&mut self, inputs: &Inputs<'_>, base: usize, len: usize, mask: &[u64]) {
+        // Pure COUNT never touches column data: the popcount is the answer.
+        if self.accs.iter().all(|a| matches!(a, Acc::Count(_))) {
+            let n: u64 = mask[..len.div_ceil(64)]
+                .iter()
+                .map(|w| w.count_ones() as u64)
+                .sum();
+            for acc in &mut self.accs {
+                if let Acc::Count(c) = acc {
+                    *c += n;
+                }
+            }
+            return;
+        }
+        for_each_masked(base, len, mask, |i| self.update(inputs, i));
+    }
+
+    fn update_dense(&mut self, inputs: &Inputs<'_>, rows: Range<usize>) {
+        // Per-accumulator loops over the dense range: each accumulator
+        // still folds values in ascending row order (the same f64 add
+        // sequence as row-at-a-time), but the inner loop is a single
+        // branch-free slice walk LLVM can vectorize where the operation
+        // allows.
+        for (pos, acc) in self.accs.iter_mut().enumerate() {
+            match acc {
+                Acc::Sum(s) => {
+                    for i in rows.clone() {
+                        *s += inputs.f64(pos, i);
+                    }
+                }
+                Acc::Count(c) => *c += rows.len() as u64,
+                Acc::Min(m) => {
+                    for i in rows.clone() {
+                        *m = m.min(inputs.f64(pos, i));
+                    }
+                }
+                Acc::Max(m) => {
+                    for i in rows.clone() {
+                        *m = m.max(inputs.f64(pos, i));
+                    }
+                }
+                Acc::Avg { sum, n } => {
+                    for i in rows.clone() {
+                        *sum += inputs.f64(pos, i);
+                    }
+                    *n += rows.len() as u64;
                 }
             }
         }

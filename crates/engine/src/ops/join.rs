@@ -9,6 +9,7 @@
 use crate::error::Result;
 use crate::expr::Predicate;
 use crate::hash::FxHashMap;
+use crate::ops::aggregate::ResolvedCol;
 use crate::ops::filter::scan_filter;
 use crate::table::Table;
 
@@ -41,12 +42,13 @@ impl JoinMap {
 /// Build a join map over the dimension rows matching `predicate`.
 pub fn build_join_map(dim: &Table, key_column: &str, predicate: &Predicate) -> Result<JoinMap> {
     let rows = scan_filter(dim, 0..dim.num_rows(), predicate)?;
-    let key = dim.column(key_column)?;
-    key.check_int(key_column)?;
+    let key_col = dim.column(key_column)?;
+    key_col.check_int(key_column)?;
+    let key = ResolvedCol::from_column(key_col);
     let mut map = FxHashMap::default();
     map.reserve(rows.len());
     for r in rows {
-        let k = key.i64_at(r as usize);
+        let k = key.i64(r as usize);
         let prev = map.insert(k, r);
         debug_assert!(prev.is_none(), "duplicate dimension key {k}");
     }
@@ -87,7 +89,7 @@ pub fn star_probe(
     for (_, col) in probes {
         let c = fact.column(col)?;
         c.check_int(col)?;
-        key_cols.push(c);
+        key_cols.push(ResolvedCol::from_column(c));
     }
     let mut fact_rows = Vec::new();
     let mut dim_rows: Vec<Vec<u32>> = vec![Vec::new(); probes.len()];
@@ -95,7 +97,7 @@ pub fn star_probe(
         let mut matched = [0u32; 8];
         debug_assert!(probes.len() <= 8, "too many star-join dimensions");
         for (i, (map, _)) in probes.iter().enumerate() {
-            match map.get(key_cols[i].i64_at(r as usize)) {
+            match map.get(key_cols[i].i64(r as usize)) {
                 Some(d) => matched[i] = d,
                 None => continue 'rows,
             }

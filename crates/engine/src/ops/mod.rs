@@ -5,11 +5,15 @@ pub mod aggregate;
 pub mod filter;
 pub mod join;
 pub mod project;
+pub mod reference;
 
 pub use aggregate::{
-    group_by, Aggregator, AggregatorFactory, BoundCol, ExactAgg, ExactAggFactory, GroupTable,
-    Inputs, ResolvedCol,
+    group_by, group_by_masked, group_by_range, Aggregator, AggregatorFactory, BoundCol, ExactAgg,
+    ExactAggFactory, GroupTable, Inputs, ResolvedCol,
 };
-pub use filter::{refine_selection, scan_filter, scan_filter_pruned, scan_filter_pruned_masked};
+pub use filter::{
+    refine_selection, scan_filter, scan_filter_pruned, scan_filter_pruned_masked, PreparedScan,
+    ScanEvent,
+};
 pub use join::{build_join_map, star_probe, JoinMap, StarJoinOutput};
 pub use project::{gather, materialize, materialize_view};

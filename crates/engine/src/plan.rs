@@ -9,8 +9,11 @@
 use crate::error::{EngineError, Result};
 use crate::expr::{AggInput, AggSpec, Predicate};
 use crate::hash::{GroupKey, MAX_KEY_COLS};
-use crate::ops::aggregate::{group_by, BoundCol, ExactAgg, ExactAggFactory, GroupTable, Inputs};
-use crate::ops::filter::scan_filter_pruned;
+use crate::ops::aggregate::{
+    group_by, group_by_masked, group_by_range, BoundCol, ExactAgg, ExactAggFactory, GroupTable,
+    Inputs,
+};
+use crate::ops::filter::{PreparedScan, ScanEvent};
 use crate::ops::join::{build_join_map, star_probe, JoinMap};
 use crate::parallel::{parallel_fold, DEFAULT_MORSEL_ROWS};
 use crate::synopsis::PruneCounts;
@@ -243,6 +246,12 @@ pub fn execute_exact_prepared(
 }
 
 /// [`execute_exact_prepared`], also reporting zone-map prune verdicts.
+///
+/// Single-table plans take the **fused** filter+aggregate path: the
+/// predicate is compiled into batch kernels once, and every morsel's
+/// chunk masks / `TakeAll` ranges feed the hash group-by directly — no
+/// selection vector is materialized. Join plans still decode masks to row
+/// ids, since the star probe genuinely needs them.
 pub fn execute_exact_counted_prepared(
     catalog: &Catalog,
     plan: &QueryPlan,
@@ -252,20 +261,52 @@ pub fn execute_exact_counted_prepared(
     let fact = catalog.table(&plan.fact)?;
     let factory = ExactAggFactory::new(&plan.aggs);
     let agg_inputs: Vec<AggInput> = plan.aggs.iter().map(|a| a.input.clone()).collect();
+    let scan = PreparedScan::new(fact, &plan.predicate)?;
 
-    let partials = parallel_fold(
-        fact.num_rows(),
-        DEFAULT_MORSEL_ROWS,
-        threads,
-        || (GroupTable::<ExactAgg>::new(), PruneCounts::default()),
-        |(acc, counts), range| {
-            let sel = scan_filter_pruned(fact, range, &plan.predicate, counts)
-                .expect("plan validated before execution");
-            let partial = run_morsel(catalog, plan, joins, fact, &factory, &agg_inputs, &sel)
-                .expect("plan validated before execution");
-            acc.merge(partial);
-        },
-    );
+    let partials = if plan.joins.is_empty() {
+        let keys = bind_keys(catalog, plan, fact, None, None, None)?;
+        let inputs = Inputs::bind(&agg_inputs, |name| {
+            let (_, table) = resolve_by_name(catalog, plan, name)?;
+            Ok(BoundCol::new(table.column(name)?, None))
+        })?;
+        parallel_fold(
+            fact.num_rows(),
+            DEFAULT_MORSEL_ROWS,
+            threads,
+            || (GroupTable::<ExactAgg>::new(), PruneCounts::default()),
+            |(acc, counts), range| {
+                scan.walk(range, counts, |ev| match ev {
+                    ScanEvent::TakeAll(rows) => {
+                        group_by_range(&keys, &inputs, rows, acc, &factory);
+                    }
+                    ScanEvent::Chunk(rows, mask) => {
+                        group_by_masked(
+                            &keys,
+                            &inputs,
+                            rows.start,
+                            rows.len(),
+                            mask,
+                            acc,
+                            &factory,
+                        );
+                    }
+                });
+            },
+        )
+    } else {
+        parallel_fold(
+            fact.num_rows(),
+            DEFAULT_MORSEL_ROWS,
+            threads,
+            || (GroupTable::<ExactAgg>::new(), PruneCounts::default()),
+            |(acc, counts), range| {
+                let sel = scan.scan_pruned(range, counts);
+                let partial = run_morsel(catalog, plan, joins, fact, &factory, &agg_inputs, &sel)
+                    .expect("plan validated before execution");
+                acc.merge(partial);
+            },
+        )
+    };
     let mut merged = GroupTable::<ExactAgg>::new();
     let mut counts = PruneCounts::default();
     for (p, c) in partials {
@@ -388,16 +429,16 @@ pub fn scan_count_pruned(
     threads: usize,
 ) -> Result<(usize, PruneCounts)> {
     let table = catalog.table(fact)?;
-    predicate.compile(table).map(|_| ())?;
+    let scan = PreparedScan::new(table, predicate)?;
     let partials = parallel_fold(
         table.num_rows(),
         DEFAULT_MORSEL_ROWS,
         threads,
         || (0usize, PruneCounts::default()),
         |(acc, counts), range| {
-            *acc += scan_filter_pruned(table, range, predicate, counts)
-                .expect("predicate validated")
-                .len();
+            // Fused count: TakeAll lengths plus chunk popcounts — no
+            // selection vector.
+            *acc += scan.count_pruned(range, counts) as usize;
         },
     );
     let mut n = 0;
@@ -573,5 +614,39 @@ mod tests {
             res.rows[0].values[0],
             (0..1000i64).map(|i| i * 2).sum::<i64>() as f64
         );
+    }
+
+    #[test]
+    fn keyless_plan_with_no_matching_rows_is_empty() {
+        // The fused path must create the keyless group lazily: a query
+        // matching nothing returns no rows, same as the historical
+        // selection-vector path.
+        let cat = catalog();
+        let plan = QueryPlan {
+            fact: "fact".into(),
+            predicate: Predicate::False,
+            joins: vec![],
+            group_by: vec![],
+            aggs: vec![AggSpec::sum("v"), AggSpec::count()],
+        };
+        let res = execute_exact(&cat, &plan, 2).unwrap();
+        assert!(res.rows.is_empty());
+    }
+
+    #[test]
+    fn fused_single_table_equals_join_machinery_reference() {
+        // Same logical query once through the fused single-table path and
+        // once forced through the selection-vector path via a join.
+        let cat = catalog();
+        let fused = execute_exact(&cat, &simple_plan(), 2).unwrap();
+        let mut joined = simple_plan();
+        joined.joins = vec![JoinSpec {
+            dim_table: "dim".into(),
+            dim_key: "key".into(),
+            fact_key: "dkey".into(),
+            predicate: Predicate::True,
+        }];
+        let via_join = execute_exact(&cat, &joined, 2).unwrap();
+        assert_eq!(fused, via_join);
     }
 }

@@ -324,9 +324,12 @@ impl TableSynopsis {
             },
             Compiled::In { column, values, .. } => match self.bounds_at(column, level, idx) {
                 Some((min, max)) => {
-                    if !values.iter().any(|&v| v >= min && v <= max) {
+                    // `values` is sorted (compile-time invariant), so the
+                    // bounds overlap test is one partition_point probe.
+                    let first_ge_min = values.partition_point(|&v| v < min);
+                    if values.get(first_ge_min).is_none_or(|&v| v > max) {
                         Verdict::Skip
-                    } else if min == max && values.contains(&min) {
+                    } else if min == max && values.binary_search(&min).is_ok() {
                         Verdict::TakeAll
                     } else {
                         Verdict::Scan

@@ -40,6 +40,13 @@
 //!    split one sample family across shards, breaking the single-shard
 //!    query-path invariant. Keeping one site also makes rehashing policy
 //!    a one-file change.
+//! 9. **row-at-a-time** — no per-row predicate/value scan loops
+//!    (`.matches(...)`, `.i64_at(...)`) in engine operators outside the
+//!    sanctioned `ops/reference.rs` evaluator. Operators must evaluate
+//!    through the vectorized `BatchKernel` chunk path; the reference
+//!    module exists precisely so the proptests have a slow oracle to
+//!    compare against, and a second per-row loop would silently bypass
+//!    the kernels the paper's scan performance depends on.
 //!
 //! The pass is deliberately AST-light: a character-level state machine strips
 //! comments and string literals (preserving line structure), `#[cfg(test)]`
@@ -116,6 +123,14 @@ const BUDGET_ALLOWLIST: &str = "crates/core/src/budget.rs";
 /// The one module sanctioned to hash descriptors to shard indices
 /// (rule 8): the sharded store itself.
 const SHARD_HASH_ALLOWLIST: &str = "crates/core/src/store.rs";
+
+/// The one engine-operator module sanctioned to evaluate predicates
+/// row-at-a-time (rule 9): the proptest reference oracle.
+const ROW_SCAN_ALLOWLIST: &str = "crates/engine/src/ops/reference.rs";
+
+/// Per-row scan tokens banned from engine operators outside
+/// [`ROW_SCAN_ALLOWLIST`] (rule 9).
+const ROW_SCAN_TOKENS: [&str; 2] = [".matches(", ".i64_at("];
 
 /// `std::sync::` heads that must be routed through `laqy-sync`.
 const SYNC_DENY: [&str; 9] = [
@@ -198,6 +213,22 @@ fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) {
     }
     if rel != SHARD_HASH_ALLOWLIST {
         check_shard_hashing(rel, &app, findings);
+    }
+    if rel.starts_with("crates/engine/src/ops/") && rel != ROW_SCAN_ALLOWLIST {
+        for tok in ROW_SCAN_TOKENS {
+            for (line, _) in substring_occurrences(&app, tok) {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line,
+                    rule: "row-at-a-time",
+                    message: format!(
+                        "`{tok}...)` per-row scan in an engine operator outside \
+                         {ROW_SCAN_ALLOWLIST}; evaluate through the vectorized \
+                         `BatchKernel` chunk path instead"
+                    ),
+                });
+            }
+        }
     }
     if rel.starts_with("crates/sampling/src/") {
         for tok in NONDETERMINISM_TOKENS {

@@ -1,0 +1,32 @@
+//! Seeded row-at-a-time violation: an engine operator evaluating a
+//! predicate per row instead of through the batch kernels. The prose
+//! mention of compiled.matches(r) and the string below are decoys that
+//! must NOT fire.
+
+pub fn rogue_scan(compiled: &Compiled, col: &Column, rows: usize) -> Vec<u32> {
+    let banner = "fast path skips col.i64_at(r) entirely";
+    let mut out = Vec::new();
+    for r in 0..rows {
+        if compiled.matches(r) {
+            out.push(col.i64_at(r) as u32);
+        }
+    }
+    let _ = banner;
+    out
+}
+
+pub fn fine(values: &[i64], needle: i64) -> bool {
+    // Decoy: binary_search and substring `matches` in other shapes
+    // (matches! macro, str::matches) are policy-clean.
+    values.binary_search(&needle).is_ok() || matches!(needle, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn per_row_is_fine_in_tests() {
+        let c = compile();
+        assert!(c.matches(0));
+        assert_eq!(col().i64_at(0), 7);
+    }
+}

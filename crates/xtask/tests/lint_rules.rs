@@ -185,6 +185,40 @@ fn shard_hashing_fires_outside_store_only() {
 }
 
 #[test]
+fn row_scans_fire_outside_reference_only() {
+    let findings = fixture_findings();
+    let hits = matching(
+        &findings,
+        "row-at-a-time",
+        "crates/engine/src/ops/bad_rowscan.rs",
+    );
+    // `.matches(` on line 10 then `.i64_at(` on line 11; the prose and
+    // string decoys, the `matches!` macro / `binary_search` shapes, and
+    // the cfg(test) module are all exempt.
+    let lines: Vec<usize> = hits.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![10, 11], "{hits:?}");
+    // The sanctioned reference oracle never fires despite using every
+    // banned token.
+    assert!(
+        matching(
+            &findings,
+            "row-at-a-time",
+            "crates/engine/src/ops/reference.rs"
+        )
+        .is_empty(),
+        "{findings:?}"
+    );
+    // Engine files outside ops/ (the parallel allowlist file) and other
+    // crates are out of scope entirely.
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.rule == "row-at-a-time" && !f.file.starts_with("crates/engine/src/ops/")),
+        "{findings:?}"
+    );
+}
+
+#[test]
 fn stripper_preserves_lines_and_blanks_prose() {
     let src = "fn f() {\n    // unsafe in a comment\n    let s = \"std::sync::Mutex\";\n    let c = 'x';\n    let l: &'static str = s;\n}\n";
     let stripped = strip_comments_and_strings(src);

@@ -457,6 +457,93 @@ fn lane_coverage_strictly_shrinks_ci_width_on_clustered_data() {
 }
 
 #[test]
+fn fused_aggregation_equals_filter_then_aggregate_on_ssb() {
+    // The vectorized fused filter+aggregate path (chunk bitmasks feeding
+    // the group-by directly) must return exactly what the classic
+    // pipeline — row-at-a-time filter to a selection vector, then
+    // aggregate over it — returns on SSB data. All SSB measures are
+    // integer-valued, and both paths fold f64 accumulators in ascending
+    // row order, so equality is bitwise, not approximate.
+    use laqy_engine::ops::aggregate::bind_table_cols;
+    use laqy_engine::ops::{group_by, reference, BoundCol, ExactAggFactory, Inputs};
+    use laqy_engine::{execute_exact, AggInput, AggKind};
+
+    let cat = catalog();
+    let fact = cat.table("lineorder").unwrap();
+    let n = fact.num_rows();
+
+    // SSB Q1.1-style predicate plus a clustered range so zone maps
+    // produce a mix of Skip / TakeAll / Scan verdicts.
+    let pred = Predicate::between("lo_discount", 1, 3)
+        .and(Predicate::between("lo_quantity", 1, 24))
+        .and(Predicate::between("lo_intkey", 0, (n as i64 * 3) / 4));
+
+    let specs = vec![
+        AggSpec::sum("lo_revenue"),
+        AggSpec::count(),
+        AggSpec::sum_product("lo_extendedprice", "lo_discount"),
+        AggSpec {
+            kind: AggKind::Min,
+            input: AggInput::Col("lo_revenue".into()),
+        },
+        AggSpec {
+            kind: AggKind::Max,
+            input: AggInput::Col("lo_revenue".into()),
+        },
+        AggSpec::avg("lo_revenue"),
+    ];
+
+    // Reference: per-row evaluator, selection vector, selection-bound
+    // aggregation.
+    let compiled = pred.compile(fact).unwrap();
+    let sel = reference::eval_rows(&compiled, 0..n);
+    assert!(!sel.is_empty(), "predicate should select some rows");
+    let agg_inputs: Vec<_> = specs.iter().map(|s| s.input.clone()).collect();
+
+    for keyless in [false, true] {
+        let plan = QueryPlan {
+            fact: "lineorder".into(),
+            predicate: pred.clone(),
+            joins: vec![],
+            group_by: if keyless {
+                vec![]
+            } else {
+                vec![ColRef::fact("lo_orderdate")]
+            },
+            aggs: specs.clone(),
+        };
+        let fused = execute_exact(&cat, &plan, 1).unwrap();
+
+        let key_cols: Vec<BoundCol> = if keyless {
+            vec![]
+        } else {
+            vec![BoundCol::new(
+                fact.column("lo_orderdate").unwrap(),
+                Some(&sel),
+            )]
+        };
+        let inputs = Inputs::bind(&agg_inputs, bind_table_cols(fact, Some(&sel))).unwrap();
+        let expected = group_by(&key_cols, &inputs, sel.len(), &ExactAggFactory::new(&specs));
+
+        assert_eq!(fused.rows.len(), expected.len());
+        let key_col = fact.column("lo_orderdate").unwrap();
+        for (key, agg) in &expected.map {
+            let decoded: Vec<Value> = key.parts().iter().map(|&p| key_col.decode_key(p)).collect();
+            let row = fused.row_by_key(&decoded).unwrap();
+            assert_eq!(row.values, agg.finalize(), "group {decoded:?}");
+        }
+
+        // Parallel morsels through the fused path agree with serial.
+        let fused8 = execute_exact(&cat, &plan, 8).unwrap();
+        assert_eq!(fused.rows.len(), fused8.rows.len());
+        for row in &fused.rows {
+            let other = fused8.row_by_key(&row.key).unwrap();
+            assert_eq!(row.values, other.values);
+        }
+    }
+}
+
+#[test]
 fn repeated_full_reuse_returns_identical_answers() {
     // Determinism: full reuse is a pure function of the stored sample.
     let cat = catalog();
