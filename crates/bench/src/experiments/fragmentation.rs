@@ -64,6 +64,7 @@ fn fragmented_store(cfg: &BenchConfig, catalog: &Catalog, m: usize, domain: i64)
             stored.descriptor.clone(),
             stored.schema.clone(),
             stored.sample.clone(),
+            stored.watermark,
         );
     }
     save_store(&store)

@@ -3,6 +3,7 @@
 pub mod concurrent;
 pub mod deadline;
 pub mod fragmentation;
+pub mod ingest;
 pub mod kernels;
 pub mod micro;
 pub mod pruning;
@@ -13,6 +14,7 @@ pub mod strategy;
 pub use concurrent::concurrent;
 pub use deadline::deadline;
 pub use fragmentation::fragmentation;
+pub use ingest::ingest;
 pub use kernels::kernels;
 pub use micro::{fig3, fig4};
 pub use pruning::pruning;
@@ -99,6 +101,7 @@ pub const ALL: &[&str] = &[
     "fragmentation",
     "sharding",
     "kernels",
+    "ingest",
 ];
 
 /// Run one experiment by name against a pre-generated catalog.
@@ -133,6 +136,7 @@ pub fn run_experiment(name: &str, cfg: &BenchConfig, catalog: &Catalog) -> Optio
         "fragmentation" => fragmentation(cfg, catalog),
         "sharding" => sharding(cfg, catalog),
         "kernels" => kernels(cfg, catalog),
+        "ingest" => ingest(cfg, catalog),
         _ => return None,
     })
 }

@@ -10,7 +10,7 @@ use laqy::{
     SessionConfig,
 };
 use laqy_engine::{load_csv_file, Catalog, DataType, Value};
-use laqy_workload::{generate, SsbConfig};
+use laqy_workload::{generate, lineorder_batch, SsbConfig};
 
 /// How SQL statements are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +33,9 @@ pub struct Repl {
     error_target: Option<f64>,
     budget_ms: Option<u64>,
     seed: u64,
+    /// Scale factor of the loaded SSB catalog, if any — `.ingest`
+    /// generates append batches against these dimension cardinalities.
+    ssb_sf: Option<f64>,
 }
 
 impl Default for Repl {
@@ -51,6 +54,7 @@ impl Repl {
             error_target: None,
             budget_ms: None,
             seed: 0xC11,
+            ssb_sf: None,
         }
     }
 
@@ -131,6 +135,7 @@ impl Repl {
                 None => "usage: .budget <positive ms>|off".into(),
             }),
             Some("faults") => Some(self.faults()),
+            Some("ingest") => Some(self.ingest(parts.get(1).copied())),
             Some("stats") => Some(self.stats()),
             Some("samples") => Some(self.samples()),
             Some("concurrent") => {
@@ -178,6 +183,7 @@ impl Repl {
                     .map(|t| t.num_rows())
                     .unwrap_or(0);
                 self.session = Some(self.make_session(catalog));
+                self.ssb_sf = Some(sf);
                 format!("loaded SSB at SF {sf}: lineorder has {rows} rows")
             }
             Some("csv") => {
@@ -201,6 +207,7 @@ impl Repl {
                                 let mut catalog = Catalog::new();
                                 catalog.register(table);
                                 self.session = Some(self.make_session(catalog));
+                                self.ssb_sf = None;
                             }
                         }
                         format!("loaded `{name}`: {rows} rows")
@@ -254,6 +261,43 @@ impl Repl {
         }
     }
 
+    /// `.ingest <rows>`: append freshly generated `lineorder` rows to
+    /// the loaded SSB catalog. The batch continues the key space from
+    /// the current watermark, so the grown table keeps `lo_intkey` /
+    /// `lo_orderkey` unique; stored samples absorb the appended rows
+    /// incrementally instead of being invalidated.
+    fn ingest(&mut self, arg: Option<&str>) -> String {
+        let Some(rows) = arg.and_then(|v| v.parse::<usize>().ok()).filter(|&r| r > 0) else {
+            return "usage: .ingest <positive row count>".into();
+        };
+        let Some(sf) = self.ssb_sf else {
+            return "`.ingest` extends a generated SSB catalog (try `.load ssb 0.01` first)".into();
+        };
+        let Some(session) = &mut self.session else {
+            return "no session".into();
+        };
+        let start = session
+            .catalog()
+            .table("lineorder")
+            .map(|t| t.num_rows())
+            .unwrap_or(0);
+        let batch = lineorder_batch(
+            &SsbConfig {
+                scale_factor: sf,
+                seed: self.seed ^ start as u64,
+            },
+            start,
+            rows,
+        );
+        match session.ingest("lineorder", batch) {
+            Ok(watermark) => format!(
+                "appended {rows} rows to lineorder; row watermark now {watermark} \
+                 (stored samples absorbed the batch in place)"
+            ),
+            Err(e) => format!("ingest failed: {e}"),
+        }
+    }
+
     fn stats(&self) -> String {
         match &self.session {
             None => "no session".into(),
@@ -265,7 +309,9 @@ impl Repl {
                      scan pruning: {} morsels skipped, {} fast-pathed, {} scanned ({} total)\n\
                      hybrid lanes: {} rows answered exactly from pre-aggregates\n\
                      coverage: {} stored fragments merged, {} residual fragments Δ-scanned\n\
-                     robustness: {} degraded answers, {} faults injected, {} snapshot recoveries",
+                     robustness: {} degraded answers, {} faults injected, {} snapshot recoveries\n\
+                     streaming: {} append batches ({} rows) ingested, {} samples absorbed \
+                     {} rows, {} WAL appends",
                     s.store().len(),
                     s.store().total_bytes() as f64 / (1024.0 * 1024.0),
                     self.mode,
@@ -286,6 +332,11 @@ impl Repl {
                     svc.degraded_answers,
                     svc.faults_injected,
                     svc.snapshots_recovered,
+                    svc.ingest_batches,
+                    svc.ingest_rows,
+                    svc.absorbed_samples,
+                    svc.absorbed_rows,
+                    svc.wal_appends,
                 )
             }
         }
@@ -675,6 +726,7 @@ laqy-cli — approximate SQL shell
   .error <rel>|off                   bounded-error execution (escalates k)
   .budget <ms>|off                   deadline per query (degraded answer on expiry)
   .faults                            fault-injection status (laqy_faults builds)
+  .ingest <rows>                     append generated lineorder rows (samples absorb)
   .stats                             sample-store statistics
   .samples                           stored coverage fragments per descriptor family
   .concurrent <n> <sql>              run <sql> from n threads sharing the store
@@ -737,6 +789,44 @@ mod tests {
             .unwrap();
         assert!(out.contains("reuse full"), "{out}");
         assert!(r.handle(".stats").unwrap().contains("1 samples"));
+    }
+
+    #[test]
+    fn ingest_appends_rows_and_stored_samples_absorb() {
+        let mut r = loaded_repl();
+        // Warm a sample whose predicate range spans keys that only
+        // arrive with the append batch.
+        let out = r
+            .handle(
+                "SELECT lo_orderdate, SUM(lo_revenue) FROM lineorder \
+                 WHERE lo_intkey BETWEEN 0 AND 6499 GROUP BY lo_orderdate",
+            )
+            .unwrap();
+        assert!(out.contains("reuse online"), "{out}");
+        let out = r.handle(".ingest 500").unwrap();
+        assert!(out.contains("row watermark now 6500"), "{out}");
+        // The stored reservoir absorbed the batch in place, so the rerun
+        // is a full hit at the new watermark — no re-sampling.
+        let out = r
+            .handle(
+                "SELECT lo_orderdate, SUM(lo_revenue) FROM lineorder \
+                 WHERE lo_intkey BETWEEN 0 AND 6499 GROUP BY lo_orderdate",
+            )
+            .unwrap();
+        assert!(out.contains("reuse full"), "{out}");
+        let out = r.handle(".stats").unwrap();
+        assert!(out.contains("1 append batches (500 rows)"), "{out}");
+        assert!(out.contains("1 samples absorbed 500 rows"), "{out}");
+    }
+
+    #[test]
+    fn ingest_guards_its_inputs() {
+        let mut r = Repl::new();
+        assert!(r.handle(".ingest 10").unwrap().contains(".load ssb"));
+        let mut r = loaded_repl();
+        assert!(r.handle(".ingest").unwrap().contains("usage"));
+        assert!(r.handle(".ingest potato").unwrap().contains("usage"));
+        assert!(r.handle(".ingest 0").unwrap().contains("usage"));
     }
 
     #[test]

@@ -274,9 +274,12 @@ impl LaqyExecutor {
     ) -> Result<ApproxResult> {
         let t_start = Instant::now();
         let descriptor = self.descriptor(catalog, query)?;
+        // The pinned epoch's row watermark: stored samples drawn below it
+        // carry an un-absorbed append tail the plan must Δ-scan.
+        let watermark = catalog.table(&query.plan.fact)?.row_watermark();
         let mut lazy = match self.mode {
-            ReuseMode::SingleSample => plan_lazy_capped(store, &descriptor, 1),
-            _ => plan_lazy(store, &descriptor),
+            ReuseMode::SingleSample => plan_lazy_capped(store, &descriptor, 1, watermark),
+            _ => plan_lazy(store, &descriptor, watermark),
         };
         if self.mode == ReuseMode::FullMatchOnly {
             // All-or-none matching: partial overlap is not good enough.
@@ -319,7 +322,11 @@ impl LaqyExecutor {
                     support,
                 }
             }
-            LazyPlan::CoverageReuse { samples, fragments } => {
+            LazyPlan::CoverageReuse {
+                samples,
+                fragments,
+                tails,
+            } => {
                 let (_, schema) = self.payload_schema(catalog, query)?;
                 // One zone-map-pruned Δ-scan per residual fragment, each
                 // internally fanned through the worker pool.
@@ -342,22 +349,54 @@ impl LaqyExecutor {
                         .cloned()
                         .unwrap_or_else(|| IntervalSet::of(query.range));
                     let extra = fragment_extra_predicate(frag, &query.range_column);
-                    let run = self.sample_pipeline_hybrid(catalog, query, &ranges, &extra, true)?;
+                    let run =
+                        self.sample_pipeline_hybrid(catalog, query, &ranges, &extra, true, 0)?;
                     fragment_coverage += run.stats.degraded.map_or(1.0, |d| d.coverage);
                     stats.accumulate(&run.stats);
                     exact_mass.merge(&run.exact);
                     fragment_boundaries.push(run.boundary);
                     fragment_samples.push(run.sample);
                 }
+                // Δ-scan the append tails of stale selected samples: the
+                // same pipeline, restricted to the sample's full predicate
+                // box with the row floor pushed down to its watermark. The
+                // tail sample is merged in below and absorbed back into
+                // its source sample (advancing the watermark).
+                let mut tail_samples = Vec::with_capacity(tails.len());
+                let mut tails_skipped = 0u64;
+                for tail in &tails {
+                    if self.budget.expired() {
+                        tails_skipped += 1;
+                        continue;
+                    }
+                    let ranges = tail
+                        .predicates
+                        .get(&query.range_column)
+                        .cloned()
+                        .unwrap_or_else(|| IntervalSet::of(query.range));
+                    let extra = fragment_extra_predicate(&tail.predicates, &query.range_column);
+                    let run = self.sample_pipeline_hybrid(
+                        catalog,
+                        query,
+                        &ranges,
+                        &extra,
+                        false,
+                        tail.from_row as usize,
+                    )?;
+                    fragment_coverage += run.stats.degraded.map_or(1.0, |d| d.coverage);
+                    stats.accumulate(&run.stats);
+                    tail_samples.push(run.sample);
+                }
                 let degradation = blended_degradation(
                     stats.degraded.take(),
                     fragment_coverage,
-                    fragments.len(),
-                    fragments_skipped,
+                    fragments.len() + tails.len(),
+                    fragments_skipped + tails_skipped,
                     effective,
                 );
                 stats.degraded = degradation;
-                stats.fragments_scanned = (fragments.len() as u64) - fragments_skipped;
+                stats.fragments_scanned =
+                    (fragments.len() + tails.len()) as u64 - fragments_skipped - tails_skipped;
                 stats.fragments_reused = samples.len() as u64;
                 // Clone the selected stored samples BEFORE mutating the
                 // store: absorption below may merge a fragment into one of
@@ -377,10 +416,14 @@ impl LaqyExecutor {
                 // double counting; absorption always uses the full merge.
                 let mut est_inputs = (!exact_mass.is_empty()).then(|| inputs.clone());
                 inputs.extend(fragment_samples.iter().cloned());
+                inputs.extend(tail_samples.iter().cloned());
                 if let Some(ei) = est_inputs.as_mut() {
                     for (b, full) in fragment_boundaries.iter().zip(&fragment_samples) {
                         ei.push(b.clone().unwrap_or_else(|| full.clone()));
                     }
+                    // Tail scans never harvest lanes, so the full tail
+                    // sample is its own boundary.
+                    ei.extend(tail_samples.iter().cloned());
                 }
                 let t_merge = Instant::now();
                 let merged = merge_stratified_k(inputs, &mut self.rng);
@@ -398,18 +441,47 @@ impl LaqyExecutor {
                 if stats.degraded.is_none() {
                     let constituents: Vec<&Predicates> =
                         parts.iter().chain(fragments.iter()).collect();
-                    if let Some(union_preds) = union_single_column(&constituents) {
-                        for &id in &samples {
-                            store.remove(id);
+                    // Tail absorption first: merge each tail sample back
+                    // into its source sample and advance its watermark to
+                    // the pinned epoch's — the sample now fully represents
+                    // its predicate box again. Consolidation is skipped
+                    // when tails exist: the union replacement would drop
+                    // the per-sample watermark bookkeeping mid-catch-up.
+                    if tails.is_empty() {
+                        if let Some(union_preds) = union_single_column(&constituents) {
+                            for &id in &samples {
+                                store.remove(id);
+                            }
+                            let mut union_desc = descriptor.clone();
+                            union_desc.predicates = union_preds;
+                            store.absorb(
+                                union_desc,
+                                schema.clone(),
+                                merged.clone(),
+                                watermark,
+                                &mut self.rng,
+                            );
+                        } else {
+                            for (frag, s) in fragments.iter().zip(fragment_samples) {
+                                let mut frag_desc = descriptor.clone();
+                                frag_desc.predicates = frag.clone();
+                                store.absorb(
+                                    frag_desc,
+                                    schema.clone(),
+                                    s,
+                                    watermark,
+                                    &mut self.rng,
+                                );
+                            }
                         }
-                        let mut union_desc = descriptor.clone();
-                        union_desc.predicates = union_preds;
-                        store.absorb(union_desc, schema.clone(), merged.clone(), &mut self.rng);
                     } else {
+                        for (tail, s) in tails.iter().zip(tail_samples) {
+                            store.absorb_tail(tail.id, s, tail.from_row, watermark, &mut self.rng);
+                        }
                         for (frag, s) in fragments.iter().zip(fragment_samples) {
                             let mut frag_desc = descriptor.clone();
                             frag_desc.predicates = frag.clone();
-                            store.absorb(frag_desc, schema.clone(), s, &mut self.rng);
+                            store.absorb(frag_desc, schema.clone(), s, watermark, &mut self.rng);
                         }
                     }
                 }
@@ -498,8 +570,10 @@ impl LaqyExecutor {
     ) -> Result<ApproxResult> {
         let descriptor = self.descriptor(catalog, query)?;
         let (_, schema) = self.payload_schema(catalog, query)?;
+        let watermark = catalog.table(&query.plan.fact)?.row_watermark();
         let ranges = IntervalSet::of(query.range);
-        let run = self.sample_pipeline_hybrid(catalog, query, &ranges, &Predicate::True, true)?;
+        let run =
+            self.sample_pipeline_hybrid(catalog, query, &ranges, &Predicate::True, true, 0)?;
         let mut stats = run.stats;
         let t_est = Instant::now();
         // Hybrid estimation: sampled boundary mass plus exact lane mass
@@ -521,7 +595,7 @@ impl LaqyExecutor {
         // unless the budget cut the scan short: a degraded sample's
         // descriptor would claim coverage the scan never delivered.
         if stats.degraded.is_none() {
-            store.absorb(descriptor, schema, run.sample, &mut self.rng);
+            store.absorb(descriptor, schema, run.sample, watermark, &mut self.rng);
         }
         stats.effective_selectivity = 1.0;
         stats.reuse = Some(ReuseClass::Online);
@@ -710,7 +784,7 @@ impl LaqyExecutor {
         ranges: &IntervalSet,
         extra: &Predicate,
     ) -> Result<(StratifiedSampler<GroupKey, SampleTuple>, ExecStats)> {
-        let run = self.sample_pipeline_hybrid(catalog, query, ranges, extra, false)?;
+        let run = self.sample_pipeline_hybrid(catalog, query, ranges, extra, false, 0)?;
         Ok((run.sample, run.stats))
     }
 
@@ -721,6 +795,12 @@ impl LaqyExecutor {
     /// their sample strata are drawn directly (a uniform k-subset with the
     /// span's row count as weight — exactly reservoir sampling's end state,
     /// so the merged full-region sample stays valid for absorption).
+    ///
+    /// `row_floor` restricts the scan to fact rows at or past the floor —
+    /// the append-tail Δ-scan (rows below the floor are already represented
+    /// by a stored sample's reservoirs). A non-zero floor disables lane
+    /// harvesting: lane spans aggregate whole blocks from row 0, so their
+    /// mass would double-count the already-sampled prefix.
     pub(crate) fn sample_pipeline_hybrid(
         &mut self,
         catalog: &Catalog,
@@ -728,6 +808,7 @@ impl LaqyExecutor {
         ranges: &IntervalSet,
         extra: &Predicate,
         hybrid: bool,
+        row_floor: usize,
     ) -> Result<PipelineRun> {
         let k = self.policy.effective_k(query.k);
         let (payload_cols, schema) = self.payload_schema(catalog, query)?;
@@ -753,7 +834,7 @@ impl LaqyExecutor {
         // Per-group covered row ranges, for the direct stratum draw.
         let mut covered_rows: Vec<(Vec<i64>, Vec<std::ops::Range<usize>>, u64)> = Vec::new();
         let mut lane_spans = 0u64;
-        if hybrid && hybrid_eligible(query) {
+        if hybrid && row_floor == 0 && hybrid_eligible(query) {
             if let Some(syn) = fact.synopsis() {
                 let compiled = prepared.compiled();
                 let group_cols: Vec<&str> = query
@@ -925,6 +1006,13 @@ impl LaqyExecutor {
                 if acc.error.is_some() || acc.degraded.is_some() {
                     return;
                 }
+                // Clamp the morsel to the row floor: morsels entirely below
+                // it are already represented by the stored sample this tail
+                // scan extends.
+                let range = range.start.max(row_floor)..range.end;
+                if range.start >= range.end {
+                    return;
+                }
                 // Cooperative cancellation, once per morsel: on budget
                 // expiry this worker stops scanning and the fold
                 // finalizes whatever the reservoirs hold.
@@ -1037,7 +1125,10 @@ impl LaqyExecutor {
             lane_covered_rows: lane_rows,
             lane_spans,
             degraded: degraded.map(|reason| {
-                Degradation::at_coverage(reason, covered as f64 / n_rows.max(1) as f64)
+                Degradation::at_coverage(
+                    reason,
+                    covered as f64 / n_rows.saturating_sub(row_floor).max(1) as f64,
+                )
             }),
             ..Default::default()
         };

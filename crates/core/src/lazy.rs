@@ -24,7 +24,7 @@
 //! available as an ablation baseline).
 
 use crate::descriptor::{Predicates, SampleDescriptor};
-use crate::store::{SampleId, SampleStore};
+use crate::store::{SampleId, SampleStore, TailFragment};
 
 /// Default cap on how many stored samples one coverage plan may merge.
 /// Beyond a handful the per-sample clone + merge cost outweighs the
@@ -50,6 +50,11 @@ pub enum LazyPlan {
         /// Residual uncovered boxes, each Δ-scanned once. Pairwise
         /// disjoint and disjoint from every selected sample's population.
         fragments: Vec<Predicates>,
+        /// Un-absorbed append tails of stale selected samples: each is
+        /// Δ-scanned with its row floor pushed down, merged in, and
+        /// absorbed back into its source sample (advancing its
+        /// watermark). Row-disjoint from everything above.
+        tails: Vec<TailFragment>,
     },
     /// Full online sampling over the query predicate.
     Online,
@@ -80,9 +85,12 @@ impl LazyPlan {
 }
 
 /// Plan the lazy sampler for a query (generalized Algorithm 1) with the
-/// default sample cap.
-pub fn plan_lazy(store: &SampleStore, query: &SampleDescriptor) -> LazyPlan {
-    plan_lazy_capped(store, query, MAX_COVERAGE_SAMPLES)
+/// default sample cap. `watermark` is the fact table's row watermark at
+/// planning time (the pinned epoch's): samples drawn below it must have
+/// their append tails Δ-scanned, so a stale sample can never serve bare
+/// full reuse.
+pub fn plan_lazy(store: &SampleStore, query: &SampleDescriptor, watermark: u64) -> LazyPlan {
+    plan_lazy_capped(store, query, MAX_COVERAGE_SAMPLES, watermark)
 }
 
 /// Plan the lazy sampler with an explicit cap on merged stored samples.
@@ -91,12 +99,13 @@ pub fn plan_lazy_capped(
     store: &SampleStore,
     query: &SampleDescriptor,
     max_samples: usize,
+    watermark: u64,
 ) -> LazyPlan {
-    let plan = store.plan_coverage(query, max_samples);
+    let plan = store.plan_coverage_at(query, max_samples, watermark);
     if plan.samples.is_empty() {
         return LazyPlan::Online;
     }
-    if plan.samples.len() == 1 && plan.fragments.is_empty() {
+    if plan.samples.len() == 1 && plan.fragments.is_empty() && plan.tails.is_empty() {
         return LazyPlan::FullReuse {
             id: plan.samples[0],
         };
@@ -104,6 +113,7 @@ pub fn plan_lazy_capped(
     LazyPlan::CoverageReuse {
         samples: plan.samples,
         fragments: plan.fragments,
+        tails: plan.tails,
     }
 }
 
@@ -141,14 +151,14 @@ mod tests {
     fn store_with(lo: i64, hi: i64) -> SampleStore {
         let mut store = SampleStore::new();
         let mut rng = Lehmer64::new(1);
-        store.absorb(desc(lo, hi), schema(), sample_over(lo, hi), &mut rng);
+        store.absorb(desc(lo, hi), schema(), sample_over(lo, hi), 0, &mut rng);
         store
     }
 
     #[test]
     fn empty_store_plans_online() {
         let store = SampleStore::new();
-        let plan = plan_lazy(&store, &desc(0, 9));
+        let plan = plan_lazy(&store, &desc(0, 9), 0);
         assert_eq!(plan, LazyPlan::Online);
         assert_eq!(plan.uncovered_fraction(&desc(0, 9)), 1.0);
     }
@@ -156,20 +166,47 @@ mod tests {
     #[test]
     fn subsuming_sample_plans_full_reuse() {
         let store = store_with(0, 99);
-        let plan = plan_lazy(&store, &desc(10, 20));
+        let plan = plan_lazy(&store, &desc(10, 20), 0);
         assert!(matches!(plan, LazyPlan::FullReuse { .. }));
         assert_eq!(plan.uncovered_fraction(&desc(10, 20)), 0.0);
+    }
+
+    #[test]
+    fn stale_subsuming_sample_plans_coverage_with_tail() {
+        // The stored sample was drawn at watermark 0; the table has since
+        // grown to 500 rows. Full reuse would silently ignore the appended
+        // rows, so the plan must carry the tail.
+        let store = store_with(0, 99);
+        let plan = plan_lazy(&store, &desc(10, 20), 500);
+        match &plan {
+            LazyPlan::CoverageReuse {
+                samples,
+                fragments,
+                tails,
+            } => {
+                assert_eq!(samples.len(), 1);
+                assert!(fragments.is_empty());
+                assert_eq!(tails.len(), 1);
+                assert_eq!(tails[0].from_row, 0);
+            }
+            other => panic!("expected coverage reuse with tail, got {other:?}"),
+        }
     }
 
     #[test]
     fn overlapping_sample_plans_coverage() {
         let store = store_with(0, 99);
         let q = desc(50, 149);
-        let plan = plan_lazy(&store, &q);
+        let plan = plan_lazy(&store, &q, 0);
         match &plan {
-            LazyPlan::CoverageReuse { samples, fragments } => {
+            LazyPlan::CoverageReuse {
+                samples,
+                fragments,
+                tails,
+            } => {
                 assert_eq!(samples.len(), 1);
                 assert_eq!(fragments.len(), 1);
+                assert!(tails.is_empty());
                 assert_eq!(
                     fragments[0].get("x").unwrap(),
                     &IntervalSet::of(Interval::new(100, 149))
@@ -184,7 +221,7 @@ mod tests {
     #[test]
     fn disjoint_sample_plans_online() {
         let store = store_with(0, 99);
-        assert_eq!(plan_lazy(&store, &desc(500, 599)), LazyPlan::Online);
+        assert_eq!(plan_lazy(&store, &desc(500, 599), 0), LazyPlan::Online);
     }
 
     #[test]
@@ -192,13 +229,15 @@ mod tests {
         // Two disjoint stored samples, 40% each: coverage planning reports
         // ≤ 0.2 uncovered where the single-sample cap reports 0.6.
         let mut store = SampleStore::new();
-        store.insert_raw(desc(0, 399), schema(), sample_over(0, 399));
-        store.insert_raw(desc(600, 999), schema(), sample_over(600, 999));
+        store.insert_raw(desc(0, 399), schema(), sample_over(0, 399), 0);
+        store.insert_raw(desc(600, 999), schema(), sample_over(600, 999), 0);
         let q = desc(0, 999);
 
-        let plan = plan_lazy(&store, &q);
+        let plan = plan_lazy(&store, &q, 0);
         match &plan {
-            LazyPlan::CoverageReuse { samples, fragments } => {
+            LazyPlan::CoverageReuse {
+                samples, fragments, ..
+            } => {
                 assert_eq!(samples.len(), 2);
                 assert_eq!(fragments.len(), 1);
             }
@@ -206,7 +245,7 @@ mod tests {
         }
         assert!(plan.uncovered_fraction(&q) <= 0.2 + 1e-12);
 
-        let single = plan_lazy_capped(&store, &q, 1);
+        let single = plan_lazy_capped(&store, &q, 1, 0);
         assert!((single.uncovered_fraction(&q) - 0.6).abs() < 1e-12);
     }
 
@@ -226,6 +265,7 @@ mod tests {
                 Predicates::on("x", IntervalSet::of(Interval::new(40, 99)))
                     .with("y", IntervalSet::of(Interval::new(0, 0))),
             ],
+            tails: vec![],
         };
         assert!((plan.uncovered_fraction(&q) - 0.46).abs() < 1e-12);
     }

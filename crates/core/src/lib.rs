@@ -25,7 +25,12 @@
 //!   sampler placements (pushed to scan, and above star joins);
 //! - [`service`] — the concurrent, shared-store deployment of the same
 //!   flow: a `Send + Sync` handle many client threads clone, with an
-//!   in-flight registry deduplicating concurrent Δ/online scans;
+//!   in-flight registry deduplicating concurrent Δ/online scans, plus the
+//!   streaming-ingest path (epoch-pinned appends with incremental sample
+//!   absorption);
+//! - [`persist`] / [`wal`] — crash-safe store snapshots and the ingest
+//!   write-ahead log; together they recover base rows and stored samples
+//!   to one consistent `(snapshot generation, WAL position)` point;
 //! - [`mod@estimate`] / [`support`] — Horvitz–Thompson estimation with CLT
 //!   error bounds, tightening, and sample-support policies.
 //!
@@ -113,6 +118,7 @@ pub mod sql;
 pub mod stats;
 pub mod store;
 pub mod support;
+pub mod wal;
 pub mod window;
 
 pub use bounded::{run_bounded, BoundedResult, ErrorTarget};
@@ -141,8 +147,12 @@ pub use session::{LaqySession, SessionConfig};
 pub use sql::{approx_query, approx_query_on};
 pub use stats::{ExecStats, ReuseClass, ServiceStats};
 pub use store::{
-    CoveragePlan, ReuseDecision, SampleId, SampleStore, ShardWriteGuard, ShardedStore,
-    StoredSample, STORE_SHARDS,
+    AbsorbReport, CoveragePlan, ReuseDecision, SampleId, SampleStore, ShardWriteGuard,
+    ShardedStore, StoredSample, TailFragment, STORE_SHARDS,
 };
 pub use support::{check_support, SupportPolicy, SupportReport};
+pub use wal::{
+    replay as replay_wal, WalAppender, WalPosition, WalRecord, WalReplayReport,
+    MAX_WAL_SEGMENT_BYTES, WAL_SEGMENT_PREFIX,
+};
 pub use window::SlidingSampler;

@@ -49,7 +49,7 @@ use crate::sampler_ops::{SampleSchema, SampleTuple, SlotKind, MAX_SAMPLE_COLS};
 use crate::store::SampleStore;
 
 const MAGIC: &[u8; 4] = b"LAQY";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Hard cap on the snapshot size [`load_from_file`] will read into
 /// memory, so a corrupt or adversarial file cannot drive a multi-GB
@@ -66,7 +66,8 @@ pub const KEEP_GENERATIONS: usize = 2;
 
 /// Smallest possible wire footprint of one sample (empty strings, zero
 /// columns, zero strata); bounds pre-validation of the sample count.
-const MIN_SAMPLE_WIRE_BYTES: usize = 40;
+/// Version 2 added the 8-byte per-sample row watermark.
+const MIN_SAMPLE_WIRE_BYTES: usize = 48;
 
 /// Persistence errors.
 #[derive(Debug)]
@@ -107,6 +108,7 @@ pub fn save_store(store: &SampleStore) -> Vec<u8> {
     for s in samples {
         write_descriptor(&mut buf, &s.descriptor);
         write_schema(&mut buf, &s.schema);
+        buf.put_u64_le(s.watermark);
         write_sampler(&mut buf, &s.sample, s.schema.len());
     }
     buf
@@ -139,8 +141,9 @@ pub fn load_store(mut data: &[u8]) -> Result<SampleStore, PersistError> {
     for _ in 0..count {
         let descriptor = read_descriptor(buf)?;
         let schema = read_schema(buf)?;
+        let watermark = read_u64(buf)?;
         let sampler = read_sampler(buf, schema.len(), descriptor.k)?;
-        store.insert_raw(descriptor, schema, sampler);
+        store.insert_raw(descriptor, schema, sampler, watermark);
     }
     if buf.has_remaining() {
         return Err(PersistError::Corrupt(format!(
@@ -223,6 +226,13 @@ pub struct RecoveryReport {
     pub discarded: Vec<(u64, String)>,
     /// Leftover `*.tmp` files (torn writes) removed from the directory.
     pub tmp_removed: usize,
+    /// Intact WAL records replayed on top of the snapshot (0 when
+    /// recovery ran without a WAL; see
+    /// [`LaqyService::recover_with_wal`](crate::service::LaqyService::recover_with_wal)).
+    pub wal_records: u64,
+    /// True when the WAL ended in a torn (half-written) record that was
+    /// discarded and truncated.
+    pub wal_torn_tail: bool,
 }
 
 impl RecoveryReport {
@@ -319,7 +329,7 @@ pub fn recover_snapshot(
 
 // ---- writers ----
 
-fn write_str(buf: &mut Vec<u8>, s: &str) {
+pub(crate) fn write_str(buf: &mut Vec<u8>, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
@@ -391,7 +401,7 @@ fn write_sampler(
 
 // ---- readers ----
 
-fn read_exact(buf: &mut &[u8], out: &mut [u8]) -> Result<(), PersistError> {
+pub(crate) fn read_exact(buf: &mut &[u8], out: &mut [u8]) -> Result<(), PersistError> {
     if buf.remaining() < out.len() {
         return Err(PersistError::Corrupt("unexpected end of snapshot".into()));
     }
@@ -399,35 +409,35 @@ fn read_exact(buf: &mut &[u8], out: &mut [u8]) -> Result<(), PersistError> {
     Ok(())
 }
 
-fn read_u8(buf: &mut &[u8]) -> Result<u8, PersistError> {
+pub(crate) fn read_u8(buf: &mut &[u8]) -> Result<u8, PersistError> {
     if !buf.has_remaining() {
         return Err(PersistError::Corrupt("unexpected end of snapshot".into()));
     }
     Ok(buf.get_u8())
 }
 
-fn read_u32(buf: &mut &[u8]) -> Result<u32, PersistError> {
+pub(crate) fn read_u32(buf: &mut &[u8]) -> Result<u32, PersistError> {
     if buf.remaining() < 4 {
         return Err(PersistError::Corrupt("unexpected end of snapshot".into()));
     }
     Ok(buf.get_u32_le())
 }
 
-fn read_u64(buf: &mut &[u8]) -> Result<u64, PersistError> {
+pub(crate) fn read_u64(buf: &mut &[u8]) -> Result<u64, PersistError> {
     if buf.remaining() < 8 {
         return Err(PersistError::Corrupt("unexpected end of snapshot".into()));
     }
     Ok(buf.get_u64_le())
 }
 
-fn read_i64(buf: &mut &[u8]) -> Result<i64, PersistError> {
+pub(crate) fn read_i64(buf: &mut &[u8]) -> Result<i64, PersistError> {
     if buf.remaining() < 8 {
         return Err(PersistError::Corrupt("unexpected end of snapshot".into()));
     }
     Ok(buf.get_i64_le())
 }
 
-fn read_str(buf: &mut &[u8]) -> Result<String, PersistError> {
+pub(crate) fn read_str(buf: &mut &[u8]) -> Result<String, PersistError> {
     let len = read_u32(buf)? as usize;
     if buf.remaining() < len {
         return Err(PersistError::Corrupt("truncated string".into()));
@@ -597,7 +607,7 @@ mod tests {
                     );
                 }
             }
-            store.absorb(descriptor(*lo, *hi), schema(), s, &mut rng);
+            store.absorb(descriptor(*lo, *hi), schema(), s, 6000 + i as u64, &mut rng);
         }
         store
     }
@@ -614,6 +624,7 @@ mod tests {
         for (o, r) in originals.iter().zip(&restoreds) {
             assert_eq!(o.descriptor, r.descriptor);
             assert_eq!(o.schema, r.schema);
+            assert_eq!(o.watermark, r.watermark, "watermark survives the wire");
             assert_eq!(o.sample.num_strata(), r.sample.num_strata());
             assert_eq!(o.sample.total_weight(), r.sample.total_weight());
             for (key, items, weight) in o.sample.iter() {

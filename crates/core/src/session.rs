@@ -115,6 +115,36 @@ impl LaqySession {
         self.service.import_samples(bytes)
     }
 
+    /// Append a batch of rows to a registered table, publishing the next
+    /// epoch and letting stored samples absorb the appended rows (see
+    /// [`LaqyService::ingest`]). Returns the new row watermark.
+    pub fn ingest(
+        &mut self,
+        table: &str,
+        batch: Vec<(String, laqy_engine::Column)>,
+    ) -> Result<u64> {
+        self.service.ingest(table, batch)
+    }
+
+    /// Enable the ingest write-ahead log rooted at `dir`, replaying any
+    /// intact records already there (see [`LaqyService::enable_wal`]).
+    pub fn enable_wal(
+        &mut self,
+        dir: &std::path::Path,
+    ) -> std::result::Result<crate::wal::WalReplayReport, crate::persist::PersistError> {
+        self.service.enable_wal(dir)
+    }
+
+    /// Recover store and tables to one consistent `(snapshot generation,
+    /// WAL position)` point (see [`LaqyService::recover_with_wal`]).
+    pub fn recover_with_wal(
+        &mut self,
+        snapshot_dir: &std::path::Path,
+        wal_dir: &std::path::Path,
+    ) -> std::result::Result<crate::persist::RecoveryReport, crate::persist::PersistError> {
+        self.service.recover_with_wal(snapshot_dir, wal_dir)
+    }
+
     /// Run a query with LAQy's lazy sampling.
     pub fn run(&mut self, query: &ApproxQuery) -> Result<ApproxResult> {
         self.service.run(query)

@@ -168,6 +168,22 @@ pub struct ServiceStats {
     /// Snapshot recoveries that had to fall back past a corrupt or
     /// truncated generation.
     pub snapshots_recovered: u64,
+    /// Ingest batches accepted by
+    /// [`ingest`](crate::service::LaqyService::ingest).
+    pub ingest_batches: u64,
+    /// Rows appended across all ingest batches.
+    pub ingest_rows: u64,
+    /// Stored-sample absorb passes that caught a sample up to a newer
+    /// row watermark (incremental reservoir maintenance, not eviction).
+    pub absorbed_samples: u64,
+    /// Appended rows offered to stored samples' reservoirs by those
+    /// absorb passes.
+    pub absorbed_rows: u64,
+    /// Ingest batches durably appended to the write-ahead log before
+    /// being applied (0 when the WAL is disabled).
+    pub wal_appends: u64,
+    /// WAL records replayed during recovery.
+    pub wal_replays: u64,
 }
 
 impl ServiceStats {

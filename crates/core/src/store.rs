@@ -35,6 +35,12 @@ pub struct StoredSample {
     /// The stratified sample itself (ownership of the group-by hash table,
     /// §6.3).
     pub sample: StratifiedSampler<GroupKey, SampleTuple>,
+    /// Row watermark this sample was drawn at: it fully represents its
+    /// predicate box over base rows `0..watermark`. Appended rows land
+    /// past the watermark; [`SampleStore::absorb_appended`] offers them to
+    /// the reservoirs (advancing the watermark), and the coverage planner
+    /// treats any remaining gap as a residual tail fragment.
+    pub watermark: u64,
     // Atomic so the concurrent service's read path (classification +
     // full-reuse lookup under a shared `RwLock` read guard) can refresh
     // the LRU stamp without taking the write lock.
@@ -91,6 +97,48 @@ pub struct CoveragePlan {
     /// disjoint from every selected sample's population. Every box
     /// constrains exactly the query's constrained columns.
     pub fragments: Vec<Predicates>,
+    /// Un-absorbed append tails of the selected samples: for each selected
+    /// sample drawn at a watermark below the table's, the rows
+    /// `[from_row, table watermark)` within its population are not yet
+    /// represented and must be Δ-scanned (with the row floor pushed down)
+    /// before the k-way merge. Row-disjoint from the sample itself, so the
+    /// merge precondition still holds.
+    pub tails: Vec<TailFragment>,
+}
+
+/// One selected sample's un-absorbed append tail (see
+/// [`CoveragePlan::tails`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailFragment {
+    /// The stale selected sample.
+    pub id: SampleId,
+    /// First base row the sample does not represent (its watermark).
+    pub from_row: u64,
+    /// The sample's full population predicates: scanning the tail over
+    /// them (not just the query box) lets the tail sample be absorbed
+    /// back into the stored sample, advancing its watermark.
+    pub predicates: Predicates,
+}
+
+/// Outcome of one [`SampleStore::absorb_appended`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AbsorbReport {
+    /// Samples whose reservoirs absorbed the appended rows in place.
+    pub samples_absorbed: u64,
+    /// Appended rows offered to reservoirs (post-predicate-filter).
+    pub rows_absorbed: u64,
+    /// Samples dropped because the appended table joins into their
+    /// population (join output for already-sampled rows may have changed).
+    pub samples_invalidated: u64,
+}
+
+impl AbsorbReport {
+    /// Accumulate another shard's report into this one.
+    pub fn merge(&mut self, other: &AbsorbReport) {
+        self.samples_absorbed += other.samples_absorbed;
+        self.rows_absorbed += other.rows_absorbed;
+        self.samples_invalidated += other.samples_invalidated;
+    }
 }
 
 impl CoveragePlan {
@@ -257,26 +305,48 @@ impl SampleStore {
     /// merged with fragment samples) and must not constrain columns the
     /// query leaves free (their residual would be unbounded).
     pub fn plan_coverage(&self, query: &SampleDescriptor, max_samples: usize) -> CoveragePlan {
+        self.plan_coverage_at(query, max_samples, 0)
+    }
+
+    /// [`SampleStore::plan_coverage`] against a table at row watermark
+    /// `watermark`: selected samples drawn below the watermark additionally
+    /// contribute a [`TailFragment`] — the appended rows of their own
+    /// population they have not absorbed — so the executor Δ-scans the
+    /// tail (row floor pushed down) and the merge still covers every base
+    /// row up to the watermark. Passing `0` recovers the static-table
+    /// behavior (no sample can be stale).
+    pub fn plan_coverage_at(
+        &self,
+        query: &SampleDescriptor,
+        max_samples: usize,
+        watermark: u64,
+    ) -> CoveragePlan {
         if query.predicates.is_unsatisfiable() || max_samples == 0 {
             return CoveragePlan {
                 samples: Vec::new(),
                 fragments: Vec::new(),
+                tails: Vec::new(),
             };
         }
         // Full subsumption short-circuits: no merge happens, so a
-        // superset-QVS sample qualifies.
+        // superset-QVS sample qualifies — but only when the sample is
+        // fresh; a stale subsuming sample must go through the greedy path
+        // so its append tail gets scanned and merged in.
         for (id, stored) in &self.samples {
             if stored.descriptor.matches_characteristics(query)
                 && stored.descriptor.predicates.subsumes(&query.predicates)
+                && stored.watermark >= watermark
             {
                 return CoveragePlan {
                     samples: vec![*id],
                     fragments: Vec::new(),
+                    tails: Vec::new(),
                 };
             }
         }
-        // (id, raw population predicates, coverage box within the query).
-        let mut candidates: Vec<(SampleId, &Predicates, Predicates)> = Vec::new();
+        // (id, raw population predicates, coverage box within the query,
+        // drawn-at watermark).
+        let mut candidates: Vec<(SampleId, &Predicates, Predicates, u64)> = Vec::new();
         for (id, stored) in &self.samples {
             let d = &stored.descriptor;
             if !d.matches_characteristics(query) || d.qvs != query.qvs {
@@ -292,20 +362,20 @@ impl SampleStore {
             let Some(cov) = query.predicates.intersect(&d.predicates) else {
                 continue;
             };
-            candidates.push((*id, &d.predicates, cov));
+            candidates.push((*id, &d.predicates, cov, stored.watermark));
         }
         let mut fragments = vec![query.predicates.clone()];
-        let mut selected: Vec<(SampleId, &Predicates)> = Vec::new();
+        let mut selected: Vec<(SampleId, &Predicates, u64)> = Vec::new();
         while selected.len() < max_samples && !fragments.is_empty() {
             let mut best: Option<(usize, u128)> = None;
-            for (i, (id, raw, cov)) in candidates.iter().enumerate() {
-                if selected.iter().any(|(sid, _)| sid == id) {
+            for (i, (id, raw, cov, _)) in candidates.iter().enumerate() {
+                if selected.iter().any(|(sid, _, _)| sid == id) {
                     continue;
                 }
                 // Populations of merged samples must be pairwise disjoint.
                 if selected
                     .iter()
-                    .any(|(_, sel_raw)| raw.intersect(sel_raw).is_some())
+                    .any(|(_, sel_raw, _)| raw.intersect(sel_raw).is_some())
                 {
                     continue;
                 }
@@ -324,17 +394,27 @@ impl SampleStore {
             let Some((i, _)) = best else {
                 break;
             };
-            let (id, raw, cov) = &candidates[i];
+            let (id, raw, cov, w) = &candidates[i];
             let next: Vec<Predicates> = fragments.iter().flat_map(|f| f.subtract(cov)).collect();
             if next.len() > MAX_COVERAGE_FRAGMENTS {
                 break;
             }
-            selected.push((*id, raw));
+            selected.push((*id, raw, *w));
             fragments = next;
         }
+        let tails = selected
+            .iter()
+            .filter(|(_, _, w)| *w < watermark)
+            .map(|(id, raw, w)| TailFragment {
+                id: *id,
+                from_row: *w,
+                predicates: (*raw).clone(),
+            })
+            .collect();
         CoveragePlan {
-            samples: selected.into_iter().map(|(id, _)| id).collect(),
+            samples: selected.into_iter().map(|(id, _, _)| id).collect(),
             fragments,
+            tails,
         }
     }
 
@@ -370,12 +450,14 @@ impl SampleStore {
     }
 
     /// Insert a sample verbatim, bypassing merge/replace logic (snapshot
-    /// restore). The budget is still enforced.
+    /// restore). `watermark` is the base-row watermark the sample was
+    /// drawn at. The budget is still enforced.
     pub fn insert_raw(
         &mut self,
         descriptor: SampleDescriptor,
         schema: SampleSchema,
         sample: StratifiedSampler<GroupKey, SampleTuple>,
+        watermark: u64,
     ) -> SampleId {
         let clock = self.tick();
         let id = self.alloc_id();
@@ -383,6 +465,7 @@ impl SampleStore {
             descriptor,
             schema,
             sample,
+            watermark,
             last_used: AtomicU64::new(clock),
             bytes: 0,
         };
@@ -402,12 +485,14 @@ impl SampleStore {
         descriptor: SampleDescriptor,
         schema: SampleSchema,
         sample: StratifiedSampler<GroupKey, SampleTuple>,
+        watermark: u64,
         last_used: u64,
     ) {
         let mut stored = StoredSample {
             descriptor,
             schema,
             sample,
+            watermark,
             last_used: AtomicU64::new(last_used),
             bytes: 0,
         };
@@ -445,12 +530,15 @@ impl SampleStore {
     /// Insert a freshly built sample, combining it with a stored
     /// same-characteristics sample when their coverages are disjoint along
     /// a single column (valid union coverage — §5's non-overlap
-    /// requirement). Returns the id holding the data afterwards.
+    /// requirement). `watermark` is the row watermark the new sample was
+    /// scanned at; a merge takes the conservative minimum of both sides'
+    /// watermarks. Returns the id holding the data afterwards.
     pub fn absorb(
         &mut self,
         descriptor: SampleDescriptor,
         schema: SampleSchema,
         sample: StratifiedSampler<GroupKey, SampleTuple>,
+        watermark: u64,
         rng: &mut Lehmer64,
     ) -> SampleId {
         let clock = self.tick();
@@ -477,6 +565,7 @@ impl SampleStore {
                 .descriptor
                 .predicates
                 .union_on(&varying, &descriptor.predicates);
+            stored.watermark = stored.watermark.min(watermark);
             stored.last_used.store(clock, Ordering::Relaxed);
             stored.measure_bytes();
             let id = *id;
@@ -494,6 +583,7 @@ impl SampleStore {
             descriptor,
             schema,
             sample,
+            watermark,
             last_used: AtomicU64::new(clock),
             bytes: 0,
         };
@@ -504,13 +594,15 @@ impl SampleStore {
     }
 
     /// Merge a Δ sample into the stored sample `id`, extending its coverage
-    /// along `varying` by `delta_predicates` (step 4 of Figure 7).
+    /// along `varying` by `delta_predicates` (step 4 of Figure 7). The
+    /// stored watermark drops to the conservative minimum of both sides.
     pub fn merge_delta(
         &mut self,
         id: SampleId,
         delta_sample: StratifiedSampler<GroupKey, SampleTuple>,
         delta_predicates: &Predicates,
         varying: &str,
+        watermark: u64,
         rng: &mut Lehmer64,
     ) -> bool {
         let clock = self.tick();
@@ -526,10 +618,162 @@ impl SampleStore {
             .descriptor
             .predicates
             .union_on(varying, delta_predicates);
+        stored.watermark = stored.watermark.min(watermark);
         stored.last_used.store(clock, Ordering::Relaxed);
         stored.measure_bytes();
         self.enforce_budget(id);
         true
+    }
+
+    /// Merge a tail Δ sample — rows `[from_row, new_watermark)` of the
+    /// stored sample's own population — into sample `id`, advancing its
+    /// watermark to `new_watermark`. The two sides are row-disjoint by
+    /// construction, so the weighted merge precondition holds and the
+    /// result is distributed like a from-scratch sample at the new
+    /// watermark. Returns `false` if the sample vanished or its watermark
+    /// no longer equals `from_row` — the guard that makes concurrent
+    /// clients' tail scans idempotent: a second absorb of the same tail
+    /// (or of a tail overlapping rows another client already caught up)
+    /// is rejected instead of double-counting rows.
+    pub fn absorb_tail(
+        &mut self,
+        id: SampleId,
+        tail_sample: StratifiedSampler<GroupKey, SampleTuple>,
+        from_row: u64,
+        new_watermark: u64,
+        rng: &mut Lehmer64,
+    ) -> bool {
+        let clock = self.tick();
+        let Some((_, stored)) = self.samples.iter_mut().find(|(i, _)| *i == id) else {
+            return false;
+        };
+        if stored.watermark != from_row || new_watermark <= from_row {
+            return false;
+        }
+        let old = std::mem::replace(
+            &mut stored.sample,
+            StratifiedSampler::new(stored.descriptor.k.max(1)),
+        );
+        stored.sample = merge_stratified(old, tail_sample, rng);
+        stored.watermark = stored.watermark.max(new_watermark);
+        stored.last_used.store(clock, Ordering::Relaxed);
+        stored.measure_bytes();
+        self.enforce_budget(id);
+        true
+    }
+
+    /// Incremental sample maintenance on append: offer the appended tail
+    /// rows of `table` to every stored sample whose population is the bare
+    /// table (input `"{table}[True]"` — no joins, no fixed predicate), as
+    /// if the original reservoir pass had simply kept running. Continuing
+    /// Algorithm R over new rows is distributionally identical to a
+    /// from-scratch sample at the new watermark, so absorbed samples stay
+    /// valid without eviction. Samples whose population *joins through*
+    /// the appended table are invalidated instead (their join output for
+    /// already-sampled rows may have changed); samples over the table with
+    /// extra fixed predicates keep their stale watermark and are caught up
+    /// lazily via coverage-plan tail fragments.
+    pub fn absorb_appended(
+        &mut self,
+        table: &laqy_engine::Table,
+        rng: &mut Lehmer64,
+    ) -> AbsorbReport {
+        let new_w = table.row_watermark();
+        let simple = format!("{}[True]", table.name());
+        let join_token = format!("⋈{}(", table.name());
+        let before = self.samples.len();
+        self.samples
+            .retain(|(_, s)| !s.descriptor.input.contains(&join_token));
+        let mut report = AbsorbReport {
+            samples_invalidated: (before - self.samples.len()) as u64,
+            ..AbsorbReport::default()
+        };
+        let clock = self.tick();
+        for (_, stored) in &mut self.samples {
+            if stored.descriptor.input != simple || stored.watermark >= new_w {
+                continue;
+            }
+            // Resolve every column the absorb loop touches up front; a
+            // miss (schema drift) leaves the sample stale rather than
+            // corrupting it — the planner's tail fragments still apply.
+            let mut pred_cols = Vec::new();
+            let mut resolvable = true;
+            for c in stored.descriptor.predicates.columns() {
+                match (table.column(c), stored.descriptor.predicates.get(c)) {
+                    (Ok(col), Some(set)) => pred_cols.push((col, set)),
+                    _ => {
+                        resolvable = false;
+                        break;
+                    }
+                }
+            }
+            let Ok(key_cols) = stored
+                .descriptor
+                .qcs
+                .iter()
+                .map(|c| table.column(c))
+                .collect::<laqy_engine::Result<Vec<_>>>()
+            else {
+                continue;
+            };
+            let Ok(val_cols) = stored
+                .schema
+                .column_names()
+                .iter()
+                .enumerate()
+                .map(|(slot, c)| Ok((table.column(c)?, stored.schema.kind(slot))))
+                .collect::<laqy_engine::Result<Vec<_>>>()
+            else {
+                continue;
+            };
+            if !resolvable {
+                continue;
+            }
+            let mut key = Vec::with_capacity(key_cols.len());
+            let mut vals = Vec::with_capacity(val_cols.len());
+            for row in stored.watermark as usize..new_w as usize {
+                if !pred_cols
+                    .iter()
+                    .all(|(col, set)| set.contains(col.i64_at(row)))
+                {
+                    continue;
+                }
+                key.clear();
+                key.extend(key_cols.iter().map(|c| c.i64_at(row)));
+                vals.clear();
+                vals.extend(val_cols.iter().map(|(col, kind)| match kind {
+                    crate::sampler_ops::SlotKind::Int => col.i64_at(row),
+                    crate::sampler_ops::SlotKind::Float => col.f64_at(row).to_bits() as i64,
+                }));
+                stored
+                    .sample
+                    .offer(GroupKey::new(&key), SampleTuple::from_slice(&vals), rng);
+                report.rows_absorbed += 1;
+            }
+            stored.watermark = new_w;
+            stored.last_used.store(clock, Ordering::Relaxed);
+            stored.measure_bytes();
+            report.samples_absorbed += 1;
+        }
+        report
+    }
+
+    /// Drop every sample over `table` whose watermark exceeds `watermark`
+    /// — the recovery guard: after a crash replays the WAL to a shorter
+    /// table than the one a snapshot's samples were drawn against, those
+    /// samples would reference rows that no longer exist. Samples over
+    /// other tables (including joins *through* other tables) are
+    /// untouched. Returns the number dropped.
+    pub fn drop_beyond(&mut self, table: &str, watermark: u64) -> u64 {
+        let base = format!("{table}[");
+        let join_token = format!("⋈{table}(");
+        let before = self.samples.len();
+        self.samples.retain(|(_, s)| {
+            s.watermark <= watermark
+                || !(s.descriptor.input.starts_with(&base)
+                    || s.descriptor.input.contains(&join_token))
+        });
+        (before - self.samples.len()) as u64
     }
 
     /// Drop a sample.
@@ -732,6 +976,7 @@ impl ShardedStore {
                     s.descriptor.clone(),
                     s.schema.clone(),
                     s.sample.clone(),
+                    s.watermark,
                     s.last_used.load(Ordering::Relaxed),
                 );
             }
@@ -764,7 +1009,7 @@ impl ShardedStore {
         for (_, s) in loaded.samples {
             let idx =
                 (fnv1a(s.descriptor.fingerprint().as_bytes()) % self.shards.len() as u64) as usize;
-            guards[idx].insert_raw(s.descriptor, s.schema, s.sample);
+            guards[idx].insert_raw(s.descriptor, s.schema, s.sample, s.watermark);
         }
     }
 }
@@ -936,7 +1181,7 @@ mod tests {
     fn full_partial_none_classification() {
         let mut store = SampleStore::new();
         let mut rng = Lehmer64::new(2);
-        let id = store.absorb(desc(0, 99), schema(), toy_sample(3, 20, 0), &mut rng);
+        let id = store.absorb(desc(0, 99), schema(), toy_sample(3, 20, 0), 0, &mut rng);
 
         // Subsumed ⇒ full reuse.
         assert_eq!(store.classify(&desc(10, 50)), ReuseDecision::Full { id });
@@ -961,8 +1206,14 @@ mod tests {
     fn classify_prefers_smaller_delta() {
         let mut store = SampleStore::new();
         let mut rng = Lehmer64::new(3);
-        let _small = store.absorb(desc(0, 49), schema(), toy_sample(2, 10, 0), &mut rng);
-        let big = store.absorb(desc(200, 349), schema(), toy_sample(2, 10, 200), &mut rng);
+        let _small = store.absorb(desc(0, 49), schema(), toy_sample(2, 10, 0), 0, &mut rng);
+        let big = store.absorb(
+            desc(200, 349),
+            schema(),
+            toy_sample(2, 10, 200),
+            0,
+            &mut rng,
+        );
         // Query [150, 360]: vs sample A delta = [150,360] minus [0,49] → still
         // [150,360] (no overlap ⇒ not partial); vs sample B delta = [150,199] ∪ [350,360].
         match store.classify(&desc(150, 360)) {
@@ -990,11 +1241,13 @@ mod tests {
             with_preds(Predicates::on("x", iv(0, 899)).with("y", iv(0, 9))),
             schema(),
             toy_sample(2, 10, 0),
+            0,
         );
         let _b = store.insert_raw(
             with_preds(Predicates::on("x", iv(0, 999)).with("y", iv(0, 4))),
             schema(),
             toy_sample(2, 10, 0),
+            0,
         );
         match store.classify(&query) {
             ReuseDecision::Partial { id, varying, .. } => {
@@ -1009,7 +1262,7 @@ mod tests {
     fn characteristics_mismatch_prevents_reuse() {
         let mut store = SampleStore::new();
         let mut rng = Lehmer64::new(4);
-        store.absorb(desc(0, 99), schema(), toy_sample(2, 10, 0), &mut rng);
+        store.absorb(desc(0, 99), schema(), toy_sample(2, 10, 0), 0, &mut rng);
         // Different QCS.
         let mut q = desc(10, 20);
         q.qcs = vec!["lo_quantity".into()];
@@ -1028,13 +1281,14 @@ mod tests {
     fn merge_delta_extends_coverage() {
         let mut store = SampleStore::new();
         let mut rng = Lehmer64::new(5);
-        let id = store.absorb(desc(0, 99), schema(), toy_sample(2, 30, 0), &mut rng);
+        let id = store.absorb(desc(0, 99), schema(), toy_sample(2, 30, 0), 0, &mut rng);
         let delta_pred = Predicates::on("lo_intkey", iv(100, 199));
         assert!(store.merge_delta(
             id,
             toy_sample(2, 30, 100),
             &delta_pred,
             "lo_intkey",
+            0,
             &mut rng
         ));
         // Coverage is now [0, 199] ⇒ full reuse for [0, 150].
@@ -1052,6 +1306,7 @@ mod tests {
             toy_sample(1, 1, 0),
             &Predicates::none(),
             "x",
+            0,
             &mut rng
         ));
     }
@@ -1060,8 +1315,14 @@ mod tests {
     fn absorb_merges_disjoint_same_shape() {
         let mut store = SampleStore::new();
         let mut rng = Lehmer64::new(7);
-        let a = store.absorb(desc(0, 99), schema(), toy_sample(2, 10, 0), &mut rng);
-        let b = store.absorb(desc(150, 199), schema(), toy_sample(2, 10, 150), &mut rng);
+        let a = store.absorb(desc(0, 99), schema(), toy_sample(2, 10, 0), 0, &mut rng);
+        let b = store.absorb(
+            desc(150, 199),
+            schema(),
+            toy_sample(2, 10, 150),
+            0,
+            &mut rng,
+        );
         assert_eq!(a, b, "disjoint same-shape samples merge in place");
         assert_eq!(store.len(), 1);
         let d = store.peek(a).unwrap();
@@ -1073,9 +1334,9 @@ mod tests {
     fn absorb_replaces_subsumed_samples() {
         let mut store = SampleStore::new();
         let mut rng = Lehmer64::new(8);
-        store.absorb(desc(10, 20), schema(), toy_sample(2, 5, 10), &mut rng);
+        store.absorb(desc(10, 20), schema(), toy_sample(2, 5, 10), 0, &mut rng);
         // Overlapping (not disjoint) and subsuming ⇒ replaces.
-        store.absorb(desc(0, 99), schema(), toy_sample(2, 20, 0), &mut rng);
+        store.absorb(desc(0, 99), schema(), toy_sample(2, 20, 0), 0, &mut rng);
         assert_eq!(store.len(), 1);
         let (_, d) = store.descriptors().next().unwrap();
         assert_eq!(d.predicates.get("lo_intkey").unwrap(), &iv(0, 99));
@@ -1087,16 +1348,16 @@ mod tests {
         // Each toy sample: 2 strata × 8-cap reservoirs of 64-byte tuples.
         let one = toy_sample(2, 10, 0).heap_bytes();
         let mut store = SampleStore::with_budget(one * 2);
-        let a = store.absorb(desc(0, 9), schema(), toy_sample(2, 10, 0), &mut rng);
+        let a = store.absorb(desc(0, 9), schema(), toy_sample(2, 10, 0), 0, &mut rng);
         // A different shape so it cannot merge with `a`.
         let mut qb = desc(2000, 2009);
         qb.qcs = vec!["lo_discount".into()];
-        let _b = store.absorb(qb, schema(), toy_sample(2, 10, 2000), &mut rng);
+        let _b = store.absorb(qb, schema(), toy_sample(2, 10, 2000), 0, &mut rng);
         // Touch `a` so the next insertion evicts `b`.
         store.get(a);
         let mut q = desc(4000, 4009);
         q.qcs = vec!["lo_quantity".into()]; // different shape: no merge
-        let _c = store.absorb(q, schema(), toy_sample(2, 10, 4000), &mut rng);
+        let _c = store.absorb(q, schema(), toy_sample(2, 10, 4000), 0, &mut rng);
         assert!(store.len() <= 2);
         assert!(store.peek(a).is_some(), "recently used sample must survive");
         assert!(store.evictions() >= 1);
@@ -1111,8 +1372,8 @@ mod tests {
         let mut store = SampleStore::new();
         // insert_raw keeps the samples separate (absorb would consolidate
         // disjoint same-shape coverage into one sample).
-        let a = store.insert_raw(desc(0, 399), schema(), toy_sample(2, 10, 0));
-        let b = store.insert_raw(desc(600, 999), schema(), toy_sample(2, 10, 600));
+        let a = store.insert_raw(desc(0, 399), schema(), toy_sample(2, 10, 0), 0);
+        let b = store.insert_raw(desc(600, 999), schema(), toy_sample(2, 10, 600), 0);
         let query = desc(0, 999);
         let query_measure = query.predicates.box_measure();
 
@@ -1140,7 +1401,7 @@ mod tests {
     fn coverage_plan_full_subsumption_has_no_fragments() {
         let mut store = SampleStore::new();
         let mut rng = Lehmer64::new(11);
-        let id = store.absorb(desc(0, 999), schema(), toy_sample(2, 10, 0), &mut rng);
+        let id = store.absorb(desc(0, 999), schema(), toy_sample(2, 10, 0), 0, &mut rng);
         let plan = store.plan_coverage(&desc(100, 200), 4);
         assert_eq!(plan.samples, vec![id]);
         assert!(plan.fragments.is_empty());
@@ -1152,8 +1413,8 @@ mod tests {
         // Two overlapping stored samples: only one may be selected, and
         // every fragment must avoid both selected populations.
         let mut store = SampleStore::new();
-        store.insert_raw(desc(0, 599), schema(), toy_sample(2, 10, 0));
-        store.insert_raw(desc(400, 899), schema(), toy_sample(2, 10, 400));
+        store.insert_raw(desc(0, 599), schema(), toy_sample(2, 10, 0), 0);
+        store.insert_raw(desc(400, 899), schema(), toy_sample(2, 10, 400), 0);
         let plan = store.plan_coverage(&desc(0, 999), 4);
         assert_eq!(
             plan.samples.len(),
@@ -1180,7 +1441,7 @@ mod tests {
         // tuple layout so it cannot participate in a k-way merge.
         let mut wide = desc(0, 399);
         wide.qvs.push("lo_tax".into());
-        store.insert_raw(wide.clone(), schema(), toy_sample(2, 10, 0));
+        store.insert_raw(wide.clone(), schema(), toy_sample(2, 10, 0), 0);
         let plan = store.plan_coverage(&desc(0, 999), 4);
         assert!(plan.samples.is_empty(), "superset QVS cannot merge");
         assert_eq!(plan.fragments, vec![desc(0, 999).predicates]);
@@ -1195,7 +1456,7 @@ mod tests {
         let mut store = SampleStore::new();
         let mut d = desc(0, 399);
         d.predicates = Predicates::on("lo_intkey", iv(0, 399)).with("lo_extra", iv(0, 10));
-        store.insert_raw(d, schema(), toy_sample(2, 10, 0));
+        store.insert_raw(d, schema(), toy_sample(2, 10, 0), 0);
         // Query leaves lo_extra free: the sample covers only a slice of
         // that dimension, so it cannot contribute box coverage.
         let plan = store.plan_coverage(&desc(0, 999), 4);
@@ -1207,7 +1468,7 @@ mod tests {
     fn unsatisfiable_query_is_none() {
         let mut store = SampleStore::new();
         let mut rng = Lehmer64::new(10);
-        store.absorb(desc(0, 99), schema(), toy_sample(2, 10, 0), &mut rng);
+        store.absorb(desc(0, 99), schema(), toy_sample(2, 10, 0), 0, &mut rng);
         let mut q = desc(0, 0);
         q.predicates = Predicates::on("lo_intkey", IntervalSet::empty());
         assert_eq!(store.classify(&q), ReuseDecision::None);
@@ -1246,7 +1507,7 @@ mod tests {
             let idx = store.shard_for(&d);
             let id = store
                 .write_shard(idx)
-                .insert_raw(d, schema(), toy_sample(2, 10, 0));
+                .insert_raw(d, schema(), toy_sample(2, 10, 0), 0);
             assert_eq!(store.shard_for_id(id), idx, "id must encode its shard");
             ids.push(id);
         }
@@ -1265,7 +1526,7 @@ mod tests {
             ids.push(
                 store
                     .write_shard(idx)
-                    .insert_raw(d, schema(), toy_sample(2, 10, 0)),
+                    .insert_raw(d, schema(), toy_sample(2, 10, 0), 0),
             );
         }
         let snap = store.snapshot();
@@ -1283,7 +1544,7 @@ mod tests {
         let store = ShardedStore::new(STORE_SHARDS, None);
         let mut flat = SampleStore::new();
         for s in 0..8 {
-            flat.insert_raw(desc_shaped(s, 0, 99), schema(), toy_sample(2, 10, 0));
+            flat.insert_raw(desc_shaped(s, 0, 99), schema(), toy_sample(2, 10, 0), 0);
         }
         store.replace_from(flat);
         assert_eq!(store.len(), 8);
@@ -1310,6 +1571,7 @@ mod tests {
                 desc(s * 100, s * 100 + 99),
                 schema(),
                 toy_sample(2, 10, 0),
+                0,
             );
         }
         assert!(
@@ -1327,12 +1589,144 @@ mod tests {
             let idx = spread.shard_for(&d);
             spread
                 .write_shard(idx)
-                .insert_raw(d, schema(), toy_sample(2, 10, 0));
+                .insert_raw(d, schema(), toy_sample(2, 10, 0), 0);
         }
         for i in 0..spread.num_shards() {
             let g = spread.read_shard(i);
             assert!(g.len() <= 1 || spread.total_bytes() <= one * 2);
         }
+    }
+
+    /// A live table matching `desc_live` descriptors: the input identity
+    /// of a no-join, no-fixed-predicate sampler over it is
+    /// `"lineorder[True]"`.
+    fn live_table(rows: i64) -> laqy_engine::Table {
+        laqy_engine::Table::new(
+            "lineorder",
+            vec![
+                (
+                    "lo_intkey".into(),
+                    laqy_engine::Column::Int64((0..rows).collect()),
+                ),
+                (
+                    "lo_orderdate".into(),
+                    laqy_engine::Column::Int64((0..rows).map(|i| i % 3).collect()),
+                ),
+                (
+                    "lo_revenue".into(),
+                    laqy_engine::Column::Int64((0..rows).map(|i| 100 + i).collect()),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn desc_live(lo: i64, hi: i64) -> SampleDescriptor {
+        let mut d = desc(lo, hi);
+        d.input = "lineorder[True]".into();
+        d
+    }
+
+    #[test]
+    fn absorb_appended_catches_up_simple_samples() {
+        let mut store = SampleStore::new();
+        let mut rng = Lehmer64::new(21);
+        // Drawn at watermark 30; the table has since grown to 50 rows.
+        let id = store.insert_raw(desc_live(0, 99), schema(), toy_sample(3, 20, 0), 30);
+        // A sample over the table with an extra fixed predicate cannot be
+        // row-filtered here: it stays stale (tail fragments catch it up).
+        let mut gated = desc_live(200, 299);
+        gated.input = "lineorder[Between { column: \"lo_discount\" }]".into();
+        let gated_id = store.insert_raw(gated, schema(), toy_sample(2, 5, 200), 30);
+        let report = store.absorb_appended(&live_table(50), &mut rng);
+        assert_eq!(report.samples_absorbed, 1);
+        // Rows 30..50 all satisfy lo_intkey ∈ [0, 99].
+        assert_eq!(report.rows_absorbed, 20);
+        assert_eq!(report.samples_invalidated, 0);
+        let s = store.peek(id).unwrap();
+        assert_eq!(s.watermark, 50);
+        assert_eq!(s.sample.total_weight(), 60 + 20, "tail rows offered");
+        assert_eq!(store.peek(gated_id).unwrap().watermark, 30);
+        // Idempotent: a second pass at the same watermark is a no-op.
+        let again = store.absorb_appended(&live_table(50), &mut rng);
+        assert_eq!(again.samples_absorbed, 0);
+        assert_eq!(again.rows_absorbed, 0);
+    }
+
+    #[test]
+    fn absorb_appended_filters_by_predicates() {
+        let mut store = SampleStore::new();
+        let mut rng = Lehmer64::new(22);
+        // Only rows with lo_intkey ∈ [40, 44] belong to this population.
+        let id = store.insert_raw(desc_live(40, 44), schema(), toy_sample(3, 4, 40), 30);
+        let report = store.absorb_appended(&live_table(50), &mut rng);
+        assert_eq!(report.rows_absorbed, 5);
+        assert_eq!(store.peek(id).unwrap().watermark, 50);
+    }
+
+    #[test]
+    fn absorb_appended_invalidates_join_dim_samples() {
+        let mut store = SampleStore::new();
+        let mut rng = Lehmer64::new(23);
+        // This sample joins *through* the appended table: appended rows can
+        // change the join output of already-sampled fact rows, so the
+        // sample cannot be maintained incrementally.
+        let mut joined = desc(0, 99);
+        joined.input = "orders[True]⋈lineorder(o_key=lo_key)[True]".into();
+        let jid = store.insert_raw(joined, schema(), toy_sample(2, 5, 0), 30);
+        let report = store.absorb_appended(&live_table(50), &mut rng);
+        assert_eq!(report.samples_invalidated, 1);
+        assert!(store.peek(jid).is_none());
+    }
+
+    #[test]
+    fn plan_coverage_at_emits_tail_for_stale_sample() {
+        let mut store = SampleStore::new();
+        let id = store.insert_raw(desc_live(0, 99), schema(), toy_sample(3, 20, 0), 30);
+        // Fresh at its own watermark: plain full reuse, no tail.
+        let fresh = store.plan_coverage_at(&desc_live(0, 99), 4, 30);
+        assert_eq!(fresh.samples, vec![id]);
+        assert!(fresh.tails.is_empty() && fresh.fragments.is_empty());
+        // The table has grown: the sample is still selected, the region is
+        // fully covered, but its un-absorbed tail must be Δ-scanned.
+        let stale = store.plan_coverage_at(&desc_live(0, 99), 4, 50);
+        assert_eq!(stale.samples, vec![id]);
+        assert!(stale.fragments.is_empty());
+        assert_eq!(stale.tails.len(), 1);
+        assert_eq!(stale.tails[0].id, id);
+        assert_eq!(stale.tails[0].from_row, 30);
+        assert_eq!(
+            stale.tails[0].predicates.get("lo_intkey").unwrap(),
+            &iv(0, 99)
+        );
+        // absorb_tail advances the watermark, after which the same plan is
+        // tail-free full reuse again.
+        let mut rng = Lehmer64::new(24);
+        assert!(store.absorb_tail(id, toy_sample(3, 2, 30), 30, 50, &mut rng));
+        assert_eq!(store.peek(id).unwrap().watermark, 50);
+        let caught_up = store.plan_coverage_at(&desc_live(0, 99), 4, 50);
+        assert_eq!(caught_up.samples, vec![id]);
+        assert!(caught_up.tails.is_empty());
+        // A concurrent client replaying the same tail is rejected — the
+        // from_row guard makes tail absorption idempotent.
+        assert!(!store.absorb_tail(id, toy_sample(3, 2, 30), 30, 50, &mut rng));
+        assert_eq!(store.peek(id).unwrap().watermark, 50);
+    }
+
+    #[test]
+    fn drop_beyond_removes_samples_past_the_recovered_watermark() {
+        let mut store = SampleStore::new();
+        let keep = store.insert_raw(desc_live(0, 99), schema(), toy_sample(3, 20, 0), 30);
+        let drop = store.insert_raw(desc_live(100, 199), schema(), toy_sample(3, 20, 0), 80);
+        // A sample over a different table is untouched regardless of its
+        // watermark.
+        let mut foreign = desc(0, 99);
+        foreign.input = "orders[True]".into();
+        let other = store.insert_raw(foreign, schema(), toy_sample(3, 20, 0), 500);
+        assert_eq!(store.drop_beyond("lineorder", 50), 1);
+        assert!(store.peek(keep).is_some());
+        assert!(store.peek(drop).is_none());
+        assert!(store.peek(other).is_some());
     }
 
     #[test]

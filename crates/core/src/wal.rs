@@ -1,0 +1,758 @@
+//! Write-ahead log for streaming ingest.
+//!
+//! Base tables live only in memory; what survives a crash is the sample
+//! store snapshot (see [`crate::persist`]) plus this log. Every ingest
+//! batch is appended — and fsynced — *before* it is applied to the
+//! in-memory table or absorbed into any stored sample, so a stored
+//! sample's row watermark can never run ahead of what the log can
+//! reconstruct. Recovery rebuilds the base catalog deterministically,
+//! replays the log to the last intact record, and the pair
+//! `(snapshot generation, WAL position)` names the consistent point the
+//! process restarts from.
+//!
+//! Record framing (little-endian):
+//!
+//! ```text
+//! u32 payload length | u64 CRC-64 of payload | payload
+//! payload: u8 tag
+//!   tag 1 Batch:      table | u64 base_rows | columns (typed vectors)
+//!   tag 2 Checkpoint: u64 snapshot generation | {table -> u64 watermark}
+//! ```
+//!
+//! The `base_rows` field makes replay idempotent and gap-detecting: a
+//! batch applies only when the live table is exactly that long, so
+//! replaying a log over an already-caught-up catalog is a no-op and a
+//! missing segment fails loudly instead of silently skewing rows.
+//!
+//! Segments (`wal.seg.<N>`) rotate at [`MAX_WAL_SEGMENT_BYTES`] and are
+//! never pruned: appended base rows exist *only* here, so every segment
+//! remains part of the recovery path. Torn tails — a crash mid-append —
+//! are detected by the length/CRC frame and replay stops cleanly at the
+//! last intact record. Fault points (`wal.append.write`,
+//! `wal.append.sync`, `wal.rotate.create`, `wal.replay.read`) let chaos
+//! builds kill the writer at each stage.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut};
+use laqy_engine::Column;
+
+use crate::persist::{read_exact, read_str, read_u32, read_u64, read_u8, write_str, PersistError};
+
+/// File-name prefix for log segments in a WAL directory: `wal.seg.<N>`.
+pub const WAL_SEGMENT_PREFIX: &str = "wal.seg.";
+
+/// Rotation threshold: a record that would push a segment past this many
+/// bytes opens the next segment first.
+pub const MAX_WAL_SEGMENT_BYTES: u64 = 16 * 1024 * 1024;
+
+/// Hard cap on one record's payload; a corrupt length prefix must fail
+/// validation, not drive a giant allocation.
+pub const MAX_WAL_RECORD_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Bytes of framing per record (`u32` length + `u64` CRC).
+const FRAME_HEADER_BYTES: usize = 12;
+
+/// One durable position in the log: `(segment, byte offset)` of a record
+/// boundary. Ordered lexicographically, so later appends compare greater.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WalPosition {
+    /// Segment number (1-based, `wal.seg.<segment>`).
+    pub segment: u64,
+    /// Byte offset within the segment.
+    pub offset: u64,
+}
+
+/// One logical record in the log.
+#[derive(Debug, Clone)]
+pub enum WalRecord {
+    /// An ingest batch for `table`, valid only when the table holds
+    /// exactly `base_rows` rows (idempotence + gap detection).
+    Batch {
+        /// Target table name.
+        table: String,
+        /// Row count the table must have for this batch to apply.
+        base_rows: u64,
+        /// The appended columns, matched to the table schema by name.
+        columns: Vec<(String, Column)>,
+    },
+    /// A snapshot was durably written: generation number plus the row
+    /// watermark of every table at that instant. Replay after loading
+    /// snapshot generation `g` still applies *all* batches (they are
+    /// idempotent); the checkpoint records the consistent pairing for
+    /// reporting and invariant checks.
+    Checkpoint {
+        /// Snapshot generation written by [`crate::persist::save_snapshot`].
+        generation: u64,
+        /// `(table, row watermark)` at checkpoint time.
+        watermarks: Vec<(String, u64)>,
+    },
+}
+
+/// What [`replay`] found in a WAL directory.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct WalReplayReport {
+    /// Intact records decoded, in order.
+    pub records: u64,
+    /// True when a torn tail (half-written final record) was discarded.
+    pub torn_tail: bool,
+    /// Position one past the last intact record — where the next append
+    /// would land after recovery.
+    pub end: WalPosition,
+}
+
+// ---- CRC-64 (ECMA-182 reflected) ----
+
+const fn crc64_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ 0xC96C_5795_D787_0F42
+            } else {
+                crc >> 1
+            };
+            j += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC64_TABLE: [u64; 256] = crc64_table();
+
+fn crc64(bytes: &[u8]) -> u64 {
+    let mut crc = u64::MAX;
+    for &b in bytes {
+        crc = CRC64_TABLE[((crc ^ b as u64) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+// ---- encoding ----
+
+fn encode_column(buf: &mut Vec<u8>, col: &Column) {
+    match col {
+        Column::Int32(v) => {
+            buf.put_u8(0);
+            buf.put_u32_le(v.len() as u32);
+            for &x in v {
+                // The bytes shim has no put_i32_le; the cast is lossless
+                // over the wire (decode reads back via from_le_bytes).
+                buf.put_u32_le(x as u32);
+            }
+        }
+        Column::Int64(v) => {
+            buf.put_u8(1);
+            buf.put_u32_le(v.len() as u32);
+            for &x in v {
+                buf.put_i64_le(x);
+            }
+        }
+        Column::Float64(v) => {
+            buf.put_u8(2);
+            buf.put_u32_le(v.len() as u32);
+            for &x in v {
+                buf.put_u64_le(x.to_bits());
+            }
+        }
+        Column::Dict { codes, dict } => {
+            buf.put_u8(3);
+            buf.put_u32_le(codes.len() as u32);
+            for &c in codes {
+                buf.put_u32_le(c);
+            }
+            buf.put_u32_le(dict.len() as u32);
+            for s in dict.iter() {
+                write_str(buf, s);
+            }
+        }
+    }
+}
+
+fn decode_column(buf: &mut &[u8]) -> Result<Column, PersistError> {
+    let tag = read_u8(buf)?;
+    let n = read_u32(buf)? as usize;
+    let width = match tag {
+        0 => 4,
+        1 | 2 => 8,
+        3 => 4,
+        other => {
+            return Err(PersistError::Corrupt(format!("bad column tag {other}")));
+        }
+    };
+    if n > buf.remaining() / width {
+        return Err(PersistError::Corrupt(format!(
+            "column length {n} exceeds record size"
+        )));
+    }
+    Ok(match tag {
+        0 => {
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut b = [0u8; 4];
+                read_exact(buf, &mut b)?;
+                v.push(i32::from_le_bytes(b));
+            }
+            Column::Int32(v)
+        }
+        1 => {
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut b = [0u8; 8];
+                read_exact(buf, &mut b)?;
+                v.push(i64::from_le_bytes(b));
+            }
+            Column::Int64(v)
+        }
+        2 => {
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut b = [0u8; 8];
+                read_exact(buf, &mut b)?;
+                v.push(f64::from_bits(u64::from_le_bytes(b)));
+            }
+            Column::Float64(v)
+        }
+        _ => {
+            let mut codes = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut b = [0u8; 4];
+                read_exact(buf, &mut b)?;
+                codes.push(u32::from_le_bytes(b));
+            }
+            let dict_len = read_u32(buf)? as usize;
+            if dict_len > buf.remaining() / 4 {
+                return Err(PersistError::Corrupt(format!(
+                    "dictionary length {dict_len} exceeds record size"
+                )));
+            }
+            let mut dict = Vec::with_capacity(dict_len);
+            for _ in 0..dict_len {
+                dict.push(read_str(buf)?);
+            }
+            for &c in &codes {
+                if c as usize >= dict.len() {
+                    return Err(PersistError::Corrupt(format!(
+                        "dictionary code {c} out of range"
+                    )));
+                }
+            }
+            Column::Dict {
+                codes,
+                dict: Arc::new(dict),
+            }
+        }
+    })
+}
+
+/// Serialize one record's payload (framing added by the appender).
+pub fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(256);
+    match record {
+        WalRecord::Batch {
+            table,
+            base_rows,
+            columns,
+        } => {
+            buf.put_u8(1);
+            write_str(&mut buf, table);
+            buf.put_u64_le(*base_rows);
+            buf.put_u32_le(columns.len() as u32);
+            for (name, col) in columns {
+                write_str(&mut buf, name);
+                encode_column(&mut buf, col);
+            }
+        }
+        WalRecord::Checkpoint {
+            generation,
+            watermarks,
+        } => {
+            buf.put_u8(2);
+            buf.put_u64_le(*generation);
+            buf.put_u32_le(watermarks.len() as u32);
+            for (table, w) in watermarks {
+                write_str(&mut buf, table);
+                buf.put_u64_le(*w);
+            }
+        }
+    }
+    buf
+}
+
+/// Decode one record's payload. The frame CRC has already vouched for
+/// the bytes, so any failure here is real corruption, not a torn tail.
+pub fn decode_record(mut payload: &[u8]) -> Result<WalRecord, PersistError> {
+    let buf = &mut payload;
+    let record = match read_u8(buf)? {
+        1 => {
+            let table = read_str(buf)?;
+            let base_rows = read_u64(buf)?;
+            let n = read_u32(buf)? as usize;
+            let mut columns = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                let name = read_str(buf)?;
+                columns.push((name, decode_column(buf)?));
+            }
+            WalRecord::Batch {
+                table,
+                base_rows,
+                columns,
+            }
+        }
+        2 => {
+            let generation = read_u64(buf)?;
+            let n = read_u32(buf)? as usize;
+            let mut watermarks = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                let table = read_str(buf)?;
+                watermarks.push((table, read_u64(buf)?));
+            }
+            WalRecord::Checkpoint {
+                generation,
+                watermarks,
+            }
+        }
+        other => {
+            return Err(PersistError::Corrupt(format!("bad record tag {other}")));
+        }
+    };
+    if buf.has_remaining() {
+        return Err(PersistError::Corrupt(format!(
+            "{} trailing bytes in record",
+            buf.remaining()
+        )));
+    }
+    Ok(record)
+}
+
+fn segment_path(dir: &Path, segment: u64) -> PathBuf {
+    dir.join(format!("{WAL_SEGMENT_PREFIX}{segment}"))
+}
+
+fn segment_of(name: &str) -> Option<u64> {
+    name.strip_prefix(WAL_SEGMENT_PREFIX)?.parse().ok()
+}
+
+/// All segment numbers present in `dir`, sorted ascending.
+fn list_segments(dir: &Path) -> Result<Vec<u64>, PersistError> {
+    let mut segs = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(seg) = entry.file_name().to_str().and_then(segment_of) {
+            segs.push(seg);
+        }
+    }
+    segs.sort_unstable();
+    Ok(segs)
+}
+
+/// The append half of the log: owns the live segment file handle and the
+/// running `(segment, offset)` position.
+#[derive(Debug)]
+pub struct WalAppender {
+    dir: PathBuf,
+    segment: u64,
+    offset: u64,
+    file: std::fs::File,
+}
+
+impl WalAppender {
+    /// Open (or create) the log in `dir`, positioning after the newest
+    /// segment's last byte. Call [`replay`] *first* during recovery: a
+    /// torn tail at the end of the newest segment is overwritten by the
+    /// next append only after replay has measured the intact prefix.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let segment = list_segments(&dir)?.last().copied().unwrap_or(1);
+        let path = segment_path(&dir, segment);
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&path)?;
+        let offset = file.metadata()?.len();
+        Ok(Self {
+            dir,
+            segment,
+            offset,
+            file,
+        })
+    }
+
+    /// Open the log and truncate the newest segment to `end` — the intact
+    /// prefix [`replay`] measured — so a torn tail from a crashed append
+    /// can never prefix-corrupt the next record.
+    pub fn open_at(dir: impl AsRef<Path>, end: WalPosition) -> Result<Self, PersistError> {
+        let mut wal = Self::open(dir)?;
+        if end.segment == wal.segment && end.offset < wal.offset {
+            wal.file.set_len(end.offset)?;
+            wal.offset = end.offset;
+        }
+        Ok(wal)
+    }
+
+    /// Position the *next* append will start at.
+    pub fn position(&self) -> WalPosition {
+        WalPosition {
+            segment: self.segment,
+            offset: self.offset,
+        }
+    }
+
+    /// Append one record, fsync it, and return the position it starts at.
+    /// Rotates to a fresh segment first when the record would push the
+    /// live one past [`MAX_WAL_SEGMENT_BYTES`]. On an injected
+    /// `wal.append.write` fault, half the frame reaches the file — a torn
+    /// tail — before the error returns.
+    pub fn append(&mut self, record: &WalRecord) -> Result<WalPosition, PersistError> {
+        let payload = encode_record(record);
+        let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+        frame.put_u32_le(payload.len() as u32);
+        frame.put_u64_le(crc64(&payload));
+        frame.extend_from_slice(&payload);
+
+        if self.offset > 0 && self.offset + frame.len() as u64 > MAX_WAL_SEGMENT_BYTES {
+            laqy_faults::io_point("wal.rotate.create")?;
+            let next = self.segment + 1;
+            self.file = std::fs::OpenOptions::new()
+                .append(true)
+                .create(true)
+                .open(segment_path(&self.dir, next))?;
+            self.segment = next;
+            self.offset = 0;
+        }
+
+        if let Err(e) = laqy_faults::point("wal.append.write") {
+            // Simulate a crash mid-append: half the frame lands. Replay
+            // detects the torn tail via the length/CRC frame.
+            let _ = self.file.write_all(&frame[..frame.len() / 2]);
+            let _ = self.file.sync_data();
+            self.offset += (frame.len() / 2) as u64;
+            return Err(PersistError::Io(e.into()));
+        }
+        self.file.write_all(&frame)?;
+        laqy_faults::io_point("wal.append.sync")?;
+        self.file.sync_data()?;
+        let at = self.position();
+        self.offset += frame.len() as u64;
+        Ok(at)
+    }
+}
+
+/// Replay every intact record in `dir`, in append order. A missing
+/// directory replays to nothing; a torn tail stops replay cleanly (and
+/// is reported); corruption *behind* an intact CRC is an error.
+pub fn replay(dir: impl AsRef<Path>) -> Result<(Vec<WalRecord>, WalReplayReport), PersistError> {
+    let dir = dir.as_ref();
+    let mut report = WalReplayReport::default();
+    let mut records = Vec::new();
+    if !dir.exists() {
+        return Ok((records, report));
+    }
+    let segments = list_segments(dir)?;
+    for &seg in &segments {
+        laqy_faults::io_point("wal.replay.read")?;
+        let bytes = std::fs::read(segment_path(dir, seg))?;
+        let mut buf: &[u8] = &bytes;
+        let mut intact = 0u64;
+        loop {
+            if !buf.has_remaining() {
+                break;
+            }
+            if buf.remaining() < FRAME_HEADER_BYTES {
+                report.torn_tail = true;
+                break;
+            }
+            // Peek the frame without consuming, so a torn tail leaves
+            // `intact` pointing at the last full record boundary.
+            let mut peek = buf;
+            let len = read_u32(&mut peek)? as usize;
+            if len > MAX_WAL_RECORD_BYTES as usize || peek.remaining() < len + 8 {
+                report.torn_tail = true;
+                break;
+            }
+            let crc = read_u64(&mut peek)?;
+            let payload = &peek[..len];
+            if crc64(payload) != crc {
+                report.torn_tail = true;
+                break;
+            }
+            records.push(decode_record(payload)?);
+            buf.advance(FRAME_HEADER_BYTES + len);
+            intact += FRAME_HEADER_BYTES as u64 + len as u64;
+            report.records += 1;
+        }
+        report.end = WalPosition {
+            segment: seg,
+            offset: intact,
+        };
+        if report.torn_tail {
+            // Nothing after a torn record is trustworthy; segments past
+            // this one (if any) were created after the corruption point
+            // only in impossible histories, so stop here.
+            break;
+        }
+    }
+    if segments.is_empty() {
+        report.end = WalPosition {
+            segment: 1,
+            offset: 0,
+        };
+    }
+    Ok((records, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("laqy_wal_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn batch(base: u64, n: i64) -> WalRecord {
+        WalRecord::Batch {
+            table: "lineorder".into(),
+            base_rows: base,
+            columns: vec![
+                ("k".into(), Column::Int64((0..n).collect())),
+                (
+                    "v".into(),
+                    Column::Float64((0..n).map(|i| i as f64 * 0.5).collect()),
+                ),
+            ],
+        }
+    }
+
+    fn assert_columns_eq(a: &Column, b: &Column) {
+        match (a, b) {
+            (Column::Int64(x), Column::Int64(y)) => assert_eq!(x, y),
+            (Column::Int32(x), Column::Int32(y)) => assert_eq!(x, y),
+            (Column::Float64(x), Column::Float64(y)) => assert_eq!(x, y),
+            (
+                Column::Dict {
+                    codes: xc,
+                    dict: xd,
+                },
+                Column::Dict {
+                    codes: yc,
+                    dict: yd,
+                },
+            ) => {
+                assert_eq!(xc, yc);
+                assert_eq!(xd, yd);
+            }
+            other => panic!("column type mismatch: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let dir = scratch_dir("roundtrip");
+        let mut wal = WalAppender::open(&dir).unwrap();
+        assert_eq!(
+            wal.position(),
+            WalPosition {
+                segment: 1,
+                offset: 0
+            }
+        );
+        wal.append(&batch(0, 10)).unwrap();
+        wal.append(&batch(10, 5)).unwrap();
+        wal.append(&WalRecord::Checkpoint {
+            generation: 3,
+            watermarks: vec![("lineorder".into(), 15)],
+        })
+        .unwrap();
+        let end = wal.position();
+        drop(wal);
+
+        let (records, report) = replay(&dir).unwrap();
+        assert_eq!(report.records, 3);
+        assert!(!report.torn_tail);
+        assert_eq!(report.end, end);
+        match &records[0] {
+            WalRecord::Batch {
+                table,
+                base_rows,
+                columns,
+            } => {
+                assert_eq!(table, "lineorder");
+                assert_eq!(*base_rows, 0);
+                assert_columns_eq(&columns[0].1, &Column::Int64((0..10).collect()));
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+        match &records[2] {
+            WalRecord::Checkpoint {
+                generation,
+                watermarks,
+            } => {
+                assert_eq!(*generation, 3);
+                assert_eq!(watermarks, &[("lineorder".into(), 15)]);
+            }
+            other => panic!("expected checkpoint, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dict_columns_roundtrip() {
+        let rec = WalRecord::Batch {
+            table: "part".into(),
+            base_rows: 7,
+            columns: vec![(
+                "p_mfgr".into(),
+                Column::Dict {
+                    codes: vec![0, 1, 1, 0, 2],
+                    dict: Arc::new(vec!["MFGR#1".into(), "MFGR#2".into(), "MFGR#3".into()]),
+                },
+            )],
+        };
+        let decoded = decode_record(&encode_record(&rec)).unwrap();
+        match (&rec, &decoded) {
+            (
+                WalRecord::Batch { columns: a, .. },
+                WalRecord::Batch {
+                    table,
+                    base_rows,
+                    columns: b,
+                },
+            ) => {
+                assert_eq!(table, "part");
+                assert_eq!(*base_rows, 7);
+                assert_columns_eq(&a[0].1, &b[0].1);
+            }
+            other => panic!("mismatch: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reopen_appends_after_existing_records() {
+        let dir = scratch_dir("reopen");
+        let mut wal = WalAppender::open(&dir).unwrap();
+        wal.append(&batch(0, 4)).unwrap();
+        let end = wal.position();
+        drop(wal);
+        let mut wal = WalAppender::open(&dir).unwrap();
+        assert_eq!(wal.position(), end);
+        wal.append(&batch(4, 4)).unwrap();
+        let (records, report) = replay(&dir).unwrap();
+        assert_eq!(records.len(), 2);
+        assert!(!report.torn_tail);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_reported() {
+        let dir = scratch_dir("torn");
+        let mut wal = WalAppender::open(&dir).unwrap();
+        wal.append(&batch(0, 8)).unwrap();
+        let intact_end = wal.position();
+        wal.append(&batch(8, 8)).unwrap();
+        drop(wal);
+        // Tear the second record: chop bytes off the segment tail.
+        let path = segment_path(&dir, 1);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+        let (records, report) = replay(&dir).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(report.torn_tail);
+        assert_eq!(report.end, intact_end);
+
+        // open_at truncates the tear; the next append lands cleanly.
+        let mut wal = WalAppender::open_at(&dir, report.end).unwrap();
+        assert_eq!(wal.position(), intact_end);
+        wal.append(&batch(8, 3)).unwrap();
+        let (records, report) = replay(&dir).unwrap();
+        assert_eq!(records.len(), 2);
+        assert!(!report.torn_tail);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_crc_stops_replay() {
+        let dir = scratch_dir("crc");
+        let mut wal = WalAppender::open(&dir).unwrap();
+        wal.append(&batch(0, 8)).unwrap();
+        wal.append(&batch(8, 8)).unwrap();
+        drop(wal);
+        let path = segment_path(&dir, 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        // Flipping a payload byte breaks that record's CRC: replay keeps
+        // everything before it and reports the rest torn.
+        let (records, report) = replay(&dir).unwrap();
+        assert!(records.len() < 2);
+        assert!(report.torn_tail);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_spills_to_new_segments_and_replays_in_order() {
+        let dir = scratch_dir("rotate");
+        let mut wal = WalAppender::open(&dir).unwrap();
+        // Each batch is ~32 KiB; force rotation with a tiny threshold by
+        // writing until segment 1 alone cannot hold them. The public
+        // threshold is large, so emulate by appending enough data.
+        let rows = (MAX_WAL_SEGMENT_BYTES / (2 * 8)) as i64 / 4;
+        for i in 0..6u64 {
+            wal.append(&batch(i * rows as u64, rows)).unwrap();
+        }
+        assert!(wal.position().segment > 1, "rotation happened");
+        drop(wal);
+        let (records, report) = replay(&dir).unwrap();
+        assert_eq!(records.len(), 6);
+        assert!(!report.torn_tail);
+        // Replay preserves append order across segment boundaries.
+        for (i, r) in records.iter().enumerate() {
+            match r {
+                WalRecord::Batch { base_rows, .. } => {
+                    assert_eq!(*base_rows, i as u64 * rows as u64);
+                }
+                other => panic!("expected batch, got {other:?}"),
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_replays_empty() {
+        let dir = scratch_dir("absent");
+        let (records, report) = replay(&dir).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(report, WalReplayReport::default());
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let dir = scratch_dir("fuzz");
+        let mut wal = WalAppender::open(&dir).unwrap();
+        wal.append(&batch(0, 6)).unwrap();
+        wal.append(&WalRecord::Checkpoint {
+            generation: 1,
+            watermarks: vec![("t".into(), 6)],
+        })
+        .unwrap();
+        drop(wal);
+        let path = segment_path(&dir, 1);
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let _ = replay(&dir); // must not panic
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -267,6 +267,80 @@ fn whole_store_ops_lock_shards_in_canonical_order() {
     );
 }
 
+/// Rows appended by the racing ingest, all inside the query range.
+const APPEND: i64 = 60;
+
+fn append_batch() -> Vec<(String, Column)> {
+    vec![
+        ("key".into(), Column::Int64((ROWS..ROWS + APPEND).collect())),
+        (
+            "g".into(),
+            Column::Int64((ROWS..ROWS + APPEND).map(|i| i % GROUPS).collect()),
+        ),
+        (
+            "v".into(),
+            Column::Int64((ROWS..ROWS + APPEND).map(|i| i % 10).collect()),
+        ),
+    ]
+}
+
+/// A streaming append (catalog publish + incremental sample absorb) and a
+/// full shard eviction race a client query. The query pins an epoch by
+/// cloning the catalog, so its exact COUNT must equal the row count of
+/// *some* published version — exactly `ROWS` or exactly `ROWS + APPEND`,
+/// never a torn in-between (a scan spanning the publish) and never a
+/// double-count (a stale sample merged past its watermark). The absorb
+/// walks shards in canonical order under the ingest lock, so no
+/// interleaving with the evictor's whole-store sweep may deadlock.
+#[test]
+fn ingest_races_query_epoch_pin_and_shard_eviction() {
+    let report = model_with(
+        ModelOptions {
+            preemption_bound: 2,
+            max_interleavings: 1500,
+        },
+        || {
+            let svc = service();
+            // Warm a sample whose predicate spans the final watermark, so
+            // the appended rows land inside the stored family and the
+            // absorb path really runs during the race.
+            svc.run(&query(0, ROWS + APPEND - 1)).unwrap();
+            let ingester = svc.clone();
+            let t_ingest = thread::spawn(move || {
+                let w = ingester.ingest("t", append_batch()).unwrap();
+                assert_eq!(w, (ROWS + APPEND) as u64);
+            });
+            let evictor = svc.clone();
+            let t_evict = thread::spawn(move || {
+                evictor.clear_samples();
+            });
+            let r = svc.run(&query(0, ROWS + APPEND - 1)).unwrap();
+            let total: f64 = r.groups.iter().map(|g| g.values[1].value).sum();
+            assert!(
+                total == ROWS as f64 || total == (ROWS + APPEND) as f64,
+                "torn epoch: COUNT {total} matches neither pre- nor post-append row count"
+            );
+            t_ingest.join().unwrap();
+            t_evict.join().unwrap();
+
+            // Quiescent: whatever the eviction left behind, the final
+            // watermark answers exactly — an absorbed sample reuses, a
+            // swept one re-samples, and both reconstruct the true count.
+            let r = svc.run(&query(0, ROWS + APPEND - 1)).unwrap();
+            assert_weight_identity(&r, 0, ROWS + APPEND - 1);
+            let stats = svc.stats();
+            assert_eq!(stats.queries, 3);
+            assert_eq!(stats.ingest_batches, 1);
+            assert_eq!(stats.ingest_rows, APPEND as u64);
+        },
+    );
+    eprintln!("ingest race model: {report:?}");
+    assert!(
+        report.interleavings >= 200,
+        "expected hundreds of interleavings, got {report:?}"
+    );
+}
+
 /// A client's coverage plan races a concurrent full eviction. Optimistic
 /// revalidation must detect the vanished sample under the write lock and
 /// degrade (retry, then online) — never merge against freed state, never

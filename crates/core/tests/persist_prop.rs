@@ -54,7 +54,7 @@ fn build_store(spec: &[(usize, usize, i64)], seed: i64) -> SampleStore {
             ("x".into(), SlotKind::Int),
             ("v".into(), SlotKind::Float),
         ]);
-        store.absorb(descriptor, schema, sampler, &mut rng);
+        store.absorb(descriptor, schema, sampler, base as u64, &mut rng);
     }
     store
 }

@@ -128,6 +128,65 @@ impl Column {
         }
     }
 
+    /// Append `other`'s rows to this column. Both columns must share a
+    /// physical type; `name` is only used for error reporting. Dictionary
+    /// columns merge their dictionaries: codes already present keep their
+    /// value, unseen strings are assigned fresh codes at the end of the
+    /// dictionary, and the incoming codes are remapped accordingly (so
+    /// existing rows, zone maps, and stored sample strata stay valid).
+    pub fn append(&mut self, name: &str, other: &Column) -> Result<()> {
+        match (&mut *self, other) {
+            (Column::Int32(a), Column::Int32(b)) => a.extend_from_slice(b),
+            (Column::Int64(a), Column::Int64(b)) => a.extend_from_slice(b),
+            (Column::Float64(a), Column::Float64(b)) => a.extend_from_slice(b),
+            (
+                Column::Dict { codes, dict },
+                Column::Dict {
+                    codes: other_codes,
+                    dict: other_dict,
+                },
+            ) => {
+                let index: std::collections::HashMap<&str, u32> = dict
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.as_str(), i as u32))
+                    .collect();
+                // Remap the incoming dictionary onto ours, extending it
+                // with first-seen order for genuinely new strings.
+                let mut extended: Vec<String> = Vec::new();
+                let mut remap = Vec::with_capacity(other_dict.len());
+                for s in other_dict.iter() {
+                    let code = match index.get(s.as_str()) {
+                        Some(&c) => c,
+                        None => {
+                            let c = (dict.len() + extended.len()) as u32;
+                            extended.push(s.clone());
+                            remap.push(c);
+                            continue;
+                        }
+                    };
+                    remap.push(code);
+                }
+                // `extended` strings borrow nothing from `index` anymore.
+                drop(index);
+                if !extended.is_empty() {
+                    let mut merged = (**dict).clone();
+                    merged.extend(extended);
+                    *dict = Arc::new(merged);
+                }
+                codes.extend(other_codes.iter().map(|&c| remap[c as usize]));
+            }
+            (a, b) => {
+                return Err(EngineError::TypeMismatch {
+                    column: name.to_string(),
+                    expected: a.data_type().name(),
+                    actual: b.data_type().name(),
+                })
+            }
+        }
+        Ok(())
+    }
+
     /// Heap footprint in bytes.
     pub fn heap_bytes(&self) -> usize {
         match self {
@@ -213,5 +272,44 @@ mod tests {
     fn decode_key_for_plain_ints() {
         let c = Column::Int64(vec![1]);
         assert_eq!(c.decode_key(42), Value::Int(42));
+    }
+
+    #[test]
+    fn append_extends_numeric_columns() {
+        let mut c = Column::Int64(vec![1, 2]);
+        c.append("a", &Column::Int64(vec![3])).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.i64_at(2), 3);
+        let mut f = Column::Float64(vec![0.5]);
+        f.append("f", &Column::Float64(vec![1.5])).unwrap();
+        assert_eq!(f.f64_at(1), 1.5);
+    }
+
+    #[test]
+    fn append_remaps_dictionary_codes() {
+        let mut c = dict_column(["AMERICA", "ASIA"]);
+        // The batch's dictionary assigns different codes to the same
+        // strings, plus one unseen value.
+        let batch = dict_column(["EUROPE", "ASIA", "AMERICA"]);
+        c.append("region", &batch).unwrap();
+        assert_eq!(c.len(), 5);
+        // Existing codes are untouched...
+        assert_eq!(c.value(0), Value::Str("AMERICA".into()));
+        assert_eq!(c.dict_code("region", "AMERICA").unwrap(), 0);
+        assert_eq!(c.dict_code("region", "ASIA").unwrap(), 1);
+        // ...appended rows decode correctly, and the new string got a
+        // fresh code at the end of the dictionary.
+        assert_eq!(c.value(2), Value::Str("EUROPE".into()));
+        assert_eq!(c.value(3), Value::Str("ASIA".into()));
+        assert_eq!(c.value(4), Value::Str("AMERICA".into()));
+        assert_eq!(c.dict_code("region", "EUROPE").unwrap(), 2);
+    }
+
+    #[test]
+    fn append_rejects_type_mismatch() {
+        let mut c = Column::Int64(vec![1]);
+        let err = c.append("a", &Column::Int32(vec![2])).unwrap_err();
+        assert!(matches!(err, EngineError::TypeMismatch { .. }));
+        assert_eq!(c.len(), 1, "failed append leaves the column unchanged");
     }
 }

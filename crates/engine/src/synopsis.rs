@@ -206,9 +206,12 @@ pub struct LaneAgg {
     pub max: f64,
 }
 
-/// Zone maps over every integer-comparable column of one table, built
-/// once at table construction and immutable thereafter, plus hierarchical
-/// pre-aggregate lanes over every column.
+/// Zone maps over every integer-comparable column of one table, plus
+/// hierarchical pre-aggregate lanes over every column. Built at table
+/// construction and *extended* on append ([`TableSynopsis::extend`]):
+/// complete blocks keep their level-0 entries, only the partial tail
+/// block and new tail blocks are scanned, and coarsening levels are
+/// re-folded from level 0 (O(blocks), never O(rows)).
 #[derive(Debug, Clone)]
 pub struct TableSynopsis {
     block_rows: usize,
@@ -226,22 +229,74 @@ impl TableSynopsis {
         assert!(block_rows > 0, "zone-map block size must be nonzero");
         let rows = columns.first().map(|(_, c)| c.len()).unwrap_or(0);
         let blocks = rows.div_ceil(block_rows);
-        let levels = if blocks == 0 {
-            0
-        } else {
-            // Enough halvings for the coarsest level to be one node.
-            let mut l = 1;
-            while (1usize << (l - 1)) < blocks {
-                l += 1;
-            }
-            l
-        };
+        let levels = levels_for(blocks);
         let mut maps = Vec::new();
         let mut lanes = Vec::new();
         for (name, col) in columns {
             lanes.push((name.clone(), build_lanes(col, block_rows, blocks, levels)));
             let Some(zone) = build_column(col, block_rows, blocks) else {
                 continue;
+            };
+            maps.push((name.clone(), zone));
+        }
+        Self {
+            block_rows,
+            rows,
+            columns: maps,
+            lanes,
+            levels,
+        }
+    }
+
+    /// Incrementally extend this synopsis to cover `columns`, which must
+    /// be the table's columns *after* an append (same schema, row count ≥
+    /// the count this synopsis was built over). Level-0 entries of every
+    /// complete old block are reused verbatim; only the old partial tail
+    /// block (whose bounds may widen) and the new tail blocks are
+    /// scanned, then the coarsening hierarchy is re-folded from level 0 —
+    /// O(appended rows + total blocks), never a full-table rescan. New
+    /// levels appear automatically when the block count crosses a power
+    /// of two.
+    pub fn extend(&self, columns: &[(String, Column)]) -> TableSynopsis {
+        let rows = columns.first().map(|(_, c)| c.len()).unwrap_or(0);
+        assert!(rows >= self.rows, "extend never shrinks a table");
+        let block_rows = self.block_rows;
+        let blocks = rows.div_ceil(block_rows);
+        let levels = levels_for(blocks);
+        // Complete old blocks keep their entries; the partial tail block
+        // (if any) is rescanned because appended rows land inside it.
+        let keep = self.rows / block_rows;
+        let mut maps = Vec::new();
+        let mut lanes = Vec::new();
+        for (name, col) in columns {
+            let base = match self.lane(name).and_then(|l| l.level(0)) {
+                Some(old) if lane_type_matches(old, col) => {
+                    let mut base = truncate_lane(old, keep);
+                    extend_lane(&mut base, scan_lane_blocks(col, block_rows, keep..blocks));
+                    base
+                }
+                // Column unseen by the old synopsis (or re-typed): build
+                // its lanes from scratch.
+                _ => scan_lane_blocks(col, block_rows, 0..blocks),
+            };
+            lanes.push((name.clone(), coarsen(base, levels)));
+            if matches!(col, Column::Float64(_)) {
+                continue;
+            }
+            let zone = match self.column(name) {
+                Some(old) => {
+                    let tail = scan_zone_blocks(col, block_rows, keep..blocks);
+                    let mut mins = old.mins[..keep].to_vec();
+                    let mut maxs = old.maxs[..keep].to_vec();
+                    mins.extend(tail.mins);
+                    maxs.extend(tail.maxs);
+                    ColumnZoneMap {
+                        mins,
+                        maxs,
+                        nulls: vec![0; blocks],
+                    }
+                }
+                None => scan_zone_blocks(col, block_rows, 0..blocks),
             };
             maps.push((name.clone(), zone));
         }
@@ -545,15 +600,34 @@ impl TableSynopsis {
     }
 }
 
+/// Coarsening depth for a table of `blocks` zone-map blocks: enough
+/// halvings for the coarsest level to be one node.
+fn levels_for(blocks: usize) -> usize {
+    if blocks == 0 {
+        return 0;
+    }
+    let mut l = 1;
+    while (1usize << (l - 1)) < blocks {
+        l += 1;
+    }
+    l
+}
+
 fn build_column(col: &Column, block_rows: usize, blocks: usize) -> Option<ColumnZoneMap> {
     // Only integer-comparable columns participate in predicates.
     if matches!(col, Column::Float64(_)) {
         return None;
     }
-    let mut mins = Vec::with_capacity(blocks);
-    let mut maxs = Vec::with_capacity(blocks);
+    Some(scan_zone_blocks(col, block_rows, 0..blocks))
+}
+
+/// Scan min/max bounds for the blocks in `blocks` only.
+fn scan_zone_blocks(col: &Column, block_rows: usize, blocks: Range<usize>) -> ColumnZoneMap {
     let rows = col.len();
-    for b in 0..blocks {
+    let n = blocks.len();
+    let mut mins = Vec::with_capacity(n);
+    let mut maxs = Vec::with_capacity(n);
+    for b in blocks {
         let start = b * block_rows;
         let end = ((b + 1) * block_rows).min(rows);
         let (mut min, mut max) = (i64::MAX, i64::MIN);
@@ -565,28 +639,22 @@ fn build_column(col: &Column, block_rows: usize, blocks: usize) -> Option<Column
         mins.push(min);
         maxs.push(max);
     }
-    Some(ColumnZoneMap {
+    ColumnZoneMap {
         mins,
         maxs,
-        nulls: vec![0; blocks],
-    })
+        nulls: vec![0; n],
+    }
 }
 
-/// Build the pre-aggregate lane hierarchy for one column: level 0 scans
-/// the rows once, each coarser level folds pairs of the previous one.
-fn build_lanes(col: &Column, block_rows: usize, blocks: usize, levels: usize) -> ColumnLanes {
+/// Scan level-0 lane nodes for the blocks in `blocks` only.
+fn scan_lane_blocks(col: &Column, block_rows: usize, blocks: Range<usize>) -> LaneValues {
     let rows = col.len();
-    let mut lane_levels = Vec::with_capacity(levels);
-    if levels == 0 {
-        return ColumnLanes {
-            levels: lane_levels,
-        };
-    }
-    let base = if matches!(col, Column::Float64(_)) {
-        let mut sums = Vec::with_capacity(blocks);
-        let mut mins = Vec::with_capacity(blocks);
-        let mut maxs = Vec::with_capacity(blocks);
-        for b in 0..blocks {
+    let n = blocks.len();
+    if matches!(col, Column::Float64(_)) {
+        let mut sums = Vec::with_capacity(n);
+        let mut mins = Vec::with_capacity(n);
+        let mut maxs = Vec::with_capacity(n);
+        for b in blocks {
             let start = b * block_rows;
             let end = ((b + 1) * block_rows).min(rows);
             let (mut sum, mut min, mut max) = (0.0f64, f64::INFINITY, f64::NEG_INFINITY);
@@ -602,10 +670,10 @@ fn build_lanes(col: &Column, block_rows: usize, blocks: usize, levels: usize) ->
         }
         LaneValues::Float { sums, mins, maxs }
     } else {
-        let mut sums = Vec::with_capacity(blocks);
-        let mut mins = Vec::with_capacity(blocks);
-        let mut maxs = Vec::with_capacity(blocks);
-        for b in 0..blocks {
+        let mut sums = Vec::with_capacity(n);
+        let mut mins = Vec::with_capacity(n);
+        let mut maxs = Vec::with_capacity(n);
+        for b in blocks {
             let start = b * block_rows;
             let end = ((b + 1) * block_rows).min(rows);
             let (mut sum, mut min, mut max) = (0i128, i64::MAX, i64::MIN);
@@ -620,63 +688,148 @@ fn build_lanes(col: &Column, block_rows: usize, blocks: usize, levels: usize) ->
             maxs.push(max);
         }
         LaneValues::Int { sums, mins, maxs }
-    };
+    }
+}
+
+/// Whether a column still produces the same lane arm (int vs float) as an
+/// existing level-0 lane, so its prefix can be reused on extend.
+fn lane_type_matches(lane: &LaneValues, col: &Column) -> bool {
+    matches!(
+        (lane, col),
+        (LaneValues::Float { .. }, Column::Float64(_))
+            | (
+                LaneValues::Int { .. },
+                Column::Int32(_) | Column::Int64(_) | Column::Dict { .. }
+            )
+    )
+}
+
+/// Clone the first `keep` nodes of a level-0 lane.
+fn truncate_lane(lane: &LaneValues, keep: usize) -> LaneValues {
+    match lane {
+        LaneValues::Int { sums, mins, maxs } => LaneValues::Int {
+            sums: sums[..keep].to_vec(),
+            mins: mins[..keep].to_vec(),
+            maxs: maxs[..keep].to_vec(),
+        },
+        LaneValues::Float { sums, mins, maxs } => LaneValues::Float {
+            sums: sums[..keep].to_vec(),
+            mins: mins[..keep].to_vec(),
+            maxs: maxs[..keep].to_vec(),
+        },
+    }
+}
+
+/// Append `tail`'s nodes to `base` (both level-0, same arm).
+fn extend_lane(base: &mut LaneValues, tail: LaneValues) {
+    match (base, tail) {
+        (
+            LaneValues::Int { sums, mins, maxs },
+            LaneValues::Int {
+                sums: s,
+                mins: mn,
+                maxs: mx,
+            },
+        ) => {
+            sums.extend(s);
+            mins.extend(mn);
+            maxs.extend(mx);
+        }
+        (
+            LaneValues::Float { sums, mins, maxs },
+            LaneValues::Float {
+                sums: s,
+                mins: mn,
+                maxs: mx,
+            },
+        ) => {
+            sums.extend(s);
+            mins.extend(mn);
+            maxs.extend(mx);
+        }
+        _ => unreachable!("extend_lane called across lane arms"),
+    }
+}
+
+/// Fold one lane level into the next coarser one by pairwise halving.
+fn fold_once(prev: &LaneValues) -> LaneValues {
+    match prev {
+        LaneValues::Int { sums, mins, maxs } => {
+            let n = sums.len().div_ceil(2);
+            let mut s2 = Vec::with_capacity(n);
+            let mut mn2 = Vec::with_capacity(n);
+            let mut mx2 = Vec::with_capacity(n);
+            for i in 0..n {
+                let (a, b) = (2 * i, 2 * i + 1);
+                if b < sums.len() {
+                    s2.push(sums[a] + sums[b]);
+                    mn2.push(mins[a].min(mins[b]));
+                    mx2.push(maxs[a].max(maxs[b]));
+                } else {
+                    s2.push(sums[a]);
+                    mn2.push(mins[a]);
+                    mx2.push(maxs[a]);
+                }
+            }
+            LaneValues::Int {
+                sums: s2,
+                mins: mn2,
+                maxs: mx2,
+            }
+        }
+        LaneValues::Float { sums, mins, maxs } => {
+            let n = sums.len().div_ceil(2);
+            let mut s2 = Vec::with_capacity(n);
+            let mut mn2 = Vec::with_capacity(n);
+            let mut mx2 = Vec::with_capacity(n);
+            for i in 0..n {
+                let (a, b) = (2 * i, 2 * i + 1);
+                if b < sums.len() {
+                    s2.push(sums[a] + sums[b]);
+                    mn2.push(mins[a].min(mins[b]));
+                    mx2.push(maxs[a].max(maxs[b]));
+                } else {
+                    s2.push(sums[a]);
+                    mn2.push(mins[a]);
+                    mx2.push(maxs[a]);
+                }
+            }
+            LaneValues::Float {
+                sums: s2,
+                mins: mn2,
+                maxs: mx2,
+            }
+        }
+    }
+}
+
+/// Fold a level-0 lane up into the full hierarchy of `levels` levels.
+/// Re-folding costs O(total blocks), independent of the row count, so
+/// append-time maintenance never rescans existing rows.
+fn coarsen(base: LaneValues, levels: usize) -> ColumnLanes {
+    let mut lane_levels = Vec::with_capacity(levels);
+    if levels == 0 {
+        return ColumnLanes {
+            levels: lane_levels,
+        };
+    }
     lane_levels.push(base);
     for _ in 1..levels {
-        let prev = lane_levels.last().expect("level 0 pushed above");
-        let next = match prev {
-            LaneValues::Int { sums, mins, maxs } => {
-                let n = sums.len().div_ceil(2);
-                let mut s2 = Vec::with_capacity(n);
-                let mut mn2 = Vec::with_capacity(n);
-                let mut mx2 = Vec::with_capacity(n);
-                for i in 0..n {
-                    let (a, b) = (2 * i, 2 * i + 1);
-                    if b < sums.len() {
-                        s2.push(sums[a] + sums[b]);
-                        mn2.push(mins[a].min(mins[b]));
-                        mx2.push(maxs[a].max(maxs[b]));
-                    } else {
-                        s2.push(sums[a]);
-                        mn2.push(mins[a]);
-                        mx2.push(maxs[a]);
-                    }
-                }
-                LaneValues::Int {
-                    sums: s2,
-                    mins: mn2,
-                    maxs: mx2,
-                }
-            }
-            LaneValues::Float { sums, mins, maxs } => {
-                let n = sums.len().div_ceil(2);
-                let mut s2 = Vec::with_capacity(n);
-                let mut mn2 = Vec::with_capacity(n);
-                let mut mx2 = Vec::with_capacity(n);
-                for i in 0..n {
-                    let (a, b) = (2 * i, 2 * i + 1);
-                    if b < sums.len() {
-                        s2.push(sums[a] + sums[b]);
-                        mn2.push(mins[a].min(mins[b]));
-                        mx2.push(maxs[a].max(maxs[b]));
-                    } else {
-                        s2.push(sums[a]);
-                        mn2.push(mins[a]);
-                        mx2.push(maxs[a]);
-                    }
-                }
-                LaneValues::Float {
-                    sums: s2,
-                    mins: mn2,
-                    maxs: mx2,
-                }
-            }
-        };
+        let next = fold_once(lane_levels.last().expect("level 0 pushed above"));
         lane_levels.push(next);
     }
     ColumnLanes {
         levels: lane_levels,
     }
+}
+
+/// Build the pre-aggregate lane hierarchy for one column: level 0 scans
+/// the rows once, each coarser level folds pairs of the previous one.
+fn build_lanes(col: &Column, block_rows: usize, blocks: usize, levels: usize) -> ColumnLanes {
+    if levels == 0 {
+        return ColumnLanes { levels: Vec::new() };
+    }
+    coarsen(scan_lane_blocks(col, block_rows, 0..blocks), levels)
 }
 
 #[cfg(test)]
@@ -881,6 +1034,102 @@ mod tests {
         let rows: usize = spans.iter().map(|s| s.rows.len()).sum();
         assert_eq!(rows, 40, "block 0 straddles the predicate boundary");
         assert!(spans.iter().all(|s| s.blocks.start >= 1));
+    }
+
+    fn prefix_columns(cols: &[(String, Column)], rows: usize) -> Vec<(String, Column)> {
+        cols.iter()
+            .map(|(n, c)| {
+                let cut = match c {
+                    Column::Int32(v) => Column::Int32(v[..rows].to_vec()),
+                    Column::Int64(v) => Column::Int64(v[..rows].to_vec()),
+                    Column::Float64(v) => Column::Float64(v[..rows].to_vec()),
+                    Column::Dict { codes, dict } => Column::Dict {
+                        codes: codes[..rows].to_vec(),
+                        dict: dict.clone(),
+                    },
+                };
+                (n.clone(), cut)
+            })
+            .collect()
+    }
+
+    fn wide_columns() -> Vec<(String, Column)> {
+        vec![
+            ("key".into(), Column::Int64((0..200).collect())),
+            (
+                "half".into(),
+                Column::Int32((0..200).map(|i| if i < 50 { 1 } else { 2 }).collect()),
+            ),
+            (
+                "tag".into(),
+                dict_column((0..200).map(|i| if i < 50 { "lo" } else { "hi" })),
+            ),
+            (
+                "f".into(),
+                Column::Float64((0..200).map(|i| i as f64 * 0.5).collect()),
+            ),
+        ]
+    }
+
+    #[test]
+    fn extend_matches_from_scratch_at_every_level() {
+        let full = wide_columns();
+        // 95 rows: block 9 is partial and must be rescanned on extend;
+        // 90 rows: block-aligned, nothing old is rescanned. Both must
+        // match a from-scratch build over the final 200 rows exactly.
+        for prefix_rows in [95usize, 90] {
+            let old = TableSynopsis::build(&prefix_columns(&full, prefix_rows), 10);
+            let extended = old.extend(&full);
+            let fresh = TableSynopsis::build(&full, 10);
+            assert_eq!(extended.num_blocks(), fresh.num_blocks());
+            assert_eq!(extended.lane_levels(), fresh.lane_levels());
+            assert!(
+                extended.lane_levels() > old.lane_levels(),
+                "crossing a power of two in blocks must add a level"
+            );
+            for name in ["key", "half", "tag"] {
+                let (a, b) = (extended.column(name).unwrap(), fresh.column(name).unwrap());
+                assert_eq!(a.mins, b.mins, "{name} mins");
+                assert_eq!(a.maxs, b.maxs, "{name} maxs");
+            }
+            assert!(extended.column("f").is_none(), "floats stay zone-map-free");
+            for name in ["key", "half", "tag", "f"] {
+                let (la, lb) = (extended.lane(name).unwrap(), fresh.lane(name).unwrap());
+                assert_eq!(la.num_levels(), lb.num_levels(), "{name} levels");
+                for level in 0..lb.num_levels() {
+                    assert_eq!(
+                        la.level(level).unwrap().len(),
+                        lb.level(level).unwrap().len(),
+                        "{name} level {level} width"
+                    );
+                }
+                for range in [0..1, 0..20, 3..17, 9..10, 0..fresh.num_blocks()] {
+                    assert_eq!(
+                        extended.lane_sum(name, range.clone()),
+                        fresh.lane_sum(name, range.clone()),
+                        "{name} lane_sum over {range:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extend_from_empty_equals_fresh_build() {
+        let empty: Vec<(String, Column)> = vec![("a".into(), Column::Int64(vec![]))];
+        let old = TableSynopsis::build(&empty, 10);
+        assert_eq!(old.lane_levels(), 0);
+        let full = vec![("a".into(), Column::Int64((0..25).collect()))];
+        let ext = old.extend(&full);
+        let fresh = TableSynopsis::build(&full, 10);
+        assert_eq!(ext.num_blocks(), 3);
+        assert_eq!(ext.lane_levels(), fresh.lane_levels());
+        assert_eq!(ext.lane_sum("a", 0..3), fresh.lane_sum("a", 0..3));
+        let (a, b) = (ext.column("a").unwrap(), fresh.column("a").unwrap());
+        assert_eq!(
+            (a.mins.clone(), a.maxs.clone()),
+            (b.mins.clone(), b.maxs.clone())
+        );
     }
 
     #[test]

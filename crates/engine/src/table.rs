@@ -7,15 +7,22 @@ use crate::error::{EngineError, Result};
 use crate::synopsis::{TableSynopsis, DEFAULT_ZONE_ROWS};
 use crate::types::DataType;
 
-/// An immutable in-memory table, with per-morsel zone maps built once at
-/// construction (the paper's "load/registration" time) so every later
-/// scan can prune morsels against the pushed-down predicate.
+/// An epoch-versioned in-memory table. Each *version* is immutable —
+/// scans always see a frozen set of rows — but the table grows through
+/// [`Table::append_batch`], which produces the next version with the
+/// batch's rows at the tail, the epoch counter bumped, and the per-morsel
+/// zone maps / pre-aggregate lanes extended incrementally (only the tail
+/// is scanned; see [`TableSynopsis::extend`]). Readers pin a version by
+/// cloning the catalog's `Arc<Table>`, so concurrent appends can never
+/// produce a torn read.
 #[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     columns: Vec<(String, Column)>,
     rows: usize,
     synopsis: Arc<TableSynopsis>,
+    /// Version counter: 0 at construction, +1 per appended batch.
+    epoch: u64,
 }
 
 impl Table {
@@ -44,7 +51,61 @@ impl Table {
             columns,
             rows,
             synopsis,
+            epoch: 0,
         })
+    }
+
+    /// Append a batch of rows, producing the table's next version. The
+    /// batch must carry exactly this table's columns (matched by name,
+    /// any order) with equal lengths; dictionary codes are remapped onto
+    /// the table's dictionary. The synopsis is extended incrementally —
+    /// only the tail past the last complete zone-map block is scanned —
+    /// and the epoch advances by one. The receiver is untouched, so
+    /// readers holding the old version keep a consistent snapshot.
+    pub fn append_batch(&self, batch: &[(String, Column)]) -> Result<Table> {
+        let added = batch.first().map(|(_, c)| c.len()).unwrap_or(0);
+        if batch.iter().any(|(_, c)| c.len() != added) {
+            return Err(EngineError::LengthMismatch {
+                context: "append batch",
+            });
+        }
+        if batch.len() != self.columns.len() {
+            return Err(EngineError::LengthMismatch {
+                context: "append batch schema",
+            });
+        }
+        let mut columns = self.columns.clone();
+        for (name, col) in &mut columns {
+            let incoming = batch
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, c)| c)
+                .ok_or_else(|| EngineError::UnknownColumn {
+                    table: self.name.clone(),
+                    column: name.clone(),
+                })?;
+            col.append(name, incoming)?;
+        }
+        let synopsis = Arc::new(self.synopsis.extend(&columns));
+        Ok(Self {
+            name: self.name.clone(),
+            columns,
+            rows: self.rows + added,
+            synopsis,
+            epoch: self.epoch + 1,
+        })
+    }
+
+    /// Version counter: 0 at construction, +1 per appended batch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Row watermark of this version: appended rows always land past it,
+    /// so a stored sample drawn at watermark `w` exactly covers rows
+    /// `0..w` of every later version.
+    pub fn row_watermark(&self) -> u64 {
+        self.rows as u64
     }
 
     /// The table's zone maps. `None` is reserved for a future unloaded /
@@ -208,6 +269,68 @@ mod tests {
         let t = Table::new("e", vec![]).unwrap();
         assert_eq!(t.num_rows(), 0);
         assert_eq!(t.synopsis().unwrap().num_blocks(), 0);
+    }
+
+    #[test]
+    fn append_batch_advances_epoch_and_extends_synopsis() {
+        let t = Table::with_zone_map_rows(
+            "z",
+            vec![("a".into(), Column::Int64((0..25).collect()))],
+            10,
+        )
+        .unwrap();
+        assert_eq!((t.epoch(), t.row_watermark()), (0, 25));
+        let t2 = t
+            .append_batch(&[("a".into(), Column::Int64((25..40).collect()))])
+            .unwrap();
+        assert_eq!((t2.epoch(), t2.row_watermark()), (1, 40));
+        // The old version is untouched (readers keep their snapshot).
+        assert_eq!((t.epoch(), t.num_rows()), (0, 25));
+        // Data landed at the tail and the zone maps cover it.
+        assert_eq!(t2.column("a").unwrap().i64_at(39), 39);
+        let syn = t2.synopsis().unwrap();
+        assert_eq!(syn.num_blocks(), 4);
+        let zone = syn.column("a").unwrap();
+        assert_eq!(
+            (zone.mins[2], zone.maxs[2]),
+            (20, 29),
+            "partial block rescanned"
+        );
+        assert_eq!((zone.mins[3], zone.maxs[3]), (30, 39));
+    }
+
+    #[test]
+    fn append_batch_rejects_bad_shapes() {
+        let t = sample_table();
+        // Ragged batch.
+        assert!(matches!(
+            t.append_batch(&[
+                ("a".into(), Column::Int64(vec![4])),
+                ("b".into(), Column::Float64(vec![])),
+            ]),
+            Err(EngineError::LengthMismatch { .. })
+        ));
+        // Missing column.
+        assert!(matches!(
+            t.append_batch(&[("a".into(), Column::Int64(vec![4]))]),
+            Err(EngineError::LengthMismatch { .. })
+        ));
+        // Wrong name.
+        assert!(matches!(
+            t.append_batch(&[
+                ("a".into(), Column::Int64(vec![4])),
+                ("z".into(), Column::Float64(vec![4.5])),
+            ]),
+            Err(EngineError::UnknownColumn { .. })
+        ));
+        // Wrong type.
+        assert!(matches!(
+            t.append_batch(&[
+                ("a".into(), Column::Int64(vec![4])),
+                ("b".into(), Column::Int64(vec![5])),
+            ]),
+            Err(EngineError::TypeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -16,5 +16,5 @@ pub mod ssb_queries;
 
 pub use queries::{q1, q2, qcs_cardinality, qcs_columns, strat};
 pub use sequences::{long_running, selectivity, short_running, ExploreConfig};
-pub use ssb::{generate, SsbConfig, REGIONS};
+pub use ssb::{generate, lineorder_batch, SsbConfig, REGIONS};
 pub use ssb_queries::all_queries;

@@ -301,12 +301,39 @@ fn generate_part(config: &SsbConfig, rng: &mut Lehmer64) -> Table {
 
 fn generate_lineorder(config: &SsbConfig, date_keys: &[i64], rng: &mut Lehmer64) -> Table {
     let n = config.lineorder_rows();
+    Table::new("lineorder", lineorder_columns(config, date_keys, rng, n, 0))
+        .expect("lineorder columns aligned")
+}
+
+/// A freshly generated `lineorder` append batch: `rows` rows whose
+/// `lo_intkey`/`lo_orderkey` ids continue from `start_row`, with every
+/// other column drawn from the same distributions as [`generate`]. Ids
+/// cover `[start_row, start_row + rows)` — shuffled within the batch for
+/// `lo_intkey`, clustered for `lo_orderkey` — so appending the batch to
+/// a catalog generated with `start_row` resident fact rows keeps both
+/// keys unique across the grown table.
+pub fn lineorder_batch(config: &SsbConfig, start_row: usize, rows: usize) -> Vec<(String, Column)> {
+    let date_keys: Vec<i64> = match generate_date().column("d_datekey").unwrap() {
+        Column::Int32(v) => v.iter().map(|&x| x as i64).collect(),
+        _ => unreachable!("d_datekey is Int32"),
+    };
+    let mut rng = Lehmer64::new(config.seed);
+    lineorder_columns(config, &date_keys, &mut rng, rows, start_row as i64)
+}
+
+fn lineorder_columns(
+    config: &SsbConfig,
+    date_keys: &[i64],
+    rng: &mut Lehmer64,
+    n: usize,
+    key_start: i64,
+) -> Vec<(String, Column)> {
     let suppliers = config.supplier_rows() as u64;
     let parts = config.part_rows() as u64;
     let customers = config.customer_rows() as u64;
 
     // lo_intkey: shuffled unique ids (Fisher–Yates).
-    let mut intkey: Vec<i64> = (0..n as i64).collect();
+    let mut intkey: Vec<i64> = (key_start..key_start + n as i64).collect();
     for i in (1..n).rev() {
         let j = rng.next_index(i + 1);
         intkey.swap(i, j);
@@ -316,7 +343,7 @@ fn generate_lineorder(config: &SsbConfig, date_keys: &[i64], rng: &mut Lehmer64)
     // from an append-only load). Range predicates on it are the best case
     // for per-morsel zone-map pruning, giving experiments a clustered
     // counterpart to the deliberately shuffled lo_intkey.
-    let orderkey: Vec<i64> = (0..n as i64).collect();
+    let orderkey: Vec<i64> = (key_start..key_start + n as i64).collect();
 
     let mut orderdate = Vec::with_capacity(n);
     let mut quantity = Vec::with_capacity(n);
@@ -341,23 +368,19 @@ fn generate_lineorder(config: &SsbConfig, date_keys: &[i64], rng: &mut Lehmer64)
         partkey.push(1 + rng.next_below(parts) as i64);
         custkey.push(1 + rng.next_below(customers) as i64);
     }
-    Table::new(
-        "lineorder",
-        vec![
-            ("lo_intkey".into(), Column::Int64(intkey)),
-            ("lo_orderkey".into(), Column::Int64(orderkey)),
-            ("lo_orderdate".into(), Column::Int32(orderdate)),
-            ("lo_quantity".into(), Column::Int32(quantity)),
-            ("lo_discount".into(), Column::Int32(discount)),
-            ("lo_tax".into(), Column::Int32(tax)),
-            ("lo_extendedprice".into(), Column::Int64(extendedprice)),
-            ("lo_revenue".into(), Column::Int64(revenue)),
-            ("lo_suppkey".into(), Column::Int64(suppkey)),
-            ("lo_partkey".into(), Column::Int64(partkey)),
-            ("lo_custkey".into(), Column::Int64(custkey)),
-        ],
-    )
-    .expect("lineorder columns aligned")
+    vec![
+        ("lo_intkey".into(), Column::Int64(intkey)),
+        ("lo_orderkey".into(), Column::Int64(orderkey)),
+        ("lo_orderdate".into(), Column::Int32(orderdate)),
+        ("lo_quantity".into(), Column::Int32(quantity)),
+        ("lo_discount".into(), Column::Int32(discount)),
+        ("lo_tax".into(), Column::Int32(tax)),
+        ("lo_extendedprice".into(), Column::Int64(extendedprice)),
+        ("lo_revenue".into(), Column::Int64(revenue)),
+        ("lo_suppkey".into(), Column::Int64(suppkey)),
+        ("lo_partkey".into(), Column::Int64(partkey)),
+        ("lo_custkey".into(), Column::Int64(custkey)),
+    ]
 }
 
 #[cfg(test)]
@@ -402,6 +425,45 @@ mod tests {
         assert!(seen.windows(2).any(|w| w[0] > w[1]), "intkey not shuffled");
         seen.sort_unstable();
         assert_eq!(seen, (0..n as i64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lineorder_batch_continues_the_key_space() {
+        let config = SsbConfig::tiny();
+        let cat = generate(&config);
+        let lo = cat.table("lineorder").unwrap();
+        let n = lo.num_rows();
+        let batch = lineorder_batch(&config, n, 500);
+        // Same schema, in the same column order, as the generated table.
+        assert_eq!(
+            batch
+                .iter()
+                .map(|(name, _)| name.to_string())
+                .collect::<Vec<_>>(),
+            lo.schema()
+                .iter()
+                .map(|(name, _)| name.to_string())
+                .collect::<Vec<_>>()
+        );
+        // lo_intkey: a shuffled permutation of the next 500 ids.
+        let Column::Int64(intkey) = &batch[0].1 else {
+            panic!("lo_intkey is Int64");
+        };
+        let mut seen = intkey.clone();
+        assert!(seen.windows(2).any(|w| w[0] > w[1]), "intkey not shuffled");
+        seen.sort_unstable();
+        assert_eq!(seen, (n as i64..(n + 500) as i64).collect::<Vec<_>>());
+        // lo_orderkey: the same ids, clustered.
+        let Column::Int64(orderkey) = &batch[1].1 else {
+            panic!("lo_orderkey is Int64");
+        };
+        assert_eq!(orderkey, &(n as i64..(n + 500) as i64).collect::<Vec<_>>());
+        // Deterministic in the config seed.
+        let again = lineorder_batch(&config, n, 500);
+        let Column::Int64(intkey_again) = &again[0].1 else {
+            panic!("lo_intkey is Int64");
+        };
+        assert_eq!(intkey, intkey_again);
     }
 
     #[test]

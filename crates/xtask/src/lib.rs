@@ -47,6 +47,14 @@
 //!    module exists precisely so the proptests have a slow oracle to
 //!    compare against, and a second per-row loop would silently bypass
 //!    the kernels the paper's scan performance depends on.
+//! 10. **wal-io** — no write-ahead-log file I/O (`OpenOptions::new`,
+//!     `sync_data`) in `crates/core/src` or `crates/cli/src` outside
+//!     `wal.rs`. The log's durability contract — records are appended,
+//!     fsynced, and never rewritten under their real name; a torn tail is
+//!     detected and truncated exactly once, at recovery — only holds if
+//!     every handle to a segment file goes through `WalAppender`/`replay`.
+//!     A second append site could interleave records across segment
+//!     rotation or sync out of order with the catalog publish.
 //!
 //! The pass is deliberately AST-light: a character-level state machine strips
 //! comments and string literals (preserving line structure), `#[cfg(test)]`
@@ -115,6 +123,16 @@ const PERSIST_ALLOWLIST: &str = "crates/core/src/persist.rs";
 /// Destructive filesystem tokens banned outside [`PERSIST_ALLOWLIST`]
 /// within the snapshot-handling crates (rule 6).
 const SNAPSHOT_IO_TOKENS: [&str; 3] = ["File::create", "fs::rename", "fs::write"];
+
+/// The one file sanctioned to open, append to, and fsync write-ahead-log
+/// segments (rule 10): the `WalAppender`/`replay` machinery.
+const WAL_ALLOWLIST: &str = "crates/core/src/wal.rs";
+
+/// WAL file-handle tokens banned outside [`WAL_ALLOWLIST`] within the
+/// snapshot-handling crates (rule 10). `OpenOptions::new` is the only way
+/// to get an append-mode handle and `sync_data` is the log's fsync; the
+/// snapshot layer uses `File::create`/`sync_all` and is covered by rule 6.
+const WAL_IO_TOKENS: [&str; 2] = ["OpenOptions::new", "sync_data"];
 
 /// The one module sanctioned to compare `Instant::now` against a
 /// deadline (rule 7): the query-budget machinery.
@@ -203,6 +221,24 @@ fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) {
                     message: format!(
                         "`{tok}` outside {PERSIST_ALLOWLIST}; snapshot writes must go \
                          through the atomic persistence layer (tmp + fsync + rename)"
+                    ),
+                });
+            }
+        }
+    }
+    let wal_scope = (rel.starts_with("crates/core/src/") || rel.starts_with("crates/cli/src/"))
+        && rel != WAL_ALLOWLIST;
+    if wal_scope {
+        for tok in WAL_IO_TOKENS {
+            for (line, _) in substring_occurrences(&app, tok) {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line,
+                    rule: "wal-io",
+                    message: format!(
+                        "`{tok}` outside {WAL_ALLOWLIST}; WAL segment handles must go \
+                         through `WalAppender`/`replay` so append ordering, fsync, and \
+                         torn-tail truncation stay single-sited"
                     ),
                 });
             }

@@ -1,0 +1,18 @@
+//! Seeded wal-io violations: WAL file-handle calls outside the
+//! sanctioned log appender.
+
+pub fn bad_append(path: &std::path::Path) {
+    let file = std::fs::OpenOptions::new().append(true).open(path);
+    let _ = file.map(|f| f.sync_data());
+    // Decoy: reads carry no append-ordering obligations, and
+    // "OpenOptions::new in prose" must be stripped before the scan.
+    let _ = std::fs::read(path);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_handles_in_tests_are_exempt() {
+        let _ = std::fs::OpenOptions::new().read(true).open("scratch");
+    }
+}

@@ -151,6 +151,34 @@ fn snapshot_io_fires_outside_persist_only() {
 }
 
 #[test]
+fn wal_io_fires_outside_wal_only() {
+    let findings = fixture_findings();
+    let hits = matching(&findings, "wal-io", "crates/core/src/walling.rs");
+    // OpenOptions::new (line 5), sync_data (line 6); the fs::read decoy,
+    // the doc-comment mention, and the cfg(test) handle are exempt.
+    let lines: Vec<usize> = hits.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![5, 6], "per-token order: {hits:?}");
+    // The sanctioned log module never fires despite using every banned
+    // token — and its append-mode + set_len idiom stays clean under the
+    // snapshot-io rule too.
+    assert!(
+        matching(&findings, "wal-io", "crates/core/src/wal.rs").is_empty(),
+        "{findings:?}"
+    );
+    assert!(
+        matching(&findings, "snapshot-io", "crates/core/src/wal.rs").is_empty(),
+        "{findings:?}"
+    );
+    // Crates outside core/cli (the demo tree) are out of scope entirely.
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.rule == "wal-io" && f.file.starts_with("crates/demo/")),
+        "{findings:?}"
+    );
+}
+
+#[test]
 fn deadline_checks_fire_outside_budget_only() {
     let findings = fixture_findings();
     let hits = matching(

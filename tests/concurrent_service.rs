@@ -362,6 +362,7 @@ fn fragmented_snapshot(cat: &Catalog, n: i64, k: usize) -> Vec<u8> {
             stored.descriptor.clone(),
             stored.schema.clone(),
             stored.sample.clone(),
+            stored.watermark,
         );
     }
     save_store(&store)

@@ -389,6 +389,7 @@ fn fragmented_families_snapshot(cat: &Catalog, n: i64, ks: &[usize]) -> Vec<u8> 
                 stored.descriptor.clone(),
                 stored.schema.clone(),
                 stored.sample.clone(),
+                stored.watermark,
             );
         }
     }

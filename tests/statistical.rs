@@ -176,6 +176,140 @@ fn concurrent_merge_matches_full_resample_error_distribution() {
     );
 }
 
+/// Slice a column to a storage-row range (dictionary columns share the
+/// dictionary; only the codes are sliced).
+fn slice_column(col: &Column, range: std::ops::Range<usize>) -> Column {
+    match col {
+        Column::Int32(v) => Column::Int32(v[range].to_vec()),
+        Column::Int64(v) => Column::Int64(v[range].to_vec()),
+        Column::Float64(v) => Column::Float64(v[range].to_vec()),
+        Column::Dict { codes, dict } => Column::Dict {
+            codes: codes[range].to_vec(),
+            dict: dict.clone(),
+        },
+    }
+}
+
+/// The full SSB catalog with `lineorder` truncated to its first
+/// `base_rows` storage rows (dimensions untouched), plus the held-back
+/// tail as `batches` equal append batches in storage order.
+#[allow(clippy::type_complexity)]
+fn truncated_catalog(
+    cat: &Catalog,
+    base_rows: usize,
+    batches: usize,
+) -> (Catalog, Vec<Vec<(String, Column)>>) {
+    let fact = cat.table("lineorder").unwrap();
+    let n = fact.num_rows();
+    let mut truncated = Catalog::new();
+    for name in cat.table_names() {
+        if name == "lineorder" {
+            continue;
+        }
+        truncated.register((**cat.table(name).unwrap()).clone());
+    }
+    let slice_rows = |lo: usize, hi: usize| -> Vec<(String, Column)> {
+        fact.columns()
+            .map(|(name, col)| (name.to_string(), slice_column(col, lo..hi)))
+            .collect()
+    };
+    truncated.register(Table::new("lineorder", slice_rows(0, base_rows)).unwrap());
+    let stride = (n - base_rows).div_ceil(batches);
+    let tail: Vec<_> = (0..batches)
+        .map(|b| slice_rows(base_rows + b * stride, n.min(base_rows + (b + 1) * stride)))
+        .collect();
+    (truncated, tail)
+}
+
+#[test]
+fn incremental_absorb_matches_from_scratch_sample_at_final_watermark() {
+    // The streaming-ingest guarantee: a stored sample that absorbs an
+    // append stream batch-by-batch (continuing Algorithm R past its
+    // original watermark) must be statistically equivalent to a fresh
+    // online sample drawn against the final table — same groups, unbiased
+    // total, same error regime. A wrong inclusion probability for late
+    // rows would bias the absorbed estimator even when each individual
+    // answer looks plausible.
+    let cat = catalog();
+    let n = cat.table("lineorder").unwrap().num_rows();
+    let k = 12;
+    // lo_intkey is a shuffled permutation of [0, n), so the full-domain
+    // range covers every row regardless of when it arrives.
+    let target = q1(Interval::new(0, n as i64 - 1), k);
+    let (exact, _) = session(&cat, 0).run_exact(&target).unwrap();
+    let truth: f64 = exact.rows.iter().map(|r| r.values[0]).sum();
+    let exact_groups = exact.rows.len();
+    let base_rows = (0.6 * n as f64) as usize;
+
+    let trials = 20;
+    let (mut absorbed_ests, mut scratch_ests) = (Vec::new(), Vec::new());
+    for t in 0..trials {
+        // (a) Incremental: sample the truncated table, then ingest the
+        // held-back tail in four batches, absorbing each into the stored
+        // sample; the final answer is pure reuse of the absorbed sample.
+        let (truncated, tail) = truncated_catalog(&cat, base_rows, 4);
+        let service = LaqyService::with_config(
+            truncated,
+            SessionConfig {
+                threads: 1,
+                seed: 80_000 + t,
+                ..Default::default()
+            },
+        );
+        let warm = service.run(&target).unwrap();
+        assert_eq!(warm.stats.reuse, Some(ReuseClass::Online));
+        for batch in tail {
+            service.ingest("lineorder", batch).unwrap();
+        }
+        let stats = service.stats();
+        assert_eq!(stats.ingest_batches, 4);
+        assert_eq!(stats.ingest_rows, (n - base_rows) as u64);
+        assert_eq!(
+            stats.absorbed_rows,
+            (n - base_rows) as u64,
+            "every appended row lies inside the stored sample's predicate"
+        );
+        let r = service.run(&target).unwrap();
+        assert_eq!(
+            r.stats.reuse,
+            Some(ReuseClass::Full),
+            "absorption must carry the sample to the final watermark"
+        );
+        assert_eq!(r.groups.len(), exact_groups, "absorbed sample lost a group");
+        absorbed_ests.push(r.groups.iter().map(|g| g.values[0].value).sum::<f64>());
+
+        // (b) From-scratch online sample of the final table at a matched
+        // seed budget.
+        let mut s = session(&cat, 80_000 + t);
+        let r = s.run(&target).unwrap();
+        assert_eq!(r.stats.reuse, Some(ReuseClass::Online));
+        assert_eq!(r.groups.len(), exact_groups, "scratch sample lost a group");
+        scratch_ests.push(r.groups.iter().map(|g| g.values[0].value).sum::<f64>());
+    }
+
+    // Both estimators unbiased: across-seed mean within 2% of exact.
+    for (label, ests) in [("absorbed", &absorbed_ests), ("scratch", &scratch_ests)] {
+        let mean = ests.iter().sum::<f64>() / ests.len() as f64;
+        let bias = (mean - truth).abs() / truth;
+        assert!(
+            bias < 0.02,
+            "{label} mean estimate {mean} vs exact {truth}: bias {bias}"
+        );
+    }
+    // Same error regime: absorbing must not inflate variance relative to
+    // sampling the final table in one pass.
+    let spread = |v: &[f64]| {
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        (v.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (v.len() - 1) as f64).sqrt()
+    };
+    let (absorbed_sd, scratch_sd) = (spread(&absorbed_ests), spread(&scratch_ests));
+    let floor = 0.002 * truth.abs();
+    assert!(
+        absorbed_sd <= 2.5 * scratch_sd.max(floor) && scratch_sd <= 2.5 * absorbed_sd.max(floor),
+        "error distributions diverge: absorbed {absorbed_sd} vs scratch {scratch_sd}"
+    );
+}
+
 /// Serialize a store holding `m` disjoint Q1-family fragments, each an
 /// equal slice of `[0, covered_hi]` separated by uncovered gaps. Built
 /// through scratch services and re-inserted raw so absorption cannot
@@ -203,6 +337,7 @@ fn fragmented_snapshot(cat: &Catalog, m: usize, covered_hi: i64, k: usize, seed:
             stored.descriptor.clone(),
             stored.schema.clone(),
             stored.sample.clone(),
+            stored.watermark,
         );
     }
     save_store(&store)

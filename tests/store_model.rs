@@ -84,11 +84,11 @@ proptest! {
                         // but single-family workloads keep them equal.
                         store.len() > 1);
                     let delta_sample = sample_for(&delta_set, &mut rng);
-                    store.merge_delta(id, delta_sample, &delta, &varying, &mut rng);
+                    store.merge_delta(id, delta_sample, &delta, &varying, 0, &mut rng);
                 }
                 ReuseDecision::None => {
                     let s = sample_for(&q, &mut rng);
-                    store.absorb(desc, schema(), s, &mut rng);
+                    store.absorb(desc, schema(), s, 0, &mut rng);
                 }
             }
             model_coverage = model_coverage.union(&q);
@@ -183,7 +183,7 @@ proptest! {
         for (x, y, cy) in &stored {
             let p = boxed(x, y, *cy);
             let s = sample_for(p.get("x").unwrap(), &mut rng);
-            store.insert_raw(descriptor2(p), schema(), s);
+            store.insert_raw(descriptor2(p), schema(), s, 0);
         }
 
         for (x, y, cy) in &queries {
@@ -289,12 +289,12 @@ proptest! {
                         ReuseDecision::Partial { id, delta, varying } => {
                             let dset = delta.get(&varying).cloned().unwrap_or_default();
                             let dsample = sample_for(&dset, &mut rng);
-                            prop_assert!(store.merge_delta(id, dsample, &delta, &varying, &mut rng));
+                            prop_assert!(store.merge_delta(id, dsample, &delta, &varying, 0, &mut rng));
                             subject = Some(id);
                         }
                         ReuseDecision::None => {
                             let s = sample_for(&q, &mut rng);
-                            subject = Some(store.absorb(descriptor(q.clone()), schema(), s, &mut rng));
+                            subject = Some(store.absorb(descriptor(q.clone()), schema(), s, 0, &mut rng));
                         }
                     }
                 }
@@ -303,7 +303,7 @@ proptest! {
                 2 => {
                     requested = requested.union(&q);
                     let s = sample_for(&q, &mut rng);
-                    subject = Some(store.insert_raw(descriptor(q.clone()), schema(), s));
+                    subject = Some(store.insert_raw(descriptor(q.clone()), schema(), s, 0));
                 }
                 // Explicit eviction of an arbitrary stored sample.
                 _ => {
