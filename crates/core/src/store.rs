@@ -818,23 +818,15 @@ impl Default for SampleStore {
 }
 
 /// Maximum (and default) shard count of a [`ShardedStore`].
-pub const STORE_SHARDS: usize = 8;
+pub const STORE_SHARDS: usize = laqy_sync::classes::MAX_STORE_SHARDS;
 
-// One static lock-class name per shard index. Distinct names make each
-// shard its own node in the lock-order graph, so the detector *enforces*
-// the canonical ascending acquisition order used by whole-store
-// operations (a same-name pool would have its edges skipped — see
-// `laqy_sync::order`).
-const SHARD_LOCK_NAMES: [&str; STORE_SHARDS] = [
-    "laqy.store.shard0",
-    "laqy.store.shard1",
-    "laqy.store.shard2",
-    "laqy.store.shard3",
-    "laqy.store.shard4",
-    "laqy.store.shard5",
-    "laqy.store.shard6",
-    "laqy.store.shard7",
-];
+// One static lock-class name per shard index, from the canonical registry
+// (`laqy_sync::classes`): distinct names make each shard its own node in
+// the lock-order graph, so the runtime detector *and* the static
+// lock-order pass enforce the canonical ascending acquisition order used
+// by whole-store operations (a same-name pool would have its edges
+// skipped — see `laqy_sync::order`).
+const SHARD_LOCK_NAMES: [&str; STORE_SHARDS] = laqy_sync::classes::STORE_SHARD_NAMES;
 
 /// FNV-1a over `bytes`. The *only* descriptor→shard hashing primitive in
 /// the workspace; an xtask lint rule keeps it (and any other shard

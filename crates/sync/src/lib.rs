@@ -27,6 +27,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod classes;
+
 #[cfg(all(debug_assertions, not(laqy_check)))]
 mod order;
 

@@ -1,0 +1,132 @@
+//! Committed finding baseline: CI fails only on *new* findings.
+//!
+//! The baseline keys findings on `(rule, file, message)` as a multiset —
+//! line and column are deliberately excluded so unrelated edits that
+//! shift code around don't invalidate it. `cargo run -p xtask -- analyze
+//! --write-baseline` rewrites the file after an intentional acceptance;
+//! the committed file is expected to stay empty on a clean tree.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::Finding;
+
+/// One baseline entry: `(rule, file, message)`.
+pub type Entry = (String, String, String);
+
+/// Location of the committed baseline under the workspace root.
+pub fn path_for(root: &Path) -> PathBuf {
+    root.join("crates/xtask/analyze.baseline")
+}
+
+/// Load the baseline. A missing file is an empty baseline.
+pub fn load(path: &Path) -> Result<Vec<Entry>, String> {
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let text = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(rule), Some(file), Some(msg)) => {
+                out.push((rule.to_string(), file.to_string(), msg.to_string()));
+            }
+            _ => {
+                return Err(format!(
+                    "{}:{}: malformed baseline line (want rule<TAB>file<TAB>message)",
+                    path.display(),
+                    i + 1
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Write the baseline for the given findings.
+pub fn save(path: &Path, findings: &[Finding]) -> Result<(), String> {
+    let mut text = String::from(
+        "# xtask analyze baseline: accepted findings, one per line as\n\
+         # rule<TAB>file<TAB>message (line/column excluded so drift from\n\
+         # unrelated edits does not invalidate entries).\n\
+         # Regenerate with: cargo run -p xtask -- analyze --write-baseline\n",
+    );
+    for f in findings {
+        text.push_str(&format!("{}\t{}\t{}\n", f.rule, f.file, f.message));
+    }
+    fs::write(path, text).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+/// Multiset diff: findings not covered by the baseline (new), and
+/// baseline entries no longer produced (stale).
+pub fn diff<'a>(findings: &'a [Finding], baseline: &[Entry]) -> (Vec<&'a Finding>, Vec<Entry>) {
+    let mut pool: BTreeMap<Entry, usize> = BTreeMap::new();
+    for e in baseline {
+        *pool.entry(e.clone()).or_insert(0) += 1;
+    }
+    let mut new = Vec::new();
+    for f in findings {
+        let key = (f.rule.to_string(), f.file.clone(), f.message.clone());
+        match pool.get_mut(&key) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => new.push(f),
+        }
+    }
+    let stale = pool
+        .into_iter()
+        .flat_map(|(e, n)| std::iter::repeat_n(e, n))
+        .collect();
+    (new, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, message: &str) -> Finding {
+        Finding {
+            file: file.into(),
+            line: 1,
+            col: 1,
+            rule,
+            message: message.into(),
+        }
+    }
+
+    #[test]
+    fn diff_is_a_multiset_and_ignores_spans() {
+        let findings = vec![
+            finding("lock-order", "a.rs", "m1"),
+            finding("lock-order", "a.rs", "m1"),
+            finding("atomic-ordering", "b.rs", "m2"),
+        ];
+        let baseline = vec![
+            ("lock-order".into(), "a.rs".into(), "m1".into()),
+            ("guard-blocking-op".into(), "c.rs".into(), "gone".into()),
+        ];
+        let (new, stale) = diff(&findings, &baseline);
+        assert_eq!(new.len(), 2, "one duplicate m1 plus m2 are new");
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].2, "gone");
+    }
+
+    #[test]
+    fn round_trip_through_disk() {
+        let dir = std::env::temp_dir().join(format!("laqy-baseline-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("analyze.baseline");
+        let findings = vec![finding("lock-order", "x.rs", "msg with spaces")];
+        save(&path, &findings).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        let (new, stale) = diff(&findings, &loaded);
+        assert!(new.is_empty() && stale.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,413 @@
+//! A dependency-free Rust lexer with exact spans.
+//!
+//! Produces a flat token stream over one source file. Every token carries
+//! its byte range plus a 1-based `(line, col)` span, so findings anchored
+//! at a token are column-accurate. Comments are lexed as real tokens
+//! (they carry the suppression syntax) but marked as trivia; parsing and
+//! rule scans run over the non-trivia view.
+//!
+//! The lexer is exact for the subset of Rust that matters to the
+//! analyses: identifiers/keywords, lifetimes vs char literals, all string
+//! literal forms (`"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`), numeric
+//! literals, line/block comments (nested), and multi-character operators
+//! (`::`, `->`, `=>`, `..`, `..=`, shifts, compound assignment). Macro
+//! bodies are lexed like ordinary code — good enough, since the rules
+//! only scan for token shapes.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers `r#ident`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Integer or float literal (including suffixed forms).
+    Number,
+    /// Any string literal form; `text` includes the quotes.
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// `// …` comment (including doc `///` and `//!`).
+    LineComment,
+    /// `/* … */` comment (nested, including doc forms).
+    BlockComment,
+    /// Operator or delimiter; multi-character operators are one token.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Byte range into the source.
+    pub start: usize,
+    /// Exclusive end byte.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: usize,
+    /// 1-based UTF-8 character column of `start`.
+    pub col: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the file it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// True for comment tokens.
+    pub fn is_trivia(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch wins.
+const MULTI_PUNCT: [&str; 24] = [
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "..", "==", "!=", "<=", ">=", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Lex `src` into a token stream. Whitespace is skipped; everything else
+/// (including comments) becomes a token. Unterminated literals are
+/// tolerated: the token runs to end-of-file.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut toks = Vec::with_capacity(src.len() / 4);
+    let mut i = 0;
+    let mut line = 1usize;
+    // Column counts characters, not bytes, so spans match what editors
+    // display; tracked incrementally to keep lexing linear.
+    let mut col = 1usize;
+
+    macro_rules! push {
+        ($kind:expr, $start:expr, $end:expr, $line:expr, $col:expr) => {
+            toks.push(Token {
+                kind: $kind,
+                start: $start,
+                end: $end,
+                line: $line,
+                col: $col,
+            })
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        let (tline, tcol) = (line, col);
+
+        // Whitespace.
+        if c == b'\n' {
+            i += 1;
+            line += 1;
+            col = 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            col += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            col += src[start..i].chars().count();
+            push!(TokKind::LineComment, start, i, tline, tcol);
+            continue;
+        }
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let start = i;
+            let mut depth = 1u32;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            for ch in src[start..i].chars() {
+                if ch == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+            }
+            push!(TokKind::BlockComment, start, i, tline, tcol);
+            continue;
+        }
+
+        // Raw / byte / C string prefixes: r" r#" b" br" c" cr" b' — the
+        // prefix letters otherwise lex as an identifier, so resolve the
+        // ambiguity by looking at what follows.
+        if c == b'r' || c == b'b' || c == b'c' {
+            if let Some((end, kind, lines, endcol)) = lex_prefixed_literal(src, i, col) {
+                push!(kind, i, end, tline, tcol);
+                i = end;
+                line += lines;
+                col = endcol;
+                continue;
+            }
+        }
+
+        // Identifiers and keywords.
+        if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 {
+            let start = i;
+            while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric() || b[i] >= 0x80) {
+                i += 1;
+            }
+            col += src[start..i].chars().count();
+            push!(TokKind::Ident, start, i, tline, tcol);
+            continue;
+        }
+
+        // Numbers (with `_` separators, type suffixes, hex/oct/bin, and a
+        // fractional part when the dot is followed by a digit).
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < b.len()
+                && (b[i].is_ascii_alphanumeric()
+                    || b[i] == b'_'
+                    || (b[i] == b'.'
+                        && b.get(i + 1).is_some_and(u8::is_ascii_digit)
+                        && b.get(i.wrapping_sub(1)) != Some(&b'.')))
+            {
+                i += 1;
+            }
+            col += i - start;
+            push!(TokKind::Number, start, i, tline, tcol);
+            continue;
+        }
+
+        // Lifetime vs char literal.
+        if c == b'\'' {
+            let is_char = match b.get(i + 1) {
+                Some(b'\\') => true,
+                Some(&n) if n != b'\'' => b.get(i + 2) == Some(&b'\''),
+                _ => false,
+            };
+            if is_char {
+                let (end, lines, endcol) = scan_quoted(src, i + 1, b'\'', col + 1);
+                push!(TokKind::Char, i, end, tline, tcol);
+                i = end;
+                line += lines;
+                col = endcol;
+            } else {
+                let start = i;
+                i += 1;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                col += i - start;
+                push!(TokKind::Lifetime, start, i, tline, tcol);
+            }
+            continue;
+        }
+
+        // Plain strings.
+        if c == b'"' {
+            let (end, lines, endcol) = scan_quoted(src, i + 1, b'"', col + 1);
+            push!(TokKind::Str, i, end, tline, tcol);
+            i = end;
+            line += lines;
+            col = endcol;
+            continue;
+        }
+
+        // Multi-char operators, then single punct.
+        let rest = &src[i..];
+        if let Some(op) = MULTI_PUNCT.iter().find(|op| rest.starts_with(**op)) {
+            push!(TokKind::Punct, i, i + op.len(), tline, tcol);
+            i += op.len();
+            col += op.len();
+            continue;
+        }
+        let ch_len = src[i..].chars().next().map_or(1, char::len_utf8);
+        push!(TokKind::Punct, i, i + ch_len, tline, tcol);
+        i += ch_len;
+        col += 1;
+    }
+    toks
+}
+
+/// Scan a `'…'` or `"…"` body starting just past the opening quote.
+/// Returns `(end_byte_past_close, newlines_crossed, col_after)`.
+fn scan_quoted(src: &str, mut i: usize, close: u8, mut col: usize) -> (usize, usize, usize) {
+    let b = src.as_bytes();
+    let mut lines = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => {
+                i += 2;
+                col += 2;
+            }
+            c if c == close => return (i + 1, lines, col + 1),
+            b'\n' => {
+                i += 1;
+                lines += 1;
+                col = 1;
+            }
+            c if c < 0x80 => {
+                i += 1;
+                col += 1;
+            }
+            _ => {
+                i += src[i..].chars().next().map_or(1, char::len_utf8);
+                col += 1;
+            }
+        }
+    }
+    (i, lines, col)
+}
+
+/// Try to lex a prefixed literal (`r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+/// `c"…"`, `b'x'`) at `i`. Returns `(end, kind, newlines, col_after)` or
+/// `None` when the prefix letters are just an identifier.
+fn lex_prefixed_literal(src: &str, i: usize, col: usize) -> Option<(usize, TokKind, usize, usize)> {
+    let b = src.as_bytes();
+    let mut j = i;
+    // Up to two prefix letters (b, r, c, br, cr).
+    while j < b.len() && matches!(b[j], b'b' | b'r' | b'c') && j - i < 2 {
+        j += 1;
+    }
+    let raw = src[i..j].contains('r');
+    let mut hashes = 0usize;
+    if raw {
+        while b.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    match b.get(j) {
+        Some(b'"') => {
+            let mut k = j + 1;
+            let mut lines = 0usize;
+            let mut ccol = col + (j + 1 - i);
+            loop {
+                if k >= b.len() {
+                    return Some((k, TokKind::Str, lines, ccol));
+                }
+                match b[k] {
+                    b'\\' if !raw => {
+                        k += 2;
+                        ccol += 2;
+                    }
+                    b'"' => {
+                        let mut seen = 0usize;
+                        while seen < hashes && b.get(k + 1 + seen) == Some(&b'#') {
+                            seen += 1;
+                        }
+                        if seen == hashes {
+                            return Some((k + 1 + hashes, TokKind::Str, lines, ccol + 1 + hashes));
+                        }
+                        k += 1;
+                        ccol += 1;
+                    }
+                    b'\n' => {
+                        k += 1;
+                        lines += 1;
+                        ccol = 1;
+                    }
+                    c if c < 0x80 => {
+                        k += 1;
+                        ccol += 1;
+                    }
+                    _ => {
+                        k += src[k..].chars().next().map_or(1, char::len_utf8);
+                        ccol += 1;
+                    }
+                }
+            }
+        }
+        // Byte char literal b'x'.
+        Some(b'\'') if !raw && hashes == 0 && src[i..j] == *"b" => {
+            let (end, lines, endcol) = scan_quoted(src, j + 1, b'\'', col + (j + 1 - i));
+            Some((end, TokKind::Char, lines, endcol))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).iter().map(|t| t.text(src).to_string()).collect()
+    }
+
+    #[test]
+    fn idents_ops_and_spans() {
+        let src = "fn a() -> u32 {\n    b::c(x)\n}";
+        let toks = lex(src);
+        let a = toks.iter().find(|t| t.text(src) == "a").unwrap();
+        assert_eq!((a.line, a.col), (1, 4));
+        let c = toks.iter().find(|t| t.text(src) == "c").unwrap();
+        assert_eq!((c.line, c.col), (2, 8));
+        assert!(toks.iter().any(|t| t.text(src) == "::"));
+        assert!(toks.iter().any(|t| t.text(src) == "->"));
+    }
+
+    #[test]
+    fn strings_chars_lifetimes() {
+        let src =
+            "let s = \"a \\\" b\"; let r = r#\"raw \"x\" raw\"#; let c = 'x'; let l: &'static str = s;";
+        let toks = lex(src);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text(src) == "'static"));
+    }
+
+    #[test]
+    fn comments_are_trivia_with_spans() {
+        let src = "x // trailing\n/* block\nstill */ y";
+        let toks = lex(src);
+        let line = toks
+            .iter()
+            .find(|t| t.kind == TokKind::LineComment)
+            .unwrap();
+        assert_eq!((line.line, line.col), (1, 3));
+        let block = toks
+            .iter()
+            .find(|t| t.kind == TokKind::BlockComment)
+            .unwrap();
+        assert_eq!((block.line, block.col), (2, 1));
+        let y = toks.iter().find(|t| t.text(src) == "y").unwrap();
+        assert_eq!((y.line, y.col), (3, 10));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        assert_eq!(texts("0..n"), vec!["0", "..", "n"]);
+        assert_eq!(texts("1.5e3_f64"), vec!["1.5e3_f64"]);
+        assert_eq!(texts("0x1F_u8"), vec!["0x1F_u8"]);
+    }
+
+    #[test]
+    fn byte_and_raw_literals() {
+        let src = r##"let a = b"bytes"; let b = br#"raw"#; let c = b'q';"##;
+        let toks = lex(src);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn multiline_string_columns_recover() {
+        let src = "let s = \"a\nbc\"; z";
+        let toks = lex(src);
+        let z = toks.iter().find(|t| t.text(src) == "z").unwrap();
+        assert_eq!((z.line, z.col), (2, 6));
+    }
+}

@@ -56,17 +56,29 @@
 //!     A second append site could interleave records across segment
 //!     rotation or sync out of order with the catalog publish.
 //!
-//! The pass is deliberately AST-light: a character-level state machine strips
-//! comments and string literals (preserving line structure), `#[cfg(test)]`
-//! modules are blanked by brace matching, and rules are token scans over the
-//! stripped text. That is exact enough for these rules and keeps `xtask`
-//! dependency-free.
+//! The rules run over the real token stream from the
+//! [`analyze::lexer`]: comments and string literals are distinct token
+//! kinds (so prose can never trip a scan), `#[cfg(test)]` code is marked
+//! by the item-level [`analyze::parser`], and every finding carries an
+//! exact line *and column*. `xtask` stays free of external
+//! dependencies; the only crate it links is the workspace's own
+//! `laqy-sync`, for the lock-class registry the [`analyze`] passes key
+//! on.
+//!
+//! Beyond lint, [`analyze`] hosts the interprocedural static analyzer
+//! (`cargo run -p xtask -- analyze`): lock-order cycles, guards held
+//! across blocking I/O, and atomic-ordering policy.
 
 #![forbid(unsafe_code)]
+
+pub mod analyze;
 
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+
+use analyze::lexer::{lex, TokKind};
+use analyze::parser::{parse_file, ParsedFile};
 
 /// One rule violation at a source location.
 #[derive(Debug, Clone)]
@@ -75,6 +87,8 @@ pub struct Finding {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column (in characters) of the offending token.
+    pub col: usize,
     /// Stable rule identifier (e.g. `sync-imports`).
     pub rule: &'static str,
     /// Human-readable description of the violation.
@@ -85,8 +99,8 @@ impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
         )
     }
 }
@@ -95,8 +109,9 @@ impl fmt::Display for Finding {
 /// exempt wholesale (rule 1 only), plus this single engine file (rules 1-2).
 const PARALLEL_ALLOWLIST: &str = "crates/engine/src/parallel.rs";
 
-/// Hot-path files for the unwrap/expect ban (rule 4).
-const HOT_PATHS: [&str; 3] = [
+/// Hot-path files for the unwrap/expect ban (rule 4) and the analyzer's
+/// SeqCst-needs-a-reason atomic-ordering policy.
+pub(crate) const HOT_PATHS: [&str; 3] = [
     "crates/core/src/service.rs",
     "crates/core/src/executor.rs",
     "crates/core/src/store.rs",
@@ -184,45 +199,44 @@ pub fn lint_tree(root: &Path) -> Result<Vec<Finding>, String> {
 }
 
 fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) {
-    let stripped = strip_comments_and_strings(text);
-    let app = blank_test_modules(&stripped);
+    let pf = parse_file(rel, text.to_string());
 
     let in_sync_crate = rel.starts_with("crates/sync/");
     let is_parallel = rel == PARALLEL_ALLOWLIST;
 
     if !in_sync_crate && !is_parallel {
-        check_sync_imports(rel, &app, findings);
+        check_sync_imports(&pf, findings);
     }
     if is_parallel {
-        check_safety_comments(rel, text, &stripped, findings);
+        check_safety_comments(&pf, findings);
     } else {
-        for (line, _) in token_occurrences(&app, "unsafe") {
-            findings.push(Finding {
-                file: rel.to_string(),
-                line,
-                rule: "unsafe-scope",
-                message: format!("`unsafe` is only permitted in {PARALLEL_ALLOWLIST}"),
-            });
+        for ci in ident_hits(&pf, "unsafe", false) {
+            findings.push(finding_at(
+                &pf,
+                ci,
+                "unsafe-scope",
+                format!("`unsafe` is only permitted in {PARALLEL_ALLOWLIST}"),
+            ));
         }
     }
     if HOT_PATHS.contains(&rel) {
-        check_hot_path_unwraps(rel, &app, findings);
+        check_hot_path_unwraps(&pf, findings);
     }
     let snapshot_scope = (rel.starts_with("crates/core/src/")
         || rel.starts_with("crates/cli/src/"))
         && rel != PERSIST_ALLOWLIST;
     if snapshot_scope {
         for tok in SNAPSHOT_IO_TOKENS {
-            for (line, _) in substring_occurrences(&app, tok) {
-                findings.push(Finding {
-                    file: rel.to_string(),
-                    line,
-                    rule: "snapshot-io",
-                    message: format!(
+            for ci in needle_hits(&pf, tok) {
+                findings.push(finding_at(
+                    &pf,
+                    ci,
+                    "snapshot-io",
+                    format!(
                         "`{tok}` outside {PERSIST_ALLOWLIST}; snapshot writes must go \
                          through the atomic persistence layer (tmp + fsync + rename)"
                     ),
-                });
+                ));
             }
         }
     }
@@ -230,54 +244,64 @@ fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) {
         && rel != WAL_ALLOWLIST;
     if wal_scope {
         for tok in WAL_IO_TOKENS {
-            for (line, _) in substring_occurrences(&app, tok) {
-                findings.push(Finding {
-                    file: rel.to_string(),
-                    line,
-                    rule: "wal-io",
-                    message: format!(
+            for ci in needle_hits(&pf, tok) {
+                findings.push(finding_at(
+                    &pf,
+                    ci,
+                    "wal-io",
+                    format!(
                         "`{tok}` outside {WAL_ALLOWLIST}; WAL segment handles must go \
                          through `WalAppender`/`replay` so append ordering, fsync, and \
                          torn-tail truncation stay single-sited"
                     ),
-                });
+                ));
             }
         }
     }
     if rel != BUDGET_ALLOWLIST {
-        check_deadline_checks(rel, &app, findings);
+        check_deadline_checks(&pf, findings);
     }
     if rel != SHARD_HASH_ALLOWLIST {
-        check_shard_hashing(rel, &app, findings);
+        for ci in ident_hits(&pf, "fnv1a", false) {
+            findings.push(finding_at(
+                &pf,
+                ci,
+                "shard-hashing",
+                format!(
+                    "`fnv1a` outside {SHARD_HASH_ALLOWLIST}; descriptor→shard routing must \
+                     go through `ShardedStore` so one hashing site owns the policy"
+                ),
+            ));
+        }
     }
     if rel.starts_with("crates/engine/src/ops/") && rel != ROW_SCAN_ALLOWLIST {
         for tok in ROW_SCAN_TOKENS {
-            for (line, _) in substring_occurrences(&app, tok) {
-                findings.push(Finding {
-                    file: rel.to_string(),
-                    line,
-                    rule: "row-at-a-time",
-                    message: format!(
+            for ci in needle_hits(&pf, tok) {
+                findings.push(finding_at(
+                    &pf,
+                    ci,
+                    "row-at-a-time",
+                    format!(
                         "`{tok}...)` per-row scan in an engine operator outside \
                          {ROW_SCAN_ALLOWLIST}; evaluate through the vectorized \
                          `BatchKernel` chunk path instead"
                     ),
-                });
+                ));
             }
         }
     }
     if rel.starts_with("crates/sampling/src/") {
         for tok in NONDETERMINISM_TOKENS {
-            for (line, _) in substring_occurrences(&app, tok) {
-                findings.push(Finding {
-                    file: rel.to_string(),
-                    line,
-                    rule: "sampling-determinism",
-                    message: format!(
+            for ci in needle_hits(&pf, tok) {
+                findings.push(finding_at(
+                    &pf,
+                    ci,
+                    "sampling-determinism",
+                    format!(
                         "`{tok}` in crates/sampling breaks (input, seed) determinism; \
                          use the seeded RNG / FxBuildHasher instead"
                     ),
-                });
+                ));
             }
         }
     }
@@ -290,7 +314,7 @@ fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) {
 /// Collect every `.rs` file under `crates/*/src` and the root `src/`,
 /// as paths relative to `root`. Test directories, fixtures, and `target`
 /// are never visited because they live outside those subtrees.
-fn collect_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+pub(crate) fn collect_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
     let mut out = Vec::new();
     let crates = root.join("crates");
     if crates.is_dir() {
@@ -521,53 +545,55 @@ pub fn blank_test_modules(stripped: &str) -> String {
 }
 
 // ---------------------------------------------------------------------------
-// Token scanning helpers
+// Token scanning helpers (over the analyze::lexer stream)
 // ---------------------------------------------------------------------------
 
-fn is_ident_char(c: u8) -> bool {
-    c.is_ascii_alphanumeric() || c == b'_'
-}
-
-fn line_of(text: &str, offset: usize) -> usize {
-    text[..offset].bytes().filter(|&c| c == b'\n').count() + 1
-}
-
-/// Occurrences of `needle` as a standalone identifier (word boundaries on
-/// both sides). Returns `(line, byte_offset)` pairs.
-fn token_occurrences(text: &str, needle: &str) -> Vec<(usize, usize)> {
-    let mut hits = Vec::new();
-    let b = text.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = text[from..].find(needle) {
-        let start = from + pos;
-        let end = start + needle.len();
-        let left_ok = start == 0 || !is_ident_char(b[start - 1]);
-        let right_ok = end >= b.len() || !is_ident_char(b[end]);
-        if left_ok && right_ok {
-            hits.push((line_of(text, start), start));
-        }
-        from = start + needle.len();
+/// Build a finding anchored at code token `ci`.
+fn finding_at(pf: &ParsedFile, ci: usize, rule: &'static str, message: String) -> Finding {
+    let (line, col) = pf.span(ci);
+    Finding {
+        file: pf.rel.clone(),
+        line,
+        col,
+        rule,
+        message,
     }
-    hits
 }
 
-/// Plain substring occurrences (for multi-segment tokens like `std::time`),
-/// still requiring an identifier boundary on each flank.
-fn substring_occurrences(text: &str, needle: &str) -> Vec<(usize, usize)> {
-    let first = needle.as_bytes()[0];
-    let last = needle.as_bytes()[needle.len() - 1];
+/// Code-token indices of identifier `name`. Test-gated code is exempt
+/// unless `include_tests` is set (the SAFETY-comment rule covers test
+/// code too: `unsafe` is `unsafe` wherever it runs).
+fn ident_hits(pf: &ParsedFile, name: &str, include_tests: bool) -> Vec<usize> {
+    (0..pf.code.len())
+        .filter(|&ci| {
+            (include_tests || !pf.in_test[ci])
+                && pf.tok(ci).kind == TokKind::Ident
+                && pf.text(ci) == name
+        })
+        .collect()
+}
+
+/// Code-token indices where the token sequence of `needle` begins,
+/// outside test-gated code. The needle is itself lexed, so `"fs::rename"`
+/// matches the three tokens `fs` `::` `rename` and `".matches("` matches
+/// `.` `matches` `(` — comments and string literals in the scanned file
+/// can never match, and identifier boundaries are exact by construction.
+fn needle_hits(pf: &ParsedFile, needle: &str) -> Vec<usize> {
+    let toks = lex(needle);
+    let seq: Vec<&str> = toks
+        .iter()
+        .filter(|t| !t.is_trivia())
+        .map(|t| t.text(needle))
+        .collect();
+    let n = pf.code.len();
     let mut hits = Vec::new();
-    let b = text.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = text[from..].find(needle) {
-        let start = from + pos;
-        let end = start + needle.len();
-        let left_ok = start == 0 || !is_ident_char(b[start - 1]) || !is_ident_char(first);
-        let right_ok = end >= b.len() || !is_ident_char(b[end]) || !is_ident_char(last);
-        if left_ok && right_ok {
-            hits.push((line_of(text, start), start));
+    for ci in 0..n.saturating_sub(seq.len() - 1) {
+        if pf.in_test[ci] {
+            continue;
         }
-        from = start + needle.len();
+        if (0..seq.len()).all(|k| pf.text(ci + k) == seq[k]) {
+            hits.push(ci);
+        }
     }
     hits
 }
@@ -576,81 +602,71 @@ fn substring_occurrences(text: &str, needle: &str) -> Vec<(usize, usize)> {
 // Rule 1: sync imports
 // ---------------------------------------------------------------------------
 
-fn check_sync_imports(rel: &str, text: &str, findings: &mut Vec<Finding>) {
-    for (line, _) in token_occurrences(text, "parking_lot") {
-        findings.push(Finding {
-            file: rel.to_string(),
-            line,
-            rule: "sync-imports",
-            message: "direct `parking_lot` usage; route through `laqy_sync`".into(),
-        });
+fn check_sync_imports(pf: &ParsedFile, findings: &mut Vec<Finding>) {
+    for ci in ident_hits(pf, "parking_lot", false) {
+        findings.push(finding_at(
+            pf,
+            ci,
+            "sync-imports",
+            "direct `parking_lot` usage; route through `laqy_sync`".into(),
+        ));
     }
-    let b = text.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = text[from..].find("std::sync::") {
-        let start = from + pos;
-        from = start + "std::sync::".len();
-        if start > 0 && is_ident_char(b[start - 1]) {
+    let n = pf.code.len();
+    for ci in 0..n {
+        if pf.in_test[ci]
+            || pf.text(ci) != "std"
+            || ci + 4 >= n
+            || pf.text(ci + 1) != "::"
+            || pf.text(ci + 2) != "sync"
+            || pf.text(ci + 3) != "::"
+        {
             continue;
         }
-        for head in path_heads(&text[from..]) {
+        // The first path segment(s) after `std::sync::` — one identifier,
+        // or for a brace group every top-level item's first identifier
+        // (`use std::sync::{atomic::AtomicU64, Arc}` yields `atomic`, `Arc`).
+        let mut heads: Vec<String> = Vec::new();
+        if pf.text(ci + 4) == "{" {
+            let mut depth = 0usize;
+            let mut item_start = true;
+            let mut j = ci + 4;
+            while j < n {
+                match pf.text(j) {
+                    "{" => {
+                        depth += 1;
+                        item_start = depth == 1;
+                    }
+                    "}" => {
+                        if depth <= 1 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    "," if depth == 1 => item_start = true,
+                    t => {
+                        if depth == 1 && item_start && pf.tok(j).kind == TokKind::Ident {
+                            heads.push(t.to_string());
+                        }
+                        item_start = false;
+                    }
+                }
+                j += 1;
+            }
+        } else if pf.tok(ci + 4).kind == TokKind::Ident {
+            heads.push(pf.text(ci + 4).to_string());
+        }
+        for head in heads {
             if SYNC_DENY.contains(&head.as_str()) {
-                findings.push(Finding {
-                    file: rel.to_string(),
-                    line: line_of(text, start),
-                    rule: "sync-imports",
-                    message: format!(
+                findings.push(finding_at(
+                    pf,
+                    ci,
+                    "sync-imports",
+                    format!(
                         "direct `std::sync::{head}` usage; route through `laqy_sync` so the \
                          model checker and lock-order detector see it"
                     ),
-                });
+                ));
             }
-        }
-    }
-}
-
-/// The first path segment(s) referenced after `std::sync::` — either one
-/// identifier, or for a brace group every top-level item's first identifier
-/// (so `use std::sync::{atomic::AtomicU64, Arc}` yields `atomic` and `Arc`).
-fn path_heads(after: &str) -> Vec<String> {
-    let b = after.as_bytes();
-    if b.first() == Some(&b'{') {
-        let mut heads = Vec::new();
-        let mut depth = 0usize;
-        let mut item_start = true;
-        for (i, &c) in b.iter().enumerate() {
-            match c {
-                b'{' => {
-                    depth += 1;
-                    item_start = depth == 1;
-                }
-                b'}' => {
-                    if depth <= 1 {
-                        break;
-                    }
-                    depth -= 1;
-                }
-                b',' if depth == 1 => item_start = true,
-                c if c.is_ascii_whitespace() => {}
-                _ => {
-                    if depth == 1 && item_start && is_ident_char(c) {
-                        let mut end = i;
-                        while end < b.len() && is_ident_char(b[end]) {
-                            end += 1;
-                        }
-                        heads.push(after[i..end].to_string());
-                    }
-                    item_start = false;
-                }
-            }
-        }
-        heads
-    } else {
-        let end = b.iter().position(|&c| !is_ident_char(c)).unwrap_or(b.len());
-        if end == 0 {
-            Vec::new()
-        } else {
-            vec![after[..end].to_string()]
         }
     }
 }
@@ -663,22 +679,21 @@ fn path_heads(after: &str) -> Vec<String> {
 /// justifying comment (attributes, the fn signature, blank lines).
 const SAFETY_WINDOW: usize = 12;
 
-fn check_safety_comments(rel: &str, raw: &str, stripped: &str, findings: &mut Vec<Finding>) {
-    let raw_lines: Vec<&str> = raw.lines().collect();
-    for (line, _) in token_occurrences(stripped, "unsafe") {
+fn check_safety_comments(pf: &ParsedFile, findings: &mut Vec<Finding>) {
+    let raw_lines: Vec<&str> = pf.src.lines().collect();
+    for ci in ident_hits(pf, "unsafe", true) {
+        let line = pf.tok(ci).line;
         let lo = line.saturating_sub(SAFETY_WINDOW);
         let justified = raw_lines[lo..line.min(raw_lines.len())]
             .iter()
             .any(|l| l.contains("SAFETY:") || l.contains("# Safety"));
         if !justified {
-            findings.push(Finding {
-                file: rel.to_string(),
-                line,
-                rule: "safety-comments",
-                message: format!(
-                    "`unsafe` without a `// SAFETY:` comment within {SAFETY_WINDOW} lines"
-                ),
-            });
+            findings.push(finding_at(
+                pf,
+                ci,
+                "safety-comments",
+                format!("`unsafe` without a `// SAFETY:` comment within {SAFETY_WINDOW} lines"),
+            ));
         }
     }
 }
@@ -687,37 +702,25 @@ fn check_safety_comments(rel: &str, raw: &str, stripped: &str, findings: &mut Ve
 // Rule 7: naked deadline checks
 // ---------------------------------------------------------------------------
 
-fn check_deadline_checks(rel: &str, text: &str, findings: &mut Vec<Finding>) {
-    for (i, line) in text.lines().enumerate() {
-        if line.contains("Instant::now") && line.to_ascii_lowercase().contains("deadline") {
-            findings.push(Finding {
-                file: rel.to_string(),
-                line: i + 1,
-                rule: "deadline-checks",
-                message: format!(
+fn check_deadline_checks(pf: &ParsedFile, findings: &mut Vec<Finding>) {
+    for ci in needle_hits(pf, "Instant::now") {
+        let line = pf.tok(ci).line;
+        let paired = (0..pf.code.len()).any(|cj| {
+            pf.tok(cj).line == line
+                && pf.tok(cj).kind == TokKind::Ident
+                && pf.text(cj).to_ascii_lowercase().contains("deadline")
+        });
+        if paired {
+            findings.push(finding_at(
+                pf,
+                ci,
+                "deadline-checks",
+                format!(
                     "naked `Instant::now` deadline check outside {BUDGET_ALLOWLIST}; \
                      thread a `QueryBudget`/`CancelToken` instead"
                 ),
-            });
+            ));
         }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule 8: shard hashing stays in the store
-// ---------------------------------------------------------------------------
-
-fn check_shard_hashing(rel: &str, text: &str, findings: &mut Vec<Finding>) {
-    for (line, _) in token_occurrences(text, "fnv1a") {
-        findings.push(Finding {
-            file: rel.to_string(),
-            line,
-            rule: "shard-hashing",
-            message: format!(
-                "`fnv1a` outside {SHARD_HASH_ALLOWLIST}; descriptor→shard routing must \
-                 go through `ShardedStore` so one hashing site owns the policy"
-            ),
-        });
     }
 }
 
@@ -725,29 +728,28 @@ fn check_shard_hashing(rel: &str, text: &str, findings: &mut Vec<Finding>) {
 // Rule 4: hot-path unwrap/expect
 // ---------------------------------------------------------------------------
 
-fn check_hot_path_unwraps(rel: &str, text: &str, findings: &mut Vec<Finding>) {
-    let b = text.as_bytes();
+fn check_hot_path_unwraps(pf: &ParsedFile, findings: &mut Vec<Finding>) {
+    let n = pf.code.len();
     for method in ["unwrap", "expect"] {
-        for (line, off) in token_occurrences(text, method) {
-            // Only flag method *calls*: `.unwrap()` / `.expect(`.
-            // `unwrap_or`, `expect_err`, etc. fail the word-boundary test
-            // already; a definition like `fn unwrap` fails the `.` test.
-            let preceded_by_dot = off > 0 && b[off - 1] == b'.';
-            let mut end = off + method.len();
-            while end < b.len() && b[end].is_ascii_whitespace() {
-                end += 1;
+        for ci in 0..n {
+            if pf.in_test[ci] || pf.tok(ci).kind != TokKind::Ident || pf.text(ci) != method {
+                continue;
             }
-            let called = b.get(end) == Some(&b'(');
+            // Only flag method *calls*: `.unwrap()` / `.expect(`.
+            // `unwrap_or`, `expect_err`, etc. are distinct tokens already;
+            // a definition like `fn unwrap` fails the `.` test.
+            let preceded_by_dot = ci > 0 && pf.text(ci - 1) == ".";
+            let called = ci + 1 < n && pf.text(ci + 1) == "(";
             if preceded_by_dot && called {
-                findings.push(Finding {
-                    file: rel.to_string(),
-                    line,
-                    rule: "hot-path-unwrap",
-                    message: format!(
+                findings.push(finding_at(
+                    pf,
+                    ci,
+                    "hot-path-unwrap",
+                    format!(
                         "`.{method}(...)` on a service hot path; hoist into `LaqyError` \
                          so one bad query cannot panic while holding a shared lock"
                     ),
-                });
+                ));
             }
         }
     }

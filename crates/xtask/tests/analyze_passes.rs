@@ -1,0 +1,131 @@
+//! End-to-end tests for the interprocedural analyzer: each fixture tree
+//! under `tests/fixtures/analyze/` seeds exactly one discipline
+//! violation, and the analyzer must report exactly that finding at the
+//! expected span. The final test runs the analyzer over the real
+//! workspace and asserts the committed baseline is current.
+
+use std::path::PathBuf;
+
+use xtask::analyze::{analyze_tree, baseline, severity_of, Severity};
+use xtask::Finding;
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/analyze")
+        .join(name)
+}
+
+fn analyze_fixture(name: &str) -> Vec<Finding> {
+    analyze_tree(&fixture_root(name)).expect("fixture analyzes")
+}
+
+#[test]
+fn lockinv_flags_the_ab_ba_inversion_statically() {
+    let findings = analyze_fixture("lockinv");
+    assert_eq!(findings.len(), 1, "exactly the seeded cycle: {findings:?}");
+    let f = &findings[0];
+    assert_eq!(f.rule, "lock-order");
+    assert_eq!(severity_of(f.rule), Severity::Error);
+    assert_eq!(f.file, "crates/app/src/lib.rs");
+    // Anchored at the `with_beta(*a)` call made while `fix.alpha` is held.
+    assert_eq!((f.line, f.col), (12, 5), "witness span: {f}");
+    assert!(
+        f.message.contains("fix.alpha -> fix.beta")
+            && f.message.contains("via call to `with_beta`")
+            && f.message.contains("-> fix.alpha"),
+        "cycle rendering: {}",
+        f.message
+    );
+}
+
+#[test]
+fn guardfsync_flags_guard_held_across_interprocedural_fsync() {
+    let findings = analyze_fixture("guardfsync");
+    assert_eq!(findings.len(), 1, "exactly the seeded site: {findings:?}");
+    let f = &findings[0];
+    assert_eq!(f.rule, "guard-blocking-op");
+    assert_eq!(severity_of(f.rule), Severity::Warning);
+    assert_eq!(f.file, "crates/app/src/lib.rs");
+    // Anchored at the `barrier(file)` call, not at the fsync inside it.
+    assert_eq!((f.line, f.col), (10, 5), "call span: {f}");
+    assert!(
+        f.message.contains(
+            "guard on `fix.wal` held across call to `barrier`, which may reach `sync_all`"
+        ),
+        "message: {}",
+        f.message
+    );
+}
+
+#[test]
+fn atomicord_flags_non_literal_ordering() {
+    let findings = analyze_fixture("atomicord");
+    assert_eq!(findings.len(), 1, "exactly the seeded op: {findings:?}");
+    let f = &findings[0];
+    assert_eq!(f.rule, "atomic-ordering");
+    assert_eq!(severity_of(f.rule), Severity::Warning);
+    assert_eq!(f.file, "crates/app/src/lib.rs");
+    // Anchored at the `fetch_add` method token.
+    assert_eq!((f.line, f.col), (11, 12), "method span: {f}");
+    assert!(
+        f.message
+            .contains("`fetch_add` on atomic `hits` does not name an explicit `Ordering`"),
+        "message: {}",
+        f.message
+    );
+}
+
+#[test]
+fn suppreason_suppresses_but_demands_a_reason() {
+    let findings = analyze_fixture("suppreason");
+    assert_eq!(
+        findings.len(),
+        1,
+        "the guard-blocking finding is suppressed; only the reasonless \
+         suppression remains: {findings:?}"
+    );
+    let f = &findings[0];
+    assert_eq!(f.rule, "suppression-reason");
+    assert_eq!(severity_of(f.rule), Severity::Error);
+    assert_eq!(f.file, "crates/app/src/lib.rs");
+    // Anchored at the `// laqy-lint: allow(…)` comment itself.
+    assert_eq!((f.line, f.col), (10, 5), "comment span: {f}");
+    assert!(
+        f.message
+            .contains("write `laqy-lint: allow(guard-blocking-op) -- <why>`"),
+        "message: {}",
+        f.message
+    );
+}
+
+#[test]
+fn real_workspace_matches_committed_baseline() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .expect("workspace root");
+    let findings = analyze_tree(&root).expect("workspace analyzes");
+    let accepted = baseline::load(&baseline::path_for(&root)).expect("baseline loads");
+    let (new, stale) = baseline::diff(&findings, &accepted);
+    assert!(
+        new.is_empty(),
+        "unbaselined analyzer findings — fix them, suppress with a \
+         reasoned `laqy-lint: allow(…)`, or re-run with --write-baseline:\n{}",
+        new.iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        stale.is_empty(),
+        "stale baseline entries — re-run `cargo run -p xtask -- analyze \
+         --write-baseline`: {stale:?}"
+    );
+    // The committed baseline is expected to be empty on a clean tree:
+    // real violations get fixed or reason-suppressed at the site.
+    assert!(
+        accepted.is_empty(),
+        "baseline should stay empty; prefer in-source suppressions with reasons"
+    );
+}

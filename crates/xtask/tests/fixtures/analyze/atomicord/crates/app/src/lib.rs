@@ -1,0 +1,12 @@
+//! Seeded missing atomic ordering: the ordering is a runtime value,
+//! not a literal at the call site.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Counter {
+    hits: AtomicU64,
+}
+
+pub fn bump(c: &Counter, ord: Ordering) -> u64 {
+    c.hits.fetch_add(1, ord)
+}

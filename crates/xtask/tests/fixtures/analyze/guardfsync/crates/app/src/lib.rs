@@ -1,0 +1,16 @@
+//! Seeded guard-across-fsync: the WAL-style mutex is held across a
+//! helper whose body reaches `sync_all`.
+
+use laqy_sync::Mutex;
+
+static LOG: Mutex<u32> = Mutex::named("fix.wal", 0);
+
+pub fn flush(file: &std::fs::File) -> u32 {
+    let g = LOG.lock();
+    barrier(file);
+    *g
+}
+
+fn barrier(file: &std::fs::File) {
+    let _ = file.sync_all();
+}

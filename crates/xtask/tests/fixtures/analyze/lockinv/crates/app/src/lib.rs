@@ -1,0 +1,28 @@
+//! Seeded AB/BA lock inversion: `forward` takes alpha then beta (through
+//! a helper), `backward` takes beta then alpha. The static pass must
+//! flag the cycle without ever executing the interleaving.
+
+use laqy_sync::Mutex;
+
+static ALPHA: Mutex<u32> = Mutex::named("fix.alpha", 0);
+static BETA: Mutex<u32> = Mutex::named("fix.beta", 0);
+
+pub fn forward() -> u32 {
+    let a = ALPHA.lock();
+    with_beta(*a)
+}
+
+fn with_beta(x: u32) -> u32 {
+    let b = BETA.lock();
+    *b + x
+}
+
+pub fn backward() -> u32 {
+    let b = BETA.lock();
+    with_alpha(*b)
+}
+
+fn with_alpha(x: u32) -> u32 {
+    let a = ALPHA.lock();
+    *a + x
+}

@@ -1,0 +1,13 @@
+//! Seeded reasonless suppression: the allow comment suppresses the
+//! finding on the next line but must itself raise an error.
+
+use laqy_sync::Mutex;
+
+static LOG: Mutex<u32> = Mutex::named("fix.wal", 0);
+
+pub fn flush(file: &std::fs::File) -> u32 {
+    let g = LOG.lock();
+    // laqy-lint: allow(guard-blocking-op)
+    let _ = file.sync_all();
+    *g
+}

@@ -273,3 +273,24 @@ fn test_module_blanking_is_brace_exact() {
     assert_eq!(blanked.matches("unwrap").count(), 2, "{blanked}");
     assert!(blanked.contains("also_hot"), "code after the mod survives");
 }
+
+#[test]
+fn findings_carry_exact_columns() {
+    let findings = fixture_findings();
+    // `use std::sync::Mutex;` anchors at the `std` token (col 5); the
+    // parking_lot import anchors at the `parking_lot` ident (col 5).
+    let sync = matching(&findings, "sync-imports", "crates/demo/src/bad_sync.rs");
+    let spans: Vec<(usize, usize)> = sync.iter().map(|f| (f.line, f.col)).collect();
+    assert_eq!(spans, vec![(5, 5), (3, 5), (4, 5)], "{sync:?}");
+    // `    unsafe { … }` anchors at the `unsafe` keyword token.
+    let uns = matching(&findings, "unsafe-scope", "crates/demo/src/bad_unsafe.rs");
+    assert_eq!((uns[0].line, uns[0].col), (4, 5), "{uns:?}");
+    // Display renders clickable file:line:col spans.
+    assert_eq!(
+        uns[0].to_string(),
+        format!(
+            "crates/demo/src/bad_unsafe.rs:4:5: [unsafe-scope] {}",
+            uns[0].message
+        )
+    );
+}
