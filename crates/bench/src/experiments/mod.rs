@@ -8,6 +8,7 @@ pub mod kernels;
 pub mod micro;
 pub mod pruning;
 pub mod sequence;
+pub mod serving;
 pub mod sharding;
 pub mod strategy;
 
@@ -22,6 +23,7 @@ pub use sequence::{
     ablation, fig10, fig11, fig12_13, fig14_15, fig9, headline, rate_sensitivity, seed_sensitivity,
     table1, SequenceKind,
 };
+pub use serving::serving;
 pub use sharding::sharding;
 pub use strategy::{fig6, fig8};
 
@@ -102,6 +104,7 @@ pub const ALL: &[&str] = &[
     "sharding",
     "kernels",
     "ingest",
+    "serving",
 ];
 
 /// Run one experiment by name against a pre-generated catalog.
@@ -137,6 +140,7 @@ pub fn run_experiment(name: &str, cfg: &BenchConfig, catalog: &Catalog) -> Optio
         "sharding" => sharding(cfg, catalog),
         "kernels" => kernels(cfg, catalog),
         "ingest" => ingest(cfg, catalog),
+        "serving" => serving(cfg, catalog),
         _ => return None,
     })
 }

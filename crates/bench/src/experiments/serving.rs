@@ -1,0 +1,123 @@
+//! Overload behavior of the serving layer: latency stays bounded and
+//! shedding turns on as offered load crosses capacity.
+//!
+//! A real [`laqy_server::Server`] is started on a loopback socket with a
+//! deliberately small admission gate (2 tenants × 2 permits, shallow
+//! queues), then the closed-loop loadgen drives it at a sweep of client
+//! counts — below capacity, at capacity, and at 2× capacity. Because the
+//! clients are closed-loop, an unprotected server would show unbounded
+//! p99 as queues build; the admission gate instead converts the excess
+//! into typed `Overloaded` responses, so the figure's claim is:
+//!
+//! - answered-query p50/p95/p99 stay flat-ish across the sweep (the
+//!   gate keeps per-query work constant), and
+//! - the shed rate is ~0 below capacity and clearly nonzero at 2×.
+
+use laqy_server::{LoadgenConfig, Server, ServerConfig};
+use laqy_workload::serving::MixConfig;
+use laqy_workload::SsbConfig;
+
+use crate::report::{Figure, Series};
+
+use super::BenchConfig;
+
+/// Tenants the load is spread across.
+const TENANTS: usize = 2;
+/// Concurrent queries each tenant may run.
+const PERMITS: usize = 2;
+/// Queue slots behind the permits; shallow so overload sheds fast.
+const QUEUE: usize = 1;
+
+/// The serving-overload experiment (`serving`).
+pub fn serving(cfg: &BenchConfig, catalog: &laqy_engine::Catalog) -> Figure {
+    let capacity = TENANTS * PERMITS;
+    let ssb = SsbConfig {
+        scale_factor: cfg.sf,
+        seed: cfg.seed,
+    };
+
+    let server = Server::start(
+        catalog.clone(),
+        ServerConfig {
+            tenant_permits: PERMITS,
+            tenant_queue: QUEUE,
+            admission_max_wait: std::time::Duration::from_millis(50),
+            threads: 1, // clients are the parallelism
+            seed: cfg.seed,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("serving bench server binds");
+    let addr = server.addr();
+
+    let mut p50 = Vec::new();
+    let mut p95 = Vec::new();
+    let mut p99 = Vec::new();
+    let mut notes = Vec::new();
+    for clients in [capacity / 2, capacity, 2 * capacity] {
+        let report = laqy_server::loadgen::run(
+            addr,
+            &LoadgenConfig {
+                clients,
+                tenants: TENANTS,
+                ops_per_client: 40,
+                mix: MixConfig::for_rows(ssb.lineorder_rows()),
+                k: cfg.k as u32,
+                seed: cfg.seed ^ clients as u64,
+                ssb: ssb.clone(),
+                ..LoadgenConfig::default()
+            },
+        );
+        let x = clients as f64 / capacity as f64;
+        p50.push((x, report.p50_ms));
+        p95.push((x, report.p95_ms));
+        p99.push((x, report.p99_ms));
+        notes.push(format!(
+            "{clients} clients ({x:.1}x capacity): {}",
+            report.summary()
+        ));
+    }
+    let report = server.shutdown();
+    notes.push(format!(
+        "drain: {} tenant(s), idle={}",
+        report.tenants, report.idle
+    ));
+
+    let mut fig = Figure::new(
+        "serving",
+        "Serving under overload: answered-query latency vs. offered load \
+         (closed-loop clients, 2 tenants x 2 permits)",
+        "offered load (multiples of admission capacity)",
+        "latency of answered queries (ms)",
+    )
+    .with_series(Series::new("p50", p50))
+    .with_series(Series::new("p95", p95))
+    .with_series(Series::new("p99", p99));
+    for n in notes {
+        fig = fig.with_note(n);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_experiment_runs_small() {
+        let cfg = BenchConfig {
+            sf: 0.002,
+            k: 8,
+            threads: 1,
+            ..Default::default()
+        };
+        let catalog = cfg.catalog();
+        let fig = serving(&cfg, &catalog);
+        assert_eq!(fig.series.len(), 3, "p50/p95/p99");
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 3, "three load points");
+        }
+        // One note per load point plus the drain line.
+        assert_eq!(fig.notes.len(), 4, "{:?}", fig.notes);
+    }
+}

@@ -36,6 +36,10 @@ pub struct Repl {
     /// Scale factor of the loaded SSB catalog, if any — `.ingest`
     /// generates append batches against these dimension cardinalities.
     ssb_sf: Option<f64>,
+    /// A running multi-tenant server started by `.serve`, if any. All
+    /// socket handling lives behind the `laqy-server` API; the shell
+    /// only holds the handle.
+    server: Option<laqy_server::Server>,
 }
 
 impl Default for Repl {
@@ -55,6 +59,7 @@ impl Repl {
             budget_ms: None,
             seed: 0xC11,
             ssb_sf: None,
+            server: None,
         }
     }
 
@@ -143,6 +148,8 @@ impl Repl {
             }
             Some("save") => Some(self.save(parts.get(1).copied())),
             Some("restore") => Some(self.restore(parts.get(1).copied())),
+            Some("serve") => Some(self.serve(parts.get(1).copied())),
+            Some("drain") => Some(self.drain()),
             Some(other) => Some(format!("unknown command `.{other}` (try .help)")),
             None => Some(HELP.to_string()),
         }
@@ -509,6 +516,59 @@ impl Repl {
         }
     }
 
+    /// `.serve [addr]`: expose the loaded catalog as a multi-tenant TCP
+    /// service (default `127.0.0.1:0` — an OS-assigned port, printed).
+    /// Each tenant gets its own namespaced sample store seeded from the
+    /// shell's catalog; admission control sheds overload with typed
+    /// `Overloaded` responses. `.drain` stops it gracefully.
+    fn serve(&mut self, addr: Option<&str>) -> String {
+        if self.server.is_some() {
+            return "a server is already running (`.drain` to stop it)".into();
+        }
+        let Some(session) = &self.session else {
+            return "no data loaded (try `.load ssb 0.01`)".into();
+        };
+        let config = laqy_server::ServerConfig {
+            addr: addr.unwrap_or("127.0.0.1:0").to_string(),
+            seed: self.seed,
+            ..Default::default()
+        };
+        match laqy_server::Server::start(session.catalog().clone(), config) {
+            Ok(server) => {
+                let bound = server.addr();
+                self.server = Some(server);
+                format!("serving on {bound} (multi-tenant; `.drain` for graceful shutdown)")
+            }
+            Err(e) => format!("serve failed: {e}"),
+        }
+    }
+
+    /// `.drain`: graceful shutdown of the `.serve` server — stop
+    /// admissions, wait out in-flight queries, snapshot WAL-backed
+    /// tenants, and report per-tenant outcomes.
+    fn drain(&mut self) -> String {
+        let Some(server) = self.server.take() else {
+            return "no server running (`.serve` starts one)".into();
+        };
+        let report = server.shutdown();
+        let mut out = format!(
+            "drained {} tenant(s); in-flight work {}",
+            report.tenants,
+            if report.idle { "finished" } else { "timed out" },
+        );
+        for (tenant, outcome) in &report.snapshots {
+            let _ = write!(
+                out,
+                "\n  {tenant}: {}",
+                match outcome {
+                    Ok(gen) => format!("snapshot generation {gen}"),
+                    Err(e) => format!("snapshot failed: {e}"),
+                }
+            );
+        }
+        out
+    }
+
     fn run_sql(&mut self, sql: &str) -> String {
         let Some(session) = &mut self.session else {
             return "no data loaded (try `.load ssb 0.01`)".into();
@@ -731,6 +791,7 @@ laqy-cli — approximate SQL shell
   .samples                           stored coverage fragments per descriptor family
   .concurrent <n> <sql>              run <sql> from n threads sharing the store
   .save <path> / .restore <path>     persist / restore materialized samples
+  .serve [addr] / .drain             start / gracefully stop a multi-tenant TCP server
   .quit                              exit
 SQL: SELECT aggs FROM fact[, dims] WHERE col BETWEEN lo AND hi [AND ...] GROUP BY cols
 The BETWEEN range is the explored predicate LAQy lazily samples over.";
@@ -1001,6 +1062,44 @@ mod tests {
             .unwrap();
         assert!(out.contains("reuse full"), "{out}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_and_drain_roundtrip() {
+        let mut r = Repl::new();
+        assert!(r.handle(".serve").unwrap().contains("no data loaded"));
+        assert!(r.handle(".drain").unwrap().contains("no server running"));
+
+        let mut r = loaded_repl();
+        let out = r.handle(".serve").unwrap();
+        assert!(out.contains("serving on 127.0.0.1:"), "{out}");
+        assert!(r.handle(".serve").unwrap().contains("already running"));
+        // The served port answers a wire query against a fresh tenant.
+        let addr: std::net::SocketAddr = out
+            .split_whitespace()
+            .find(|w| w.starts_with("127.0.0.1:"))
+            .unwrap()
+            .parse()
+            .unwrap();
+        let mut client =
+            laqy_server::Client::connect(addr, std::time::Duration::from_secs(10)).unwrap();
+        let resp = client
+            .request(&laqy_server::protocol::Request::Query {
+                tenant: "shell".to_string(),
+                sql: "SELECT lo_orderdate, SUM(lo_revenue) FROM lineorder \
+                      WHERE lo_intkey BETWEEN 0 AND 999 GROUP BY lo_orderdate"
+                    .to_string(),
+                k: 32,
+                timeout_ms: 0,
+            })
+            .unwrap();
+        assert!(
+            matches!(resp, laqy_server::protocol::Response::Answer(_)),
+            "{resp:?}"
+        );
+        let out = r.handle(".drain").unwrap();
+        assert!(out.contains("drained 1 tenant(s)"), "{out}");
+        assert!(out.contains("finished"), "{out}");
     }
 
     #[test]

@@ -70,6 +70,40 @@ impl QueryBudget {
         self.deadline.is_none() && self.max_scanned_rows.is_none()
     }
 
+    /// The tightest combination of two budgets: the smaller of each set
+    /// limit, keeping a limit that only one side sets. The serving layer
+    /// uses this to fold a per-request deadline into the tenant's
+    /// default contract — a client can only ever *tighten* its tenant's
+    /// budget, never relax it.
+    pub fn intersect(self, other: QueryBudget) -> QueryBudget {
+        fn tighter<T: Ord>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, None) => x,
+                (None, y) => y,
+            }
+        }
+        QueryBudget {
+            deadline: tighter(self.deadline, other.deadline),
+            max_scanned_rows: tighter(self.max_scanned_rows, other.max_scanned_rows),
+        }
+    }
+
+    /// Charge time already spent (e.g. queued at admission) against the
+    /// wall-clock allowance, flooring at [`MIN_ALLOWANCE`] so a request
+    /// admitted after a long queue wait still runs — it degrades (wide
+    /// CIs from a partial scan) instead of erroring, which is the
+    /// serving layer's "degrade before shed" contract. A budget with no
+    /// deadline is unaffected.
+    pub fn after_wait(self, waited: Duration) -> QueryBudget {
+        QueryBudget {
+            deadline: self
+                .deadline
+                .map(|d| d.saturating_sub(waited).max(MIN_ALLOWANCE)),
+            max_scanned_rows: self.max_scanned_rows,
+        }
+    }
+
     /// Anchor the budget at the current instant, producing the token the
     /// executor checks per morsel.
     pub fn start(&self) -> CancelToken {
@@ -207,6 +241,11 @@ impl DegradeReason {
         }
     }
 }
+
+/// Smallest wall-clock allowance [`QueryBudget::after_wait`] leaves a
+/// request: enough to admit at least the first morsel, so the answer is
+/// a degraded estimate rather than an empty one.
+pub const MIN_ALLOWANCE: Duration = Duration::from_millis(1);
 
 /// Lower clamp on coverage when widening: below this the partial sample
 /// carries essentially no information and the inflation factor stops
@@ -347,6 +386,40 @@ mod tests {
         let t = QueryBudget::with_deadline(Duration::from_secs(3600)).start();
         assert_eq!(t.admit(1), None);
         assert!(!t.expired());
+    }
+
+    #[test]
+    fn intersect_keeps_the_tighter_limit_per_axis() {
+        let a = QueryBudget {
+            deadline: Some(Duration::from_millis(100)),
+            max_scanned_rows: None,
+        };
+        let b = QueryBudget {
+            deadline: Some(Duration::from_millis(40)),
+            max_scanned_rows: Some(1000),
+        };
+        let t = a.intersect(b);
+        assert_eq!(t.deadline, Some(Duration::from_millis(40)));
+        assert_eq!(t.max_scanned_rows, Some(1000));
+        // Symmetric, and unbounded is the identity.
+        assert_eq!(b.intersect(a), t);
+        assert_eq!(a.intersect(QueryBudget::unbounded()), a);
+        assert_eq!(QueryBudget::unbounded().intersect(b), b);
+    }
+
+    #[test]
+    fn after_wait_charges_queue_time_and_floors() {
+        let b = QueryBudget::with_deadline(Duration::from_millis(50));
+        let shortened = b.after_wait(Duration::from_millis(20));
+        assert_eq!(shortened.deadline, Some(Duration::from_millis(30)));
+        // A wait past the allowance floors at MIN_ALLOWANCE instead of
+        // zeroing out: the request degrades, it does not error.
+        let floored = b.after_wait(Duration::from_secs(5));
+        assert_eq!(floored.deadline, Some(MIN_ALLOWANCE));
+        // No deadline -> nothing to charge; the row cap is untouched.
+        let rows = QueryBudget::with_row_cap(99).after_wait(Duration::from_secs(1));
+        assert_eq!(rows.deadline, None);
+        assert_eq!(rows.max_scanned_rows, Some(99));
     }
 
     #[test]

@@ -30,6 +30,33 @@
 
 use std::time::Duration;
 
+/// Names of the connection-layer fault points the serving crate
+/// (`laqy-server`) triggers on every socket operation, so chaos suites
+/// can drop, corrupt, or stall the wire deterministically by seed.
+///
+/// The persistence (`persist.*`, `wal.*`) and worker-pool
+/// (`pool.morsel`) points keep their string literals at their call
+/// sites; these constants exist because the network points are hit from
+/// several files (accept loop, frame reader, frame writer, load
+/// generator) and a typo would silently disarm a chaos schedule.
+pub mod points {
+    /// Hit after `accept` returns a connection, before it is served.
+    /// `Io` drops the connection on the floor — the client sees a reset,
+    /// never a hang.
+    pub const NET_ACCEPT: &str = "net.accept";
+    /// Hit before each read of a length-framed request. `Io` models a
+    /// client vanishing mid-request (half-written ingest included).
+    pub const NET_READ: &str = "net.read";
+    /// Hit before each write of a length-framed response. `Io` models a
+    /// response torn mid-frame on the wire.
+    pub const NET_WRITE: &str = "net.write";
+    /// Hit once per frame in both directions; armed with
+    /// [`FaultKind::Latency`](super::FaultKind::Latency) it models a slow
+    /// or stalled peer (the write-timeout path). Error kinds armed here
+    /// propagate like [`NET_WRITE`].
+    pub const NET_LATENCY: &str = "net.latency";
+}
+
 /// What an armed fault point injects when its schedule fires.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FaultKind {

@@ -1,0 +1,86 @@
+//! Standalone serving binary: generate an SSB catalog, serve it, and
+//! drain gracefully on stdin EOF, `quit`, or `drain`.
+//!
+//! ```text
+//! laqy-server [--addr 127.0.0.1:7878] [--sf 0.01] [--data DIR]
+//!             [--permits N] [--queue N] [--threads N] [--seed N]
+//! ```
+
+use std::time::Duration;
+
+use laqy_server::{Server, ServerConfig};
+use laqy_workload::ssb::SsbConfig;
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut sf = 0.01;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--sf" => sf = parse(&value("--sf"), "--sf"),
+            "--data" => config.data_dir = Some(value("--data").into()),
+            "--permits" => config.tenant_permits = parse(&value("--permits"), "--permits"),
+            "--queue" => config.tenant_queue = parse(&value("--queue"), "--queue"),
+            "--threads" => config.threads = parse(&value("--threads"), "--threads"),
+            "--seed" => config.seed = parse(&value("--seed"), "--seed"),
+            "--allowance-ms" => {
+                config.default_allowance =
+                    Duration::from_millis(parse(&value("--allowance-ms"), "--allowance-ms"))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "laqy-server [--addr A] [--sf F] [--data DIR] [--permits N] \
+                     [--queue N] [--threads N] [--seed N] [--allowance-ms N]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+
+    eprintln!("generating SSB catalog at sf {sf} ...");
+    let catalog = laqy_workload::generate(&SsbConfig {
+        scale_factor: sf,
+        seed: 0x55B,
+    });
+    let server = match Server::start(catalog, config) {
+        Ok(s) => s,
+        Err(e) => die(&format!("bind failed: {e}")),
+    };
+    println!("serving on {} — EOF or 'quit' drains", server.addr());
+
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match std::io::stdin().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if matches!(line.trim(), "quit" | "drain" | "exit") => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    eprintln!("draining ...");
+    let report = server.shutdown();
+    eprintln!(
+        "drained {} tenants (idle: {}); snapshots: {:?}",
+        report.tenants, report.idle, report.snapshots
+    );
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("bad value {s:?} for {flag}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("laqy-server: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,51 @@
+//! A minimal blocking client for the serving protocol: one request,
+//! one response, over a persistent connection. The CLI, load
+//! generator, and test suites all speak through this — nothing outside
+//! `crates/server` touches a socket directly (`cargo run -p xtask --
+//! lint` enforces it).
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{read_frame, write_frame, FrameRead, Request, Response};
+
+/// A blocking protocol client. Not `Sync`; give each thread its own.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect with symmetric I/O timeouts: a server that stalls past
+    /// `timeout` surfaces as an `Err`, never a hang — the client-side
+    /// half of the protocol's no-hang contract.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other("address resolved to nothing"))?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Client { stream })
+    }
+
+    /// Send one request and read its response.
+    pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
+        write_frame(&mut self.stream, &request.encode())?;
+        // An `Idle` here means the read timeout elapsed with no reply
+        // started: for a client that just asked a question, that is a
+        // timeout, not an idle peer.
+        match read_frame(&mut self.stream)? {
+            FrameRead::Frame(payload) => Response::decode(&payload)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())),
+            FrameRead::Eof => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before answering",
+            )),
+            FrameRead::Idle => Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "no response within the read timeout",
+            )),
+        }
+    }
+}

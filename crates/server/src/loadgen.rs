@@ -1,0 +1,252 @@
+//! Closed-loop load generator: N client threads × M tenants replaying
+//! deterministic zipf-skewed query/ingest mixes against a running
+//! server, reporting latency percentiles, throughput, and shed rate.
+//!
+//! Closed-loop means each client waits for its response before sending
+//! the next request, so offered load is `clients / latency` and
+//! overload shows up as *shed responses and bounded p99* rather than an
+//! unbounded queue — exactly the property the admission gate is for.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use laqy_workload::serving::{op_stream, q1_sql, MixConfig, Op};
+use laqy_workload::ssb::SsbConfig;
+
+use crate::client::Client;
+use crate::protocol::{Request, Response};
+
+/// Load run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Tenants the clients round-robin across.
+    pub tenants: usize,
+    /// Operations each client issues.
+    pub ops_per_client: usize,
+    /// The per-client operation mix.
+    pub mix: MixConfig,
+    /// Reservoir capacity per stratum for queries.
+    pub k: u32,
+    /// Per-request wall-clock allowance sent on the wire (0 = tenant
+    /// default).
+    pub timeout_ms: u32,
+    /// Client socket timeout; a server stall past this counts as an
+    /// I/O error, never a hang.
+    pub io_timeout: Duration,
+    /// Base seed; each client derives its own stream from it.
+    pub seed: u64,
+    /// Generator config for ingest batches (must match the served
+    /// catalog's scale).
+    pub ssb: SsbConfig,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        let ssb = SsbConfig::tiny();
+        Self {
+            clients: 4,
+            tenants: 2,
+            ops_per_client: 50,
+            mix: MixConfig::for_rows(ssb.lineorder_rows()),
+            k: 64,
+            timeout_ms: 0,
+            io_timeout: Duration::from_secs(10),
+            seed: 0x10AD,
+            ssb,
+        }
+    }
+}
+
+/// What a load run observed.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Operations issued (queries + ingests).
+    pub ops: u64,
+    /// Queries answered (degraded included).
+    pub answers: u64,
+    /// Of those, degraded answers.
+    pub degraded: u64,
+    /// Typed `Overloaded` responses (shed at admission or the
+    /// connection cap).
+    pub sheds: u64,
+    /// Acknowledged ingest batches.
+    pub ingest_acks: u64,
+    /// Typed `Error` responses.
+    pub errors: u64,
+    /// Connection-level failures (timeouts, resets). Each one costs a
+    /// reconnect, never a hang.
+    pub io_errors: u64,
+    /// Wall-clock for the whole run.
+    pub elapsed: Duration,
+    /// Answered-query latency percentiles, milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+}
+
+impl LoadReport {
+    /// Answers per wall-clock second.
+    pub fn answers_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.answers as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Fraction of operations shed.
+    pub fn shed_rate(&self) -> f64 {
+        if self.ops == 0 {
+            return 0.0;
+        }
+        self.sheds as f64 / self.ops as f64
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} ops in {:.2}s: {} answers ({} degraded, {:.1}/s), {} sheds ({:.1}%), \
+             {} ingest acks, {} errors, {} io errors; p50 {:.1}ms p95 {:.1}ms p99 {:.1}ms",
+            self.ops,
+            self.elapsed.as_secs_f64(),
+            self.answers,
+            self.degraded,
+            self.answers_per_sec(),
+            self.sheds,
+            self.shed_rate() * 100.0,
+            self.ingest_acks,
+            self.errors,
+            self.io_errors,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+        )
+    }
+}
+
+struct ClientOutcome {
+    report: LoadReport,
+    latencies_ms: Vec<f64>,
+}
+
+/// Run the closed loop against `addr` and aggregate every client's
+/// outcome. Deterministic op streams; wall-clock numbers are of course
+/// machine-dependent.
+pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> LoadReport {
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients.max(1))
+            .map(|c| scope.spawn(move || run_client(addr, cfg, c)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen client panicked"))
+            .collect()
+    });
+    let mut total = LoadReport::default();
+    let mut latencies: Vec<f64> = Vec::new();
+    for o in outcomes {
+        total.ops += o.report.ops;
+        total.answers += o.report.answers;
+        total.degraded += o.report.degraded;
+        total.sheds += o.report.sheds;
+        total.ingest_acks += o.report.ingest_acks;
+        total.errors += o.report.errors;
+        total.io_errors += o.report.io_errors;
+        total.elapsed = total.elapsed.max(o.report.elapsed);
+        latencies.extend(o.latencies_ms);
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    total.p50_ms = percentile(&latencies, 0.50);
+    total.p95_ms = percentile(&latencies, 0.95);
+    total.p99_ms = percentile(&latencies, 0.99);
+    total
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn run_client(addr: SocketAddr, cfg: &LoadgenConfig, client_idx: usize) -> ClientOutcome {
+    let tenant = format!("tenant-{}", client_idx % cfg.tenants.max(1));
+    let ops = op_stream(
+        &cfg.mix,
+        cfg.seed ^ (client_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        cfg.ops_per_client,
+    );
+    let mut report = LoadReport::default();
+    let mut latencies_ms = Vec::with_capacity(cfg.ops_per_client);
+    let mut conn: Option<Client> = None;
+    // Disjoint key offsets per client keep ingested lo_intkey values
+    // from colliding across clients of the same tenant.
+    let base_row = cfg.ssb.lineorder_rows() + client_idx * cfg.ops_per_client * cfg.mix.ingest_rows;
+    let mut ingested = 0usize;
+    let started = Instant::now();
+    for op in &ops {
+        let request = match op {
+            Op::Query { lo, hi } => Request::Query {
+                tenant: tenant.clone(),
+                sql: q1_sql(*lo, *hi),
+                k: cfg.k,
+                timeout_ms: cfg.timeout_ms,
+            },
+            Op::Ingest { rows } => {
+                let columns = laqy_workload::lineorder_batch(&cfg.ssb, base_row + ingested, *rows);
+                ingested += rows;
+                Request::Ingest {
+                    tenant: tenant.clone(),
+                    table: "lineorder".to_string(),
+                    columns,
+                }
+            }
+        };
+        report.ops += 1;
+        let t_op = Instant::now();
+        let response = {
+            let c = match conn.as_mut() {
+                Some(c) => c,
+                None => match Client::connect(addr, cfg.io_timeout) {
+                    Ok(c) => {
+                        conn = Some(c);
+                        conn.as_mut().expect("just set")
+                    }
+                    Err(_) => {
+                        report.io_errors += 1;
+                        continue;
+                    }
+                },
+            };
+            c.request(&request)
+        };
+        match response {
+            Ok(Response::Answer(a)) => {
+                report.answers += 1;
+                if a.degraded.is_some() {
+                    report.degraded += 1;
+                }
+                latencies_ms.push(t_op.elapsed().as_secs_f64() * 1e3);
+            }
+            Ok(Response::IngestAck { .. }) => report.ingest_acks += 1,
+            Ok(Response::Overloaded { .. }) => report.sheds += 1,
+            Ok(Response::Error { .. }) => report.errors += 1,
+            Ok(_) => report.errors += 1,
+            Err(_) => {
+                // Timeout or reset: drop the connection and reconnect
+                // for the next op.
+                report.io_errors += 1;
+                conn = None;
+            }
+        }
+    }
+    report.elapsed = started.elapsed();
+    ClientOutcome {
+        report,
+        latencies_ms,
+    }
+}

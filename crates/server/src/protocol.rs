@@ -1,0 +1,851 @@
+//! The length-framed wire protocol.
+//!
+//! Every message is one frame: a little-endian `u32` payload length
+//! followed by that many payload bytes, capped at
+//! [`MAX_FRAME_BYTES`] so a corrupt or hostile length prefix can never
+//! drive an allocation bomb. The payload is a tag byte plus fields in a
+//! fixed order — no self-describing envelope, no external serializer.
+//!
+//! Queries ride the wire as SQL text and are planned server-side
+//! through [`laqy::approx_query`], so the protocol stays stable while
+//! the plan representation evolves. Ingest batches carry
+//! [`Column`]-typed vectors, mirroring
+//! [`LaqyService::ingest`](laqy::LaqyService::ingest).
+//!
+//! The frame reader and writer are the protocol's fault surface: each
+//! hits the `net.read` / `net.write` / `net.latency` points from
+//! [`laqy_faults::points`], so a chaos schedule can tear a request or a
+//! response mid-frame deterministically by seed.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use laqy_engine::{Column, Value};
+use laqy_faults::points;
+
+/// Hard cap on one frame's payload, requests and responses alike. Large
+/// enough for any realistic ingest batch at bench scale, small enough
+/// that a garbage length prefix cannot exhaust memory.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Typed decode failure: the peer sent bytes that are not a protocol
+/// message. Always answered with [`ErrorCode::BadRequest`] (when a
+/// response can still be written) and the connection is dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One client request.
+///
+/// No `PartialEq`: the engine's `Column` deliberately does not
+/// implement it (float payloads), so request equality in tests goes
+/// through the canonical encoding instead.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// An approximate SQL query against one tenant's store.
+    Query {
+        /// Tenant namespace the query runs in.
+        tenant: String,
+        /// SQL text with exactly one `BETWEEN` range (see
+        /// [`laqy::approx_query`]).
+        sql: String,
+        /// Reservoir capacity per stratum.
+        k: u32,
+        /// Per-request wall-clock allowance in milliseconds; `0` means
+        /// "tenant default". The server only ever *tightens* the
+        /// tenant's budget with this.
+        timeout_ms: u32,
+    },
+    /// Append a batch of rows to one tenant's table. Acked only after
+    /// the batch is WAL-durable (when the tenant has a data dir).
+    Ingest {
+        /// Tenant namespace the batch lands in.
+        tenant: String,
+        /// Target table name.
+        table: String,
+        /// The batch: exactly the table's columns, matched by name.
+        columns: Vec<(String, Column)>,
+    },
+    /// Fetch the tenant's serving counters.
+    Stats {
+        /// Tenant to report on.
+        tenant: String,
+    },
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// A (possibly degraded) approximate answer.
+    Answer(Answer),
+    /// The ingest batch is applied (and durable when WAL-backed); the
+    /// tenant table's new row watermark.
+    IngestAck {
+        /// Rows in the table after this batch.
+        watermark: u64,
+    },
+    /// Load shed: the tenant's queue and permits are exhausted (or the
+    /// server is at its connection cap). Retry after the hint — the
+    /// request was *not* executed.
+    Overloaded {
+        /// Client back-off hint in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// A typed failure; the request was not (or only partially) served.
+    Error {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Answer to [`Request::Stats`].
+    StatsReply(TenantSnapshot),
+}
+
+/// Machine-readable failure classes a client can dispatch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Malformed frame, unknown tenant name shape, or SQL the
+    /// approximate planner rejects.
+    BadRequest = 1,
+    /// The server is draining: admissions are closed for good. Do not
+    /// retry against this instance.
+    Draining = 2,
+    /// The tenant cap is reached and this request named a new tenant.
+    TenantLimit = 3,
+    /// The engine failed the query/ingest (typed `LaqyError`).
+    Failed = 4,
+    /// A worker panic was caught and isolated; only this request failed.
+    WorkerPanic = 5,
+    /// An injected chaos fault surfaced (only in `--cfg laqy_faults`
+    /// builds).
+    Injected = 6,
+}
+
+impl ErrorCode {
+    fn from_u8(b: u8) -> Result<Self, WireError> {
+        Ok(match b {
+            1 => ErrorCode::BadRequest,
+            2 => ErrorCode::Draining,
+            3 => ErrorCode::TenantLimit,
+            4 => ErrorCode::Failed,
+            5 => ErrorCode::WorkerPanic,
+            6 => ErrorCode::Injected,
+            other => return Err(WireError(format!("unknown error code {other}"))),
+        })
+    }
+}
+
+/// A decoded approximate answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Answer {
+    /// Present when the budget expired mid-scan: the answer is
+    /// extrapolated from the covered fraction with widened CIs.
+    pub degraded: Option<DegradedInfo>,
+    /// One row per output group.
+    pub groups: Vec<AnswerGroup>,
+}
+
+/// Degradation metadata attached to a partial-coverage answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradedInfo {
+    /// Fraction of the intended scan that completed, in `(0, 1]`.
+    pub coverage: f64,
+    /// Factor applied to extensive-aggregate CI half-widths.
+    pub ci_inflation: f64,
+}
+
+/// One output group: decoded key values plus per-aggregate estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerGroup {
+    /// Decoded group-key values (dictionary columns decode to strings).
+    pub key: Vec<Value>,
+    /// One estimate per aggregate in the query's select list.
+    pub values: Vec<AnswerAgg>,
+}
+
+/// One aggregate estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnswerAgg {
+    /// Point estimate.
+    pub value: f64,
+    /// CI half-width (`NaN` for MIN/MAX).
+    pub ci_half_width: f64,
+    /// Sampled tuples supporting the estimate.
+    pub support: u64,
+}
+
+/// Per-tenant serving counters, as reported to clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantSnapshot {
+    /// Queries answered (degraded answers included).
+    pub answers: u64,
+    /// Answers that were degraded (budget expired mid-scan).
+    pub degraded: u64,
+    /// Requests shed at admission (queue full or admission timeout).
+    pub shed: u64,
+    /// Requests rejected because the server was draining.
+    pub rejected_draining: u64,
+    /// Ingest batches acknowledged.
+    pub ingest_acks: u64,
+    /// Requests that failed with a typed error.
+    pub errors: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Outcome of one framed read.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete payload.
+    Frame(Vec<u8>),
+    /// The peer closed the connection cleanly between frames.
+    Eof,
+    /// The read timed out with *zero* bytes of the next frame received:
+    /// an idle (not slow) connection. A timeout mid-frame is an error —
+    /// that is the slow-client guard.
+    Idle,
+}
+
+/// Read one frame. Distinguishes idle peers (no bytes of the next frame
+/// yet) from slow peers (a frame started but stalled): the former is
+/// [`FrameRead::Idle`], the latter a `TimedOut` error, so the
+/// connection loop can keep idle clients and drop slow ones.
+pub fn read_frame(stream: &mut impl Read) -> std::io::Result<FrameRead> {
+    laqy_faults::point(points::NET_LATENCY).map_err(std::io::Error::from)?;
+    let mut header = [0u8; 4];
+    let mut got = 0usize;
+    while got < header.len() {
+        laqy_faults::point(points::NET_READ).map_err(std::io::Error::from)?;
+        match stream.read(&mut header[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(FrameRead::Eof);
+                }
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof mid-header",
+                ));
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if got == 0 {
+                    return Ok(FrameRead::Idle);
+                }
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "slow client: frame header stalled",
+                ));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut read = 0usize;
+    while read < len {
+        laqy_faults::point(points::NET_READ).map_err(std::io::Error::from)?;
+        match stream.read(&mut payload[read..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof mid-frame",
+                ))
+            }
+            Ok(n) => read += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "slow client: frame body stalled",
+                ));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(FrameRead::Frame(payload))
+}
+
+/// Write one frame (length prefix + payload).
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    laqy_faults::point(points::NET_LATENCY).map_err(std::io::Error::from)?;
+    laqy_faults::point(points::NET_WRITE).map_err(std::io::Error::from)?;
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    laqy_faults::point(points::NET_WRITE).map_err(std::io::Error::from)?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_column(buf: &mut Vec<u8>, col: &Column) {
+    match col {
+        Column::Int32(v) => {
+            buf.push(1);
+            put_u32(buf, v.len() as u32);
+            for x in v {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        Column::Int64(v) => {
+            buf.push(2);
+            put_u32(buf, v.len() as u32);
+            for x in v {
+                put_i64(buf, *x);
+            }
+        }
+        Column::Float64(v) => {
+            buf.push(3);
+            put_u32(buf, v.len() as u32);
+            for x in v {
+                put_f64(buf, *x);
+            }
+        }
+        Column::Dict { codes, dict } => {
+            buf.push(4);
+            put_u32(buf, dict.len() as u32);
+            for s in dict.iter() {
+                put_str(buf, s);
+            }
+            put_u32(buf, codes.len() as u32);
+            for c in codes {
+                put_u32(buf, *c);
+            }
+        }
+    }
+}
+
+fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(0),
+        Value::Int(x) => {
+            buf.push(1);
+            put_i64(buf, *x);
+        }
+        Value::Float(x) => {
+            buf.push(2);
+            put_f64(buf, *x);
+        }
+        Value::Str(s) => {
+            buf.push(3);
+            put_str(buf, s);
+        }
+    }
+}
+
+/// Bounds-checked payload reader.
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.at + n > self.buf.len() {
+            return Err(WireError(format!(
+                "truncated payload: wanted {n} bytes at offset {}, have {}",
+                self.at,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// A length prefix that must leave room for `unit`-byte elements —
+    /// rejects lengths that could not possibly fit the remaining bytes,
+    /// so a corrupt count never drives a huge allocation.
+    fn len(&mut self, unit: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(unit.max(1)) > self.buf.len() - self.at {
+            return Err(WireError(format!("length {n} exceeds remaining payload")));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let n = self.len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError("non-UTF-8 string".into()))
+    }
+
+    fn column(&mut self) -> Result<Column, WireError> {
+        Ok(match self.u8()? {
+            1 => {
+                let n = self.len(4)?;
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(i32::from_le_bytes(
+                        self.take(4)?.try_into().expect("4 bytes"),
+                    ));
+                }
+                Column::Int32(v)
+            }
+            2 => {
+                let n = self.len(8)?;
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(self.i64()?);
+                }
+                Column::Int64(v)
+            }
+            3 => {
+                let n = self.len(8)?;
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(self.f64()?);
+                }
+                Column::Float64(v)
+            }
+            4 => {
+                let dn = self.len(4)?;
+                let mut dict = Vec::with_capacity(dn);
+                for _ in 0..dn {
+                    dict.push(self.str()?);
+                }
+                let cn = self.len(4)?;
+                let mut codes = Vec::with_capacity(cn);
+                for _ in 0..cn {
+                    codes.push(self.u32()?);
+                }
+                Column::Dict {
+                    codes,
+                    dict: Arc::new(dict),
+                }
+            }
+            t => return Err(WireError(format!("unknown column tag {t}"))),
+        })
+    }
+
+    fn value(&mut self) -> Result<Value, WireError> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Int(self.i64()?),
+            2 => Value::Float(self.f64()?),
+            3 => Value::Str(self.str()?),
+            t => return Err(WireError(format!("unknown value tag {t}"))),
+        })
+    }
+
+    fn done(self) -> Result<(), WireError> {
+        if self.at != self.buf.len() {
+            return Err(WireError(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.at
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Request {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Ping => buf.push(0x01),
+            Request::Query {
+                tenant,
+                sql,
+                k,
+                timeout_ms,
+            } => {
+                buf.push(0x02);
+                put_str(&mut buf, tenant);
+                put_str(&mut buf, sql);
+                put_u32(&mut buf, *k);
+                put_u32(&mut buf, *timeout_ms);
+            }
+            Request::Ingest {
+                tenant,
+                table,
+                columns,
+            } => {
+                buf.push(0x03);
+                put_str(&mut buf, tenant);
+                put_str(&mut buf, table);
+                put_u32(&mut buf, columns.len() as u32);
+                for (name, col) in columns {
+                    put_str(&mut buf, name);
+                    put_column(&mut buf, col);
+                }
+            }
+            Request::Stats { tenant } => {
+                buf.push(0x04);
+                put_str(&mut buf, tenant);
+            }
+        }
+        buf
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = Reader::new(payload);
+        let req = match r.u8()? {
+            0x01 => Request::Ping,
+            0x02 => Request::Query {
+                tenant: r.str()?,
+                sql: r.str()?,
+                k: r.u32()?,
+                timeout_ms: r.u32()?,
+            },
+            0x03 => {
+                let tenant = r.str()?;
+                let table = r.str()?;
+                let n = r.len(1)?;
+                let mut columns = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.str()?;
+                    columns.push((name, r.column()?));
+                }
+                Request::Ingest {
+                    tenant,
+                    table,
+                    columns,
+                }
+            }
+            0x04 => Request::Stats { tenant: r.str()? },
+            t => return Err(WireError(format!("unknown request tag {t:#x}"))),
+        };
+        r.done()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::Pong => buf.push(0x81),
+            Response::Answer(a) => {
+                buf.push(0x82);
+                match &a.degraded {
+                    None => buf.push(0),
+                    Some(d) => {
+                        buf.push(1);
+                        put_f64(&mut buf, d.coverage);
+                        put_f64(&mut buf, d.ci_inflation);
+                    }
+                }
+                put_u32(&mut buf, a.groups.len() as u32);
+                for g in &a.groups {
+                    put_u32(&mut buf, g.key.len() as u32);
+                    for v in &g.key {
+                        put_value(&mut buf, v);
+                    }
+                    put_u32(&mut buf, g.values.len() as u32);
+                    for e in &g.values {
+                        put_f64(&mut buf, e.value);
+                        put_f64(&mut buf, e.ci_half_width);
+                        put_u64(&mut buf, e.support);
+                    }
+                }
+            }
+            Response::IngestAck { watermark } => {
+                buf.push(0x83);
+                put_u64(&mut buf, *watermark);
+            }
+            Response::Overloaded { retry_after_ms } => {
+                buf.push(0x84);
+                put_u32(&mut buf, *retry_after_ms);
+            }
+            Response::Error { code, message } => {
+                buf.push(0x85);
+                buf.push(*code as u8);
+                put_str(&mut buf, message);
+            }
+            Response::StatsReply(s) => {
+                buf.push(0x86);
+                put_u64(&mut buf, s.answers);
+                put_u64(&mut buf, s.degraded);
+                put_u64(&mut buf, s.shed);
+                put_u64(&mut buf, s.rejected_draining);
+                put_u64(&mut buf, s.ingest_acks);
+                put_u64(&mut buf, s.errors);
+            }
+        }
+        buf
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = Reader::new(payload);
+        let resp = match r.u8()? {
+            0x81 => Response::Pong,
+            0x82 => {
+                let degraded = match r.u8()? {
+                    0 => None,
+                    1 => Some(DegradedInfo {
+                        coverage: r.f64()?,
+                        ci_inflation: r.f64()?,
+                    }),
+                    t => return Err(WireError(format!("unknown degraded tag {t}"))),
+                };
+                let gn = r.len(1)?;
+                let mut groups = Vec::with_capacity(gn);
+                for _ in 0..gn {
+                    let kn = r.len(1)?;
+                    let mut key = Vec::with_capacity(kn);
+                    for _ in 0..kn {
+                        key.push(r.value()?);
+                    }
+                    let vn = r.len(24)?;
+                    let mut values = Vec::with_capacity(vn);
+                    for _ in 0..vn {
+                        values.push(AnswerAgg {
+                            value: r.f64()?,
+                            ci_half_width: r.f64()?,
+                            support: r.u64()?,
+                        });
+                    }
+                    groups.push(AnswerGroup { key, values });
+                }
+                Response::Answer(Answer { degraded, groups })
+            }
+            0x83 => Response::IngestAck {
+                watermark: r.u64()?,
+            },
+            0x84 => Response::Overloaded {
+                retry_after_ms: r.u32()?,
+            },
+            0x85 => Response::Error {
+                code: ErrorCode::from_u8(r.u8()?)?,
+                message: r.str()?,
+            },
+            0x86 => Response::StatsReply(TenantSnapshot {
+                answers: r.u64()?,
+                degraded: r.u64()?,
+                shed: r.u64()?,
+                rejected_draining: r.u64()?,
+                ingest_acks: r.u64()?,
+                errors: r.u64()?,
+            }),
+            t => return Err(WireError(format!("unknown response tag {t:#x}"))),
+        };
+        r.done()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        // `Request` has no `PartialEq` (see the type docs); a decode
+        // followed by a re-encode must reproduce the canonical bytes.
+        let bytes = req.encode();
+        let reencoded = Request::decode(&bytes).expect("decodes").encode();
+        assert_eq!(reencoded, bytes);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let bytes = resp.encode();
+        assert_eq!(Response::decode(&bytes).expect("decodes"), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Ping);
+        roundtrip_req(Request::Query {
+            tenant: "acme".into(),
+            sql: "SELECT g, SUM(v) FROM t WHERE key BETWEEN 1 AND 9 GROUP BY g".into(),
+            k: 64,
+            timeout_ms: 250,
+        });
+        roundtrip_req(Request::Ingest {
+            tenant: "acme".into(),
+            table: "t".into(),
+            columns: vec![
+                ("a".into(), Column::Int32(vec![1, -2, 3])),
+                ("b".into(), Column::Int64(vec![i64::MIN, 0, i64::MAX])),
+                ("c".into(), Column::Float64(vec![0.5, -1.25])),
+                (
+                    "d".into(),
+                    Column::Dict {
+                        codes: vec![0, 1, 0],
+                        dict: Arc::new(vec!["x".into(), "y".into()]),
+                    },
+                ),
+            ],
+        });
+        roundtrip_req(Request::Stats {
+            tenant: "acme".into(),
+        });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Pong);
+        roundtrip_resp(Response::Answer(Answer {
+            degraded: Some(DegradedInfo {
+                coverage: 0.25,
+                ci_inflation: 8.0,
+            }),
+            groups: vec![AnswerGroup {
+                key: vec![Value::Int(7), Value::Str("MFGR#12".into()), Value::Null],
+                values: vec![AnswerAgg {
+                    value: 123.5,
+                    ci_half_width: 4.5,
+                    support: 42,
+                }],
+            }],
+        }));
+        roundtrip_resp(Response::IngestAck { watermark: 9001 });
+        roundtrip_resp(Response::Overloaded {
+            retry_after_ms: 100,
+        });
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::Draining,
+            message: "server draining".into(),
+        });
+        roundtrip_resp(Response::StatsReply(TenantSnapshot {
+            answers: 1,
+            degraded: 2,
+            shed: 3,
+            rejected_draining: 4,
+            ingest_acks: 5,
+            errors: 6,
+        }));
+    }
+
+    #[test]
+    fn corrupt_payloads_fail_typed_never_panic() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0xFF]).is_err());
+        assert!(Response::decode(&[0x85, 99, 0, 0, 0, 0]).is_err());
+        // Truncated string length.
+        assert!(Request::decode(&[0x04, 10, 0, 0, 0, b'a']).is_err());
+        // A length prefix far past the payload is rejected before any
+        // allocation.
+        let mut bomb = vec![0x03];
+        put_str(&mut bomb, "t");
+        put_str(&mut bomb, "t");
+        put_u32(&mut bomb, u32::MAX);
+        assert!(Request::decode(&bomb).is_err());
+        // Trailing garbage after a valid message is rejected.
+        let mut padded = Request::Ping.encode();
+        padded.push(0);
+        assert!(Request::decode(&padded).is_err());
+    }
+
+    #[test]
+    fn framing_roundtrips_over_a_buffer() {
+        let payload = Request::Query {
+            tenant: "t0".into(),
+            sql: "SELECT 1".into(),
+            k: 8,
+            timeout_ms: 0,
+        }
+        .encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).expect("write");
+        let mut cursor = std::io::Cursor::new(wire);
+        match read_frame(&mut cursor).expect("read") {
+            FrameRead::Frame(got) => assert_eq!(got, payload),
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        // A second read on the drained buffer is a clean EOF.
+        assert!(matches!(
+            read_frame(&mut cursor).expect("eof"),
+            FrameRead::Eof
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_header_is_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(wire);
+        let err = read_frame(&mut cursor).expect_err("cap enforced");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,483 @@
+//! The TCP serving front-end: a blocking accept loop handing each
+//! connection to its own thread, over the engine's thread-per-core
+//! morsel pool.
+//!
+//! Every request follows the overload pipeline:
+//!
+//! 1. **Connection cap** — past `max_connections` the socket gets a
+//!    best-effort `Overloaded` and is closed; memory stays bounded.
+//! 2. **Admission** — the tenant's [`Gate`](crate::admission::Gate)
+//!    grants a permit, queues (bounded), or sheds with a typed
+//!    `Overloaded { retry_after_ms }`. The request never ran.
+//! 3. **Budget** — the tenant's default [`QueryBudget`] is intersected
+//!    with the request's own `timeout_ms` (clients can only tighten),
+//!    then charged for the time spent queued. An admitted query always
+//!    runs; overload makes it *degrade* (partial scan, widened CIs)
+//!    before anything is shed.
+//! 4. **Slow clients** — reads that stall mid-frame and writes that
+//!    exceed `write_timeout` drop the connection; an idle client
+//!    between frames is kept.
+//!
+//! Drain is explicit and ordered: stop admitting (accept loop +
+//! every gate), wait for in-flight permits, then snapshot each
+//! WAL-backed tenant (fsync + WAL checkpoint). Acked ingests are
+//! WAL-durable *before* the ack, so even a kill mid-drain loses
+//! nothing that was acknowledged.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use laqy::executor::LaqyError;
+use laqy::QueryBudget;
+use laqy_engine::Catalog;
+use laqy_faults::points;
+use laqy_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::admission::Admission;
+use crate::protocol::{
+    read_frame, write_frame, Answer, AnswerAgg, AnswerGroup, DegradedInfo, ErrorCode, FrameRead,
+    Request, Response,
+};
+use crate::tenant::{queue_wait_cap, TenantRegistry, TenantState};
+
+/// Serving-layer knobs. `Default` is sized for tests and the loadgen
+/// (small permit counts so overload is easy to provoke); production
+/// callers set their own.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; `127.0.0.1:0` picks a free port.
+    pub addr: String,
+    /// Concurrent queries/ingests per tenant.
+    pub tenant_permits: usize,
+    /// Bounded admission queue depth per tenant; beyond it requests
+    /// are shed immediately.
+    pub tenant_queue: usize,
+    /// Longest a request may wait in the admission queue (also capped
+    /// by `default_allowance` — see [`queue_wait_cap`]).
+    pub admission_max_wait: Duration,
+    /// Back-off hint attached to `Overloaded` responses.
+    pub retry_after: Duration,
+    /// Accepted-connection cap across all tenants.
+    pub max_connections: usize,
+    /// Lazily-created tenant cap.
+    pub max_tenants: usize,
+    /// Default per-query wall-clock allowance (the tenant contract).
+    pub default_allowance: Duration,
+    /// Socket read timeout; doubles as the idle-poll interval for the
+    /// stop flag.
+    pub read_timeout: Duration,
+    /// Socket write timeout; a stalled client write past this drops
+    /// the connection.
+    pub write_timeout: Duration,
+    /// Longest drain waits per tenant for in-flight work.
+    pub drain_wait: Duration,
+    /// Engine worker threads per tenant service.
+    pub threads: usize,
+    /// Base RNG seed; perturbed per tenant name.
+    pub seed: u64,
+    /// When set, tenants persist under `<data_dir>/<tenant>/{snap,wal}`
+    /// and ingests are WAL-durable before the ack.
+    pub data_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            tenant_permits: 2,
+            tenant_queue: 8,
+            admission_max_wait: Duration::from_secs(2),
+            retry_after: Duration::from_millis(50),
+            max_connections: 64,
+            max_tenants: 16,
+            default_allowance: Duration::from_millis(500),
+            read_timeout: Duration::from_millis(200),
+            write_timeout: Duration::from_secs(2),
+            drain_wait: Duration::from_secs(5),
+            threads: laqy::SessionConfig::default().threads,
+            seed: 0xA17,
+            data_dir: None,
+        }
+    }
+}
+
+/// What a finished drain observed, for operators and the chaos suite.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// Tenants that existed at drain time.
+    pub tenants: usize,
+    /// Whether every gate went idle within `drain_wait` (false means
+    /// in-flight work was abandoned at the timeout; the WAL still
+    /// covers every acked ingest).
+    pub idle: bool,
+    /// Per-tenant snapshot outcome (tenant name, generation or error).
+    /// Only WAL-backed tenants appear.
+    pub snapshots: Vec<(String, Result<u64, String>)>,
+}
+
+struct Shared {
+    registry: TenantRegistry,
+    config: Arc<ServerConfig>,
+    stopping: AtomicBool,
+    connections: AtomicUsize,
+}
+
+/// A running serving instance. Dropping it without
+/// [`Server::shutdown`] leaves the accept thread running until the
+/// process exits; tests and the binary always drain.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving `catalog` under `config`.
+    pub fn start(catalog: Catalog, config: ServerConfig) -> std::io::Result<Server> {
+        let config = Arc::new(config);
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            registry: TenantRegistry::new(catalog, Arc::clone(&config)),
+            config,
+            stopping: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("laqy-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(Server {
+            shared,
+            local_addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (the ephemeral port when `addr` ended in `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The tenant registry (tests inspect per-tenant state through it).
+    pub fn registry(&self) -> &TenantRegistry {
+        &self.shared.registry
+    }
+
+    /// Graceful drain: close admissions everywhere, wait for in-flight
+    /// permits, snapshot every WAL-backed tenant. Idempotent; a second
+    /// call re-snapshots (harmless — snapshots are generation-numbered
+    /// and atomic).
+    pub fn drain(&self) -> DrainReport {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // The accept thread may be parked in accept(); a throwaway
+        // connection wakes it to observe the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        let tenants = self.shared.registry.list();
+        for t in &tenants {
+            t.gate.drain();
+        }
+        let mut idle = true;
+        for t in &tenants {
+            idle &= t.gate.await_idle(self.shared.config.drain_wait);
+        }
+        let mut snapshots = Vec::new();
+        for t in &tenants {
+            if let Some((snap, _wal)) = &t.dirs {
+                let outcome = t.service.save_snapshot(snap).map_err(|e| e.to_string());
+                snapshots.push((t.name.clone(), outcome));
+            }
+        }
+        DrainReport {
+            tenants: tenants.len(),
+            idle,
+            snapshots,
+        }
+    }
+
+    /// Drain, then join the accept thread.
+    pub fn shutdown(mut self) -> DrainReport {
+        let report = self.drain();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        report
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut conn_id: u64 = 0;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) => {
+                if shared.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        // Chaos point: an Io kind here drops the accepted connection on
+        // the floor — the client sees a reset, never a hang.
+        if laqy_faults::point(points::NET_ACCEPT).is_err() {
+            continue;
+        }
+        let slot = ConnSlot::claim(&shared);
+        let Some(slot) = slot else {
+            shed_connection(stream, &shared.config);
+            continue;
+        };
+        conn_id += 1;
+        let conn_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("laqy-conn-{conn_id}"))
+            .spawn(move || serve_connection(stream, conn_shared, slot));
+        if spawned.is_err() {
+            // Spawn failure is overload too; the slot frees on drop and
+            // the stream closes.
+            continue;
+        }
+    }
+}
+
+/// Best-effort `Overloaded` for a connection rejected at the cap. The
+/// write may fail (the peer is a stranger); either way the socket
+/// closes and nothing is retained.
+fn shed_connection(mut stream: TcpStream, config: &ServerConfig) {
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let payload = Response::Overloaded {
+        retry_after_ms: config.retry_after.as_millis() as u32,
+    }
+    .encode();
+    let _ = write_frame(&mut stream, &payload);
+}
+
+/// RAII connection-cap slot.
+struct ConnSlot {
+    shared: Arc<Shared>,
+}
+
+impl ConnSlot {
+    fn claim(shared: &Arc<Shared>) -> Option<ConnSlot> {
+        let prev = shared.connections.fetch_add(1, Ordering::SeqCst);
+        if prev >= shared.config.max_connections {
+            shared.connections.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        Some(ConnSlot {
+            shared: Arc::clone(shared),
+        })
+    }
+}
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.shared.connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>, _slot: ConnSlot) {
+    if stream
+        .set_read_timeout(Some(shared.config.read_timeout))
+        .is_err()
+        || stream
+            .set_write_timeout(Some(shared.config.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    loop {
+        match read_frame(&mut stream) {
+            Ok(FrameRead::Idle) => {
+                // Idle clients are kept — unless the server is leaving.
+                if shared.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Ok(FrameRead::Eof) => return,
+            Ok(FrameRead::Frame(payload)) => {
+                let t_recv = Instant::now();
+                let response = match Request::decode(&payload) {
+                    Ok(request) => dispatch(&shared, request, t_recv),
+                    Err(e) => Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: e.to_string(),
+                    },
+                };
+                if write_frame(&mut stream, &response.encode()).is_err() {
+                    // Slow, gone, or chaos-injected: drop the connection.
+                    return;
+                }
+            }
+            // Slow client (stalled mid-frame), oversized frame, injected
+            // read fault, or a real socket error: drop the connection.
+            Err(_) => return,
+        }
+    }
+}
+
+fn dispatch(shared: &Arc<Shared>, request: Request, t_recv: Instant) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Stats { tenant } => match shared.registry.get_or_create(&tenant) {
+            Ok(t) => Response::StatsReply(t.counters.snapshot()),
+            Err(e) => Response::Error {
+                code: e.code(),
+                message: e.message(),
+            },
+        },
+        Request::Query {
+            tenant,
+            sql,
+            k,
+            timeout_ms,
+        } => with_admission(shared, &tenant, t_recv, |t, budget| {
+            run_query(t, &sql, k as usize, requested_budget(timeout_ms, budget))
+        }),
+        Request::Ingest {
+            tenant,
+            table,
+            columns,
+        } => with_admission(shared, &tenant, t_recv, |t, _budget| {
+            match t.service.ingest(&table, columns) {
+                Ok(watermark) => {
+                    t.counters.note_ingest_ack();
+                    Response::IngestAck { watermark }
+                }
+                Err(e) => {
+                    t.counters.note_error();
+                    error_response(&e)
+                }
+            }
+        }),
+    }
+}
+
+/// Resolve the tenant, pass its gate, and run `body` holding the
+/// permit, with the queue wait already charged against the budget
+/// handed in.
+fn with_admission(
+    shared: &Arc<Shared>,
+    tenant: &str,
+    t_recv: Instant,
+    body: impl FnOnce(&TenantState, QueryBudget) -> Response,
+) -> Response {
+    let t = match shared.registry.get_or_create(tenant) {
+        Ok(t) => t,
+        Err(e) => {
+            return Response::Error {
+                code: e.code(),
+                message: e.message(),
+            }
+        }
+    };
+    let outcome = match t.gate.admit(queue_wait_cap(&shared.config)) {
+        Admission::Shed => {
+            t.counters.note_shed();
+            Response::Overloaded {
+                retry_after_ms: shared.config.retry_after.as_millis() as u32,
+            }
+        }
+        Admission::Draining => {
+            t.counters.note_rejected_draining();
+            Response::Error {
+                code: ErrorCode::Draining,
+                message: "server is draining; admissions are closed".to_string(),
+            }
+        }
+        Admission::Granted(permit) => {
+            // Everything since the frame arrived — decode plus queue
+            // wait — is charged against the allowance: an admitted
+            // request degrades rather than overstaying its contract.
+            let budget = t.default_budget.after_wait(t_recv.elapsed());
+            let response = body(&t, budget);
+            drop(permit);
+            response
+        }
+    };
+    outcome
+}
+
+/// Fold the client's own `timeout_ms` (0 = tenant default) into the
+/// already-wait-charged tenant budget. Intersection means a client can
+/// only tighten its contract, never relax it.
+fn requested_budget(timeout_ms: u32, tenant_budget: QueryBudget) -> QueryBudget {
+    if timeout_ms == 0 {
+        return tenant_budget;
+    }
+    tenant_budget.intersect(QueryBudget::with_deadline(Duration::from_millis(
+        timeout_ms as u64,
+    )))
+}
+
+fn run_query(t: &TenantState, sql: &str, k: usize, budget: QueryBudget) -> Response {
+    let planned = {
+        let catalog = t.service.catalog();
+        laqy::approx_query(&catalog, sql, k)
+    };
+    let query = match planned {
+        Ok(q) => q,
+        Err(e) => {
+            t.counters.note_error();
+            return error_response(&e);
+        }
+    };
+    let result = match t.service.run_with_budget(&query, budget) {
+        Ok(r) => r,
+        Err(e) => {
+            t.counters.note_error();
+            return error_response(&e);
+        }
+    };
+    let keys = match t.service.decode_keys(&query, &result) {
+        Ok(k) => k,
+        Err(e) => {
+            t.counters.note_error();
+            return error_response(&e);
+        }
+    };
+    let degraded = result.stats.degraded.as_ref().map(|d| DegradedInfo {
+        coverage: d.coverage,
+        ci_inflation: d.ci_inflation,
+    });
+    let groups = keys
+        .into_iter()
+        .zip(result.groups.iter())
+        .map(|(key, g)| AnswerGroup {
+            key,
+            values: g
+                .values
+                .iter()
+                .map(|v| AnswerAgg {
+                    value: v.value,
+                    ci_half_width: v.ci_half_width,
+                    support: v.support as u64,
+                })
+                .collect(),
+        })
+        .collect();
+    t.counters.note_answer(degraded.is_some());
+    Response::Answer(Answer { degraded, groups })
+}
+
+/// Map an engine failure onto the wire. Every failure class a request
+/// can hit has a typed code — a client never sees a hang or a torn
+/// frame for an engine-side problem.
+fn error_response(e: &LaqyError) -> Response {
+    let code = match e {
+        LaqyError::Unsupported(_) => ErrorCode::BadRequest,
+        LaqyError::WorkerPanic(_) => ErrorCode::WorkerPanic,
+        LaqyError::Injected(_) => ErrorCode::Injected,
+        _ => ErrorCode::Failed,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}

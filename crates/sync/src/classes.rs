@@ -19,9 +19,18 @@
 //! The canonical acquisition order (outermost first) is:
 //!
 //! ```text
-//! laqy.wal  →  laqy.catalog  →  laqy.store.shard0..7 (ascending)
-//!                          →  laqy.inflight.registry0..7  →  laqy.inflight.done
+//! laqy.server.tenants  →  laqy.server.gate
+//!   →  laqy.wal  →  laqy.catalog  →  laqy.store.shard0..7 (ascending)
+//!                →  laqy.inflight.registry0..7  →  laqy.inflight.done
 //! ```
+//!
+//! The serving-layer classes sit strictly outside the engine's: the
+//! tenant registry is held across tenant construction (which opens that
+//! tenant's WAL under `laqy.wal`), and an admission-gate guard is always
+//! released *before* the admitted query touches any engine lock. Every
+//! tenant's gate shares one class name, so holding one tenant's gate
+//! while acquiring another's is an inversion by construction — admission
+//! is strictly per-tenant.
 //!
 //! Any code path that acquires against this order shows up twice: the
 //! runtime detector panics on the first executed inversion, and the static
@@ -32,6 +41,22 @@
 /// registry, which mirrors it). The per-shard name arrays below have
 /// exactly this many entries.
 pub const MAX_STORE_SHARDS: usize = 8;
+
+/// The serving-layer tenant registry `RwLock`: tenant lookup takes read
+/// guards; tenant creation holds the write guard across the new
+/// tenant's WAL recovery so two connections racing the same tenant id
+/// can never open two appenders on one directory.
+pub const SERVER_TENANTS: &str = "laqy.server.tenants";
+
+/// A per-tenant admission gate (bounded queue + concurrency permits).
+/// One class for all tenants: a gate guard is held only inside
+/// `admit`/`release`/`drain`, never across query execution or another
+/// tenant's gate.
+pub const SERVER_GATE: &str = "laqy.server.gate";
+
+/// Condvar paired with [`SERVER_GATE`]; queued requests and the drain
+/// loop block here.
+pub const SERVER_GATE_CV: &str = "laqy.server.gate.cv";
 
 /// The catalog `RwLock`: table registration and epoch publication.
 pub const CATALOG: &str = "laqy.catalog";
@@ -105,6 +130,24 @@ pub struct LockClassDef {
 /// acquisition order.
 pub const ALL: &[LockClassDef] = &[
     LockClassDef {
+        name: SERVER_TENANTS,
+        family: false,
+        hot: false,
+        doc: "serving-layer tenant registry; write guard held across tenant WAL recovery",
+    },
+    LockClassDef {
+        name: SERVER_GATE,
+        family: false,
+        hot: true,
+        doc: "per-tenant admission gate; released before the admitted query runs",
+    },
+    LockClassDef {
+        name: SERVER_GATE_CV,
+        family: false,
+        hot: true,
+        doc: "condvar paired with laqy.server.gate",
+    },
+    LockClassDef {
         name: WAL,
         family: false,
         hot: false,
@@ -163,6 +206,15 @@ mod tests {
     #[test]
     fn families_resolve_and_exact_names_match() {
         assert_eq!(class_of("laqy.wal").unwrap().name, WAL);
+        assert_eq!(
+            class_of("laqy.server.tenants").unwrap().name,
+            SERVER_TENANTS
+        );
+        assert_eq!(class_of("laqy.server.gate").unwrap().name, SERVER_GATE);
+        assert_eq!(
+            class_of("laqy.server.gate.cv").unwrap().name,
+            SERVER_GATE_CV
+        );
         assert_eq!(
             class_of("laqy.store.shard5").unwrap().name,
             STORE_SHARD_PREFIX

@@ -55,6 +55,12 @@
 //!     every handle to a segment file goes through `WalAppender`/`replay`.
 //!     A second append site could interleave records across segment
 //!     rotation or sync out of order with the catalog publish.
+//! 11. **socket-io** — no socket types (`TcpListener`, `TcpStream`,
+//!     `UdpSocket`) outside `crates/server/src`. The serving crate owns
+//!     the wire: its framing layer is where slow-client timeouts, frame
+//!     caps, and the `net.*` chaos points live, and a second socket site
+//!     would bypass all three. Everything else talks to the server
+//!     through `laqy_server::Client` (or stays in-process).
 //!
 //! The rules run over the real token stream from the
 //! [`analyze::lexer`]: comments and string literals are distinct token
@@ -164,6 +170,14 @@ const ROW_SCAN_ALLOWLIST: &str = "crates/engine/src/ops/reference.rs";
 /// Per-row scan tokens banned from engine operators outside
 /// [`ROW_SCAN_ALLOWLIST`] (rule 9).
 const ROW_SCAN_TOKENS: [&str; 2] = [".matches(", ".i64_at("];
+
+/// The one source subtree sanctioned to touch sockets (rule 11): the
+/// serving crate, where framing, timeouts, and the `net.*` fault points
+/// wrap every socket operation.
+const SOCKET_ALLOWLIST_PREFIX: &str = "crates/server/src/";
+
+/// Socket types banned outside [`SOCKET_ALLOWLIST_PREFIX`] (rule 11).
+const SOCKET_TOKENS: [&str; 3] = ["TcpListener", "TcpStream", "UdpSocket"];
 
 /// `std::sync::` heads that must be routed through `laqy-sync`.
 const SYNC_DENY: [&str; 9] = [
@@ -285,6 +299,22 @@ fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) {
                         "`{tok}...)` per-row scan in an engine operator outside \
                          {ROW_SCAN_ALLOWLIST}; evaluate through the vectorized \
                          `BatchKernel` chunk path instead"
+                    ),
+                ));
+            }
+        }
+    }
+    if !rel.starts_with(SOCKET_ALLOWLIST_PREFIX) {
+        for tok in SOCKET_TOKENS {
+            for ci in ident_hits(&pf, tok, false) {
+                findings.push(finding_at(
+                    &pf,
+                    ci,
+                    "socket-io",
+                    format!(
+                        "`{tok}` outside {SOCKET_ALLOWLIST_PREFIX}; sockets are confined \
+                         to the serving crate so framing, slow-client timeouts, and the \
+                         `net.*` chaos points cover every wire operation"
                     ),
                 ));
             }

@@ -1,0 +1,24 @@
+//! Seeded socket-io violations: raw socket types outside the serving
+//! crate. The TcpStream mention in this doc comment must not fire.
+
+pub fn dial() -> std::io::Result<std::net::TcpStream> {
+    std::net::TcpStream::connect("127.0.0.1:1")
+}
+
+pub fn bind() -> std::io::Result<std::net::TcpListener> {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+    Ok(listener)
+}
+
+pub fn decoys() -> &'static str {
+    // Decoy: prose and strings mentioning TcpListener are stripped.
+    "TcpListener and UdpSocket"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = std::net::TcpListener::bind("127.0.0.1:0");
+    }
+}

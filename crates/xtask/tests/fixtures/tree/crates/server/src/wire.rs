@@ -1,0 +1,10 @@
+//! Decoy for the socket-io rule: the serving crate is the sanctioned
+//! home for sockets and must stay silent despite using every token.
+
+pub fn serve() -> std::io::Result<()> {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let _client: std::net::TcpStream = std::net::TcpStream::connect(addr)?;
+    let _udp = std::net::UdpSocket::bind("127.0.0.1:0")?;
+    Ok(())
+}

@@ -247,6 +247,22 @@ fn row_scans_fire_outside_reference_only() {
 }
 
 #[test]
+fn socket_io_fires_outside_server_only() {
+    let findings = fixture_findings();
+    let hits = matching(&findings, "socket-io", "crates/demo/src/bad_socket.rs");
+    // TcpListener (lines 8, 9) then TcpStream (lines 4, 5), per-token
+    // order; the doc-comment and string mentions and the cfg(test)
+    // usage are all exempt.
+    let lines: Vec<usize> = hits.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![8, 9, 4, 5], "per-token order: {hits:?}");
+    // The serving crate never fires despite using every socket type.
+    assert!(
+        matching(&findings, "socket-io", "crates/server/src/wire.rs").is_empty(),
+        "{findings:?}"
+    );
+}
+
+#[test]
 fn stripper_preserves_lines_and_blanks_prose() {
     let src = "fn f() {\n    // unsafe in a comment\n    let s = \"std::sync::Mutex\";\n    let c = 'x';\n    let l: &'static str = s;\n}\n";
     let stripped = strip_comments_and_strings(src);

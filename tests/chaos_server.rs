@@ -1,0 +1,250 @@
+//! Chaos suite for the serving layer, driven by the `laqy-faults`
+//! registry (`--cfg laqy_faults` builds only). Three invariants, each
+//! swept over 32 seeds:
+//!
+//! - **No hangs under wire faults.** With `net.read` / `net.write` /
+//!   `net.accept` / `net.latency` faults live on both sides of the
+//!   socket, every client operation resolves — a typed response or an
+//!   I/O error — and once the plan is cleared the same server answers
+//!   cleanly. (The proof of "no hang" is the test returning: every
+//!   client request is bounded by its I/O timeout.)
+//! - **Kill-mid-drain loses nothing acked.** A persist-path fault
+//!   injected into drain's snapshot may tear the snapshot, but every
+//!   WAL-durable acked ingest survives recovery on a fresh server over
+//!   the same data directory.
+//! - **A worker panic is a typed error, not a blast radius.** A morsel
+//!   panic in one tenant's query surfaces as `WorkerPanic` on that
+//!   request; the other tenant — and the panicking tenant's next
+//!   request — answer normally.
+#![cfg(laqy_faults)]
+
+use std::time::Duration;
+
+use laqy_faults::{FaultKind, FaultPlan};
+use laqy_server::protocol::{ErrorCode, Request, Response};
+use laqy_server::{Client, Server, ServerConfig};
+use laqy_sync::Mutex;
+use laqy_workload::ssb::SsbConfig;
+
+/// The fault plan is process-global: every chaos test serializes on
+/// this lock so one schedule never bleeds into another test.
+static CHAOS_LOCK: Mutex<()> = Mutex::named("chaos.server.lock", ());
+
+const SEEDS: u64 = 32;
+/// Bounds every request even when a fault eats the response.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+fn start(config: ServerConfig) -> Server {
+    let catalog = laqy_workload::generate(&SsbConfig::tiny());
+    Server::start(catalog, config).expect("server binds")
+}
+
+fn q1(tenant: &str, lo: i64, hi: i64) -> Request {
+    Request::Query {
+        tenant: tenant.to_string(),
+        sql: laqy_workload::q1_sql(lo, hi),
+        k: 64,
+        timeout_ms: 0,
+    }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("laqy-chaos-server-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn wire_faults_yield_typed_outcomes_or_io_errors_never_hangs() {
+    let _guard = CHAOS_LOCK.lock();
+    for seed in 0..SEEDS {
+        laqy_faults::clear();
+        let server = start(ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        });
+        let addr = server.addr();
+
+        // Rotate the faulted surface with the seed; probabilities are
+        // high enough that most seeds hit at least one injection.
+        let plan = match seed % 4 {
+            0 => FaultPlan::new(seed).fail_prob("net.read", FaultKind::Io, 0.2),
+            1 => FaultPlan::new(seed).fail_prob("net.write", FaultKind::Io, 0.2),
+            2 => FaultPlan::new(seed).fail_prob("net.accept", FaultKind::Io, 0.5),
+            _ => FaultPlan::new(seed).fail_prob(
+                "net.latency",
+                FaultKind::Latency(Duration::from_millis(10)),
+                0.3,
+            ),
+        };
+        laqy_faults::install(plan);
+
+        let mut typed = 0u32;
+        let mut io_errors = 0u32;
+        let mut client = Client::connect(addr, IO_TIMEOUT).expect("connect");
+        for i in 0..12 {
+            let lo = (i % 6) * 500;
+            match client.request(&q1("chaos", lo, lo + 499)) {
+                Ok(Response::Answer(_))
+                | Ok(Response::Overloaded { .. })
+                | Ok(Response::Error { .. }) => typed += 1,
+                Ok(other) => panic!("seed {seed}: unexpected response {other:?}"),
+                Err(_) => {
+                    // A faulted read/write tears the connection; the
+                    // only legal client-visible shape is an I/O error.
+                    io_errors += 1;
+                    client = Client::connect(addr, IO_TIMEOUT).expect("reconnect");
+                }
+            }
+        }
+        assert_eq!(typed + io_errors, 12, "seed {seed}: every op resolved");
+
+        // Cleared plan: the same server answers a fresh client cleanly.
+        laqy_faults::clear();
+        let mut clean = Client::connect(addr, IO_TIMEOUT).expect("post-chaos connect");
+        let resp = clean
+            .request(&q1("chaos", 0, 999))
+            .expect("post-chaos query");
+        assert!(
+            matches!(resp, Response::Answer(_)),
+            "seed {seed}: post-chaos query must answer: {resp:?}"
+        );
+        server.shutdown();
+    }
+    laqy_faults::clear();
+}
+
+#[test]
+fn kill_mid_drain_never_loses_an_acked_ingest() {
+    let _guard = CHAOS_LOCK.lock();
+    const PERSIST_POINTS: [&str; 5] = [
+        "persist.create",
+        "persist.write_all",
+        "persist.sync_file",
+        "persist.rename",
+        "persist.sync_dir",
+    ];
+    let base_rows = SsbConfig::tiny().lineorder_rows();
+    for seed in 0..SEEDS {
+        laqy_faults::clear();
+        let dir = temp_dir(&format!("drain-{seed}"));
+        let config = ServerConfig {
+            threads: 2,
+            data_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        };
+        let server = start(config.clone());
+        let mut client = Client::connect(server.addr(), IO_TIMEOUT).expect("connect");
+
+        // Two acked batches; the ack means WAL-durable.
+        let mut acked_watermark = 0u64;
+        for b in 0..2usize {
+            let columns =
+                laqy_workload::lineorder_batch(&SsbConfig::tiny(), base_rows + b * 64, 64);
+            let ack = client
+                .request(&Request::Ingest {
+                    tenant: "durable".to_string(),
+                    table: "lineorder".to_string(),
+                    columns,
+                })
+                .expect("ingest");
+            let Response::IngestAck { watermark } = ack else {
+                panic!("seed {seed}: expected ack, got {ack:?}");
+            };
+            acked_watermark = watermark;
+        }
+        assert_eq!(acked_watermark, base_rows as u64 + 128);
+
+        // The kill lands inside drain's snapshot: sweep which persist
+        // fault point dies, and how deep into the write sequence.
+        let point = PERSIST_POINTS[(seed % 5) as usize];
+        let nth = 1 + seed / 5 % 3;
+        laqy_faults::install(FaultPlan::new(seed).fail_nth(point, FaultKind::Io, nth));
+        let report = server.drain();
+        assert!(report.idle, "seed {seed}: drain waited out in-flight work");
+        laqy_faults::clear();
+        // Whether or not the snapshot tore, drain must report a typed
+        // outcome per tenant rather than panic or hang.
+        assert_eq!(report.snapshots.len(), 1, "seed {seed}: {report:?}");
+        server.shutdown();
+
+        // Recovery over the same directory: the acked ingest is intact
+        // (from the snapshot if it landed, else from WAL replay).
+        let revived = start(config);
+        let tenant = revived
+            .registry()
+            .get_or_create("durable")
+            .expect("recovers");
+        let recovered = tenant
+            .service
+            .catalog()
+            .table("lineorder")
+            .expect("table")
+            .num_rows() as u64;
+        assert!(
+            recovered >= acked_watermark,
+            "seed {seed} ({point}, nth {nth}): acked ingest lost: \
+             recovered {recovered} < acked {acked_watermark}"
+        );
+        // And the revived tenant still answers over the wire.
+        let mut client = Client::connect(revived.addr(), IO_TIMEOUT).expect("reconnect");
+        let resp = client.request(&q1("durable", 0, 999)).expect("query");
+        assert!(matches!(resp, Response::Answer(_)), "seed {seed}: {resp:?}");
+        revived.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    laqy_faults::clear();
+}
+
+#[test]
+fn morsel_panic_is_a_typed_error_scoped_to_one_request() {
+    let _guard = CHAOS_LOCK.lock();
+    for seed in 0..SEEDS {
+        laqy_faults::clear();
+        let server = start(ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        });
+        let mut client = Client::connect(server.addr(), IO_TIMEOUT).expect("connect");
+
+        // Warm both tenants so the panic hits a query morsel, not
+        // tenant creation.
+        for tenant in ["victim", "bystander"] {
+            let resp = client.request(&q1(tenant, 0, 999)).expect("warm query");
+            assert!(matches!(resp, Response::Answer(_)), "seed {seed}: {resp:?}");
+        }
+
+        // The first morsel of the victim's next query panics its
+        // worker (small windows may scan a single morsel, so a deeper
+        // nth could miss); the seed varies which window gets hit.
+        let lo = 1_000 + (seed as i64 % 4) * 1_000;
+        laqy_faults::install(FaultPlan::new(seed).fail_nth("pool.morsel", FaultKind::Panic, 1));
+        let resp = client
+            .request(&q1("victim", lo, lo + 999))
+            .expect("typed response");
+        assert!(
+            matches!(
+                resp,
+                Response::Error {
+                    code: ErrorCode::WorkerPanic,
+                    ..
+                }
+            ),
+            "seed {seed} (window {lo}): a worker panic must surface typed: {resp:?}"
+        );
+        laqy_faults::clear();
+
+        // The bystander tenant answers, and so does the victim's next
+        // request — the panic was scoped to one query.
+        for tenant in ["bystander", "victim"] {
+            let resp = client.request(&q1(tenant, 0, 999)).expect("query");
+            assert!(
+                matches!(resp, Response::Answer(_)),
+                "seed {seed}: {tenant} must recover: {resp:?}"
+            );
+        }
+        server.shutdown();
+    }
+    laqy_faults::clear();
+}
