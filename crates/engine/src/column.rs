@@ -146,6 +146,20 @@ impl Column {
                     dict: other_dict,
                 },
             ) => {
+                // A code with no entry in the incoming dictionary
+                // (corrupt or hostile batch) must surface as a typed
+                // error before any state changes, not an index panic
+                // mid-extend.
+                if let Some(&bad) = other_codes
+                    .iter()
+                    .find(|&&c| c as usize >= other_dict.len())
+                {
+                    return Err(EngineError::CorruptDictCodes {
+                        column: name.to_string(),
+                        code: bad,
+                        dict_len: other_dict.len(),
+                    });
+                }
                 let index: std::collections::HashMap<&str, u32> = dict
                     .iter()
                     .enumerate()
@@ -303,6 +317,21 @@ mod tests {
         assert_eq!(c.value(3), Value::Str("ASIA".into()));
         assert_eq!(c.value(4), Value::Str("AMERICA".into()));
         assert_eq!(c.dict_code("region", "EUROPE").unwrap(), 2);
+    }
+
+    #[test]
+    fn append_rejects_out_of_range_dict_codes() {
+        let mut c = dict_column(["A", "B"]);
+        // Code 7 has no entry in the batch's one-string dictionary —
+        // a corrupt (or hostile, when it arrived over the wire) batch
+        // must be a typed error, never a panic.
+        let bad = Column::Dict {
+            codes: vec![0, 7],
+            dict: Arc::new(vec!["A".into()]),
+        };
+        let err = c.append("region", &bad).unwrap_err();
+        assert!(matches!(err, EngineError::CorruptDictCodes { code: 7, .. }));
+        assert_eq!(c.len(), 2, "failed append leaves the column unchanged");
     }
 
     #[test]

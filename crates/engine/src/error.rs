@@ -37,6 +37,16 @@ pub enum EngineError {
         /// Value that was not found.
         value: String,
     },
+    /// A dictionary-encoded column carries a code with no dictionary
+    /// entry (a corrupt or hostile batch).
+    CorruptDictCodes {
+        /// Dictionary column.
+        column: String,
+        /// The out-of-range code.
+        code: u32,
+        /// Entries in the dictionary the code was checked against.
+        dict_len: usize,
+    },
     /// Plan shape is invalid (e.g. group-by with no keys and no aggregates).
     InvalidPlan(String),
 }
@@ -62,6 +72,14 @@ impl fmt::Display for EngineError {
             EngineError::UnknownDictValue { column, value } => {
                 write!(f, "value `{value}` not in dictionary of column `{column}`")
             }
+            EngineError::CorruptDictCodes {
+                column,
+                code,
+                dict_len,
+            } => write!(
+                f,
+                "dict code {code} out of range for column `{column}` ({dict_len} dictionary entries)"
+            ),
             EngineError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
         }
     }

@@ -493,7 +493,17 @@ impl<'a> Reader<'a> {
                 let cn = self.len(4)?;
                 let mut codes = Vec::with_capacity(cn);
                 for _ in 0..cn {
-                    codes.push(self.u32()?);
+                    // Every code must resolve in the dictionary that
+                    // rode this frame: an out-of-range code would
+                    // otherwise reach the engine's dictionary-merge
+                    // remap and index out of bounds.
+                    let c = self.u32()?;
+                    if c as usize >= dn {
+                        return Err(WireError(format!(
+                            "dict code {c} out of range for dictionary of {dn} entries"
+                        )));
+                    }
+                    codes.push(c);
                 }
                 Column::Dict {
                     codes,
@@ -795,6 +805,26 @@ mod tests {
             ingest_acks: 5,
             errors: 6,
         }));
+    }
+
+    #[test]
+    fn out_of_range_dict_code_is_rejected_at_decode() {
+        // A remote peer can put any u32 in the codes vector; decode
+        // must refuse codes the frame's own dictionary cannot resolve
+        // before they reach the engine's dictionary-merge remap.
+        let req = Request::Ingest {
+            tenant: "t".into(),
+            table: "t".into(),
+            columns: vec![(
+                "d".into(),
+                Column::Dict {
+                    codes: vec![0, 3],
+                    dict: Arc::new(vec!["only".into()]),
+                },
+            )],
+        };
+        let err = Request::decode(&req.encode()).expect_err("code 3 vs 1-entry dict");
+        assert!(err.to_string().contains("out of range"), "{err}");
     }
 
     #[test]

@@ -18,8 +18,8 @@
 //!    exceed `write_timeout` drop the connection; an idle client
 //!    between frames is kept.
 //!
-//! Drain is explicit and ordered: stop admitting (accept loop +
-//! every gate), wait for in-flight permits, then snapshot each
+//! Drain is explicit and ordered: stop admitting (accept loop, tenant
+//! creation, every gate), wait for in-flight permits, then snapshot each
 //! WAL-backed tenant (fsync + WAL checkpoint). Acked ingests are
 //! WAL-durable *before* the ack, so even a kill mid-drain loses
 //! nothing that was acknowledged.
@@ -39,7 +39,7 @@ use laqy_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use crate::admission::Admission;
 use crate::protocol::{
     read_frame, write_frame, Answer, AnswerAgg, AnswerGroup, DegradedInfo, ErrorCode, FrameRead,
-    Request, Response,
+    Request, Response, TenantSnapshot,
 };
 use crate::tenant::{queue_wait_cap, TenantRegistry, TenantState};
 
@@ -176,7 +176,10 @@ impl Server {
         // The accept thread may be parked in accept(); a throwaway
         // connection wakes it to observe the flag.
         let _ = TcpStream::connect(self.local_addr);
-        let tenants = self.shared.registry.list();
+        // Closing the registry stops tenant creation and returns the
+        // tenant list in one atomic step: a racing request can no
+        // longer create a tenant whose gate this loop would miss.
+        let tenants = self.shared.registry.close();
         for t in &tenants {
             t.gate.drain();
         }
@@ -303,6 +306,10 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>, _slot: ConnSlot)
             Ok(FrameRead::Eof) => return,
             Ok(FrameRead::Frame(payload)) => {
                 let t_recv = Instant::now();
+                // Sampled before dispatch: a request already in flight
+                // when drain flips the flag keeps its connection; only
+                // requests *processed* while draining close it below.
+                let draining = shared.stopping.load(Ordering::SeqCst);
                 let response = match Request::decode(&payload) {
                     Ok(request) => dispatch(&shared, request, t_recv),
                     Err(e) => Response::Error {
@@ -312,6 +319,13 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>, _slot: ConnSlot)
                 };
                 if write_frame(&mut stream, &response.encode()).is_err() {
                     // Slow, gone, or chaos-injected: drop the connection.
+                    return;
+                }
+                // A drained request has been answered (with a typed
+                // `Draining` for real work); closing here lets
+                // connection threads wind down instead of living for as
+                // long as the client keeps sending frames.
+                if draining {
                     return;
                 }
             }
@@ -325,8 +339,12 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>, _slot: ConnSlot)
 fn dispatch(shared: &Arc<Shared>, request: Request, t_recv: Instant) -> Response {
     match request {
         Request::Ping => Response::Pong,
-        Request::Stats { tenant } => match shared.registry.get_or_create(&tenant) {
-            Ok(t) => Response::StatsReply(t.counters.snapshot()),
+        // Stats is a read-only probe: it must never allocate a tenant
+        // (service, dirs, WAL) or consume a `max_tenants` slot. A
+        // never-served tenant reports all-zero counters.
+        Request::Stats { tenant } => match shared.registry.lookup(&tenant) {
+            Ok(Some(t)) => Response::StatsReply(t.counters.snapshot()),
+            Ok(None) => Response::StatsReply(TenantSnapshot::default()),
             Err(e) => Response::Error {
                 code: e.code(),
                 message: e.message(),

@@ -101,6 +101,9 @@ pub enum TenantError {
     BadName(String),
     /// The tenant cap is reached and the name is new.
     Limit,
+    /// The registry is closed for drain and the name is new: existing
+    /// tenants still resolve, new ones are refused.
+    Draining,
     /// Creating the tenant's persistence (dirs, WAL recovery) failed.
     Persist(String),
 }
@@ -111,6 +114,7 @@ impl TenantError {
         match self {
             TenantError::BadName(_) => ErrorCode::BadRequest,
             TenantError::Limit => ErrorCode::TenantLimit,
+            TenantError::Draining => ErrorCode::Draining,
             TenantError::Persist(_) => ErrorCode::Failed,
         }
     }
@@ -122,14 +126,26 @@ impl TenantError {
                 format!("invalid tenant name {n:?}: 1..={MAX_TENANT_NAME} chars of [A-Za-z0-9_-]")
             }
             TenantError::Limit => "tenant limit reached".to_string(),
+            TenantError::Draining => {
+                "server is draining; new tenants are not accepted".to_string()
+            }
             TenantError::Persist(e) => format!("tenant persistence setup failed: {e}"),
         }
     }
 }
 
+/// The map plus the drain latch, guarded together so closing the
+/// registry and listing its tenants is one atomic step.
+struct Tenants {
+    map: HashMap<String, Arc<TenantState>>,
+    /// Set by [`TenantRegistry::close`]: existing tenants still
+    /// resolve (their gates answer `Draining`), new ones are refused.
+    draining: bool,
+}
+
 /// The lazy tenant registry.
 pub struct TenantRegistry {
-    tenants: RwLock<HashMap<String, Arc<TenantState>>>,
+    tenants: RwLock<Tenants>,
     base_catalog: Catalog,
     config: Arc<ServerConfig>,
 }
@@ -138,7 +154,13 @@ impl TenantRegistry {
     /// An empty registry over the shared base catalog.
     pub fn new(base_catalog: Catalog, config: Arc<ServerConfig>) -> Self {
         Self {
-            tenants: RwLock::named(classes::SERVER_TENANTS, HashMap::new()),
+            tenants: RwLock::named(
+                classes::SERVER_TENANTS,
+                Tenants {
+                    map: HashMap::new(),
+                    draining: false,
+                },
+            ),
             base_catalog,
             config,
         }
@@ -146,29 +168,54 @@ impl TenantRegistry {
 
     /// Look up a tenant, creating it on first use. The read path is a
     /// shared-lock hash lookup; creation takes the write lock and
-    /// re-checks under it.
+    /// re-checks under it. Once [`close`](TenantRegistry::close) has
+    /// run, creation is refused with [`TenantError::Draining`].
     pub fn get_or_create(&self, name: &str) -> Result<Arc<TenantState>, TenantError> {
         if !valid_name(name) {
             return Err(TenantError::BadName(name.to_string()));
         }
-        if let Some(t) = self.tenants.read().get(name) {
+        if let Some(t) = self.tenants.read().map.get(name) {
             return Ok(Arc::clone(t));
         }
         let mut tenants = self.tenants.write();
-        if let Some(t) = tenants.get(name) {
+        if let Some(t) = tenants.map.get(name) {
             return Ok(Arc::clone(t));
         }
-        if tenants.len() >= self.config.max_tenants {
+        if tenants.draining {
+            return Err(TenantError::Draining);
+        }
+        if tenants.map.len() >= self.config.max_tenants {
             return Err(TenantError::Limit);
         }
         let state = Arc::new(self.create(name)?);
-        tenants.insert(name.to_string(), Arc::clone(&state));
+        tenants.map.insert(name.to_string(), Arc::clone(&state));
         Ok(state)
     }
 
-    /// Every live tenant (for drain and tests).
+    /// Look up an existing tenant without creating it — the read-only
+    /// path for `Stats` probes, which must not consume tenant slots or
+    /// allocate services/WALs for names that were never served.
+    pub fn lookup(&self, name: &str) -> Result<Option<Arc<TenantState>>, TenantError> {
+        if !valid_name(name) {
+            return Err(TenantError::BadName(name.to_string()));
+        }
+        Ok(self.tenants.read().map.get(name).map(Arc::clone))
+    }
+
+    /// Flip the registry into draining and return every tenant that
+    /// exists at that instant. Taking the write lock orders this
+    /// against racing creations: any tenant created before the latch
+    /// flips is in the returned list, anything after is refused with
+    /// [`TenantError::Draining`] — so drain can never miss a gate.
+    pub fn close(&self) -> Vec<Arc<TenantState>> {
+        let mut tenants = self.tenants.write();
+        tenants.draining = true;
+        tenants.map.values().map(Arc::clone).collect()
+    }
+
+    /// Every live tenant (for drain reports and tests).
     pub fn list(&self) -> Vec<Arc<TenantState>> {
-        self.tenants.read().values().map(Arc::clone).collect()
+        self.tenants.read().map.values().map(Arc::clone).collect()
     }
 
     /// Build one tenant: a private service over a clone of the base
@@ -307,6 +354,31 @@ mod tests {
             Err(TenantError::BadName(_))
         ));
         assert_eq!(reg.list().len(), 2);
+    }
+
+    #[test]
+    fn lookup_never_creates() {
+        let reg = TenantRegistry::new(tiny_catalog(), test_config());
+        assert!(reg.lookup("ghost").expect("valid name").is_none());
+        assert_eq!(reg.list().len(), 0, "lookup must not allocate a tenant");
+        assert!(matches!(reg.lookup("../evil"), Err(TenantError::BadName(_))));
+        let a = reg.get_or_create("a").expect("a");
+        let found = reg.lookup("a").expect("valid name").expect("exists");
+        assert!(Arc::ptr_eq(&a, &found));
+    }
+
+    #[test]
+    fn close_stops_creation_but_existing_tenants_resolve() {
+        let reg = TenantRegistry::new(tiny_catalog(), test_config());
+        let a = reg.get_or_create("a").expect("a");
+        let closed = reg.close();
+        assert_eq!(closed.len(), 1, "close returns the drain list");
+        assert!(
+            matches!(reg.get_or_create("b"), Err(TenantError::Draining)),
+            "new tenants are refused after close"
+        );
+        let a2 = reg.get_or_create("a").expect("existing tenants still resolve");
+        assert!(Arc::ptr_eq(&a, &a2));
     }
 
     #[test]

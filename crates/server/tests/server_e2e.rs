@@ -2,9 +2,10 @@
 //! typed-outcome contract, budget propagation, overload shedding, the
 //! connection cap, and drain-then-recover zero-loss.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use laqy_server::protocol::{ErrorCode, Request, Response};
+use laqy_server::protocol::{ErrorCode, Request, Response, TenantSnapshot};
 use laqy_server::{Client, Server, ServerConfig};
 use laqy_workload::ssb::SsbConfig;
 
@@ -160,6 +161,102 @@ fn failures_are_typed_never_hangs() {
 }
 
 #[test]
+fn hostile_dict_codes_are_typed_bad_request() {
+    let server = start(test_config());
+    let mut client = connect(&server);
+    // Code 9 has no entry in the frame's own 1-string dictionary: a
+    // crafted ingest that used to index out of bounds in the engine's
+    // dictionary merge. The contract is a typed BadRequest and a live
+    // server, never a panic.
+    let resp = client
+        .request(&Request::Ingest {
+            tenant: "t".to_string(),
+            table: "lineorder".to_string(),
+            columns: vec![(
+                "c".to_string(),
+                laqy_engine::Column::Dict {
+                    codes: vec![9],
+                    dict: Arc::new(vec!["v".to_string()]),
+                },
+            )],
+        })
+        .expect("typed response");
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ),
+        "{resp:?}"
+    );
+    // The connection and the server both survived.
+    assert!(matches!(
+        client.request(&Request::Ping).expect("ping"),
+        Response::Pong
+    ));
+    server.shutdown();
+}
+
+#[test]
+fn stats_probe_never_creates_a_tenant() {
+    let server = start(test_config());
+    let mut client = connect(&server);
+    let resp = client
+        .request(&Request::Stats {
+            tenant: "ghost".to_string(),
+        })
+        .expect("stats");
+    assert_eq!(resp, Response::StatsReply(TenantSnapshot::default()));
+    assert_eq!(
+        server.registry().list().len(),
+        0,
+        "a read-only probe must not consume a tenant slot"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn connections_wind_down_after_drain() {
+    // A long read timeout keeps the drain-time idle poll from closing
+    // the connection before our post-drain request lands, so the typed
+    // Draining answer is deterministic.
+    let server = start(ServerConfig {
+        read_timeout: Duration::from_secs(5),
+        ..test_config()
+    });
+    let mut client = connect(&server);
+    assert!(matches!(
+        client.request(&Request::Ping).expect("ping"),
+        Response::Pong
+    ));
+    server.drain();
+    // The in-flight connection gets one typed Draining answer (the
+    // tenant is new, so this also exercises the registry's creation
+    // latch), then the server closes the connection...
+    let resp = client.request(&q1("fresh", 0, 9)).expect("typed");
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::Draining,
+                ..
+            }
+        ),
+        "{resp:?}"
+    );
+    // ...so a client that keeps sending cannot pin a serving thread:
+    // the next request fails instead of being answered forever.
+    let followup = client.request(&Request::Ping);
+    assert!(
+        followup.is_err(),
+        "connection must close after drain, got {followup:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn tiny_timeout_degrades_instead_of_erroring() {
     let server = start(test_config());
     let mut client = connect(&server);
@@ -256,6 +353,9 @@ fn drain_rejects_new_work_and_recovery_keeps_acked_ingest() {
     let dir = temp_dir("drain");
     let config = ServerConfig {
         data_dir: Some(dir.clone()),
+        // Keep the drain-time idle poll from racing the post-drain
+        // request below (see connections_wind_down_after_drain).
+        read_timeout: Duration::from_secs(5),
         ..test_config()
     };
     let server = start(config.clone());
